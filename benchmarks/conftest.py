@@ -1,0 +1,38 @@
+"""Shared configuration for the paper-reproduction benches.
+
+Budgets scale with the ``REPRO_BENCH_BUDGET`` environment variable
+(seconds per tool per model; default 10).  The paper used 3600 s and 10
+repetitions on an i7 — these benches reproduce the *shape* of the results
+at laptop-seconds scale.  Rendered tables/figures are written to
+``benchmarks/out/`` and printed (visible with ``pytest -s``).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+#: Seconds of generation budget per (tool, model) run.
+BUDGET_S = float(os.environ.get("REPRO_BENCH_BUDGET", "10"))
+#: Repetitions for randomized tools.
+REPETITIONS = int(os.environ.get("REPRO_BENCH_REPS", "2"))
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def save_artifact(name: str, text: str) -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture
+def artifact():
+    def _save(name, text):
+        path = save_artifact(name, text)
+        print(f"\n[artifact] {path}\n")
+        print(text)
+        return path
+
+    return _save

@@ -1,0 +1,27 @@
+"""Bench: paper Figure 3 — branch structure and explored state tree."""
+
+from repro.harness.figures import figure3
+from repro.harness.tables import run_table1
+
+from .conftest import BUDGET_S
+
+
+def test_fig3_state_tree(benchmark, artifact):
+    text = benchmark.pedantic(
+        lambda: figure3(budget_s=max(BUDGET_S, 5.0), seed=0),
+        rounds=1, iterations=1,
+    )
+    artifact("figure3.txt", text)
+
+    # 13 branches named B1..B13 in the structure section.
+    for index in range(1, 14):
+        assert f"B{index}:" in text
+    assert "S0" in text
+
+    _, generator = run_table1(budget_s=max(BUDGET_S, 5.0), seed=0)
+    # A state tree rooted at S0 with the five opcode children (S1..S5).
+    assert len(generator.tree.root.children) >= 5
+    # The tree path through S1 (one task added) carries the delete/modify/
+    # check successors, mirroring Figure 3(b).
+    s1 = generator.tree.node(1)
+    assert len(s1.children) >= 3

@@ -1,0 +1,23 @@
+"""Bench: paper Table II — benchmark model inventory.
+
+Builds all eight models (timing the builds) and renders the
+paper-vs-measured branch/block counts.
+"""
+
+from repro.harness.tables import table2
+from repro.models import BENCHMARKS
+
+
+def test_table2_models(benchmark, artifact):
+    def build_all():
+        return [model.build() for model in BENCHMARKS]
+
+    compiled = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    artifact("table2.txt", table2(BENCHMARKS))
+
+    for model, built in zip(BENCHMARKS, compiled):
+        # Our primitives are coarser than Simulink's (one chart block stands
+        # for a whole Stateflow diagram), so bounds are loose: the models
+        # must be in the same complexity class as the paper's, not equal.
+        assert built.registry.n_branches >= model.paper_branches / 4, model.name
+        assert built.n_blocks >= model.paper_blocks / 8, model.name

@@ -1,0 +1,53 @@
+"""Bench: paper Table III — three-tool coverage comparison on all models.
+
+Runs SLDV / SimCoTest / STCG on every benchmark model under equal budgets
+(REPRO_BENCH_BUDGET seconds each, REPRO_BENCH_REPS repetitions for the
+randomized tools) and renders the comparison table with average
+improvement rows.
+
+Shape assertions (the reproduction's claims):
+* STCG's decision coverage is at least that of both baselines on average,
+* STCG wins on the state-heavy models (CPUTask, TCP),
+* average improvements are positive on all three metrics.
+"""
+
+import statistics
+
+from repro.harness import MatrixConfig, average_improvements, run_matrix, table3
+from repro.models import BENCHMARKS
+
+from .conftest import BUDGET_S, REPETITIONS
+
+
+def test_table3_coverage(benchmark, artifact):
+    config = MatrixConfig(
+        budget_s=BUDGET_S, repetitions=REPETITIONS, sldv_repetitions=1,
+        seed=0, sldv_max_depth=5,
+    )
+
+    results = benchmark.pedantic(
+        lambda: run_matrix(BENCHMARKS, config), rounds=1, iterations=1
+    )
+    artifact("table3.txt", table3(results))
+
+    stcg_avg = statistics.mean(
+        results[m.name]["STCG"].decision for m in BENCHMARKS
+    )
+    sldv_avg = statistics.mean(
+        results[m.name]["SLDV"].decision for m in BENCHMARKS
+    )
+    simco_avg = statistics.mean(
+        results[m.name]["SimCoTest"].decision for m in BENCHMARKS
+    )
+    assert stcg_avg > sldv_avg
+    assert stcg_avg > simco_avg
+
+    for model_name in ("CPUTask", "TCP"):
+        per_tool = results[model_name]
+        assert per_tool["STCG"].decision >= per_tool["SimCoTest"].decision
+        assert per_tool["STCG"].decision >= per_tool["SLDV"].decision
+
+    for baseline in ("SLDV", "SimCoTest"):
+        gains = average_improvements(results, baseline)
+        assert gains["decision"] > 0.0
+        assert gains["mcdc"] > 0.0

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Authoring a chart-based model from scratch and testing it with STCG.
+
+Builds an elevator-door controller: a Stateflow-like chart (door states
+with an obstruction counter) combined with block-diagram interlock logic.
+Shows the full public API surface: ChartSpec, ModelBuilder, chart
+embedding, STCG generation and suite export.
+
+Run:  python examples/custom_chart_protocol.py
+"""
+
+from repro.core import StcgConfig, StcgGenerator
+from repro.expr.types import BOOL, INT, REAL
+from repro.model import ModelBuilder
+from repro.stateflow import ChartSpec
+
+# Door chart states.
+CLOSED, OPENING, OPEN, CLOSING, FAULT = range(5)
+
+
+def door_chart() -> ChartSpec:
+    chart = ChartSpec("door")
+    chart.input("cmd_open", BOOL)
+    chart.input("cmd_close", BOOL)
+    chart.input("obstructed", BOOL)
+    chart.input("at_floor", BOOL)
+    chart.output("door_state", INT, CLOSED)
+    chart.local("retries", INT, 0)
+
+    closed = chart.state("Closed", entry=[f"door_state = {CLOSED}"])
+    opening = chart.state("Opening", entry=[f"door_state = {OPENING}"])
+    open_ = chart.state("Open", entry=[f"door_state = {OPEN}", "retries = 0"])
+    closing = chart.state("Closing", entry=[f"door_state = {CLOSING}"])
+    fault = chart.state("Fault", entry=[f"door_state = {FAULT}"])
+    chart.initial(closed)
+
+    chart.transition(closed, opening, guard="cmd_open && at_floor", priority=1)
+    chart.transition(opening, open_, guard="!obstructed", priority=1)
+    chart.transition(open_, closing, guard="cmd_close", priority=1)
+    # Obstruction while closing re-opens; three strikes is a fault.
+    chart.transition(
+        closing, opening,
+        guard="obstructed && retries < 2",
+        actions=["retries = retries + 1"],
+        priority=1,
+    )
+    chart.transition(closing, fault, guard="obstructed", priority=2)
+    chart.transition(closing, closed, guard="!obstructed", priority=3)
+    chart.transition(fault, closed, guard="cmd_close && cmd_open", priority=1)
+    return chart
+
+
+def build_elevator_door():
+    b = ModelBuilder("ElevatorDoor")
+    cmd_open = b.inport("cmd_open", BOOL)
+    cmd_close = b.inport("cmd_close", BOOL)
+    obstructed = b.inport("obstructed", BOOL)
+    speed = b.inport("cab_speed", REAL, 0.0, 2.0)
+
+    # The cab is "at floor" when it has (nearly) stopped.
+    at_floor = b.compare(speed, "<", 0.05, name="at_floor")
+    chart = b.add_chart(
+        door_chart(),
+        {
+            "cmd_open": cmd_open,
+            "cmd_close": cmd_close,
+            "obstructed": obstructed,
+            "at_floor": at_floor,
+        },
+        name="door",
+    )
+    door_state = chart["door_state"]
+
+    # Motion interlock: the cab may only move with the door fully closed.
+    door_closed = b.compare(door_state, "==", CLOSED, name="door_closed")
+    moving = b.compare(speed, ">", 0.1, name="is_moving")
+    violation = b.logic(
+        "and", moving, b.logic_not(door_closed), name="interlock_violation"
+    )
+    alarm = b.switch(violation, b.const(1), b.const(0), name="alarm")
+
+    b.outport("door_state", door_state)
+    b.outport("alarm", alarm)
+    return b.compile()
+
+
+def main():
+    compiled = build_elevator_door()
+    print(
+        f"{compiled.name}: {compiled.registry.n_branches} branches, "
+        f"{compiled.registry.n_condition_atoms} condition atoms"
+    )
+    generator = StcgGenerator(compiled, StcgConfig(budget_s=15.0, seed=2))
+    result = generator.run()
+    print(
+        f"decision={result.decision:.0%} condition={result.condition:.0%} "
+        f"mcdc={result.mcdc:.0%} in {len(result.suite)} test cases"
+    )
+
+    # The fault path needs: open at floor, start closing, obstruct three
+    # times — show the synthesized sequence that reaches it.
+    for case in result.suite:
+        if case.length >= 4:
+            print(f"\na deep test case ({case.origin}, {case.length} steps):")
+            print(case.to_text(result.suite.input_names))
+            break
+
+    print("\nexplored state tree (truncated):")
+    print(generator.tree.render(max_nodes=20))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""STCG: state-aware test case generation for Simulink-like models.
+
+A from-scratch Python reproduction of *STCG: State-Aware Test Case
+Generation for Simulink Models* (DAC 2023), including:
+
+* a Simulink-like block-diagram simulator with Stateflow-like charts
+  (:mod:`repro.model`, :mod:`repro.stateflow`),
+* Decision / Condition / masking-MCDC coverage (:mod:`repro.coverage`),
+* a constraint-solving stack — interval contraction plus AVM search —
+  over a typed expression IR (:mod:`repro.expr`, :mod:`repro.solver`),
+* the STCG generator itself (:mod:`repro.core`),
+* SLDV-like and SimCoTest-like baselines (:mod:`repro.baselines`),
+* re-creations of the paper's eight benchmark models
+  (:mod:`repro.models`) and the experiment harness
+  (:mod:`repro.harness`).
+
+Quick start::
+
+    from repro.models import get_benchmark
+    from repro.core import StcgGenerator, StcgConfig
+
+    model = get_benchmark("CPUTask").build()
+    result = StcgGenerator(model, StcgConfig(budget_s=10)).run()
+    print(result.summary)
+"""
+
+from repro.core import StcgConfig, StcgGenerator, generate
+from repro.coverage import CoverageCollector
+from repro.model import ModelBuilder, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoverageCollector",
+    "ModelBuilder",
+    "Simulator",
+    "StcgConfig",
+    "StcgGenerator",
+    "__version__",
+    "generate",
+]

@@ -1,0 +1,26 @@
+"""Abstract interpretation over the interval domain.
+
+Implements the paper's proposed dead-logic verification: a reachable-state
+envelope (interval fixpoint with widening) and per-branch unreachability
+proofs (:func:`find_dead_branches`).
+"""
+
+from repro.analysis.envelope import (
+    abstract_context,
+    find_dead_branches,
+    input_envelope,
+    state_envelope,
+)
+from repro.analysis.interval_eval import interval_eval
+from repro.analysis.intervalops import ABSTRACT, hull, lift
+
+__all__ = [
+    "ABSTRACT",
+    "abstract_context",
+    "find_dead_branches",
+    "hull",
+    "input_envelope",
+    "interval_eval",
+    "lift",
+    "state_envelope",
+]

@@ -1,0 +1,114 @@
+"""Reachable-state envelopes and dead-branch proofs.
+
+The paper's Discussion proposes verifying perpetually-false branches "using
+the formal method" so STCG stops re-solving them.  This module implements
+that verification by abstract interpretation over the interval domain:
+
+1. :func:`state_envelope` iterates the model's abstract step (all inputs at
+   their declared ranges, state joined with its successors, widening after
+   a warm-up) to a fixpoint — a sound invariant containing every reachable
+   state,
+2. :func:`find_dead_branches` executes one abstract step from the envelope
+   and reports every branch whose recorded outcome condition is
+   *definitely false* — a proof that no reachable state and no input can
+   ever cover it.
+
+Proofs are conservative: a reported branch is guaranteed dead; an
+unreported branch may still be dead (the LEDLC default port, for example,
+needs a relational domain to prove).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.coverage.registry import Branch
+from repro.model.context import StepContext
+from repro.model.executor import execute_step
+from repro.model.graph import CompiledModel
+from repro.analysis.intervalops import ABSTRACT, Abstract, hull, lift
+from repro.solver.interval import BOOL_UNKNOWN, Interval
+
+#: Iteration caps for the fixpoint loop.
+MAX_ITERATIONS = 64
+WIDEN_AFTER = 12
+
+
+def input_envelope(compiled: CompiledModel) -> Dict[str, Abstract]:
+    """Every input at its full declared range (booleans unknown)."""
+    envelope: Dict[str, Abstract] = {}
+    for spec in compiled.inports:
+        if spec.ty.is_bool:
+            envelope[spec.name] = BOOL_UNKNOWN
+        else:
+            lo = spec.lo if spec.lo is not None else -1.0e9
+            hi = spec.hi if spec.hi is not None else 1.0e9
+            envelope[spec.name] = Interval(float(lo), float(hi))
+    return envelope
+
+
+def abstract_context(
+    compiled: CompiledModel, state_env: Dict[str, Abstract]
+) -> StepContext:
+    """A step context running the model over the interval domain."""
+    return StepContext(ABSTRACT, input_envelope(compiled), state_env, {})
+
+
+def _widen(old: Interval, new: Interval) -> Interval:
+    lo = -math.inf if new.lo < old.lo else old.lo
+    hi = math.inf if new.hi > old.hi else old.hi
+    return Interval(lo, hi)
+
+
+def _widen_value(old: Abstract, new: Abstract) -> Abstract:
+    if isinstance(old, tuple):
+        return tuple(_widen(o, n) for o, n in zip(old, new))
+    return _widen(old, new)
+
+
+def state_envelope(
+    compiled: CompiledModel,
+    max_iterations: int = MAX_ITERATIONS,
+    widen_after: int = WIDEN_AFTER,
+) -> Dict[str, Abstract]:
+    """Fixpoint invariant over all reachable states (sound, conservative)."""
+    envelope: Dict[str, Abstract] = {
+        path: lift(element.init)
+        for path, element in compiled.state_elements.items()
+    }
+    for iteration in range(max_iterations):
+        ctx = abstract_context(compiled, dict(envelope))
+        execute_step(compiled, ctx)
+        changed = False
+        for path, value in ctx.next_state.items():
+            joined = hull(envelope[path], lift(value))
+            if joined != envelope[path]:
+                if iteration >= widen_after:
+                    joined = _widen_value(envelope[path], joined)
+                envelope[path] = joined
+                changed = True
+        if not changed:
+            break
+    return envelope
+
+
+def find_dead_branches(
+    compiled: CompiledModel,
+    envelope: Optional[Dict[str, Abstract]] = None,
+) -> List[Branch]:
+    """Branches provably unreachable from any reachable state and input."""
+    if envelope is None:
+        envelope = state_envelope(compiled)
+    ctx = abstract_context(compiled, dict(envelope))
+    execute_step(compiled, ctx)
+    dead: List[Branch] = []
+    for decision in compiled.registry.decisions:
+        conditions = ctx.outcome_conditions.get(decision.decision_id)
+        if conditions is None:
+            continue
+        for branch in decision.branches:
+            condition = lift(conditions[branch.outcome])
+            if isinstance(condition, Interval) and condition.definitely_false:
+                dead.append(branch)
+    return dead

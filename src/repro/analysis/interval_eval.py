@@ -1,0 +1,49 @@
+"""Interval evaluation of expression trees (for chart guards/actions)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import EvalError
+from repro.expr.ast import Binary, Const, Expr, Ite, Select, Store, Unary, Var
+from repro.analysis.intervalops import ABSTRACT, Abstract, hull, lift
+from repro.solver.contractor import _forward_binary, _forward_unary
+from repro.solver.interval import Interval
+
+
+def interval_eval(expr: Expr, env: Mapping[str, Abstract]) -> Abstract:
+    """Evaluate ``expr`` over interval-valued variables (sound hull)."""
+    memo: Dict[int, Abstract] = {}
+
+    def visit(node: Expr) -> Abstract:
+        key = id(node)
+        if key in memo:
+            return memo[key]
+        result = _compute(node, visit, env)
+        memo[key] = result
+        return result
+
+    return visit(expr)
+
+
+def _compute(node: Expr, visit, env: Mapping[str, Abstract]) -> Abstract:
+    if isinstance(node, Const):
+        return lift(node.value)
+    if isinstance(node, Var):
+        try:
+            return lift(env[node.name])
+        except KeyError:
+            raise EvalError(f"no abstract value for {node.name!r}") from None
+    if isinstance(node, Unary):
+        return _forward_unary(node.op, visit(node.arg))
+    if isinstance(node, Binary):
+        return _forward_binary(node.op, visit(node.left), visit(node.right))
+    if isinstance(node, Ite):
+        return ABSTRACT.ite(visit(node.cond), visit(node.then), visit(node.orelse))
+    if isinstance(node, Select):
+        return ABSTRACT.select(visit(node.array), visit(node.index))
+    if isinstance(node, Store):
+        return ABSTRACT.store(
+            visit(node.array), visit(node.index), visit(node.value)
+        )
+    raise EvalError(f"cannot abstractly evaluate {type(node).__name__}")

@@ -1,0 +1,159 @@
+"""Interval-domain value operations: abstract interpretation of models.
+
+A third :class:`~repro.model.valueops.ValueOps` implementation where scalar
+values are :class:`~repro.solver.interval.Interval` (booleans as the
+``[0,1]`` lattice) and arrays are tuples of intervals.  Executing a model
+step with these operations computes a sound over-approximation of one
+concrete step; iterating to a fixpoint yields an invariant envelope of all
+reachable states (:mod:`repro.analysis.envelope`).
+
+The table reports ``symbolic = True`` so blocks take their merge-style
+code path (build ITE → here: hull) instead of branching on concrete
+truth values.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.solver import interval as iv
+from repro.solver.contractor import _forward_binary, _forward_unary
+from repro.solver.interval import BOOL_FALSE, BOOL_TRUE, BOOL_UNKNOWN, Interval
+
+Abstract = Union[Interval, Tuple[Interval, ...]]
+
+
+def lift(value) -> Abstract:
+    """Lift a concrete value (or pass an abstract one through)."""
+    if isinstance(value, Interval):
+        return value
+    if isinstance(value, tuple):
+        return tuple(lift(element) for element in value)
+    if isinstance(value, bool):
+        return BOOL_TRUE if value else BOOL_FALSE
+    return Interval.point(float(value))
+
+
+def hull(a: Abstract, b: Abstract) -> Abstract:
+    """Join two abstract values."""
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        ta = a if isinstance(a, tuple) else tuple()
+        tb = b if isinstance(b, tuple) else tuple()
+        if len(ta) != len(tb):
+            raise ValueError("array length mismatch in abstract hull")
+        return tuple(x.hull(y) for x, y in zip(ta, tb))
+    return a.hull(b)
+
+
+def _binary(op: str):
+    def apply(a, b):
+        return _forward_binary(op, lift(a), lift(b))
+
+    return staticmethod(apply)
+
+
+def _unary(op: str):
+    def apply(a):
+        return _forward_unary(op, lift(a))
+
+    return staticmethod(apply)
+
+
+class _AbstractOps:
+    """Interval-lattice operation table (duck-typed ValueOps)."""
+
+    symbolic = True  # blocks must take the merge path, not concrete branches
+    abstract = True
+
+    add = _binary("add")
+    sub = _binary("sub")
+    mul = _binary("mul")
+    div = _binary("div")
+    idiv = _binary("idiv")
+    mod = _binary("mod")
+    minimum = _binary("min")
+    maximum = _binary("max")
+    lt = _binary("lt")
+    le = _binary("le")
+    gt = _binary("gt")
+    ge = _binary("ge")
+    eq = _binary("eq")
+    ne = _binary("ne")
+    land = _binary("and")
+    lor = _binary("or")
+    lxor = _binary("xor")
+    neg = _unary("neg")
+    absolute = _unary("abs")
+    lnot = _unary("not")
+    to_int = _unary("to_int")
+    to_real = _unary("to_real")
+    to_bool = _unary("to_bool")
+
+    @staticmethod
+    def saturate(value, lo, hi):
+        clamped = _forward_binary("max", lift(value), lift(lo))
+        return _forward_binary("min", clamped, lift(hi))
+
+    @staticmethod
+    def ite(condition, then, orelse):
+        condition = lift(condition)
+        if condition is True or (
+            isinstance(condition, Interval) and condition.definitely_true
+        ):
+            return lift(then)
+        if isinstance(condition, Interval) and condition.definitely_false:
+            return lift(orelse)
+        return hull(lift(then), lift(orelse))
+
+    @staticmethod
+    def select(array, index):
+        array = lift(array)
+        index = lift(index)
+        assert isinstance(array, tuple)
+        if index.is_empty:
+            return Interval.empty()
+        lo = max(0, int(index.lo))
+        hi = min(len(array) - 1, int(index.hi))
+        if lo > hi:
+            return Interval.empty()
+        result = array[lo]
+        for element in array[lo + 1 : hi + 1]:
+            result = result.hull(element)
+        return result
+
+    @staticmethod
+    def store(array, index, value):
+        array = lift(array)
+        index = lift(index)
+        value = lift(value)
+        assert isinstance(array, tuple)
+        if index.is_point:
+            position = int(index.lo)
+            if 0 <= position < len(array):
+                items = list(array)
+                items[position] = value
+                return tuple(items)
+        # Unknown position: weak update — every slot may receive the value.
+        lo = max(0, int(index.lo)) if not index.is_empty else 0
+        hi = min(len(array) - 1, int(index.hi)) if not index.is_empty else -1
+        items = list(array)
+        for position in range(lo, hi + 1):
+            items[position] = items[position].hull(value)
+        return tuple(items)
+
+    @staticmethod
+    def is_true(value) -> bool:
+        value = lift(value)
+        if value.definitely_true:
+            return True
+        if value.definitely_false:
+            return False
+        raise ValueError("abstract boolean is undecided")
+
+    @staticmethod
+    def is_concrete(value) -> bool:
+        value = lift(value)
+        return isinstance(value, Interval) and value.is_point
+
+
+ABSTRACT = _AbstractOps()

@@ -1,0 +1,11 @@
+"""Baseline test-case generators the paper compares against."""
+
+from repro.baselines.simcotest import SimCoTestConfig, SimCoTestGenerator
+from repro.baselines.sldv import SldvConfig, SldvGenerator
+
+__all__ = [
+    "SimCoTestConfig",
+    "SimCoTestGenerator",
+    "SldvConfig",
+    "SldvGenerator",
+]

@@ -1,0 +1,115 @@
+"""SimCoTest-like baseline: random search with coverage feedback.
+
+Reproduces the essential behaviour of SimCoTest (Matinnejad et al., ICSE
+2016 companion): piecewise-constant random input signals are simulated
+whole-sequence from the initial state; a candidate test is kept when it
+increases accumulated coverage.  There is no constraint solving and no
+state awareness — fast early coverage, then a plateau once the remaining
+branches require specific internal states.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.coverage.collector import CoverageCollector
+from repro.core.result import GenerationResult, ORIGIN_TOOL, TimelineEvent
+from repro.core.testcase import TestCase, TestSuite
+from repro.model.graph import CompiledModel
+from repro.model.inputs import piecewise_constant_sequence
+from repro.model.simulator import Simulator
+
+
+@dataclass
+class SimCoTestConfig:
+    """Budgets and signal-shape parameters of the random-search baseline."""
+
+    budget_s: float = 10.0
+    seed: int = 0
+    #: Simulated steps per candidate test (one "simulation").
+    sequence_length: int = 20
+    #: Max piecewise-constant segments per input signal.
+    max_segments: int = 5
+    stop_on_full_coverage: bool = True
+
+
+class SimCoTestGenerator:
+    """Random test-suite generation with coverage-greedy selection."""
+
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        config: Optional[SimCoTestConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.compiled = compiled
+        self.config = config or SimCoTestConfig()
+        self._clock = clock
+        self._rng = random.Random(self.config.seed)
+        self.collector = CoverageCollector(compiled.registry)
+        self.suite = TestSuite(
+            compiled.name, [spec.name for spec in compiled.inports]
+        )
+        self.timeline: List[TimelineEvent] = []
+        self.stats = {"simulations": 0, "steps_executed": 0, "kept": 0}
+
+    def run(self) -> GenerationResult:
+        start = self._clock()
+        simulator = Simulator(self.compiled, self.collector)
+        while True:
+            elapsed = self._clock() - start
+            if elapsed >= self.config.budget_s:
+                break
+            if (
+                self.config.stop_on_full_coverage
+                and not self.collector.uncovered_branches()
+            ):
+                break
+            sequence = piecewise_constant_sequence(
+                self.compiled.inports,
+                self._rng,
+                self.config.sequence_length,
+                self.config.max_segments,
+            )
+            simulator.reset()
+            new_ids: List[int] = []
+            for step_inputs in sequence:
+                result = simulator.step(step_inputs)
+                new_ids.extend(result.new_branch_ids)
+            self.stats["simulations"] += 1
+            self.stats["steps_executed"] += len(sequence)
+            if new_ids:
+                timestamp = self._clock() - start
+                self.suite.add(
+                    TestCase(
+                        inputs=sequence,
+                        origin=ORIGIN_TOOL,
+                        new_branch_ids=new_ids,
+                        timestamp=timestamp,
+                    )
+                )
+                self.stats["kept"] += 1
+                self.timeline.append(
+                    TimelineEvent(
+                        t=timestamp,
+                        decision_coverage=self.collector.decision_coverage(),
+                        origin=ORIGIN_TOOL,
+                        new_branches=len(new_ids),
+                    )
+                )
+        return GenerationResult(
+            tool="SimCoTest",
+            model_name=self.compiled.name,
+            summary=self.collector.summary(),
+            suite=self.suite,
+            timeline=list(self.timeline),
+            stats=dict(self.stats),
+        )
+
+
+def generate(compiled: CompiledModel, config: Optional[SimCoTestConfig] = None):
+    """Convenience wrapper: run the SimCoTest-like baseline."""
+    return SimCoTestGenerator(compiled, config).run()

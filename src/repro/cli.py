@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the benchmark models and their sizes,
+* ``info MODEL`` — a model's ports, state elements and decisions,
+* ``generate MODEL`` — run a tool, print coverage, optionally export the
+  suite, a coverage report and a minimized suite,
+* ``compare MODEL`` — SLDV vs SimCoTest vs STCG with the Figure-4 plot,
+* ``table1 | table2 | table3 | fig3 | fig4`` — the paper's artefacts,
+* ``ablation KIND MODEL`` — the Discussion-section ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.coverage.report import full_report
+from repro.core.minimize import minimize_suite
+from repro.harness import (
+    MatrixConfig,
+    figure3,
+    figure4,
+    figure4_model,
+    run_matrix,
+    run_tool,
+    table1,
+    table2,
+    table3,
+)
+from repro.harness.ablation import (
+    dead_logic_waste,
+    hybrid_warmup,
+    library_vs_fresh,
+    render,
+)
+from repro.errors import ReproError
+from repro.models import BENCHMARKS, benchmark_names, get_benchmark
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STCG reproduction: state-aware test generation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark models")
+
+    info = sub.add_parser("info", help="describe one model")
+    info.add_argument("model")
+
+    gen = sub.add_parser("generate", help="generate tests for one model")
+    gen.add_argument("model")
+    gen.add_argument("--tool", default="STCG",
+                     choices=["STCG", "SLDV", "SimCoTest"])
+    gen.add_argument("--budget", type=float, default=20.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", help="write the suite text export here")
+    gen.add_argument("--report", action="store_true",
+                     help="print the full coverage report")
+    gen.add_argument("--minimize", action="store_true",
+                     help="greedy set-cover suite reduction")
+
+    cmp_ = sub.add_parser("compare", help="three-tool comparison on a model")
+    cmp_.add_argument("model")
+    cmp_.add_argument("--budget", type=float, default=15.0)
+    cmp_.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in [
+        ("table1", "Table I: state-tree construction log"),
+        ("fig3", "Figure 3: branch structure + state tree"),
+    ]:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--budget", type=float, default=10.0)
+        cmd.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("table2", help="Table II: model inventory")
+
+    t3 = sub.add_parser("table3", help="Table III: coverage comparison")
+    t3.add_argument("--budget", type=float, default=10.0)
+    t3.add_argument("--reps", type=int, default=2)
+    t3.add_argument("--seed", type=int, default=0)
+    t3.add_argument("--models", nargs="*", default=None)
+
+    f4 = sub.add_parser("fig4", help="Figure 4: coverage vs time plots")
+    f4.add_argument("--budget", type=float, default=10.0)
+    f4.add_argument("--seed", type=int, default=0)
+    f4.add_argument("--models", nargs="*", default=["CPUTask", "TCP"])
+
+    prove = sub.add_parser(
+        "prove", help="prove dead branches by abstract interpretation"
+    )
+    prove.add_argument("model")
+
+    abl = sub.add_parser("ablation", help="Discussion-section ablations")
+    abl.add_argument(
+        "kind", choices=["dead-logic", "hybrid", "library", "proofs"]
+    )
+    abl.add_argument("model")
+    abl.add_argument("--budget", type=float, default=10.0)
+    abl.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> None:
+    print(f"{'model':12s} {'#branch':>8s} {'#block':>7s}  functionality")
+    for model in BENCHMARKS:
+        compiled = model.build()
+        print(
+            f"{model.name:12s} {compiled.registry.n_branches:>8d} "
+            f"{compiled.n_blocks:>7d}  {model.functionality}"
+        )
+
+
+def _cmd_info(name: str) -> None:
+    model = get_benchmark(name)
+    compiled = model.build()
+    print(f"{model.name}: {model.functionality}")
+    print(f"  blocks: {compiled.n_blocks}")
+    print(f"  branches: {compiled.registry.n_branches} "
+          f"(paper reported {model.paper_branches})")
+    print(f"  condition atoms: {compiled.registry.n_condition_atoms}")
+    if model.dead_branches:
+        print(f"  documented dead branches: {model.dead_branches}")
+    print("  inputs:")
+    for spec in compiled.inports:
+        bounds = f" in [{spec.lo}, {spec.hi}]" if spec.lo is not None else ""
+        print(f"    {spec.name}: {spec.ty!r}{bounds}")
+    print(f"  state elements: {len(compiled.state_elements)}")
+    for path, element in sorted(compiled.state_elements.items()):
+        print(f"    {path} ({element.category}, init={element.init})")
+
+
+def _cmd_generate(args) -> None:
+    model = get_benchmark(args.model)
+    result = run_tool(args.tool, model, args.budget, args.seed)
+    print(
+        f"{args.tool} on {model.name}: decision={result.decision:.1%} "
+        f"condition={result.condition:.1%} mcdc={result.mcdc:.1%} "
+        f"cases={len(result.suite)}"
+    )
+    if args.minimize:
+        compiled = model.build()
+        reduced = minimize_suite(compiled, result.suite)
+        print(
+            f"minimized: {reduced.kept_cases}/{reduced.original_cases} cases "
+            f"({reduced.reduction:.0%} reduction, "
+            f"{reduced.goals_total} goals preserved)"
+        )
+        suite = reduced.suite
+    else:
+        suite = result.suite
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(suite.to_text())
+        print(f"suite written to {args.out}")
+    if args.report:
+        compiled = model.build()
+        collector = suite.replay(compiled)
+        print()
+        print(full_report(collector))
+
+
+def _cmd_compare(args) -> None:
+    model = get_benchmark(args.model)
+    results = {}
+    for tool in ("SLDV", "SimCoTest", "STCG"):
+        result = run_tool(tool, model, args.budget, args.seed)
+        results[tool] = result
+        print(
+            f"{tool:10s} decision={result.decision:5.1%} "
+            f"condition={result.condition:5.1%} mcdc={result.mcdc:5.1%} "
+            f"cases={len(result.suite):3d}"
+        )
+    print()
+    print(figure4_model(results, args.budget))
+
+
+def _cmd_table3(args) -> None:
+    names = args.models or benchmark_names()
+    models = [get_benchmark(name) for name in names]
+    config = MatrixConfig(
+        budget_s=args.budget, repetitions=args.reps, seed=args.seed
+    )
+    results = run_matrix(models, config, progress=lambda m: print(f"  {m}"))
+    print()
+    print(table3(results))
+
+
+def _cmd_fig4(args) -> None:
+    all_results = {}
+    for name in args.models:
+        model = get_benchmark(name)
+        all_results[name] = {
+            tool: run_tool(tool, model, args.budget, args.seed)
+            for tool in ("SLDV", "SimCoTest", "STCG")
+        }
+    print(figure4(all_results, args.budget))
+
+
+def _cmd_prove(name: str) -> None:
+    from repro.analysis import find_dead_branches, state_envelope
+
+    model = get_benchmark(name)
+    compiled = model.build()
+    envelope = state_envelope(compiled)
+    dead = find_dead_branches(compiled, envelope)
+    print(f"{model.name}: {len(dead)} branch(es) proven unreachable")
+    for branch in dead:
+        print(f"  - {branch.label}")
+    if model.dead_branches:
+        print(f"(model documents {model.dead_branches} dead branches)")
+
+
+def _cmd_ablation(args) -> None:
+    model = get_benchmark(args.model)
+    from repro.harness.ablation import dead_branch_proving
+
+    runner = {
+        "dead-logic": dead_logic_waste,
+        "hybrid": hybrid_warmup,
+        "library": library_vs_fresh,
+        "proofs": dead_branch_proving,
+    }[args.kind]
+    runs = runner(model, budget_s=args.budget, seed=args.seed)
+    print(render(runs))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(_parser().parse_args(argv))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    if args.command == "list":
+        _cmd_list()
+    elif args.command == "info":
+        _cmd_info(args.model)
+    elif args.command == "generate":
+        _cmd_generate(args)
+    elif args.command == "compare":
+        _cmd_compare(args)
+    elif args.command == "table1":
+        print(table1(budget_s=args.budget, seed=args.seed))
+    elif args.command == "table2":
+        print(table2(BENCHMARKS))
+    elif args.command == "table3":
+        _cmd_table3(args)
+    elif args.command == "fig3":
+        print(figure3(budget_s=args.budget, seed=args.seed))
+    elif args.command == "fig4":
+        _cmd_fig4(args)
+    elif args.command == "prove":
+        _cmd_prove(args.model)
+    elif args.command == "ablation":
+        _cmd_ablation(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

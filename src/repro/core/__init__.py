@@ -1,0 +1,32 @@
+"""STCG core: state tree, state-aware solving, dynamic execution."""
+
+from repro.core.config import StcgConfig
+from repro.core.input_library import InputLibrary
+from repro.core.result import (
+    GenerationResult,
+    ORIGIN_RANDOM,
+    ORIGIN_SOLVER,
+    ORIGIN_TOOL,
+    TimelineEvent,
+)
+from repro.core.state_tree import StateTree, StateTreeNode
+from repro.core.stcg import SolveTarget, StcgGenerator, generate
+from repro.core.testcase import TestCase, TestSuite, parse_suite_text
+
+__all__ = [
+    "GenerationResult",
+    "InputLibrary",
+    "ORIGIN_RANDOM",
+    "ORIGIN_SOLVER",
+    "ORIGIN_TOOL",
+    "SolveTarget",
+    "StateTree",
+    "StateTreeNode",
+    "StcgConfig",
+    "StcgGenerator",
+    "TestCase",
+    "TestSuite",
+    "TimelineEvent",
+    "generate",
+    "parse_suite_text",
+]

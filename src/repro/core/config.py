@@ -1,0 +1,82 @@
+"""Configuration for the STCG generator (and its ablations)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.solver.engine import SolverConfig
+
+
+@dataclass
+class StcgConfig:
+    """Knobs of the STCG loop.
+
+    The defaults reproduce the paper's algorithm.  The three flags at the
+    bottom implement the Discussion-section variants and are exercised by
+    the ablation benches:
+
+    * ``random_warmup_s`` — hybrid mode: spend this long on pure random
+      exploration before the solving loop ("introduce the random method
+      into STCG ... first").
+    * ``fresh_random_inputs`` — draw random sequences from fresh random
+      input values instead of the solved-input library ("constructing a
+      random input sequence using only previously solved inputs may not
+      reach some branches").
+    * ``skip_constant_false`` — detect branch conditions that fold to the
+      constant ``false`` on a state and mark them solved without invoking
+      the engine (cheap stand-in for the proposed dead-logic verification;
+      turning it off measures the wasted re-solving the paper describes).
+    """
+
+    #: Wall-clock budget for one generation run, in seconds.
+    budget_s: float = 10.0
+    #: Random sequence length N used by Algorithm 2 when solving fails.
+    random_sequence_length: int = 12
+    #: Per-call solver budgets.  Kept deliberately small: a single one-step
+    #: constraint either solves quickly or is worth abandoning for another
+    #: (state, branch) pair — the paper treats solver timeouts as routine.
+    solver: SolverConfig = field(
+        default_factory=lambda: SolverConfig(
+            max_samples=48, avm_evaluations=700, time_budget_s=0.15
+        )
+    )
+    #: Master seed for all randomized components.
+    seed: int = 0
+    #: Stop as soon as every branch is covered (before the budget runs out).
+    stop_on_full_coverage: bool = True
+    #: After this many failed solver attempts on one target (across all
+    #: states), further attempts use a much smaller "lite" budget.  Hard or
+    #: dead targets otherwise starve dynamic exploration — the waste the
+    #: paper's Discussion attributes to perpetually-false branches.
+    failure_backoff_after: int = 12
+    #: Random sequences executed per Algorithm-1 pass that found nothing
+    #: solvable.  1 is the paper's literal loop; a small batch keeps the
+    #: solve/explore wall-clock ratio balanced when most solver calls are
+    #: hopeless.
+    random_batch: int = 3
+    #: Cap on state-tree size; random exploration pauses at the cap (the
+    #: solver keeps running).  Guards against memory blow-up in long runs.
+    max_tree_nodes: int = 4000
+
+    # -- Discussion-section variants -------------------------------------------
+
+    random_warmup_s: float = 0.0
+    fresh_random_inputs: bool = False
+    skip_constant_false: bool = True
+    #: Probability that an element of a random sequence is drawn fresh from
+    #: the input domains instead of the solved-input library.  The paper's
+    #: Discussion proposes exactly this compensation ("attaching random
+    #: methods") for branches the library alone cannot reach; 0.0 gives the
+    #: strict library-only behaviour of Algorithm 2.
+    fresh_input_mix: float = 0.25
+
+    #: Verify unreachable branches up front by abstract interpretation
+    #: (the Discussion's "verify the unreachable branches using the formal
+    #: method") and exclude proven-dead branches from solving.
+    prove_dead_branches: bool = False
+
+    #: Record a per-attempt trace (solve successes/failures, random runs).
+    #: Used by the Table I / Figure 3 reproduction; off by default because
+    #: traces grow with every solver attempt.
+    record_trace: bool = False

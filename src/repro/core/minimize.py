@@ -1,0 +1,99 @@
+"""Test-suite minimization: greedy set cover over coverage goals.
+
+STCG emits one test case per coverage event, so suites contain redundancy
+(later cases subsume earlier short ones that share a prefix).  Minimization
+replays each case in isolation to determine its goal set — covered branches
+plus satisfied condition obligations — then keeps a greedy minimum subset
+that preserves the full suite's coverage.  Classic Harrold-Gupta-Soffa
+style reduction, adapted to the three coverage criteria at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+
+from repro.coverage.collector import CoverageCollector
+from repro.core.testcase import TestCase, TestSuite
+from repro.model.graph import CompiledModel
+from repro.model.simulator import Simulator
+
+Goal = Tuple  # ("branch", id) or ("value"/"mcdc", point, atom, polarity)
+
+
+@dataclass
+class MinimizationResult:
+    """The reduced suite plus before/after bookkeeping."""
+
+    suite: TestSuite
+    original_cases: int
+    kept_cases: int
+    goals_total: int
+
+    @property
+    def reduction(self) -> float:
+        if self.original_cases == 0:
+            return 0.0
+        return 1.0 - self.kept_cases / self.original_cases
+
+
+def goals_of_case(compiled: CompiledModel, case: TestCase) -> FrozenSet[Goal]:
+    """Replay one case from the initial state; return the goals it covers."""
+    collector = CoverageCollector(compiled.registry)
+    simulator = Simulator(compiled, collector)
+    goals: Set[Goal] = set()
+    for step_inputs in case.inputs:
+        result = simulator.step(step_inputs)
+        for branch_id in result.new_branch_ids:
+            goals.add(("branch", branch_id))
+        for obligation in result.new_obligations:
+            goals.add(
+                (
+                    "mcdc" if obligation.determining else "value",
+                    obligation.point_id,
+                    obligation.atom,
+                    obligation.polarity,
+                )
+            )
+    return frozenset(goals)
+
+
+def minimize_suite(
+    compiled: CompiledModel, suite: TestSuite
+) -> MinimizationResult:
+    """Greedy set-cover reduction preserving all covered goals.
+
+    Ties are broken toward shorter cases, so the reduced suite is also
+    cheaper to execute, not just smaller.
+    """
+    case_goals: List[Tuple[TestCase, FrozenSet[Goal]]] = [
+        (case, goals_of_case(compiled, case)) for case in suite
+    ]
+    universe: Set[Goal] = set()
+    for _, goals in case_goals:
+        universe |= goals
+
+    remaining = set(universe)
+    kept: List[TestCase] = []
+    candidates = list(case_goals)
+    while remaining and candidates:
+        candidates.sort(
+            key=lambda cg: (len(cg[1] & remaining), -cg[0].length),
+            reverse=True,
+        )
+        best_case, best_goals = candidates.pop(0)
+        gain = best_goals & remaining
+        if not gain:
+            break
+        kept.append(best_case)
+        remaining -= gain
+
+    reduced = TestSuite(suite.model_name, list(suite.input_names))
+    for case in kept:
+        reduced.add(case)
+    return MinimizationResult(
+        suite=reduced,
+        original_cases=len(suite),
+        kept_cases=len(kept),
+        goals_total=len(universe),
+    )

@@ -1,0 +1,67 @@
+"""Common result types for all three test-case generators.
+
+STCG and both baselines return a :class:`GenerationResult`, so the harness
+compares them uniformly (Table III) and plots their timelines (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.coverage.collector import CoverageSummary
+from repro.core.testcase import TestSuite
+
+#: Timeline event origins (the paper's Figure 4 markers).
+ORIGIN_SOLVER = "solver"  # "△" — state-aware constraint solving
+ORIGIN_RANDOM = "random"  # "◇" — random input-sequence execution
+ORIGIN_TOOL = "tool"  # baseline tools (unmarked lines)
+
+
+@dataclass
+class TimelineEvent:
+    """One emitted test case: when, what coverage it reached, and how."""
+
+    t: float
+    decision_coverage: float
+    origin: str
+    new_branches: int = 0
+
+
+@dataclass
+class GenerationResult:
+    """Everything one generation run produced."""
+
+    tool: str
+    model_name: str
+    summary: CoverageSummary
+    suite: TestSuite
+    timeline: List[TimelineEvent] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def decision(self) -> float:
+        return self.summary.decision
+
+    @property
+    def condition(self) -> float:
+        return self.summary.condition
+
+    @property
+    def mcdc(self) -> float:
+        return self.summary.mcdc
+
+    def coverage_at(self, t: float) -> float:
+        """Decision coverage reached by time ``t`` (step function)."""
+        best = 0.0
+        for event in self.timeline:
+            if event.t <= t:
+                best = max(best, event.decision_coverage)
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"GenerationResult({self.tool} on {self.model_name}: "
+            f"D={self.decision:.0%} C={self.condition:.0%} M={self.mcdc:.0%}, "
+            f"{len(self.suite)} cases)"
+        )

@@ -1,0 +1,193 @@
+"""The state tree (Definitions 3 and 4).
+
+Every node holds a concretely reached model state, the one-step input that
+produced it from its parent, the set of branches already *attempted* by the
+solver on this state (``SB`` — attempted, whether or not a solution was
+found, so Algorithm 1 never re-solves a pair), and the branches *covered*
+while executing into this state (``CV``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.errors import ReproError
+from repro.model.state import ModelState
+
+
+class StateTreeNode:
+    """One explored model state (Definition 3: ⟨P, S, IN, SB, CV⟩)."""
+
+    __slots__ = (
+        "node_id",
+        "parent",
+        "state",
+        "input",
+        "solved_branches",
+        "solved_obligations",
+        "covered_branches",
+        "children",
+        "encoding",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        parent: Optional["StateTreeNode"],
+        state: ModelState,
+        input_data: Optional[Dict[str, object]],
+    ):
+        self.node_id = node_id
+        self.parent = parent
+        self.state = state
+        self.input = input_data
+        self.solved_branches: Set[int] = set()
+        self.solved_obligations: Set = set()
+        self.covered_branches: Set[int] = set()
+        self.children: List["StateTreeNode"] = []
+        #: Cached one-step symbolic encoding for this state (lazily built).
+        self.encoding = None
+
+    # -- paper operations -------------------------------------------------------
+
+    def is_solved(self, branch_id: int) -> bool:
+        """Has the solver already been asked about this branch on this state?"""
+        return branch_id in self.solved_branches
+
+    def set_solved(self, branch_id: int) -> None:
+        self.solved_branches.add(branch_id)
+
+    def get_state(self) -> ModelState:
+        return self.state
+
+    def get_input(self) -> Optional[Dict[str, object]]:
+        return self.input
+
+    def get_parent(self) -> Optional["StateTreeNode"]:
+        return self.parent
+
+    # -- path utilities -------------------------------------------------------------
+
+    def path_inputs(self) -> List[Dict[str, object]]:
+        """Input sequence from the root to this node (a test case)."""
+        inputs: List[Dict[str, object]] = []
+        node: Optional[StateTreeNode] = self
+        while node is not None and node.input is not None:
+            inputs.append(node.input)
+            node = node.parent
+        inputs.reverse()
+        return inputs
+
+    def depth(self) -> int:
+        level = 0
+        node = self.parent
+        while node is not None:
+            level += 1
+            node = node.parent
+        return level
+
+    def __repr__(self) -> str:
+        return f"StateTreeNode#{self.node_id}(depth={self.depth()})"
+
+
+class StateTree:
+    """The explored-state tree (Definition 4).
+
+    Nodes whose states are value-identical *share* their solved-branch and
+    solved-obligation bookkeeping (and their cached one-step encoding):
+    ``solve(Model, Branch)`` depends only on the state value, so re-solving
+    the same branch on a revisited state is the duplicate work the paper's
+    ``isSolved`` check exists to avoid.
+    """
+
+    def __init__(self, root_state: ModelState):
+        self._nodes: List[StateTreeNode] = []
+        self._shared_solved: Dict[tuple, Set[int]] = {}
+        self._shared_obligations: Dict[tuple, Set] = {}
+        self._shared_encodings: Dict[tuple, object] = {}
+        self.root = StateTreeNode(0, None, root_state, None)
+        self._link_shared(self.root)
+        self._nodes.append(self.root)
+
+    def _link_shared(self, node: StateTreeNode) -> None:
+        signature = node.state.signature()
+        node.solved_branches = self._shared_solved.setdefault(signature, set())
+        node.solved_obligations = self._shared_obligations.setdefault(
+            signature, set()
+        )
+
+    def cached_encoding(self, node: StateTreeNode, factory):
+        """Per-state-signature cache for one-step encodings."""
+        signature = node.state.signature()
+        encoding = self._shared_encodings.get(signature)
+        if encoding is None:
+            encoding = factory(node.state)
+            self._shared_encodings[signature] = encoding
+        return encoding
+
+    def add_child(
+        self,
+        parent: StateTreeNode,
+        state: ModelState,
+        input_data: Dict[str, object],
+    ) -> StateTreeNode:
+        node = StateTreeNode(len(self._nodes), parent, state, dict(input_data))
+        self._link_shared(node)
+        parent.children.append(node)
+        self._nodes.append(node)
+        return node
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[StateTreeNode]:
+        return iter(self._nodes)
+
+    def node(self, node_id: int) -> StateTreeNode:
+        return self._nodes[node_id]
+
+    def random_node(self, rng: random.Random) -> StateTreeNode:
+        return rng.choice(self._nodes)
+
+    def leaves(self) -> List[StateTreeNode]:
+        return [node for node in self._nodes if not node.children]
+
+    def max_depth(self) -> int:
+        return max(node.depth() for node in self._nodes)
+
+    def find_by_state(self, state: ModelState) -> Optional[StateTreeNode]:
+        """First node holding an identical state (duplicate detection)."""
+        signature = state.signature()
+        for node in self._nodes:
+            if node.state.signature() == signature:
+                return node
+        return None
+
+    def render(self, max_nodes: int = 64) -> str:
+        """ASCII rendering (Figure 3(b) style)."""
+        lines: List[str] = []
+
+        def visit(node: StateTreeNode, prefix: str, is_last: bool) -> None:
+            if len(lines) >= max_nodes:
+                return
+            connector = "" if node.parent is None else ("`-- " if is_last else "|-- ")
+            covered = (
+                f" covers={sorted(node.covered_branches)}"
+                if node.covered_branches
+                else ""
+            )
+            lines.append(f"{prefix}{connector}S{node.node_id}{covered}")
+            child_prefix = prefix + (
+                "" if node.parent is None else ("    " if is_last else "|   ")
+            )
+            for index, child in enumerate(node.children):
+                visit(child, child_prefix, index == len(node.children) - 1)
+
+        visit(self.root, "", True)
+        if len(self._nodes) > max_nodes:
+            lines.append(f"... ({len(self._nodes) - max_nodes} more nodes)")
+        return "\n".join(lines)

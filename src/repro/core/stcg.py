@@ -1,0 +1,398 @@
+"""The STCG generator: Algorithms 1 and 2 plus the outer iteration loop.
+
+The structure follows the paper's Figure 2 exactly:
+
+* **state-aware solving** (:meth:`StcgGenerator._state_aware_solve`,
+  Algorithm 1) walks branches sorted by depth and the state tree, solves
+  one model iteration with the node's state substituted as constants, and
+  returns the first (state, branch, input) it can satisfy;
+* **dynamic execution** (:meth:`StcgGenerator._dynamic_execute`,
+  Algorithm 2) replays the solved input from the target state — or, when
+  nothing was solvable, a random sequence of previously solved inputs from
+  a random node — growing the state tree and synthesizing a test case
+  whenever new coverage appears.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.coverage.collector import CoverageCollector
+from repro.coverage.registry import Branch
+from repro.core.config import StcgConfig
+from repro.core.input_library import InputLibrary
+from repro.core.result import (
+    GenerationResult,
+    ORIGIN_RANDOM,
+    ORIGIN_SOLVER,
+    TimelineEvent,
+)
+from repro.core.state_tree import StateTree, StateTreeNode
+from repro.core.testcase import TestCase, TestSuite
+from repro.expr.ast import Const
+from repro.model.graph import CompiledModel
+from repro.model.inputs import random_input
+from repro.model.simulator import Simulator
+from repro.solver.encoder import OneStepEncoding
+from repro.solver.engine import SolverConfig, SolverEngine, Status
+
+
+@dataclass
+class TraceEntry:
+    """One recorded event of the generation process (Table I rows)."""
+
+    kind: str  # solve_ok | solve_fail | random | exec
+    branch_label: Optional[str] = None
+    node_id: Optional[int] = None
+    new_node_ids: Tuple[int, ...] = ()
+    achieved_branches: Tuple[int, ...] = ()
+
+
+@dataclass
+class SolveTarget:
+    """Algorithm 1's output triple.
+
+    ``branch`` is ``None`` when the target is a condition/MCDC obligation
+    rather than a model branch.
+    """
+
+    node: StateTreeNode
+    branch: Optional[Branch]
+    input_data: Dict[str, object]
+
+
+class StcgGenerator:
+    """State-aware test case generation for one compiled model."""
+
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        config: Optional[StcgConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.compiled = compiled
+        self.config = config or StcgConfig()
+        self._clock = clock
+        self._rng = random.Random(self.config.seed)
+        self._engine = SolverEngine(self.config.solver)
+        lite = SolverConfig(
+            max_samples=12,
+            avm_evaluations=80,
+            time_budget_s=min(0.03, self.config.solver.time_budget_s),
+            seed=self.config.seed,
+        )
+        self._lite_engine = SolverEngine(lite)
+        #: Failed solver attempts per target (branch id / obligation).
+        self._failures: Dict[object, int] = {}
+        self.collector = CoverageCollector(compiled.registry)
+        self.simulator = Simulator(compiled, self.collector)
+        self.tree = StateTree(self.simulator.get_state())
+        self.library = InputLibrary()
+        self.suite = TestSuite(
+            compiled.name, [spec.name for spec in compiled.inports]
+        )
+        self.timeline: List[TimelineEvent] = []
+        self.stats: Dict[str, int] = {
+            "solver_calls": 0,
+            "sat": 0,
+            "unsat": 0,
+            "unknown": 0,
+            "const_false_skips": 0,
+            "random_sequences": 0,
+            "steps_executed": 0,
+            "warmup_steps": 0,
+        }
+        self._start = 0.0
+        self._branches = compiled.registry.branches_by_depth()
+        #: Branch ids proven unreachable by abstract interpretation.
+        self.proven_dead: set = set()
+        if self.config.prove_dead_branches:
+            from repro.analysis import find_dead_branches
+
+            self.proven_dead = {
+                b.branch_id for b in find_dead_branches(compiled)
+            }
+        self.stats["proven_dead"] = len(self.proven_dead)
+        #: Process trace (populated when config.record_trace is on).
+        self.trace: List[TraceEntry] = []
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def run(self) -> GenerationResult:
+        """Generate test cases until the budget expires or coverage is full."""
+        self._start = self._clock()
+        if self.config.random_warmup_s > 0:
+            self._random_warmup()
+        while not self._done():
+            target = self._state_aware_solve()
+            if self._out_of_time():
+                break
+            self._dynamic_execute(target)
+            if target is None:
+                # Nothing was solvable anywhere: bias toward exploration for
+                # a few rounds before paying for another full solve scan.
+                for _ in range(self.config.random_batch - 1):
+                    if self._done():
+                        break
+                    self._dynamic_execute(None)
+        return GenerationResult(
+            tool="STCG",
+            model_name=self.compiled.name,
+            summary=self.collector.summary(),
+            suite=self.suite,
+            timeline=list(self.timeline),
+            stats={**self.stats, "tree_nodes": len(self.tree)},
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: state-aware solving
+    # ------------------------------------------------------------------
+
+    def _state_aware_solve(self) -> Optional[SolveTarget]:
+        for branch in self._branches:
+            if self.collector.is_branch_covered(branch):
+                continue
+            if branch.branch_id in self.proven_dead:
+                continue
+            for node in self.tree:
+                if node.is_solved(branch.branch_id):
+                    continue
+                if self._out_of_time():
+                    return None
+                target = self._solve_pair(node, branch)
+                if target is not None:
+                    return target
+        # Branch obligations exhausted for now; work on condition / MCDC
+        # obligations ("all the coverage requirements" of the paper).
+        for obligation in self.collector.unsatisfied_condition_obligations():
+            for node in self.tree:
+                if obligation in node.solved_obligations:
+                    continue
+                if self._out_of_time():
+                    return None
+                target = self._solve_obligation(node, obligation)
+                if target is not None:
+                    return target
+        return None
+
+    def _solve_pair(
+        self, node: StateTreeNode, branch: Branch
+    ) -> Optional[SolveTarget]:
+        """One solver attempt for (state, branch); marks the pair attempted."""
+        encoding = self._encoding(node)
+        constraint = encoding.path_constraint(branch)
+        node.set_solved(branch.branch_id)
+        if (
+            self.config.skip_constant_false
+            and isinstance(constraint, Const)
+            and constraint.value is False
+        ):
+            # The branch is unreachable from this state regardless of input
+            # (e.g. a transition whose source state is inactive).
+            self.stats["const_false_skips"] += 1
+            if self.config.record_trace:
+                self.trace.append(
+                    TraceEntry("solve_fail", branch.label, node.node_id)
+                )
+            return None
+        self.stats["solver_calls"] += 1
+        engine = self._engine_for(("branch", branch.branch_id))
+        result = engine.solve(constraint, encoding.variables, self._rng)
+        self.stats[result.status.value] += 1
+        self._note_outcome(("branch", branch.branch_id), result.status is Status.SAT)
+        if result.status is not Status.SAT:
+            if self.config.record_trace:
+                self.trace.append(
+                    TraceEntry("solve_fail", branch.label, node.node_id)
+                )
+            return None
+        assert result.model is not None
+        self.library.add(result.model)
+        if self.config.record_trace:
+            self.trace.append(TraceEntry("solve_ok", branch.label, node.node_id))
+        return SolveTarget(node, branch, result.model)
+
+    def _solve_obligation(self, node: StateTreeNode, obligation) -> Optional[SolveTarget]:
+        """One solver attempt for (state, condition obligation)."""
+        encoding = self._encoding(node)
+        constraint = encoding.obligation_constraint(obligation)
+        node.solved_obligations.add(obligation)
+        if (
+            self.config.skip_constant_false
+            and isinstance(constraint, Const)
+            and constraint.value is False
+        ):
+            self.stats["const_false_skips"] += 1
+            return None
+        self.stats["solver_calls"] += 1
+        engine = self._engine_for(("obligation", obligation))
+        result = engine.solve(constraint, encoding.variables, self._rng)
+        self.stats[result.status.value] += 1
+        self._note_outcome(("obligation", obligation), result.status is Status.SAT)
+        if result.status is not Status.SAT:
+            return None
+        assert result.model is not None
+        self.library.add(result.model)
+        return SolveTarget(node, None, result.model)
+
+    def _engine_for(self, target_key) -> SolverEngine:
+        """Full-budget engine until a target has failed often; lite after."""
+        failures = self._failures.get(target_key, 0)
+        if failures >= self.config.failure_backoff_after:
+            return self._lite_engine
+        return self._engine
+
+    def _note_outcome(self, target_key, sat: bool) -> None:
+        if sat:
+            self._failures.pop(target_key, None)
+        else:
+            self._failures[target_key] = self._failures.get(target_key, 0) + 1
+
+    def _encoding(self, node: StateTreeNode) -> OneStepEncoding:
+        return self.tree.cached_encoding(
+            node, lambda state: OneStepEncoding(self.compiled, state)
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: dynamic execution
+    # ------------------------------------------------------------------
+
+    def _dynamic_execute(self, target: Optional[SolveTarget]) -> Optional[TestCase]:
+        if target is not None:
+            start = target.node
+            sequence = [target.input_data]
+            origin = ORIGIN_SOLVER
+        else:
+            start = self.tree.random_node(self._rng)
+            sequence = self._random_sequence()
+            origin = ORIGIN_RANDOM
+            self.stats["random_sequences"] += 1
+        case = self._execute_sequence(start, sequence, origin)
+        if self.config.record_trace:
+            self.trace.append(
+                TraceEntry(
+                    "random" if target is None else "exec",
+                    target.branch.label
+                    if target is not None and target.branch
+                    else None,
+                    (target.node.node_id if target is not None else None),
+                    (),
+                    tuple(case.new_branch_ids) if case is not None else (),
+                )
+            )
+        return case
+
+    def _execute_sequence(
+        self,
+        start: StateTreeNode,
+        sequence: List[Dict[str, object]],
+        origin: str,
+    ) -> Optional[TestCase]:
+        """Algorithm 2's execution loop from a tree node.
+
+        Children are appended to the state tree while it is below its size
+        cap; past the cap the walk keeps executing (coverage still counts)
+        without recording new nodes.
+        """
+        self.simulator.set_state(start.get_state())
+        current = start
+        executed: List[Dict[str, object]] = []
+        new_ids: List[int] = []
+        new_obligations = 0
+        covering_length = 0
+        for step_input in sequence:
+            result = self.simulator.step(step_input)
+            executed.append(dict(step_input))
+            self.stats["steps_executed"] += 1
+            if len(self.tree) < self.config.max_tree_nodes:
+                child = self.tree.add_child(
+                    current, self.simulator.get_state(), step_input
+                )
+                child.covered_branches = set(result.new_branch_ids)
+                current = child
+            if result.found_new_coverage:
+                new_ids.extend(result.new_branch_ids)
+                new_obligations += len(result.new_obligations)
+                covering_length = len(executed)
+        if covering_length == 0:
+            return None
+        case = TestCase(
+            inputs=start.path_inputs() + executed[:covering_length],
+            origin=origin,
+            new_branch_ids=new_ids,
+            timestamp=self._elapsed(),
+        )
+        self.suite.add(case)
+        self.timeline.append(
+            TimelineEvent(
+                t=case.timestamp,
+                decision_coverage=self.collector.decision_coverage(),
+                origin=origin,
+                new_branches=len(new_ids),
+            )
+        )
+        return case
+
+    def _random_sequence(self) -> List[Dict[str, object]]:
+        length = self.config.random_sequence_length
+        mix = 1.0 if self.config.fresh_random_inputs else self.config.fresh_input_mix
+        sequence: List[Dict[str, object]] = []
+        for _ in range(length):
+            if self.library.is_empty or self._rng.random() < mix:
+                sequence.append(random_input(self.compiled.inports, self._rng))
+            else:
+                sequence.append(self.library.random_input(self._rng))
+        return sequence
+
+    # ------------------------------------------------------------------
+    # hybrid warm-up (Discussion-section variant)
+    # ------------------------------------------------------------------
+
+    def _random_warmup(self) -> None:
+        """Pure random exploration before any solving (hybrid mode)."""
+        deadline = self._start + min(
+            self.config.random_warmup_s, self.config.budget_s
+        )
+        while self._clock() < deadline and not self._fully_covered():
+            start = self.tree.random_node(self._rng)
+            sequence = [
+                random_input(self.compiled.inports, self._rng)
+                for _ in range(self.config.random_sequence_length)
+            ]
+            before = self.stats["steps_executed"]
+            self._execute_sequence(start, sequence, ORIGIN_RANDOM)
+            self.stats["warmup_steps"] += self.stats["steps_executed"] - before
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def _out_of_time(self) -> bool:
+        return self._elapsed() >= self.config.budget_s
+
+    def _fully_covered(self) -> bool:
+        remaining = [
+            b for b in self.collector.uncovered_branches()
+            if b.branch_id not in self.proven_dead
+        ]
+        return not remaining and not (
+            self.collector.unsatisfied_condition_obligations()
+        )
+
+    def _done(self) -> bool:
+        if self._out_of_time():
+            return True
+        return self.config.stop_on_full_coverage and self._fully_covered()
+
+
+def generate(compiled: CompiledModel, config: Optional[StcgConfig] = None):
+    """Convenience wrapper: run STCG on a compiled model."""
+    return StcgGenerator(compiled, config).run()

@@ -1,0 +1,123 @@
+"""Test cases and suites.
+
+A test case is an input sequence replayed from the model's initial state.
+STCG synthesizes one whenever an execution discovers new coverage, by
+walking the state-tree path back to the root (Algorithm 2, lines 21-25).
+The text export mirrors the paper's Signal-Builder-compatible dump so
+suites can be replayed independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class TestCase:
+    """An input sequence plus provenance metadata."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    inputs: List[Dict[str, object]]
+    #: "solver" when produced by state-aware solving, "random" when produced
+    #: by a random input sequence (the paper's triangle/diamond markers).
+    origin: str = "solver"
+    #: Branches newly covered when this case was synthesized.
+    new_branch_ids: List[int] = field(default_factory=list)
+    #: Seconds since the start of generation.
+    timestamp: float = 0.0
+
+    @property
+    def length(self) -> int:
+        return len(self.inputs)
+
+    def to_text(self, input_names: Sequence[str]) -> str:
+        """Tabular text export: one line per step, one column per input."""
+        lines = ["\t".join(["step"] + list(input_names))]
+        for index, step_inputs in enumerate(self.inputs):
+            row = [str(index)]
+            for name in input_names:
+                row.append(_format_value(step_inputs[name]))
+            lines.append("\t".join(row))
+        return "\n".join(lines)
+
+
+@dataclass
+class TestSuite:
+    """An ordered collection of test cases for one model."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    model_name: str
+    input_names: List[str]
+    cases: List[TestCase] = field(default_factory=list)
+
+    def add(self, case: TestCase) -> None:
+        self.cases.append(case)
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+    def total_steps(self) -> int:
+        return sum(case.length for case in self.cases)
+
+    def to_text(self) -> str:
+        blocks = [f"# test suite for {self.model_name} ({len(self.cases)} cases)"]
+        for index, case in enumerate(self.cases):
+            blocks.append(
+                f"## case {index} origin={case.origin} "
+                f"t={case.timestamp:.3f}s new={sorted(case.new_branch_ids)}"
+            )
+            blocks.append(case.to_text(self.input_names))
+        return "\n".join(blocks) + "\n"
+
+    def replay(self, compiled, collector=None):
+        """Re-execute every case from the initial state; returns the
+        collector (fresh one if not supplied) for independent coverage
+        measurement."""
+        from repro.coverage.collector import CoverageCollector
+        from repro.model.simulator import Simulator
+
+        if collector is None:
+            collector = CoverageCollector(compiled.registry)
+        simulator = Simulator(compiled, collector)
+        for case in self.cases:
+            simulator.reset()
+            for step_inputs in case.inputs:
+                simulator.step(step_inputs)
+        return collector
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def parse_suite_text(text: str) -> List[List[Dict[str, str]]]:
+    """Parse the text export back into raw (string-valued) sequences.
+
+    Mainly for round-trip testing of the exporter.
+    """
+    sequences: List[List[Dict[str, str]]] = []
+    current: Optional[List[Dict[str, str]]] = None
+    header: List[str] = []
+    for line in text.splitlines():
+        if line.startswith("## case"):
+            current = []
+            sequences.append(current)
+            header = []
+        elif line.startswith("#") or not line.strip():
+            continue
+        elif line.startswith("step\t"):
+            header = line.split("\t")[1:]
+        elif current is not None and header:
+            cells = line.split("\t")
+            current.append(dict(zip(header, cells[1:])))
+    return sequences

@@ -1,0 +1,33 @@
+"""Decision / Condition / MCDC coverage instrumentation.
+
+* :class:`CoverageRegistry` — instrumentation points, populated at compile
+  time (decisions with branches per Definition 1; condition points for logic
+  blocks and transition guards).
+* :class:`CoverageCollector` — accumulates concrete-execution events and
+  computes the three metrics the paper reports.
+* :mod:`repro.coverage.mcdc` — masking-MCDC analysis over recorded vectors.
+"""
+
+from repro.coverage.collector import CoverageCollector, CoverageSummary
+from repro.coverage.mcdc import determines, independence_pairs, mcdc_covered_atoms, outcome_of
+from repro.coverage.registry import (
+    Branch,
+    ConditionPoint,
+    CoverageRegistry,
+    Decision,
+    DecisionKind,
+)
+
+__all__ = [
+    "Branch",
+    "ConditionPoint",
+    "CoverageCollector",
+    "CoverageRegistry",
+    "CoverageSummary",
+    "Decision",
+    "DecisionKind",
+    "determines",
+    "independence_pairs",
+    "mcdc_covered_atoms",
+    "outcome_of",
+]

@@ -1,0 +1,92 @@
+"""Human-readable coverage reports (per-decision detail, gap listing).
+
+The harness tables aggregate to three percentages; this module renders the
+drill-down a test engineer actually reads: which outcomes of which decision
+are missing, which condition atoms lack an MCDC pair, and why (dead logic
+is called out when a branch is annotated unreachable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.coverage.collector import CoverageCollector
+from repro.coverage.mcdc import mcdc_covered_atoms
+from repro.coverage.registry import Branch, ConditionPoint
+
+
+def decision_report(collector: CoverageCollector) -> str:
+    """Per-decision outcome table: ``[x]`` covered, ``[ ]`` missing."""
+    registry = collector.registry
+    lines: List[str] = []
+    for decision in registry.decisions:
+        outcomes = []
+        for branch in decision.branches:
+            mark = "x" if collector.is_branch_covered(branch) else " "
+            outcomes.append(
+                f"[{mark}] {decision.outcome_labels[branch.outcome]}"
+            )
+        lines.append(f"{decision.path}  ({decision.kind.value})")
+        lines.append("    " + "  ".join(outcomes))
+    return "\n".join(lines)
+
+
+def uncovered_report(
+    collector: CoverageCollector, known_dead: Iterable[str] = ()
+) -> str:
+    """Listing of uncovered branches, annotating known-dead logic."""
+    dead: Set[str] = set(known_dead)
+    lines: List[str] = []
+    for branch in collector.uncovered_branches():
+        note = "  (documented dead logic)" if branch.label in dead else ""
+        lines.append(f"- {branch.label} depth={branch.depth}{note}")
+    if not lines:
+        return "all branches covered"
+    return "\n".join(lines)
+
+
+def mcdc_report(collector: CoverageCollector) -> str:
+    """Per-condition-point MCDC detail: which atoms have independence pairs."""
+    registry = collector.registry
+    lines: List[str] = []
+    for point in registry.condition_points:
+        vectors = collector.vectors_for(point)
+        covered = mcdc_covered_atoms(point, vectors) if vectors else set()
+        atoms = []
+        for index, label in enumerate(point.atom_labels):
+            mark = "x" if index in covered else " "
+            atoms.append(f"[{mark}] {label}")
+        lines.append(
+            f"{point.path}  ({len(covered)}/{point.n_atoms} atoms, "
+            f"{len(vectors)} vectors seen)"
+        )
+        lines.append("    " + "  ".join(atoms))
+    if not lines:
+        return "model has no condition points"
+    return "\n".join(lines)
+
+
+def full_report(
+    collector: CoverageCollector, known_dead: Iterable[str] = ()
+) -> str:
+    """The complete report: summary + gaps + decision + MCDC sections."""
+    summary = collector.summary()
+    sections = [
+        "== summary ==",
+        (
+            f"decision  {summary.decision:7.1%}  "
+            f"({summary.covered_branches}/{summary.total_branches} branches)"
+        ),
+        f"condition {collector.condition_coverage():7.1%}",
+        f"mcdc      {collector.mcdc_coverage():7.1%}",
+        "",
+        "== uncovered branches ==",
+        uncovered_report(collector, known_dead),
+        "",
+        "== decisions ==",
+        decision_report(collector),
+        "",
+        "== mcdc ==",
+        mcdc_report(collector),
+    ]
+    return "\n".join(sections)

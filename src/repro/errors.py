@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so callers
+can catch one base class at API boundaries.  Sub-hierarchies mirror the major
+subsystems (expressions, model construction, simulation, solving, coverage).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ExprError(ReproError):
+    """Malformed expression construction or evaluation failure."""
+
+
+class ExprTypeError(ExprError):
+    """An expression was built from operands of incompatible types."""
+
+
+class ExprParseError(ExprError):
+    """The expression DSL text could not be parsed."""
+
+
+class EvalError(ExprError):
+    """An expression could not be evaluated (missing variable, bad value)."""
+
+
+class ModelError(ReproError):
+    """Invalid model construction (bad wiring, duplicate names, ...)."""
+
+
+class CompileError(ModelError):
+    """The model could not be compiled into an execution order."""
+
+
+class SimulationError(ReproError):
+    """A runtime failure while stepping a model."""
+
+
+class StateError(SimulationError):
+    """A model-state snapshot could not be captured or restored."""
+
+
+class ChartError(ModelError):
+    """Invalid Stateflow-like chart construction."""
+
+
+class SolverError(ReproError):
+    """The constraint solver was misused or hit an internal failure."""
+
+
+class CoverageError(ReproError):
+    """Invalid coverage registration or query."""
+
+
+class HarnessError(ReproError):
+    """Experiment-harness configuration problems."""

@@ -1,0 +1,62 @@
+"""Typed expression IR shared by the symbolic simulator and the solver.
+
+Public surface:
+
+* node classes and operator tags — :mod:`repro.expr.ast`
+* smart constructors — :mod:`repro.expr.ops`
+* types — :mod:`repro.expr.types`
+* :func:`evaluate` — concrete evaluation under an environment
+* :func:`parse_expr` — the guard/action text DSL
+* :func:`to_string` — printer
+* :func:`to_nnf`, :func:`branch_distance` — solver support
+* :func:`free_variables`, :func:`substitute` — DAG utilities
+"""
+
+from repro.expr.ast import (
+    Binary,
+    Const,
+    Expr,
+    FALSE,
+    Ite,
+    Select,
+    Store,
+    TRUE,
+    Unary,
+    Var,
+)
+from repro.expr.distance import DistanceEvaluator, branch_distance
+from repro.expr.evaluator import evaluate
+from repro.expr.nnf import to_nnf
+from repro.expr.parser import parse_expr
+from repro.expr.printer import to_string
+from repro.expr.types import ArrayType, BOOL, INT, REAL, Type, type_of_value
+from repro.expr.variables import free_variables, free_variables_of, node_count, substitute
+
+__all__ = [
+    "ArrayType",
+    "BOOL",
+    "Binary",
+    "Const",
+    "DistanceEvaluator",
+    "Expr",
+    "FALSE",
+    "INT",
+    "Ite",
+    "REAL",
+    "Select",
+    "Store",
+    "TRUE",
+    "Type",
+    "Unary",
+    "Var",
+    "branch_distance",
+    "evaluate",
+    "free_variables",
+    "free_variables_of",
+    "node_count",
+    "parse_expr",
+    "substitute",
+    "to_nnf",
+    "to_string",
+    "type_of_value",
+]

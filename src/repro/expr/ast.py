@@ -1,0 +1,290 @@
+"""Expression AST for symbolic one-step model encodings.
+
+Nodes are immutable and structurally hashable.  The AST is shared between the
+symbolic simulator (which builds expressions over the model's input variables
+while treating the state snapshot as constants) and the constraint solver
+(which evaluates, contracts and searches over them).
+
+Construction normally goes through the smart constructors in
+:mod:`repro.expr.ops`, which type-check operands and fold constants eagerly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ExprError, ExprTypeError
+from repro.expr.types import (
+    ArrayType,
+    BOOL,
+    INT,
+    REAL,
+    Type,
+    coerce_value,
+    type_of_value,
+)
+
+# ---------------------------------------------------------------------------
+# Operator name constants
+# ---------------------------------------------------------------------------
+
+# Unary operators.
+NEG = "neg"
+NOT = "not"
+ABS = "abs"
+FLOOR = "floor"
+CEIL = "ceil"
+TO_INT = "to_int"  # truncation toward zero, C-style cast
+TO_REAL = "to_real"
+TO_BOOL = "to_bool"  # nonzero test
+
+UNARY_OPS = frozenset({NEG, NOT, ABS, FLOOR, CEIL, TO_INT, TO_REAL, TO_BOOL})
+
+# Binary arithmetic operators.
+ADD = "add"
+SUB = "sub"
+MUL = "mul"
+DIV = "div"  # real division
+IDIV = "idiv"  # integer division truncating toward zero
+MOD = "mod"  # remainder with the sign of the dividend (C semantics)
+MIN = "min"
+MAX = "max"
+
+ARITH_OPS = frozenset({ADD, SUB, MUL, DIV, IDIV, MOD, MIN, MAX})
+
+# Binary relational operators.
+LT = "lt"
+LE = "le"
+GT = "gt"
+GE = "ge"
+EQ = "eq"
+NE = "ne"
+
+REL_OPS = frozenset({LT, LE, GT, GE, EQ, NE})
+
+# Binary boolean operators.
+AND = "and"
+OR = "or"
+XOR = "xor"
+IMPLIES = "implies"
+
+BOOL_OPS = frozenset({AND, OR, XOR, IMPLIES})
+
+BINARY_OPS = ARITH_OPS | REL_OPS | BOOL_OPS
+
+#: Negated counterpart of each relational operator, used by NNF conversion.
+REL_NEGATION = {LT: GE, LE: GT, GT: LE, GE: LT, EQ: NE, NE: EQ}
+
+#: Mirrored counterpart (a op b == b mirror(op) a).
+REL_MIRROR = {LT: GT, LE: GE, GT: LT, GE: LE, EQ: EQ, NE: NE}
+
+
+class Expr:
+    """Base class for all expression nodes.
+
+    Subclasses define ``children`` and a structural identity key.  Equality
+    and hashing are structural; hashes are cached per node.
+    """
+
+    __slots__ = ("ty", "_hash")
+
+    ty: Type
+
+    def __init__(self, ty: Type):
+        self.ty = ty
+        self._hash: Optional[int] = None
+
+    # -- structural identity ------------------------------------------------
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((type(self).__name__,) + self._key())
+        return self._hash
+
+    # -- traversal ----------------------------------------------------------
+
+    @property
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, pre-order, without recursion."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return isinstance(self, Const)
+
+    def const_value(self):
+        """Return the constant value, or raise if this is not a constant."""
+        if isinstance(self, Const):
+            return self.value
+        raise ExprError(f"expression is not a constant: {self!r}")
+
+    def __repr__(self) -> str:
+        from repro.expr.printer import to_string
+
+        return f"<Expr {to_string(self)}>"
+
+
+class Const(Expr):
+    """A literal constant of any type (including arrays, stored as tuples)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, ty: Optional[Type] = None):
+        if ty is None:
+            ty = type_of_value(value)
+        super().__init__(ty)
+        self.value = coerce_value(value, ty)
+
+    def _key(self) -> tuple:
+        return (self.ty.is_bool, self.value, repr(self.ty))
+
+
+class Var(Expr):
+    """A free variable, optionally bounded to a closed domain.
+
+    Bounds are advisory: the solver uses them as the initial interval box and
+    the sampling range.  ``lo``/``hi`` may be ``None`` for unbounded sides.
+    Array-typed variables are allowed as substitution placeholders (Fcn
+    templates, guard atoms) but may not reach the solver box, which is
+    scalar-only.
+    """
+
+    __slots__ = ("name", "lo", "hi")
+
+    def __init__(self, name: str, ty: Type, lo=None, hi=None):
+        super().__init__(ty)
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+
+    def _key(self) -> tuple:
+        return (self.name, repr(self.ty))
+
+
+class Unary(Expr):
+    """A unary operator application."""
+
+    __slots__ = ("op", "arg")
+
+    def __init__(self, op: str, arg: Expr, ty: Type):
+        if op not in UNARY_OPS:
+            raise ExprError(f"unknown unary operator {op!r}")
+        super().__init__(ty)
+        self.op = op
+        self.arg = arg
+
+    def _key(self) -> tuple:
+        return (self.op, self.arg)
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.arg,)
+
+
+class Binary(Expr):
+    """A binary operator application."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, ty: Type):
+        if op not in BINARY_OPS:
+            raise ExprError(f"unknown binary operator {op!r}")
+        super().__init__(ty)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+class Ite(Expr):
+    """If-then-else: ``cond ? then : orelse``."""
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond: Expr, then: Expr, orelse: Expr, ty: Type):
+        super().__init__(ty)
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse
+
+    def _key(self) -> tuple:
+        return (self.cond, self.then, self.orelse)
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then, self.orelse)
+
+
+class Select(Expr):
+    """Array element read: ``array[index]``."""
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: Expr, index: Expr, ty: Type):
+        super().__init__(ty)
+        self.array = array
+        self.index = index
+
+    def _key(self) -> tuple:
+        return (self.array, self.index)
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.array, self.index)
+
+
+class Store(Expr):
+    """Functional array update: a copy of ``array`` with ``array[index] = value``."""
+
+    __slots__ = ("array", "index", "value")
+
+    def __init__(self, array: Expr, index: Expr, value: Expr, ty: ArrayType):
+        super().__init__(ty)
+        self.array = array
+        self.index = index
+        self.value = value
+
+    def _key(self) -> tuple:
+        return (self.array, self.index, self.value)
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.array, self.index, self.value)
+
+
+#: Shared boolean constants.
+TRUE = Const(True, BOOL)
+FALSE = Const(False, BOOL)
+ZERO = Const(0, INT)
+ONE = Const(1, INT)

@@ -1,0 +1,127 @@
+"""Branch-distance fitness for search-based constraint solving.
+
+Implements the classic Korel/Tracey objective: for a boolean constraint and a
+candidate input, return 0.0 when the constraint is satisfied and otherwise a
+positive value that shrinks monotonically as the candidate approaches
+satisfaction.  The AVM search in :mod:`repro.solver.avm` minimizes this.
+
+Distances for atoms (K is a small positive offset so that "just violated"
+still costs something):
+
+=============  =======================================
+``a < b``      ``a - b + K`` when violated
+``a <= b``     ``a - b`` when violated (plus K if equal impossible)
+``a == b``     ``|a - b|``
+``a != b``     ``K`` when violated
+AND            sum of operand distances
+OR             minimum of operand distances
+=============  =======================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.expr import ast
+from repro.expr.ast import Binary, Const, Expr, Ite, Unary
+from repro.expr.evaluator import Evaluator
+from repro.expr.nnf import to_nnf
+
+#: Offset added to strict-inequality / disequality distances.
+K = 1.0
+
+#: Distance assigned when evaluation of an operand fails outright.
+FAILURE_DISTANCE = 1e12
+
+
+def normalize(distance: float) -> float:
+    """Map a raw distance into [0, 1) monotonically (Arcuri's x/(x+1))."""
+    if distance <= 0.0:
+        return 0.0
+    return distance / (distance + 1.0)
+
+
+def branch_distance(constraint: Expr, env: Mapping[str, object]) -> float:
+    """Distance of ``env`` from satisfying ``constraint`` (0.0 iff satisfied).
+
+    ``constraint`` is converted to NNF once per call; callers that evaluate
+    the same constraint many times should pre-convert with
+    :func:`repro.expr.nnf.to_nnf` and use :class:`DistanceEvaluator`.
+    """
+    return DistanceEvaluator(to_nnf(constraint)).distance(env)
+
+
+class DistanceEvaluator:
+    """Reusable branch-distance evaluator for a fixed NNF constraint."""
+
+    def __init__(self, nnf_constraint: Expr):
+        self._constraint = nnf_constraint
+
+    @property
+    def constraint(self) -> Expr:
+        return self._constraint
+
+    def distance(self, env: Mapping[str, object]) -> float:
+        evaluator = Evaluator(env)
+        return self._distance(self._constraint, evaluator)
+
+    def _distance(self, expr: Expr, evaluator: Evaluator) -> float:
+        if isinstance(expr, Const):
+            return 0.0 if expr.value else FAILURE_DISTANCE
+        if isinstance(expr, Binary):
+            op = expr.op
+            if op == ast.AND:
+                left = self._distance(expr.left, evaluator)
+                right = self._distance(expr.right, evaluator)
+                return left + right
+            if op == ast.OR:
+                left = self._distance(expr.left, evaluator)
+                right = self._distance(expr.right, evaluator)
+                return min(left, right)
+            if op in ast.REL_OPS:
+                return self._atom_distance(expr, evaluator)
+        # Opaque atom (boolean var, !var, to_bool, select, xor left intact...)
+        try:
+            value = evaluator.evaluate(expr)
+        except Exception:
+            return FAILURE_DISTANCE
+        return 0.0 if value else K
+
+    def _atom_distance(self, expr: Binary, evaluator: Evaluator) -> float:
+        try:
+            a = evaluator.evaluate(expr.left)
+            b = evaluator.evaluate(expr.right)
+        except Exception:
+            return FAILURE_DISTANCE
+        op = expr.op
+        if isinstance(a, bool) or isinstance(b, bool):
+            a = float(bool(a))
+            b = float(bool(b))
+        if not (_finite(a) and _finite(b)):
+            return FAILURE_DISTANCE
+        if op == ast.LT:
+            return 0.0 if a < b else normalize_raw(a - b + K)
+        if op == ast.LE:
+            return 0.0 if a <= b else normalize_raw(a - b)
+        if op == ast.GT:
+            return 0.0 if a > b else normalize_raw(b - a + K)
+        if op == ast.GE:
+            return 0.0 if a >= b else normalize_raw(b - a)
+        if op == ast.EQ:
+            return 0.0 if a == b else normalize_raw(abs(a - b))
+        if op == ast.NE:
+            return 0.0 if a != b else K
+        return FAILURE_DISTANCE
+
+
+def normalize_raw(distance: float) -> float:
+    """Clamp a raw violated-atom distance to at least a small epsilon."""
+    return max(float(distance), 1e-9)
+
+
+def _finite(x) -> bool:
+    try:
+        return math.isfinite(float(x))
+    except (TypeError, ValueError):
+        return False

@@ -1,0 +1,92 @@
+"""Concrete evaluation of expressions under a variable environment."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import EvalError
+from repro.expr import ast, semantics
+from repro.expr.ast import Binary, Const, Expr, Ite, Select, Store, Unary, Var
+from repro.expr.types import coerce_value
+
+
+class Evaluator:
+    """Evaluates expressions under an environment of variable values.
+
+    Results are memoized per node identity, so shared sub-DAGs are evaluated
+    once.  Boolean connectives and ITE are evaluated lazily: the unselected
+    branch of an ITE is never computed, which mirrors the behaviour of the
+    generated code the expressions model (no spurious division-by-zero).
+    """
+
+    def __init__(self, env: Mapping[str, object]):
+        self._env = env
+        self._memo: Dict[int, object] = {}
+
+    def evaluate(self, expr: Expr):
+        memo = self._memo
+        key = id(expr)
+        if key in memo:
+            return memo[key]
+        value = self._compute(expr)
+        memo[key] = value
+        return value
+
+    def _compute(self, expr: Expr):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                raw = self._env[expr.name]
+            except KeyError:
+                raise EvalError(f"no value for variable {expr.name!r}") from None
+            return coerce_value(raw, expr.ty)
+        if isinstance(expr, Unary):
+            return coerce_value(
+                semantics.apply_unary(expr.op, self.evaluate(expr.arg)), expr.ty
+            )
+        if isinstance(expr, Binary):
+            op = expr.op
+            if op == ast.AND:
+                if not self.evaluate(expr.left):
+                    return False
+                return bool(self.evaluate(expr.right))
+            if op == ast.OR:
+                if self.evaluate(expr.left):
+                    return True
+                return bool(self.evaluate(expr.right))
+            if op == ast.IMPLIES:
+                if not self.evaluate(expr.left):
+                    return True
+                return bool(self.evaluate(expr.right))
+            value = semantics.apply_binary(
+                op, self.evaluate(expr.left), self.evaluate(expr.right)
+            )
+            return coerce_value(value, expr.ty)
+        if isinstance(expr, Ite):
+            if self.evaluate(expr.cond):
+                return coerce_value(self.evaluate(expr.then), expr.ty)
+            return coerce_value(self.evaluate(expr.orelse), expr.ty)
+        if isinstance(expr, Select):
+            array = self.evaluate(expr.array)
+            index = int(self.evaluate(expr.index))
+            if not 0 <= index < len(array):
+                raise EvalError(
+                    f"array index {index} out of range 0..{len(array) - 1}"
+                )
+            return array[index]
+        if isinstance(expr, Store):
+            array = list(self.evaluate(expr.array))
+            index = int(self.evaluate(expr.index))
+            if not 0 <= index < len(array):
+                raise EvalError(
+                    f"array index {index} out of range 0..{len(array) - 1}"
+                )
+            array[index] = self.evaluate(expr.value)
+            return tuple(array)
+        raise EvalError(f"cannot evaluate node type {type(expr).__name__}")
+
+
+def evaluate(expr: Expr, env: Mapping[str, object]):
+    """Evaluate ``expr`` under ``env`` (variable name -> concrete value)."""
+    return Evaluator(env).evaluate(expr)

@@ -1,0 +1,70 @@
+"""Negation normal form for boolean expressions.
+
+Branch-distance computation and interval contraction both want negations
+pushed down to the relational atoms.  ``to_nnf`` rewrites a boolean
+expression so that NOT only appears directly above atoms that cannot be
+negated structurally (boolean variables, TO_BOOL casts, selects).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExprTypeError
+from repro.expr import ast, ops
+from repro.expr.ast import Binary, Const, Expr, Ite, Unary
+
+
+def to_nnf(expr: Expr) -> Expr:
+    """Return an equivalent boolean expression in negation normal form.
+
+    ITE over booleans is expanded into ``(c && t) || (!c && e)``; XOR into
+    its disjunctive form.  The result contains only AND/OR over (possibly
+    negated) atoms.
+    """
+    if not expr.ty.is_bool:
+        raise ExprTypeError(f"to_nnf expects a boolean expression, got {expr.ty!r}")
+    return _nnf(expr, negate=False)
+
+
+def _nnf(expr: Expr, negate: bool) -> Expr:
+    if isinstance(expr, Const):
+        value = expr.value if not negate else not expr.value
+        return ast.TRUE if value else ast.FALSE
+    if isinstance(expr, Unary) and expr.op == ast.NOT:
+        return _nnf(expr.arg, not negate)
+    if isinstance(expr, Binary):
+        op = expr.op
+        if op == ast.AND:
+            left = _nnf(expr.left, negate)
+            right = _nnf(expr.right, negate)
+            return ops.lor(left, right) if negate else ops.land(left, right)
+        if op == ast.OR:
+            left = _nnf(expr.left, negate)
+            right = _nnf(expr.right, negate)
+            return ops.land(left, right) if negate else ops.lor(left, right)
+        if op == ast.IMPLIES:
+            rewritten = ops.lor(ops.lnot(expr.left), expr.right)
+            return _nnf(rewritten, negate)
+        if op == ast.XOR:
+            a, b = expr.left, expr.right
+            # a ^ b  ==  (a && !b) || (!a && b); negation is equivalence.
+            if negate:
+                rewritten = ops.lor(
+                    ops.land(a, b), ops.land(ops.lnot(a), ops.lnot(b))
+                )
+            else:
+                rewritten = ops.lor(
+                    ops.land(a, ops.lnot(b)), ops.land(ops.lnot(a), b)
+                )
+            return _nnf(rewritten, False)
+        if op in ast.REL_OPS:
+            if negate:
+                return Binary(ast.REL_NEGATION[op], expr.left, expr.right, expr.ty)
+            return expr
+    if isinstance(expr, Ite) and expr.ty.is_bool:
+        rewritten = ops.lor(
+            ops.land(expr.cond, expr.then),
+            ops.land(ops.lnot(expr.cond), expr.orelse),
+        )
+        return _nnf(rewritten, negate)
+    # Opaque boolean atom (variable, to_bool cast, select, ...).
+    return ops.lnot(expr) if negate else expr

@@ -1,0 +1,385 @@
+"""Smart constructors for expression nodes.
+
+These are the public way to build expressions.  They:
+
+* accept plain Python values wherever an expression is expected,
+* type-check operands,
+* fold constants eagerly, so that a symbolic simulation in which every
+  operand happens to be concrete produces a :class:`~repro.expr.ast.Const`
+  rather than a tree, and
+* apply a handful of cheap local simplifications (identities, ITE with a
+  constant condition) to keep one-step encodings small.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ExprTypeError
+from repro.expr import ast, semantics
+from repro.expr.ast import Binary, Const, Expr, FALSE, Ite, Select, Store, TRUE, Unary
+from repro.expr.types import ArrayType, BOOL, INT, REAL, Type, join_numeric
+
+ExprLike = Union[Expr, bool, int, float, tuple]
+
+
+def lift(value: ExprLike) -> Expr:
+    """Return ``value`` as an expression, wrapping plain values in Const."""
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+def _lift2(a: ExprLike, b: ExprLike):
+    return lift(a), lift(b)
+
+
+def _require_numeric(e: Expr, what: str) -> None:
+    if not e.ty.is_numeric:
+        raise ExprTypeError(f"{what} requires a numeric operand, got {e.ty!r}")
+
+
+def _require_bool(e: Expr, what: str) -> None:
+    if not e.ty.is_bool:
+        raise ExprTypeError(f"{what} requires a boolean operand, got {e.ty!r}")
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _arith(op: str, a: ExprLike, b: ExprLike) -> Expr:
+    ea, eb = _lift2(a, b)
+    _require_numeric(ea, op)
+    _require_numeric(eb, op)
+    ty = join_numeric(ea.ty, eb.ty)
+    if op in (ast.DIV,):
+        ty = REAL
+    if op in (ast.IDIV, ast.MOD):
+        ty = INT
+    if ea.is_const and eb.is_const:
+        value = semantics.apply_binary(op, ea.const_value(), eb.const_value())
+        return Const(value, ty)
+    return Binary(op, ea, eb, ty)
+
+
+def add(a: ExprLike, b: ExprLike) -> Expr:
+    ea, eb = _lift2(a, b)
+    if ea.is_const and ea.const_value() == 0 and eb.ty.is_numeric:
+        return eb
+    if eb.is_const and eb.const_value() == 0 and ea.ty.is_numeric:
+        return ea
+    return _arith(ast.ADD, ea, eb)
+
+
+def sub(a: ExprLike, b: ExprLike) -> Expr:
+    ea, eb = _lift2(a, b)
+    if eb.is_const and eb.const_value() == 0 and ea.ty.is_numeric:
+        return ea
+    return _arith(ast.SUB, ea, eb)
+
+
+def mul(a: ExprLike, b: ExprLike) -> Expr:
+    ea, eb = _lift2(a, b)
+    for x, y in ((ea, eb), (eb, ea)):
+        if x.is_const and x.ty.is_numeric:
+            if x.const_value() == 1:
+                return y
+            if x.const_value() == 0 and y.ty.is_numeric:
+                return Const(0, join_numeric(x.ty, y.ty))
+    return _arith(ast.MUL, ea, eb)
+
+
+def div(a: ExprLike, b: ExprLike) -> Expr:
+    """Real division (result type REAL)."""
+    return _arith(ast.DIV, a, b)
+
+
+def idiv(a: ExprLike, b: ExprLike) -> Expr:
+    """Integer division truncating toward zero (C semantics)."""
+    return _arith(ast.IDIV, a, b)
+
+
+def mod(a: ExprLike, b: ExprLike) -> Expr:
+    """Remainder with the dividend's sign (C semantics)."""
+    return _arith(ast.MOD, a, b)
+
+
+def minimum(a: ExprLike, b: ExprLike) -> Expr:
+    return _arith(ast.MIN, a, b)
+
+
+def maximum(a: ExprLike, b: ExprLike) -> Expr:
+    return _arith(ast.MAX, a, b)
+
+
+def neg(a: ExprLike) -> Expr:
+    ea = lift(a)
+    _require_numeric(ea, "neg")
+    if ea.is_const:
+        return Const(-ea.const_value(), ea.ty)
+    if isinstance(ea, Unary) and ea.op == ast.NEG:
+        return ea.arg
+    return Unary(ast.NEG, ea, ea.ty)
+
+
+def absolute(a: ExprLike) -> Expr:
+    ea = lift(a)
+    _require_numeric(ea, "abs")
+    if ea.is_const:
+        return Const(abs(ea.const_value()), ea.ty)
+    return Unary(ast.ABS, ea, ea.ty)
+
+
+def floor(a: ExprLike) -> Expr:
+    ea = lift(a)
+    _require_numeric(ea, "floor")
+    if ea.is_const:
+        return Const(semantics.apply_unary(ast.FLOOR, ea.const_value()), INT)
+    if ea.ty.is_int:
+        return ea
+    return Unary(ast.FLOOR, ea, INT)
+
+
+def ceil(a: ExprLike) -> Expr:
+    ea = lift(a)
+    _require_numeric(ea, "ceil")
+    if ea.is_const:
+        return Const(semantics.apply_unary(ast.CEIL, ea.const_value()), INT)
+    if ea.ty.is_int:
+        return ea
+    return Unary(ast.CEIL, ea, INT)
+
+
+def saturate(value: ExprLike, lo: ExprLike, hi: ExprLike) -> Expr:
+    """Clamp ``value`` into ``[lo, hi]`` (Simulink Saturation semantics)."""
+    return minimum(maximum(value, lo), hi)
+
+
+# ---------------------------------------------------------------------------
+# Casts
+# ---------------------------------------------------------------------------
+
+
+def to_int(a: ExprLike) -> Expr:
+    """C-style cast to integer (truncation toward zero)."""
+    ea = lift(a)
+    if ea.ty.is_int:
+        return ea
+    if ea.is_const:
+        return Const(int(ea.const_value()), INT)
+    return Unary(ast.TO_INT, ea, INT)
+
+
+def to_real(a: ExprLike) -> Expr:
+    ea = lift(a)
+    if ea.ty.is_real:
+        return ea
+    if ea.is_const:
+        return Const(float(ea.const_value()), REAL)
+    return Unary(ast.TO_REAL, ea, REAL)
+
+
+def to_bool(a: ExprLike) -> Expr:
+    """Nonzero test, the Simulink boolean conversion."""
+    ea = lift(a)
+    if ea.ty.is_bool:
+        return ea
+    if ea.is_const:
+        return Const(bool(ea.const_value()), BOOL)
+    return Unary(ast.TO_BOOL, ea, BOOL)
+
+
+# ---------------------------------------------------------------------------
+# Relational
+# ---------------------------------------------------------------------------
+
+
+def _relational(op: str, a: ExprLike, b: ExprLike) -> Expr:
+    ea, eb = _lift2(a, b)
+    if op in (ast.EQ, ast.NE) and ea.ty.is_bool and eb.ty.is_bool:
+        pass  # boolean (in)equality is fine
+    else:
+        _require_numeric(ea, op)
+        _require_numeric(eb, op)
+    if ea.is_const and eb.is_const:
+        return Const(
+            semantics.apply_binary(op, ea.const_value(), eb.const_value()), BOOL
+        )
+    if ea == eb:
+        if op in (ast.LE, ast.GE, ast.EQ):
+            return ast.TRUE
+        if op in (ast.LT, ast.GT, ast.NE):
+            return ast.FALSE
+    return Binary(op, ea, eb, BOOL)
+
+
+def lt(a: ExprLike, b: ExprLike) -> Expr:
+    return _relational(ast.LT, a, b)
+
+
+def le(a: ExprLike, b: ExprLike) -> Expr:
+    return _relational(ast.LE, a, b)
+
+
+def gt(a: ExprLike, b: ExprLike) -> Expr:
+    return _relational(ast.GT, a, b)
+
+
+def ge(a: ExprLike, b: ExprLike) -> Expr:
+    return _relational(ast.GE, a, b)
+
+
+def eq(a: ExprLike, b: ExprLike) -> Expr:
+    return _relational(ast.EQ, a, b)
+
+
+def ne(a: ExprLike, b: ExprLike) -> Expr:
+    return _relational(ast.NE, a, b)
+
+
+# ---------------------------------------------------------------------------
+# Boolean
+# ---------------------------------------------------------------------------
+
+
+def land(a: ExprLike, b: ExprLike) -> Expr:
+    ea, eb = _lift2(a, b)
+    _require_bool(ea, "and")
+    _require_bool(eb, "and")
+    if ea.is_const:
+        return eb if ea.const_value() else ast.FALSE
+    if eb.is_const:
+        return ea if eb.const_value() else ast.FALSE
+    if ea == eb:
+        return ea
+    return Binary(ast.AND, ea, eb, BOOL)
+
+
+def lor(a: ExprLike, b: ExprLike) -> Expr:
+    ea, eb = _lift2(a, b)
+    _require_bool(ea, "or")
+    _require_bool(eb, "or")
+    if ea.is_const:
+        return ast.TRUE if ea.const_value() else eb
+    if eb.is_const:
+        return ast.TRUE if eb.const_value() else ea
+    if ea == eb:
+        return ea
+    return Binary(ast.OR, ea, eb, BOOL)
+
+
+def lxor(a: ExprLike, b: ExprLike) -> Expr:
+    ea, eb = _lift2(a, b)
+    _require_bool(ea, "xor")
+    _require_bool(eb, "xor")
+    if ea.is_const and eb.is_const:
+        return Const(ea.const_value() != eb.const_value(), BOOL)
+    return Binary(ast.XOR, ea, eb, BOOL)
+
+
+def lnot(a: ExprLike) -> Expr:
+    ea = lift(a)
+    _require_bool(ea, "not")
+    if ea.is_const:
+        return Const(not ea.const_value(), BOOL)
+    if isinstance(ea, Unary) and ea.op == ast.NOT:
+        return ea.arg
+    if isinstance(ea, Binary) and ea.op in ast.REL_OPS:
+        return Binary(ast.REL_NEGATION[ea.op], ea.left, ea.right, BOOL)
+    return Unary(ast.NOT, ea, BOOL)
+
+
+def implies(a: ExprLike, b: ExprLike) -> Expr:
+    return lor(lnot(a), b)
+
+
+def conjoin(terms) -> Expr:
+    """AND together an iterable of boolean expressions (TRUE when empty)."""
+    result: Expr = ast.TRUE
+    for term in terms:
+        result = land(result, term)
+    return result
+
+
+def disjoin(terms) -> Expr:
+    """OR together an iterable of boolean expressions (FALSE when empty)."""
+    result: Expr = ast.FALSE
+    for term in terms:
+        result = lor(result, term)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Conditional and arrays
+# ---------------------------------------------------------------------------
+
+
+def ite(cond: ExprLike, then: ExprLike, orelse: ExprLike) -> Expr:
+    econd, ethen = _lift2(cond, then)
+    eorelse = lift(orelse)
+    _require_bool(econd, "ite condition")
+    if econd.is_const:
+        return ethen if econd.const_value() else eorelse
+    if ethen == eorelse:
+        return ethen
+    if ethen.ty.is_bool and eorelse.ty.is_bool:
+        ty: Type = BOOL
+        # (c ? true : b) == c || b;  (c ? a : false) == c && a, etc.
+        if ethen.is_const:
+            return lor(econd, eorelse) if ethen.const_value() else land(
+                lnot(econd), eorelse
+            )
+        if eorelse.is_const:
+            return land(econd, ethen) if not eorelse.const_value() else lor(
+                lnot(econd), ethen
+            )
+    elif ethen.ty.is_numeric and eorelse.ty.is_numeric:
+        ty = join_numeric(ethen.ty, eorelse.ty)
+    elif ethen.ty == eorelse.ty:
+        ty = ethen.ty
+    else:
+        raise ExprTypeError(
+            f"ite branches have incompatible types {ethen.ty!r} / {eorelse.ty!r}"
+        )
+    return Ite(econd, ethen, eorelse, ty)
+
+
+def select(array: ExprLike, index: ExprLike) -> Expr:
+    earr, eidx = _lift2(array, index)
+    if not earr.ty.is_array:
+        raise ExprTypeError(f"select requires an array, got {earr.ty!r}")
+    _require_numeric(eidx, "select index")
+    assert isinstance(earr.ty, ArrayType)
+    elem_ty = earr.ty.elem
+    if eidx.is_const:
+        i = int(eidx.const_value())
+        if not 0 <= i < earr.ty.length:
+            raise ExprTypeError(
+                f"constant index {i} out of range for {earr.ty!r}"
+            )
+        if earr.is_const:
+            return Const(earr.const_value()[i], elem_ty)
+        if isinstance(earr, Store) and earr.index.is_const:
+            j = int(earr.index.const_value())
+            if i == j:
+                return earr.value
+            return select(earr.array, eidx)
+    return Select(earr, eidx, elem_ty)
+
+
+def store(array: ExprLike, index: ExprLike, value: ExprLike) -> Expr:
+    earr, eidx = _lift2(array, index)
+    evalue = lift(value)
+    if not earr.ty.is_array:
+        raise ExprTypeError(f"store requires an array, got {earr.ty!r}")
+    assert isinstance(earr.ty, ArrayType)
+    if earr.is_const and eidx.is_const and evalue.is_const:
+        i = int(eidx.const_value())
+        if not 0 <= i < earr.ty.length:
+            raise ExprTypeError(f"constant index {i} out of range for {earr.ty!r}")
+        items = list(earr.const_value())
+        items[i] = evalue.const_value()
+        return Const(tuple(items), earr.ty)
+    return Store(earr, eidx, evalue, earr.ty)

@@ -1,0 +1,266 @@
+"""A small infix DSL for writing guard and action expressions.
+
+Charts and models can describe conditions as text, e.g.::
+
+    parse_expr("op == 1 && count < 8", symbols)
+
+``symbols`` maps identifier names to expressions (input ports, chart locals,
+data stores).  Unknown identifiers raise :class:`ExprParseError` so typos in
+model definitions fail loudly at build time.
+
+Grammar (standard precedence, C-like operators)::
+
+    expr     := or ( '?' expr ':' expr )?
+    or       := and ( ('||' | '=>') and )*
+    and      := xor ( '&&' xor )*
+    xor      := not ( '^' not )*
+    not      := '!' not | cmp
+    cmp      := sum ( ('<'|'<='|'>'|'>='|'=='|'!=') sum )?
+    sum      := term ( ('+'|'-') term )*
+    term     := unary ( ('*'|'/'|'//'|'%') unary )*
+    unary    := '-' unary | postfix
+    postfix  := primary ( '[' expr ']' )*
+    primary  := NUMBER | 'true' | 'false' | IDENT | IDENT '(' args ')'
+              | '(' expr ')'
+
+Recognized functions: ``min max abs ite floor ceil int real bool sat store``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ExprParseError
+from repro.expr import ops
+from repro.expr.ast import Const, Expr
+
+SymbolSource = Union[Mapping[str, Expr], Callable[[str], Optional[Expr]]]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<num>\d+\.\d*|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><=|>=|==|!=|&&|\|\||=>|//|[-+*/%<>!^?:()\[\],])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ExprParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, symbols: SymbolSource):
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._pos = 0
+        self._symbols = symbols
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _accept(self, value: str) -> bool:
+        kind, text = self._peek()
+        if kind == "op" and text == value:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect(self, value: str) -> None:
+        if not self._accept(value):
+            kind, text = self._peek()
+            raise ExprParseError(
+                f"expected {value!r} but found {text or kind!r} in {self._text!r}"
+            )
+
+    def _lookup(self, name: str) -> Expr:
+        if callable(self._symbols):
+            result = self._symbols(name)
+        else:
+            result = self._symbols.get(name)
+        if result is None:
+            raise ExprParseError(f"unknown identifier {name!r} in {self._text!r}")
+        return result
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self._ternary()
+        kind, text = self._peek()
+        if kind != "end":
+            raise ExprParseError(
+                f"trailing input {text!r} in {self._text!r}"
+            )
+        return expr
+
+    def _ternary(self) -> Expr:
+        cond = self._or()
+        if self._accept("?"):
+            then = self._ternary()
+            self._expect(":")
+            orelse = self._ternary()
+            return ops.ite(cond, then, orelse)
+        return cond
+
+    def _or(self) -> Expr:
+        expr = self._and()
+        while True:
+            if self._accept("||"):
+                expr = ops.lor(expr, self._and())
+            elif self._accept("=>"):
+                expr = ops.implies(expr, self._and())
+            else:
+                return expr
+
+    def _and(self) -> Expr:
+        expr = self._xor()
+        while self._accept("&&"):
+            expr = ops.land(expr, self._xor())
+        return expr
+
+    def _xor(self) -> Expr:
+        expr = self._not()
+        while self._accept("^"):
+            expr = ops.lxor(expr, self._not())
+        return expr
+
+    def _not(self) -> Expr:
+        if self._accept("!"):
+            return ops.lnot(self._not())
+        return self._cmp()
+
+    def _cmp(self) -> Expr:
+        left = self._sum()
+        kind, text = self._peek()
+        if kind == "op" and text in ("<", "<=", ">", ">=", "==", "!="):
+            self._advance()
+            right = self._sum()
+            builder = {
+                "<": ops.lt,
+                "<=": ops.le,
+                ">": ops.gt,
+                ">=": ops.ge,
+                "==": ops.eq,
+                "!=": ops.ne,
+            }[text]
+            return builder(left, right)
+        return left
+
+    def _sum(self) -> Expr:
+        expr = self._term()
+        while True:
+            if self._accept("+"):
+                expr = ops.add(expr, self._term())
+            elif self._accept("-"):
+                expr = ops.sub(expr, self._term())
+            else:
+                return expr
+
+    def _term(self) -> Expr:
+        expr = self._unary()
+        while True:
+            if self._accept("*"):
+                expr = ops.mul(expr, self._unary())
+            elif self._accept("//"):
+                expr = ops.idiv(expr, self._unary())
+            elif self._accept("/"):
+                expr = ops.div(expr, self._unary())
+            elif self._accept("%"):
+                expr = ops.mod(expr, self._unary())
+            else:
+                return expr
+
+    def _unary(self) -> Expr:
+        if self._accept("-"):
+            return ops.neg(self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while self._accept("["):
+            index = self._ternary()
+            self._expect("]")
+            expr = ops.select(expr, index)
+        return expr
+
+    def _primary(self) -> Expr:
+        kind, text = self._advance()
+        if kind == "num":
+            if "." in text:
+                return Const(float(text))
+            return Const(int(text))
+        if kind == "ident":
+            if text == "true":
+                return Const(True)
+            if text == "false":
+                return Const(False)
+            if self._accept("("):
+                return self._call(text)
+            return self._lookup(text)
+        if kind == "op" and text == "(":
+            expr = self._ternary()
+            self._expect(")")
+            return expr
+        raise ExprParseError(f"unexpected token {text or kind!r} in {self._text!r}")
+
+    def _call(self, name: str) -> Expr:
+        args: List[Expr] = []
+        if not self._accept(")"):
+            args.append(self._ternary())
+            while self._accept(","):
+                args.append(self._ternary())
+            self._expect(")")
+        return _apply_function(name, args, self._text)
+
+
+_FUNCTIONS = {
+    "min": (2, ops.minimum),
+    "max": (2, ops.maximum),
+    "abs": (1, ops.absolute),
+    "ite": (3, ops.ite),
+    "floor": (1, ops.floor),
+    "ceil": (1, ops.ceil),
+    "int": (1, ops.to_int),
+    "real": (1, ops.to_real),
+    "bool": (1, ops.to_bool),
+    "sat": (3, ops.saturate),
+    "store": (3, ops.store),
+}
+
+
+def _apply_function(name: str, args: List[Expr], text: str) -> Expr:
+    try:
+        arity, builder = _FUNCTIONS[name]
+    except KeyError:
+        raise ExprParseError(f"unknown function {name!r} in {text!r}") from None
+    if len(args) != arity:
+        raise ExprParseError(
+            f"function {name!r} expects {arity} arguments, got {len(args)}"
+        )
+    return builder(*args)
+
+
+def parse_expr(text: str, symbols: SymbolSource) -> Expr:
+    """Parse DSL ``text`` into an expression, resolving names via ``symbols``."""
+    return _Parser(text, symbols).parse()

@@ -1,0 +1,105 @@
+"""Concrete operator semantics shared by constant folding and evaluation.
+
+All functions take canonical Python values (bool/int/float/tuple) and return
+canonical values.  Integer division and modulo use C semantics (truncation
+toward zero, remainder takes the dividend's sign) because that is what
+generated embedded code — the target of the Simulink models we mimic — does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EvalError
+from repro.expr import ast
+
+
+def c_idiv(a: int, b: int) -> int:
+    """Integer division truncating toward zero (C semantics).
+
+    Division by zero yields 0, mirroring the guarded division idiom of the
+    generated embedded code these expressions model (keeps every operator
+    total, which the search-based solver relies on).
+    """
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a: int, b: int) -> int:
+    """Remainder with the sign of the dividend (C semantics); ``x % 0 == 0``."""
+    if b == 0:
+        return 0
+    return a - c_idiv(a, b) * b
+
+
+def real_div(a: float, b: float) -> float:
+    """Real division; division by zero saturates like Simulink's Inf."""
+    if b == 0:
+        if a == 0:
+            return 0.0
+        return math.inf if a > 0 else -math.inf
+    return a / b
+
+
+def apply_unary(op: str, value):
+    """Apply a unary operator to a concrete value."""
+    if op == ast.NEG:
+        return -value
+    if op == ast.NOT:
+        return not value
+    if op == ast.ABS:
+        return abs(value)
+    if op == ast.FLOOR:
+        return math.floor(value)
+    if op == ast.CEIL:
+        return math.ceil(value)
+    if op == ast.TO_INT:
+        return int(value)  # truncation toward zero
+    if op == ast.TO_REAL:
+        return float(value)
+    if op == ast.TO_BOOL:
+        return bool(value)
+    raise EvalError(f"unknown unary operator {op!r}")
+
+
+def apply_binary(op: str, a, b):
+    """Apply a binary operator to concrete values."""
+    if op == ast.ADD:
+        return a + b
+    if op == ast.SUB:
+        return a - b
+    if op == ast.MUL:
+        return a * b
+    if op == ast.DIV:
+        return real_div(float(a), float(b))
+    if op == ast.IDIV:
+        return c_idiv(int(a), int(b))
+    if op == ast.MOD:
+        return c_mod(int(a), int(b))
+    if op == ast.MIN:
+        return min(a, b)
+    if op == ast.MAX:
+        return max(a, b)
+    if op == ast.LT:
+        return a < b
+    if op == ast.LE:
+        return a <= b
+    if op == ast.GT:
+        return a > b
+    if op == ast.GE:
+        return a >= b
+    if op == ast.EQ:
+        return a == b
+    if op == ast.NE:
+        return a != b
+    if op == ast.AND:
+        return bool(a) and bool(b)
+    if op == ast.OR:
+        return bool(a) or bool(b)
+    if op == ast.XOR:
+        return bool(a) != bool(b)
+    if op == ast.IMPLIES:
+        return (not a) or bool(b)
+    raise EvalError(f"unknown binary operator {op!r}")

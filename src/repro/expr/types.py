@@ -1,0 +1,129 @@
+"""Scalar and array types for the expression IR.
+
+The type system is intentionally small: booleans, integers, reals and
+fixed-length arrays of scalars.  It matches what the Simulink-like block
+library needs (``boolean``, ``int32``-ish integers, ``double`` reals and data
+store arrays) without modelling bit widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExprTypeError
+
+
+class Type:
+    """Base class for expression types.
+
+    Concrete types are the singletons :data:`BOOL`, :data:`INT`, :data:`REAL`
+    and instances of :class:`ArrayType`.
+    """
+
+    __slots__ = ()
+
+    @property
+    def is_bool(self) -> bool:
+        return self is BOOL
+
+    @property
+    def is_int(self) -> bool:
+        return self is INT
+
+    @property
+    def is_real(self) -> bool:
+        return self is REAL
+
+    @property
+    def is_numeric(self) -> bool:
+        return self is INT or self is REAL
+
+    @property
+    def is_scalar(self) -> bool:
+        return not isinstance(self, ArrayType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+
+class _ScalarType(Type):
+    """A named scalar type singleton."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+BOOL = _ScalarType("bool")
+INT = _ScalarType("int")
+REAL = _ScalarType("real")
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A fixed-length array of a scalar element type."""
+
+    elem: Type
+    length: int
+
+    def __post_init__(self):
+        if not self.elem.is_scalar:
+            raise ExprTypeError("array element type must be scalar")
+        if self.length <= 0:
+            raise ExprTypeError(f"array length must be positive, got {self.length}")
+
+    def __repr__(self) -> str:
+        return f"{self.elem!r}[{self.length}]"
+
+
+def join_numeric(a: Type, b: Type) -> Type:
+    """Return the wider of two numeric types (int ∨ real = real)."""
+    if not (a.is_numeric and b.is_numeric):
+        raise ExprTypeError(f"expected numeric types, got {a!r} and {b!r}")
+    if a.is_real or b.is_real:
+        return REAL
+    return INT
+
+
+def type_of_value(value) -> Type:
+    """Infer the IR type of a concrete Python value."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return REAL
+    if isinstance(value, tuple):
+        if not value:
+            raise ExprTypeError("cannot type an empty array value")
+        elem = type_of_value(value[0])
+        return ArrayType(elem, len(value))
+    raise ExprTypeError(f"unsupported constant value: {value!r}")
+
+
+def coerce_value(value, ty: Type):
+    """Coerce a concrete Python value to the canonical form for ``ty``.
+
+    Booleans become :class:`bool`, integers :class:`int`, reals
+    :class:`float` and arrays tuples of coerced elements.
+    """
+    if ty.is_bool:
+        return bool(value)
+    if ty.is_int:
+        return int(value)
+    if ty.is_real:
+        return float(value)
+    if ty.is_array:
+        assert isinstance(ty, ArrayType)
+        seq = tuple(value)
+        if len(seq) != ty.length:
+            raise ExprTypeError(
+                f"array value of length {len(seq)} does not match type {ty!r}"
+            )
+        return tuple(coerce_value(v, ty.elem) for v in seq)
+    raise ExprTypeError(f"cannot coerce to type {ty!r}")

@@ -1,0 +1,44 @@
+"""Experiment harness: run matrices and paper table/figure renderers."""
+
+from repro.harness.ablation import (
+    AblationRun,
+    dead_branch_proving,
+    dead_logic_waste,
+    hybrid_warmup,
+    library_vs_fresh,
+)
+from repro.harness.figures import figure3, figure4, figure4_model, timeline_series
+from repro.harness.runner import (
+    MatrixConfig,
+    TOOLS,
+    ToolOutcome,
+    average_improvements,
+    improvement,
+    run_matrix,
+    run_tool,
+)
+from repro.harness.tables import PAPER_TABLE3, run_table1, table1, table2, table3
+
+__all__ = [
+    "AblationRun",
+    "MatrixConfig",
+    "PAPER_TABLE3",
+    "TOOLS",
+    "ToolOutcome",
+    "average_improvements",
+    "dead_branch_proving",
+    "dead_logic_waste",
+    "figure3",
+    "figure4",
+    "figure4_model",
+    "hybrid_warmup",
+    "improvement",
+    "library_vs_fresh",
+    "run_matrix",
+    "run_table1",
+    "run_tool",
+    "table1",
+    "table2",
+    "table3",
+    "timeline_series",
+]

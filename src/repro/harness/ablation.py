@@ -1,0 +1,125 @@
+"""Ablations of STCG's design choices (the paper's Discussion section).
+
+Three experiments:
+
+* :func:`dead_logic_waste` — with vs without the constant-false fast path:
+  how many solver attempts are wasted re-proving perpetually false
+  branches ("STCG performs multiple solving for this type of branch,
+  resulting in a lot of wasted time"),
+* :func:`hybrid_warmup` — random-first then solve ("if the random method
+  can be introduced into STCG to perform the random generation process
+  first ... the efficiency of STCG can be further improved"),
+* :func:`library_vs_fresh` — library-only random sequences vs mixing in
+  fresh random inputs ("constructing a random input sequence using only
+  previously solved inputs may not reach some branches").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import StcgConfig
+from repro.core.result import GenerationResult
+from repro.core.stcg import StcgGenerator
+from repro.models.registry import BenchmarkModel
+
+
+@dataclass
+class AblationRun:
+    """One variant's outcome."""
+
+    variant: str
+    result: GenerationResult
+
+    @property
+    def decision(self) -> float:
+        return self.result.decision
+
+    def stat(self, key: str) -> int:
+        return int(self.result.stats.get(key, 0))
+
+
+def _run(model: BenchmarkModel, config: StcgConfig) -> GenerationResult:
+    return StcgGenerator(model.build(), config).run()
+
+
+def dead_logic_waste(
+    model: BenchmarkModel, budget_s: float = 10.0, seed: int = 0
+) -> List[AblationRun]:
+    """Compare solver effort with/without the constant-false fast path."""
+    with_skip = _run(
+        model, StcgConfig(budget_s=budget_s, seed=seed, skip_constant_false=True)
+    )
+    without_skip = _run(
+        model,
+        StcgConfig(budget_s=budget_s, seed=seed, skip_constant_false=False),
+    )
+    return [
+        AblationRun("skip-constant-false", with_skip),
+        AblationRun("always-invoke-solver", without_skip),
+    ]
+
+
+def hybrid_warmup(
+    model: BenchmarkModel,
+    budget_s: float = 10.0,
+    warmup_fraction: float = 0.3,
+    seed: int = 0,
+) -> List[AblationRun]:
+    """Compare plain STCG against the random-first hybrid."""
+    plain = _run(model, StcgConfig(budget_s=budget_s, seed=seed))
+    hybrid = _run(
+        model,
+        StcgConfig(
+            budget_s=budget_s,
+            seed=seed,
+            random_warmup_s=budget_s * warmup_fraction,
+        ),
+    )
+    return [AblationRun("solver-first", plain), AblationRun("random-warmup", hybrid)]
+
+
+def dead_branch_proving(
+    model: BenchmarkModel, budget_s: float = 10.0, seed: int = 0
+) -> List[AblationRun]:
+    """STCG with vs without the abstract-interpretation dead-branch proofs
+    (the Discussion's proposed formal verification of unreachable logic)."""
+    without = _run(model, StcgConfig(budget_s=budget_s, seed=seed))
+    with_proofs = _run(
+        model,
+        StcgConfig(budget_s=budget_s, seed=seed, prove_dead_branches=True),
+    )
+    return [
+        AblationRun("no-proofs", without),
+        AblationRun("prove-dead-branches", with_proofs),
+    ]
+
+
+def library_vs_fresh(
+    model: BenchmarkModel, budget_s: float = 10.0, seed: int = 0
+) -> List[AblationRun]:
+    """Library-only vs mixed vs fully fresh random sequences."""
+    variants = [
+        ("library-only", StcgConfig(budget_s=budget_s, seed=seed, fresh_input_mix=0.0)),
+        ("mixed-25%", StcgConfig(budget_s=budget_s, seed=seed, fresh_input_mix=0.25)),
+        ("fresh-only", StcgConfig(budget_s=budget_s, seed=seed, fresh_input_mix=1.0)),
+    ]
+    return [AblationRun(name, _run(model, cfg)) for name, cfg in variants]
+
+
+def render(runs: List[AblationRun]) -> str:
+    """Small table of variant vs coverage and solver effort."""
+    lines = [
+        f"{'variant':22s} {'decision':>9s} {'condition':>10s} {'mcdc':>6s} "
+        f"{'solver_calls':>13s} {'const_false':>12s} {'cases':>6s}"
+    ]
+    for run in runs:
+        result = run.result
+        lines.append(
+            f"{run.variant:22s} {result.decision:>9.0%} "
+            f"{result.condition:>10.0%} {result.mcdc:>6.0%} "
+            f"{run.stat('solver_calls'):>13d} "
+            f"{run.stat('const_false_skips'):>12d} {len(result.suite):>6d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Renderers for the paper's figures.
+
+* :func:`figure3` — the simplified CPUTask branch structure and the
+  explored state tree (paper Figure 3),
+* :func:`figure4` — decision coverage versus time per model and tool,
+  as an ASCII plot plus the underlying series; STCG points are marked
+  ``^`` (solver-derived, the paper's triangle) or ``*`` (random-sequence,
+  the paper's diamond).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.result import GenerationResult, ORIGIN_RANDOM, ORIGIN_SOLVER
+from repro.harness.tables import branch_number, run_table1
+
+
+# ---------------------------------------------------------------------------
+# Figure 3
+# ---------------------------------------------------------------------------
+
+
+def figure3(budget_s: float = 10.0, seed: int = 0) -> str:
+    """Branch structure (a) + explored state tree (b) of SimpleCPUTask."""
+    rows, generator = run_table1(budget_s, seed)
+    registry = generator.compiled.registry
+    lines = ["(a) model branches"]
+    for decision in registry.decisions:
+        for branch in decision.branches:
+            indent = "    " * branch.depth
+            lines.append(
+                f"  {indent}{branch_number(branch.label)}: {branch.label}"
+            )
+    lines.append("")
+    lines.append("(b) explored state tree")
+    lines.append(generator.tree.render(max_nodes=120))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+
+
+def timeline_series(
+    result: GenerationResult, budget_s: float, points: int = 24
+) -> List[Tuple[float, float]]:
+    """Sampled (time, decision coverage) step series of one run."""
+    series = []
+    for index in range(points + 1):
+        t = budget_s * index / points
+        series.append((t, result.coverage_at(t)))
+    return series
+
+
+def figure4_model(
+    results: Dict[str, GenerationResult],
+    budget_s: float,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """ASCII coverage-vs-time plot for one model (all tools overlaid).
+
+    Line characters: ``s`` = SLDV, ``c`` = SimCoTest; STCG events are
+    drawn at their timestamps as ``^`` (constraint solving on internal
+    states) or ``*`` (random input sequence), the paper's markers.
+    """
+    rows = [[" "] * width for _ in range(height)]
+    symbol = {"SLDV": "s", "SimCoTest": "c"}
+
+    def put(t: float, coverage: float, mark: str) -> None:
+        x = min(width - 1, int(t / budget_s * (width - 1)))
+        y = min(height - 1, int((1.0 - coverage) * (height - 1)))
+        rows[y][x] = mark
+
+    for tool, result in results.items():
+        if tool == "STCG":
+            continue
+        for t, coverage in timeline_series(result, budget_s, points=width - 1):
+            put(t, coverage, symbol.get(tool, "?"))
+    stcg = results.get("STCG")
+    if stcg is not None:
+        for t, coverage in timeline_series(stcg, budget_s, points=width - 1):
+            put(t, coverage, ".")
+        for event in stcg.timeline:
+            mark = "^" if event.origin == ORIGIN_SOLVER else "*"
+            put(event.t, event.decision_coverage, mark)
+    lines = []
+    for index, row in enumerate(rows):
+        coverage_label = 100 - int(100 * index / (height - 1))
+        lines.append(f"{coverage_label:3d}% |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      0s{' ' * (width - 10)}{budget_s:.0f}s")
+    lines.append(
+        "      legend: ^ STCG solver-derived, * STCG random-sequence, "
+        "s SLDV, c SimCoTest"
+    )
+    return "\n".join(lines)
+
+
+def figure4(
+    all_results: Dict[str, Dict[str, GenerationResult]], budget_s: float
+) -> str:
+    """Full Figure 4: one plot per model plus the raw event lists."""
+    sections = []
+    for model_name, per_tool in all_results.items():
+        sections.append(f"== {model_name} ==")
+        sections.append(figure4_model(per_tool, budget_s))
+        stcg = per_tool.get("STCG")
+        if stcg is not None:
+            events = ", ".join(
+                f"{e.t:.1f}s:{e.decision_coverage:.0%}"
+                f"({'solve' if e.origin == ORIGIN_SOLVER else 'rand'})"
+                for e in stcg.timeline[:12]
+            )
+            sections.append(f"   STCG events: {events}")
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,147 @@
+"""Run-matrix executor: (tool × model × repetition) → aggregated results.
+
+The paper runs every tool for one hour and repeats randomized tools ten
+times.  Budgets and repetition counts are scaled-down knobs here; the
+harness averages coverage over repetitions exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.simcotest import SimCoTestConfig, SimCoTestGenerator
+from repro.baselines.sldv import SldvConfig, SldvGenerator
+from repro.core.config import StcgConfig
+from repro.core.result import GenerationResult
+from repro.core.stcg import StcgGenerator
+from repro.errors import HarnessError
+from repro.models.registry import BenchmarkModel
+
+TOOLS = ("SLDV", "SimCoTest", "STCG")
+
+
+@dataclass
+class MatrixConfig:
+    """Budgets for a comparison run."""
+
+    budget_s: float = 30.0
+    #: Repetitions for tools with random components (STCG, SimCoTest).
+    repetitions: int = 3
+    #: SLDV is deterministic given the seed; one repetition suffices.
+    sldv_repetitions: int = 1
+    seed: int = 0
+    sldv_max_depth: int = 6
+
+
+@dataclass
+class ToolOutcome:
+    """Aggregated coverage of one tool on one model."""
+
+    tool: str
+    model: str
+    runs: List[GenerationResult] = field(default_factory=list)
+
+    @property
+    def decision(self) -> float:
+        return statistics.mean(r.decision for r in self.runs)
+
+    @property
+    def condition(self) -> float:
+        return statistics.mean(r.condition for r in self.runs)
+
+    @property
+    def mcdc(self) -> float:
+        return statistics.mean(r.mcdc for r in self.runs)
+
+    @property
+    def representative(self) -> GenerationResult:
+        """The run whose decision coverage is the median (for Figure 4)."""
+        ordered = sorted(self.runs, key=lambda r: r.decision)
+        return ordered[len(ordered) // 2]
+
+
+def run_tool(
+    tool: str,
+    model: BenchmarkModel,
+    budget_s: float,
+    seed: int,
+    sldv_max_depth: int = 6,
+) -> GenerationResult:
+    """One generation run of one tool on a fresh build of the model."""
+    compiled = model.build()
+    if tool == "STCG":
+        return StcgGenerator(
+            compiled, StcgConfig(budget_s=budget_s, seed=seed)
+        ).run()
+    if tool == "SimCoTest":
+        return SimCoTestGenerator(
+            compiled, SimCoTestConfig(budget_s=budget_s, seed=seed)
+        ).run()
+    if tool == "SLDV":
+        return SldvGenerator(
+            compiled,
+            SldvConfig(budget_s=budget_s, seed=seed, max_depth=sldv_max_depth),
+        ).run()
+    raise HarnessError(f"unknown tool {tool!r}")
+
+
+def run_matrix(
+    models: Sequence[BenchmarkModel],
+    config: Optional[MatrixConfig] = None,
+    tools: Sequence[str] = TOOLS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Dict[str, ToolOutcome]]:
+    """Run every tool on every model; returns ``{model: {tool: outcome}}``."""
+    config = config or MatrixConfig()
+    results: Dict[str, Dict[str, ToolOutcome]] = {}
+    for model in models:
+        per_tool: Dict[str, ToolOutcome] = {}
+        for tool in tools:
+            outcome = ToolOutcome(tool, model.name)
+            repetitions = (
+                config.sldv_repetitions if tool == "SLDV" else config.repetitions
+            )
+            for repetition in range(repetitions):
+                tool_salt = sum(ord(ch) for ch in tool)  # stable across runs
+                seed = config.seed * 1000 + repetition * 7 + tool_salt % 97
+                run = run_tool(
+                    tool, model, config.budget_s, seed, config.sldv_max_depth
+                )
+                outcome.runs.append(run)
+                if progress is not None:
+                    progress(
+                        f"{model.name}/{tool} rep {repetition + 1}/{repetitions}: "
+                        f"D={run.decision:.0%} C={run.condition:.0%} "
+                        f"M={run.mcdc:.0%}"
+                    )
+            per_tool[tool] = outcome
+        results[model.name] = per_tool
+    return results
+
+
+def improvement(stcg: float, baseline: float) -> Optional[float]:
+    """Relative improvement of STCG over a baseline (None when baseline=0)."""
+    if baseline <= 0.0:
+        return None
+    return (stcg - baseline) / baseline
+
+
+def average_improvements(
+    results: Dict[str, Dict[str, ToolOutcome]], against: str
+) -> Dict[str, float]:
+    """Mean relative improvement of STCG vs a baseline over all models."""
+    gains: Dict[str, List[float]] = {"decision": [], "condition": [], "mcdc": []}
+    for per_tool in results.values():
+        stcg = per_tool["STCG"]
+        base = per_tool[against]
+        for metric in gains:
+            gain = improvement(getattr(stcg, metric), getattr(base, metric))
+            if gain is not None:
+                gains[metric].append(gain)
+    return {
+        metric: (statistics.mean(values) if values else 0.0)
+        for metric, values in gains.items()
+    }

@@ -1,0 +1,55 @@
+"""The Simulink-like block-diagram substrate.
+
+Public surface:
+
+* :class:`ModelBuilder` — fluent model construction,
+* :class:`Model` / :class:`CompiledModel` — container and compiled plan,
+* :class:`Simulator` — concrete stepping with state snapshot/restore,
+* :class:`ModelState` — Definition 2 snapshots,
+* the block library under :mod:`repro.model.blocks`.
+"""
+
+from repro.model.block import (
+    Block,
+    STATE_CHART,
+    STATE_GLOBAL,
+    STATE_INTERNAL,
+    StateElement,
+)
+from repro.model.builder import ModelBuilder
+from repro.model.context import StepContext, concrete_context, symbolic_context
+from repro.model.executor import execute_step
+from repro.model.graph import (
+    CompiledModel,
+    DataStore,
+    Enable,
+    InportSpec,
+    Model,
+    PlanItem,
+    Signal,
+)
+from repro.model.simulator import Simulator, StepResult
+from repro.model.state import ModelState
+
+__all__ = [
+    "Block",
+    "CompiledModel",
+    "DataStore",
+    "Enable",
+    "InportSpec",
+    "Model",
+    "ModelBuilder",
+    "ModelState",
+    "PlanItem",
+    "STATE_CHART",
+    "STATE_GLOBAL",
+    "STATE_INTERNAL",
+    "Signal",
+    "Simulator",
+    "StateElement",
+    "StepContext",
+    "StepResult",
+    "concrete_context",
+    "execute_step",
+    "symbolic_context",
+]

@@ -1,0 +1,84 @@
+"""Block base class and state-element declarations.
+
+A block is a named node with ``n_in`` input ports and ``n_out`` output
+ports.  Blocks are *pure* over (inputs, state): ``compute`` returns the
+output values and ``update`` produces the next state through the context.
+Both run in concrete and symbolic mode via the context's
+:class:`~repro.model.valueops.ValueOps` table.
+
+Two-phase semantics follow Simulink: within one model step, first every
+block's outputs are computed in topological order, then states advance.  In
+this implementation ``update`` is invoked immediately after the block's
+``compute`` (valid because the execution order is topological and state
+reads happen in ``compute`` before the write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.expr.types import Type
+from repro.coverage.registry import Branch, CoverageRegistry
+
+
+#: State element categories, matching the paper's Definition 2.
+STATE_GLOBAL = "global"  # G/GV: data stores
+STATE_CHART = "chart"  # M/ML: state machine locations (and chart locals)
+STATE_INTERNAL = "internal"  # I/IV: block internal state
+
+
+@dataclass(frozen=True)
+class StateElement:
+    """Declaration of one state element owned by a block or the model."""
+
+    name: str
+    ty: Type
+    init: object
+    category: str = STATE_INTERNAL
+
+
+class Block:
+    """Base class for all blocks."""
+
+    #: Set False on input ports with no direct feedthrough (e.g. UnitDelay):
+    #: the block's output does not depend on this step's value of that port,
+    #: so the wire does not constrain execution order.
+    #: ``None`` means every port is direct feedthrough.
+    nondirect_ports: Optional[Tuple[int, ...]] = None
+
+    def __init__(self, name: str, n_in: int, n_out: int):
+        if not name:
+            raise ModelError("block name must be non-empty")
+        self.name = name
+        self.path = name  # rewritten by the model when added (prefixing)
+        self.n_in = n_in
+        self.n_out = n_out
+
+    # -- state ----------------------------------------------------------------
+
+    def state_spec(self) -> Sequence[StateElement]:
+        """Declarations of this block's internal state elements."""
+        return ()
+
+    # -- coverage ----------------------------------------------------------------
+
+    def register_coverage(
+        self, registry: CoverageRegistry, parent: Optional[Branch]
+    ) -> None:
+        """Register decisions / condition points (called once at compile)."""
+
+    # -- execution ---------------------------------------------------------------
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        """Return output values for this step (state reads via ``ctx``)."""
+        raise NotImplementedError
+
+    def update(self, ctx, inputs: List[object], outputs: List[object]) -> None:
+        """Advance internal state (writes via ``ctx.write_state``)."""
+
+    # -- misc -------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.path!r})"

@@ -1,0 +1,70 @@
+"""The block library."""
+
+from repro.model.blocks.datastore import DataStoreRead, DataStoreWrite
+from repro.model.blocks.discrete import (
+    DiscreteIntegrator,
+    Memory,
+    MovingAccumulator,
+    RateLimiter,
+    UnitDelay,
+)
+from repro.model.blocks.logic import CompareToConstant, Logic, RelationalOperator
+from repro.model.blocks.lookup import Lookup1D
+from repro.model.blocks.math_ops import (
+    Abs,
+    Bias,
+    Fcn,
+    Gain,
+    MinMax,
+    Product,
+    Quantizer,
+    Saturation,
+    Sum,
+    TypeCast,
+)
+from repro.model.blocks.routing import (
+    ArrayUpdate,
+    IfBlock,
+    MultiportSwitch,
+    Mux,
+    Selector,
+    SubsystemOutput,
+    Switch,
+    SwitchCase,
+)
+from repro.model.blocks.sources import Constant, Counter, Inport
+
+__all__ = [
+    "Abs",
+    "ArrayUpdate",
+    "Bias",
+    "CompareToConstant",
+    "Constant",
+    "Counter",
+    "DataStoreRead",
+    "DataStoreWrite",
+    "DiscreteIntegrator",
+    "Fcn",
+    "Gain",
+    "IfBlock",
+    "Inport",
+    "Logic",
+    "Lookup1D",
+    "Memory",
+    "MinMax",
+    "MovingAccumulator",
+    "MultiportSwitch",
+    "Mux",
+    "Product",
+    "Quantizer",
+    "RateLimiter",
+    "RelationalOperator",
+    "Saturation",
+    "Selector",
+    "SubsystemOutput",
+    "Sum",
+    "Switch",
+    "SwitchCase",
+    "TypeCast",
+    "UnitDelay",
+]

@@ -1,0 +1,46 @@
+"""Data-store access blocks (the paper's global variables G/GV)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.block import Block
+
+
+class DataStoreRead(Block):
+    """Reads a model data store.
+
+    With ``read_current=False`` (default) the block observes the store's
+    value from the start of the step (read-before-write ordering); with
+    ``read_current=True`` it runs after the store's writers and observes the
+    value written earlier in the same step.
+    """
+
+    def __init__(self, name: str, store: str, read_current: bool = False):
+        super().__init__(name, 0, 1)
+        self.store = store
+        self.read_current = read_current
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        if self.read_current:
+            return [ctx.current_store(self.store)]
+        return [ctx.read_store(self.store)]
+
+
+class DataStoreWrite(Block):
+    """Writes its input into a model data store.
+
+    The write is gated by the block's activation, so a write inside an
+    inactive action subsystem leaves the store untouched (Simulink
+    semantics).
+    """
+
+    def __init__(self, name: str, store: str):
+        super().__init__(name, 1, 0)
+        self.store = store
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        return []
+
+    def update(self, ctx, inputs, outputs) -> None:
+        ctx.write_store(self.store, inputs[0])

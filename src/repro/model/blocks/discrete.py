@@ -1,0 +1,133 @@
+"""Discrete-time stateful blocks: delays, integrators, rate limiters."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ModelError
+from repro.expr.types import REAL, Type, type_of_value
+from repro.model.block import Block, StateElement
+
+
+class UnitDelay(Block):
+    """``y[k] = u[k-1]`` — the canonical internal-state block.
+
+    The input port has no direct feedthrough, so UnitDelay legally breaks
+    algebraic loops (feedback paths).
+    """
+
+    nondirect_ports = (0,)
+
+    def __init__(self, name: str, init, ty: Type = None):
+        super().__init__(name, 1, 1)
+        self.init = init
+        self.ty = ty if ty is not None else type_of_value(init)
+
+    def state_spec(self) -> Sequence[StateElement]:
+        return (StateElement("x", self.ty, self.init),)
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        return [ctx.read_state(self, "x")]
+
+    def update(self, ctx, inputs, outputs) -> None:
+        ctx.write_state(self, "x", inputs[0])
+
+
+class Memory(UnitDelay):
+    """Alias of UnitDelay (Simulink's Memory block has the same discrete
+    semantics at a fixed step size)."""
+
+
+class DiscreteIntegrator(Block):
+    """Forward-Euler accumulator with saturation: ``x += k*u`` clamped.
+
+    Output is the pre-update accumulator value, so the block has no direct
+    feedthrough and can close feedback loops.
+    """
+
+    nondirect_ports = (0,)
+
+    def __init__(self, name: str, gain: float = 1.0, init: float = 0.0,
+                 lo: float = -1.0e9, hi: float = 1.0e9):
+        if not lo <= hi:
+            raise ModelError("integrator bounds inverted")
+        super().__init__(name, 1, 1)
+        self.gain = float(gain)
+        self.init = float(init)
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def state_spec(self) -> Sequence[StateElement]:
+        return (StateElement("acc", REAL, self.init),)
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        return [ctx.read_state(self, "acc")]
+
+    def update(self, ctx, inputs, outputs) -> None:
+        vo = ctx.vo
+        advanced = vo.add(outputs[0], vo.mul(self.gain, vo.to_real(inputs[0])))
+        ctx.write_state(self, "acc", vo.saturate(advanced, self.lo, self.hi))
+
+
+class RateLimiter(Block):
+    """Limits the per-step change of the signal to ``[-down, up]``."""
+
+    def __init__(self, name: str, up: float, down: float, init: float = 0.0):
+        if up < 0 or down < 0:
+            raise ModelError("rate limits must be non-negative")
+        super().__init__(name, 1, 1)
+        self.up = float(up)
+        self.down = float(down)
+        self.init = float(init)
+
+    def state_spec(self) -> Sequence[StateElement]:
+        return (StateElement("prev", REAL, self.init),)
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        vo = ctx.vo
+        prev = ctx.read_state(self, "prev")
+        delta = vo.sub(vo.to_real(inputs[0]), prev)
+        limited = vo.saturate(delta, -self.down, self.up)
+        return [vo.add(prev, limited)]
+
+    def update(self, ctx, inputs, outputs) -> None:
+        ctx.write_state(self, "prev", outputs[0])
+
+
+class MovingAccumulator(Block):
+    """Sliding accumulator over the last ``n`` samples (FIFO in a tuple).
+
+    Demonstrates tuple-valued internal state; used by filter-ish substrate
+    logic in the benchmark models.
+    """
+
+    def __init__(self, name: str, n: int, init: float = 0.0):
+        if n < 1:
+            raise ModelError("window must be >= 1")
+        super().__init__(name, 1, 1)
+        self.n = n
+        self.init = float(init)
+
+    def state_spec(self) -> Sequence[StateElement]:
+        from repro.expr.types import ArrayType
+
+        window = tuple([self.init] * self.n)
+        return (StateElement("window", ArrayType(REAL, self.n), window),)
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        vo = ctx.vo
+        window = ctx.read_state(self, "window")
+        total = vo.select(window, 0)
+        for index in range(1, self.n):
+            total = vo.add(total, vo.select(window, index))
+        return [vo.add(total, vo.to_real(inputs[0]))]
+
+    def update(self, ctx, inputs, outputs) -> None:
+        vo = ctx.vo
+        window = ctx.read_state(self, "window")
+        # Shift left, append the newest sample.
+        shifted = window
+        for index in range(self.n - 1):
+            shifted = vo.store(shifted, index, vo.select(window, index + 1))
+        shifted = vo.store(shifted, self.n - 1, vo.to_real(inputs[0]))
+        ctx.write_state(self, "window", shifted)

@@ -1,0 +1,133 @@
+"""Boolean blocks: Logic (condition/MCDC instrumented), relational operators."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ModelError
+from repro.coverage.registry import Branch, CoverageRegistry
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.types import BOOL
+from repro.model.block import Block
+
+_LOGIC_OPS = ("and", "or", "xor", "nand", "nor", "not")
+
+
+class Logic(Block):
+    """N-input logical operator (Simulink Logical Operator block).
+
+    This is the model element Simulink's Condition and MCDC coverage
+    instrument: each input is a *condition*; the block's boolean structure
+    over those conditions is registered as a condition point.
+    """
+
+    def __init__(self, name: str, op: str, n_in: int = 2):
+        if op not in _LOGIC_OPS:
+            raise ModelError(f"unknown logic op {op!r}")
+        if op == "not" and n_in != 1:
+            raise ModelError("'not' takes exactly one input")
+        if op != "not" and n_in < 2:
+            raise ModelError(f"logic op {op!r} needs >= 2 inputs")
+        super().__init__(name, n_in, 1)
+        self.op = op
+        self.condition_point = None
+
+    def register_coverage(
+        self, registry: CoverageRegistry, parent: Optional[Branch]
+    ) -> None:
+        placeholders = [Var(f"c{i}", BOOL) for i in range(self.n_in)]
+        structure = _structure(self.op, placeholders)
+        labels = [f"in{i + 1}" for i in range(self.n_in)]
+        self.condition_point = registry.register_condition_point(
+            self.path, labels, structure
+        )
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        vo = ctx.vo
+        operands = [vo.to_bool(value) for value in inputs]
+        if vo.abstract:
+            pass  # interval mode: no instrumentation recording
+        elif vo.symbolic:
+            from repro.expr import ops as x
+
+            context = x.TRUE if ctx.active is True else x.lift(ctx.active)
+            ctx.record_condition_atoms(
+                self.condition_point, [x.lift(o) for o in operands], context
+            )
+        else:
+            ctx.on_condition_vector(self.condition_point, operands)
+        if self.op == "not":
+            return [vo.lnot(operands[0])]
+        if self.op in ("and", "nand"):
+            result = operands[0]
+            for operand in operands[1:]:
+                result = vo.land(result, operand)
+        elif self.op in ("or", "nor"):
+            result = operands[0]
+            for operand in operands[1:]:
+                result = vo.lor(result, operand)
+        else:  # xor
+            result = operands[0]
+            for operand in operands[1:]:
+                result = vo.lxor(result, operand)
+        if self.op in ("nand", "nor"):
+            result = vo.lnot(result)
+        return [result]
+
+
+def _structure(op: str, operands):
+    if op == "not":
+        return x.lnot(operands[0])
+    if op in ("and", "nand"):
+        result = operands[0]
+        for operand in operands[1:]:
+            result = x.land(result, operand)
+    elif op in ("or", "nor"):
+        result = operands[0]
+        for operand in operands[1:]:
+            result = x.lor(result, operand)
+    else:
+        result = operands[0]
+        for operand in operands[1:]:
+            result = x.lxor(result, operand)
+    if op in ("nand", "nor"):
+        result = x.lnot(result)
+    return result
+
+
+_REL_OPS = {"lt": "lt", "le": "le", "gt": "gt", "ge": "ge", "eq": "eq", "ne": "ne",
+            "<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+
+
+class RelationalOperator(Block):
+    """``y = u1 <op> u2`` (boolean output; no instrumentation of its own)."""
+
+    def __init__(self, name: str, op: str):
+        try:
+            self.op = _REL_OPS[op]
+        except KeyError:
+            raise ModelError(f"unknown relational op {op!r}") from None
+        super().__init__(name, 2, 1)
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        vo = ctx.vo
+        fn = getattr(vo, self.op)
+        return [fn(inputs[0], inputs[1])]
+
+
+class CompareToConstant(Block):
+    """``y = u <op> constant``."""
+
+    def __init__(self, name: str, op: str, constant):
+        try:
+            self.op = _REL_OPS[op]
+        except KeyError:
+            raise ModelError(f"unknown relational op {op!r}") from None
+        super().__init__(name, 1, 1)
+        self.constant = constant
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        vo = ctx.vo
+        fn = getattr(vo, self.op)
+        return [fn(inputs[0], self.constant)]

@@ -1,0 +1,57 @@
+"""Source blocks: inports, constants, counters."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.expr.types import INT, Type
+from repro.model.block import Block, StateElement
+
+
+class Inport(Block):
+    """A model input port; reads its value from the step's input map."""
+
+    def __init__(self, name: str, port_name: str):
+        super().__init__(name, 0, 1)
+        self.port_name = port_name
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        return [ctx.input_value(self.port_name)]
+
+
+class Constant(Block):
+    """Emits a fixed value every step."""
+
+    def __init__(self, name: str, value):
+        super().__init__(name, 0, 1)
+        self.value = value
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        return [self.value]
+
+
+class Counter(Block):
+    """A free-running modulo counter (stateful source).
+
+    Output is the current count; the count then advances by ``step`` and
+    wraps at ``period``.  The count is internal state (Definition 2 I/IV) —
+    a minimal example of the "last output value of the Ramp block" state the
+    paper mentions.
+    """
+
+    def __init__(self, name: str, period: int, step: int = 1, init: int = 0):
+        super().__init__(name, 0, 1)
+        self.period = int(period)
+        self.step = int(step)
+        self.init = int(init)
+
+    def state_spec(self) -> Sequence[StateElement]:
+        return (StateElement("count", INT, self.init),)
+
+    def compute(self, ctx, inputs: List[object]) -> List[object]:
+        return [ctx.read_state(self, "count")]
+
+    def update(self, ctx, inputs, outputs) -> None:
+        vo = ctx.vo
+        advanced = vo.mod(vo.add(outputs[0], self.step), self.period)
+        ctx.write_state(self, "count", advanced)

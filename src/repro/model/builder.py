@@ -1,0 +1,432 @@
+"""Fluent construction API for models.
+
+:class:`ModelBuilder` wraps :class:`~repro.model.graph.Model` with helpers
+that create blocks, wire them and hand back :class:`Signal` references, so a
+benchmark model reads like a netlist::
+
+    b = ModelBuilder("AFC")
+    rpm = b.inport("rpm", REAL, 0, 8000)
+    high = b.compare(rpm, ">", 4000.0)
+    cmd = b.switch(high, b.const(1.0), b.const(0.0))
+    b.outport("cmd", cmd)
+    compiled = b.compile()
+
+Conditional subsystems use context managers::
+
+    sc = b.switch_case(op, cases=[[1], [2]])
+    with sc.case(0):
+        ...blocks here execute only when op == 1...
+        result = b.sub_output(value, init=0)
+
+Blocks created inside a ``case``/``clause`` body are annotated with the
+enabling decision outcome; their coverage registrations nest beneath it
+(Definition 1 parent/depth) and their state writes are activation-gated.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ModelError
+from repro.expr.types import ArrayType, BOOL, INT, REAL, Type
+from repro.model import blocks as lib
+from repro.model.block import Block
+from repro.model.graph import CompiledModel, Enable, InportSpec, Model, Signal
+
+Value = Union[Signal, bool, int, float, tuple]
+
+
+class ModelBuilder:
+    """Builds a model with automatic naming, wiring and enable scoping."""
+
+    def __init__(self, name: str):
+        self.model = Model(name)
+        self._counters: Dict[str, int] = {}
+        self._enable_stack: List[Enable] = []
+        self._scope: List[str] = []
+        self._const_cache: Dict[object, Signal] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _name(self, kind: str, name: Optional[str]) -> str:
+        if name is None:
+            self._counters[kind] = self._counters.get(kind, 0) + 1
+            name = f"{kind}{self._counters[kind]}"
+        return "/".join(self._scope + [name])
+
+    def _add(self, block: Block) -> Block:
+        enable = self._enable_stack[-1] if self._enable_stack else None
+        self.model.add_block(block, enable)
+        return block
+
+    def _wire(self, block: Block, *sources: Value) -> None:
+        for port, source in enumerate(sources):
+            self.model.connect(self.signal(source), block, port)
+
+    def signal(self, value: Value) -> Signal:
+        """Coerce a plain value into a (cached, top-level) Constant signal."""
+        if isinstance(value, Signal):
+            return value
+        key = (type(value).__name__, value)
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        name = self._name("Constant", None)
+        block = lib.Constant(name, value)
+        # Constants live outside any enable scope: they are pure and shared.
+        self.model.add_block(block, None)
+        signal = Signal(block, 0)
+        self._const_cache[key] = signal
+        return signal
+
+    @contextlib.contextmanager
+    def scope(self, label: str):
+        """Prefix block names with ``label/`` (documentation only)."""
+        self._scope.append(label)
+        try:
+            yield self
+        finally:
+            self._scope.pop()
+
+    # ------------------------------------------------------------------
+    # ports, constants, stores
+    # ------------------------------------------------------------------
+
+    def inport(self, name: str, ty: Type, lo=None, hi=None) -> Signal:
+        self.model.add_inport(InportSpec(name, ty, lo, hi))
+        block = self._add(lib.Inport(self._name("Inport", f"in_{name}"), name))
+        return Signal(block, 0)
+
+    def outport(self, name: str, value: Value) -> None:
+        self.model.add_outport(name, self.signal(value))
+
+    def const(self, value, name: Optional[str] = None) -> Signal:
+        if name is None:
+            return self.signal(value)
+        block = self._add(lib.Constant(self._name("Constant", name), value))
+        return Signal(block, 0)
+
+    def data_store(self, name: str, ty: Type, init) -> str:
+        self.model.declare_store(name, ty, init)
+        return name
+
+    def store_read(
+        self, store: str, current: bool = False, name: Optional[str] = None
+    ) -> Signal:
+        block = self._add(
+            lib.DataStoreRead(self._name("Read", name), store, read_current=current)
+        )
+        self.model.note_store_read(block, store, current)
+        return Signal(block, 0)
+
+    def store_write(self, store: str, value: Value, name: Optional[str] = None):
+        block = self._add(lib.DataStoreWrite(self._name("Write", name), store))
+        self.model.note_store_write(block, store)
+        self._wire(block, value)
+        return block
+
+    # ------------------------------------------------------------------
+    # math
+    # ------------------------------------------------------------------
+
+    def gain(self, value: Value, k, name=None) -> Signal:
+        block = self._add(lib.Gain(self._name("Gain", name), k))
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def bias(self, value: Value, b, name=None) -> Signal:
+        block = self._add(lib.Bias(self._name("Bias", name), b))
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def add(self, *values: Value, name=None) -> Signal:
+        block = self._add(lib.Sum(self._name("Sum", name), "+" * len(values)))
+        self._wire(block, *values)
+        return Signal(block, 0)
+
+    def sub(self, a: Value, b: Value, name=None) -> Signal:
+        block = self._add(lib.Sum(self._name("Sum", name), "+-"))
+        self._wire(block, a, b)
+        return Signal(block, 0)
+
+    def mul(self, *values: Value, name=None) -> Signal:
+        block = self._add(lib.Product(self._name("Product", name), "*" * len(values)))
+        self._wire(block, *values)
+        return Signal(block, 0)
+
+    def div(self, a: Value, b: Value, name=None) -> Signal:
+        block = self._add(lib.Product(self._name("Product", name), "*/"))
+        self._wire(block, a, b)
+        return Signal(block, 0)
+
+    def abs(self, value: Value, name=None) -> Signal:
+        block = self._add(lib.Abs(self._name("Abs", name)))
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def min(self, *values: Value, name=None) -> Signal:
+        block = self._add(lib.MinMax(self._name("MinMax", name), "min", len(values)))
+        self._wire(block, *values)
+        return Signal(block, 0)
+
+    def max(self, *values: Value, name=None) -> Signal:
+        block = self._add(lib.MinMax(self._name("MinMax", name), "max", len(values)))
+        self._wire(block, *values)
+        return Signal(block, 0)
+
+    def saturate(self, value: Value, lo, hi, name=None) -> Signal:
+        block = self._add(lib.Saturation(self._name("Saturation", name), lo, hi))
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def cast(self, value: Value, ty: Type, name=None) -> Signal:
+        block = self._add(lib.TypeCast(self._name("Cast", name), ty))
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def quantize(self, value: Value, interval: float, name=None) -> Signal:
+        block = self._add(lib.Quantizer(self._name("Quantizer", name), interval))
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def fcn(self, text: str, name=None, **named_inputs: Value) -> Signal:
+        """Expression block; keyword arguments bind DSL names to signals.
+
+        Values that should be int/bool typed inside the expression can be
+        passed as ``name=(signal, INT)`` tuples.
+        """
+        args = []
+        sources = []
+        for arg_name, bound in named_inputs.items():
+            if isinstance(bound, tuple) and len(bound) == 2 and isinstance(
+                bound[1], Type
+            ):
+                args.append((arg_name, bound[1]))
+                sources.append(bound[0])
+            else:
+                args.append(arg_name)
+                sources.append(bound)
+        block = self._add(lib.Fcn(self._name("Fcn", name), args, text))
+        self._wire(block, *sources)
+        return Signal(block, 0)
+
+    def lookup(self, value: Value, breakpoints, values, name=None) -> Signal:
+        block = self._add(
+            lib.Lookup1D(self._name("Lookup", name), breakpoints, values)
+        )
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    # ------------------------------------------------------------------
+    # logic and comparison
+    # ------------------------------------------------------------------
+
+    def compare(self, a: Value, op: str, b: Value, name=None) -> Signal:
+        if not isinstance(b, Signal):
+            block = self._add(
+                lib.CompareToConstant(self._name("Compare", name), op, b)
+            )
+            self._wire(block, a)
+            return Signal(block, 0)
+        block = self._add(lib.RelationalOperator(self._name("Relop", name), op))
+        self._wire(block, a, b)
+        return Signal(block, 0)
+
+    def logic(self, op: str, *values: Value, name=None) -> Signal:
+        block = self._add(lib.Logic(self._name("Logic", name), op, len(values)))
+        self._wire(block, *values)
+        return Signal(block, 0)
+
+    def logic_not(self, value: Value, name=None) -> Signal:
+        return self.logic("not", value, name=name)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    def unit_delay(self, value: Value, init, name=None) -> Signal:
+        block = self._add(lib.UnitDelay(self._name("UnitDelay", name), init))
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def integrator(self, value: Value, gain=1.0, init=0.0, lo=-1e9, hi=1e9, name=None):
+        block = self._add(
+            lib.DiscreteIntegrator(self._name("Integrator", name), gain, init, lo, hi)
+        )
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def rate_limit(self, value: Value, up: float, down: float, init=0.0, name=None):
+        block = self._add(
+            lib.RateLimiter(self._name("RateLimiter", name), up, down, init)
+        )
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    def counter(self, period: int, step: int = 1, init: int = 0, name=None) -> Signal:
+        block = self._add(lib.Counter(self._name("Counter", name), period, step, init))
+        return Signal(block, 0)
+
+    # ------------------------------------------------------------------
+    # arrays
+    # ------------------------------------------------------------------
+
+    def select(self, array: Value, index: Value, length: int, name=None) -> Signal:
+        block = self._add(lib.Selector(self._name("Selector", name), length))
+        self._wire(block, array, index)
+        return Signal(block, 0)
+
+    def array_update(
+        self, array: Value, index: Value, value: Value, length: int, name=None
+    ) -> Signal:
+        block = self._add(lib.ArrayUpdate(self._name("ArrayUpdate", name), length))
+        self._wire(block, array, index, value)
+        return Signal(block, 0)
+
+    def mux(self, *values: Value, name=None) -> Signal:
+        block = self._add(lib.Mux(self._name("Mux", name), len(values)))
+        self._wire(block, *values)
+        return Signal(block, 0)
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def switch(
+        self,
+        control: Value,
+        on_true: Value,
+        on_false: Value,
+        criterion: str = "bool",
+        threshold=0,
+        name=None,
+    ) -> Signal:
+        block = self._add(
+            lib.Switch(self._name("Switch", name), criterion, threshold)
+        )
+        self._wire(block, on_true, control, on_false)
+        return Signal(block, 0)
+
+    def multiport(
+        self,
+        control: Value,
+        cases: Sequence,
+        default: Optional[Value] = None,
+        name=None,
+    ) -> Signal:
+        """Multiport switch; ``cases`` is ``[(label, signal), ...]``."""
+        labels = [label for label, _ in cases]
+        block = self._add(
+            lib.MultiportSwitch(
+                self._name("Multiport", name), labels, has_default=default is not None
+            )
+        )
+        sources = [control] + [value for _, value in cases]
+        if default is not None:
+            sources.append(default)
+        self._wire(block, *sources)
+        return Signal(block, 0)
+
+    def if_block(self, conditions: Sequence[Value], has_else=True, name=None):
+        block = self._add(
+            lib.IfBlock(self._name("If", name), len(conditions), has_else)
+        )
+        self._wire(block, *conditions)
+        return _ConditionalScope(self, block, len(conditions), has_else)
+
+    def switch_case(self, control: Value, cases: Sequence[Sequence[int]],
+                    has_default=True, name=None):
+        block = self._add(
+            lib.SwitchCase(self._name("SwitchCase", name), cases, has_default)
+        )
+        self._wire(block, control)
+        return _ConditionalScope(self, block, len(cases), has_default)
+
+    def sub_output(self, value: Value, init, name=None) -> Signal:
+        """Held-output latch of the *current* conditional scope."""
+        if not self._enable_stack:
+            raise ModelError("sub_output used outside a conditional scope")
+        block = self._add(lib.SubsystemOutput(self._name("SubOut", name), init))
+        self._wire(block, value)
+        return Signal(block, 0)
+
+    # ------------------------------------------------------------------
+    # charts & finalization
+    # ------------------------------------------------------------------
+
+    def add_chart(self, chart, inputs: Dict[str, Value], name=None) -> "ChartSignals":
+        """Instantiate a Stateflow-like chart; returns its output signals.
+
+        ``chart`` is a :class:`repro.stateflow.ChartSpec`; ``inputs`` maps
+        the chart's declared input names to signals.
+        """
+        from repro.stateflow.chart import ChartBlock
+
+        block = self._add(ChartBlock(self._name("Chart", name or chart.name), chart))
+        sources = []
+        for input_name in chart.input_names:
+            if input_name not in inputs:
+                raise ModelError(
+                    f"chart {chart.name!r} input {input_name!r} not wired"
+                )
+            sources.append(inputs[input_name])
+        self._wire(block, *sources)
+        return ChartSignals(block, chart.output_names)
+
+    def compile(self) -> CompiledModel:
+        return self.model.compile()
+
+
+class ChartSignals:
+    """Accessor for a chart block's named outputs."""
+
+    def __init__(self, block: Block, output_names: Sequence[str]):
+        self._block = block
+        self._indices = {name: i for i, name in enumerate(output_names)}
+
+    def __getitem__(self, name: str) -> Signal:
+        try:
+            return Signal(self._block, self._indices[name])
+        except KeyError:
+            raise ModelError(f"chart has no output {name!r}") from None
+
+    @property
+    def block(self) -> Block:
+        return self._block
+
+
+class _ConditionalScope:
+    """Handle for an If / SwitchCase decision with per-outcome scopes."""
+
+    def __init__(self, builder: ModelBuilder, block: Block, n_cases: int, has_tail: bool):
+        self._builder = builder
+        self.block = block
+        self._n_cases = n_cases
+        self._has_tail = has_tail
+
+    @contextlib.contextmanager
+    def case(self, index: int):
+        """Scope for outcome ``index`` (an If clause or a SwitchCase case)."""
+        if not 0 <= index < self._n_cases:
+            raise ModelError(f"outcome index {index} out of range")
+        yield from self._enter(index)
+
+    @contextlib.contextmanager
+    def default(self):
+        """Scope for the else / default outcome."""
+        if not self._has_tail:
+            raise ModelError("decision has no else/default outcome")
+        yield from self._enter(self._n_cases)
+
+    def _enter(self, outcome: int):
+        builder = self._builder
+        builder._enable_stack.append(Enable(self.block, outcome))
+        builder._scope.append(f"{self.block.name.rsplit('/', 1)[-1]}.o{outcome}")
+        try:
+            yield self
+        finally:
+            builder._scope.pop()
+            builder._enable_stack.pop()

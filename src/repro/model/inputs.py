@@ -1,0 +1,68 @@
+"""Random input generation over a model's inport declarations.
+
+Shared by STCG's fallback exploration (when the solved-input library is
+empty or disabled) and by the SimCoTest-like baseline.  Integer draws are
+biased toward small magnitudes because branch conditions in control models
+overwhelmingly compare against small constants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.expr.types import BOOL, INT
+from repro.model.graph import InportSpec
+
+
+def random_input(
+    inports: Sequence[InportSpec], rng: random.Random
+) -> Dict[str, object]:
+    """One random assignment for every inport."""
+    return {spec.name: _draw(spec, rng) for spec in inports}
+
+
+def random_sequence(
+    inports: Sequence[InportSpec], rng: random.Random, length: int
+) -> List[Dict[str, object]]:
+    """A sequence of independent random assignments."""
+    return [random_input(inports, rng) for _ in range(length)]
+
+
+def piecewise_constant_sequence(
+    inports: Sequence[InportSpec],
+    rng: random.Random,
+    length: int,
+    max_segments: int = 4,
+) -> List[Dict[str, object]]:
+    """A piecewise-constant signal per input (SimCoTest's signal shape).
+
+    Each input holds a random value over a few random-length segments,
+    which matches how SimCoTest generates input signals for controllers.
+    """
+    n_segments = rng.randint(1, max_segments)
+    boundaries = sorted(rng.sample(range(1, max(2, length)), min(n_segments - 1, length - 1))) if length > 1 else []
+    boundaries = boundaries + [length]
+    sequence: List[Dict[str, object]] = []
+    segment_values = {spec.name: _draw(spec, rng) for spec in inports}
+    position = 0
+    for boundary in boundaries:
+        while position < boundary:
+            sequence.append(dict(segment_values))
+            position += 1
+        segment_values = {spec.name: _draw(spec, rng) for spec in inports}
+    return sequence[:length]
+
+
+def _draw(spec: InportSpec, rng: random.Random):
+    if spec.ty is BOOL:
+        return rng.random() < 0.5
+    lo = spec.lo if spec.lo is not None else -1000.0
+    hi = spec.hi if spec.hi is not None else 1000.0
+    if spec.ty is INT:
+        ilo, ihi = int(lo), int(hi)
+        if rng.random() < 0.5 and ilo <= 0 <= ihi:
+            bound = min(16, max(abs(ilo), abs(ihi), 1))
+            return rng.randint(max(ilo, -bound), min(ihi, bound))
+        return rng.randint(ilo, ihi)
+    return rng.uniform(float(lo), float(hi))

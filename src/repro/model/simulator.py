@@ -1,0 +1,107 @@
+"""Concrete simulation driver with state snapshot/restore.
+
+The :class:`Simulator` is the "Dynamic Execution" half of STCG's loop: it
+steps a compiled model with concrete inputs, reports coverage events into a
+collector, and can jump to any previously captured :class:`ModelState`
+(`Model.setState` in the paper's pseudo-code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import SimulationError, StateError
+from repro.coverage.collector import CoverageCollector
+from repro.expr.types import coerce_value
+from repro.model.context import concrete_context
+from repro.model.executor import execute_step
+from repro.model.graph import CompiledModel
+from repro.model.state import ModelState
+
+
+@dataclass
+class StepResult:
+    """Outcome of one simulation step."""
+
+    outputs: Dict[str, object]
+    new_branch_ids: List[int] = field(default_factory=list)
+    taken_outcomes: Dict[int, int] = field(default_factory=dict)
+    new_obligations: List[object] = field(default_factory=list)
+
+    @property
+    def found_new_coverage(self) -> bool:
+        """True when the step covered a new branch or condition obligation
+        (Algorithm 2's ``newCover``)."""
+        return bool(self.new_branch_ids) or bool(self.new_obligations)
+
+
+class Simulator:
+    """Steps a compiled model concretely, with snapshot/restore."""
+
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        collector: Optional[CoverageCollector] = None,
+    ):
+        self.compiled = compiled
+        self.collector = collector
+        self._state: Dict[str, object] = compiled.initial_state()
+        self._time = 0
+
+    # -- state management -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to the model's initial state (the state tree's root S0)."""
+        self._state = self.compiled.initial_state()
+        self._time = 0
+
+    def get_state(self) -> ModelState:
+        return ModelState(self._state)
+
+    def set_state(self, state: ModelState) -> None:
+        """Switch the model to a previously captured state."""
+        values = state.values
+        expected = set(self.compiled.state_elements)
+        if set(values) != expected:
+            missing = expected - set(values)
+            extra = set(values) - expected
+            raise StateError(
+                f"snapshot does not match model layout "
+                f"(missing={sorted(missing)[:3]}, extra={sorted(extra)[:3]})"
+            )
+        self._state = dict(values)
+
+    @property
+    def time_index(self) -> int:
+        return self._time
+
+    # -- stepping ----------------------------------------------------------------
+
+    def step(self, inputs: Mapping[str, object]) -> StepResult:
+        """Execute one iteration of the model with concrete ``inputs``."""
+        prepared = self._prepare_inputs(inputs)
+        ctx = concrete_context(prepared, self._state, self.collector, self._time)
+        outputs = execute_step(self.compiled, ctx)
+        self._state.update(ctx.next_state)
+        self._time += 1
+        return StepResult(
+            outputs=outputs,
+            new_branch_ids=list(ctx.new_branches),
+            taken_outcomes=dict(ctx.taken_outcomes),
+            new_obligations=list(ctx.new_obligations),
+        )
+
+    def run(self, sequence: Sequence[Mapping[str, object]]) -> List[StepResult]:
+        """Execute a whole input sequence; returns per-step results."""
+        return [self.step(inputs) for inputs in sequence]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _prepare_inputs(self, inputs: Mapping[str, object]) -> Dict[str, object]:
+        prepared: Dict[str, object] = {}
+        for spec in self.compiled.inports:
+            if spec.name not in inputs:
+                raise SimulationError(f"missing input {spec.name!r}")
+            prepared[spec.name] = coerce_value(inputs[spec.name], spec.ty)
+        return prepared

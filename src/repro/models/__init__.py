@@ -1,0 +1,34 @@
+"""The eight benchmark models (paper Table II) plus the teaching model."""
+
+from repro.models.afc import build_afc
+from repro.models.cputask import build_cputask, build_simple_cputask
+from repro.models.lanswitch import build_lanswitch
+from repro.models.ledlc import build_ledlc
+from repro.models.nicprotocol import build_nicprotocol
+from repro.models.registry import (
+    BENCHMARKS,
+    BenchmarkModel,
+    SIMPLE_CPUTASK,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.models.tcp import build_tcp
+from repro.models.twc import build_twc
+from repro.models.utpc import build_utpc
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkModel",
+    "SIMPLE_CPUTASK",
+    "benchmark_names",
+    "build_afc",
+    "build_cputask",
+    "build_lanswitch",
+    "build_ledlc",
+    "build_nicprotocol",
+    "build_simple_cputask",
+    "build_tcp",
+    "build_twc",
+    "build_utpc",
+    "get_benchmark",
+]

@@ -1,0 +1,156 @@
+"""AFC: engine air-fuel control system.
+
+A mode-driven fuel controller:
+
+* a Stateflow-like mode chart (Startup → Warmup → Normal ↔ Power, plus a
+  lean/rich fault mode entered after a sustained O2 excursion, with a
+  debounce counter held in chart locals),
+* a fuel computation path: base pulse from an RPM lookup table scaled by
+  throttle, cold-start enrichment, power-mode enrichment, closed-loop trim
+  from the O2 sensor integrated only in Normal mode (anti-windup
+  saturation), over-rev injector cutoff.
+
+State: chart location + fault debounce counter + trim integrator — enough
+that the fault branches and the trim-authority branches need a specific
+history, not just one lucky input.
+"""
+
+from __future__ import annotations
+
+from repro.expr.types import BOOL, INT, REAL
+from repro.model.builder import ModelBuilder
+from repro.model.graph import CompiledModel
+from repro.stateflow.spec import ChartSpec
+
+#: Mode codes emitted by the chart.
+MODE_STARTUP = 0
+MODE_WARMUP = 1
+MODE_NORMAL = 2
+MODE_POWER = 3
+MODE_FAULT = 4
+
+FAULT_DEBOUNCE = 4
+
+
+def _mode_chart() -> ChartSpec:
+    chart = ChartSpec("afc_modes")
+    chart.input("rpm", REAL, 0, 8000)
+    chart.input("temp", REAL, -40, 150)
+    chart.input("throttle", REAL, 0, 100)
+    chart.input("o2", REAL, 0.0, 1.0)
+    chart.input("cal", INT, 0, 4095)
+    chart.output("mode", INT, MODE_STARTUP)
+    chart.local("fault_count", INT, 0)
+    chart.local("cal_key", INT, 0)
+
+    startup = chart.state("Startup", entry=["mode = 0"])
+    warmup = chart.state("Warmup", entry=["mode = 1"])
+    normal = chart.state(
+        "Normal",
+        entry=["mode = 2"],
+        during=[
+            "fault_count = ite(o2 > 0.85 || o2 < 0.15, fault_count + 1, 0)"
+        ],
+    )
+    power = chart.state("Power", entry=["mode = 3"])
+    fault = chart.state("Fault", entry=["mode = 4", "fault_count = 0"])
+    chart.initial(startup)
+
+    chart.transition(startup, warmup, guard="rpm > 500.0", priority=1)
+    chart.transition(warmup, normal, guard="temp > 70.0", priority=1)
+    chart.transition(warmup, startup, guard="rpm < 300.0", priority=2)
+    chart.transition(
+        normal, power, guard="throttle > 80.0 && rpm > 2500.0", priority=2
+    )
+    # Entering the fault mode latches a calibration key derived from the
+    # engine speed at the moment of the fault; clearing the fault requires
+    # the service tool to echo exactly that key (the paper's "operate with
+    # values matching earlier state" pattern).  Random search guesses the
+    # 12-bit key with probability 1/4096 per attempt; the state-aware
+    # solver reads cal_key as a constant and solves it immediately.
+    chart.transition(
+        normal, fault, guard=f"fault_count >= {FAULT_DEBOUNCE}", priority=1,
+        actions=["cal_key = (int(rpm) * 7 + 13) % 4096"],
+    )
+    chart.transition(power, normal, guard="throttle < 70.0", priority=1)
+    chart.transition(
+        fault, normal,
+        guard="o2 > 0.3 && o2 < 0.7 && rpm > 500.0 && cal == cal_key",
+        priority=1,
+    )
+    chart.transition(fault, startup, guard="rpm < 300.0", priority=2)
+    return chart
+
+
+def build_afc() -> CompiledModel:
+    b = ModelBuilder("AFC")
+    throttle = b.inport("throttle", REAL, 0.0, 100.0)
+    rpm = b.inport("rpm", REAL, 0.0, 8000.0)
+    o2 = b.inport("o2", REAL, 0.0, 1.0)
+    temp = b.inport("temp", REAL, -40.0, 150.0)
+    cal = b.inport("cal", INT, 0, 4095)
+
+    modes = b.add_chart(
+        _mode_chart(),
+        {"rpm": rpm, "temp": temp, "throttle": throttle, "o2": o2,
+         "cal": cal},
+        name="modes",
+    )
+    mode = modes["mode"]
+
+    # ---- base fuel pulse: rpm volumetric-efficiency table × throttle ----
+    ve = b.lookup(
+        rpm,
+        breakpoints=[0.0, 800.0, 2000.0, 4000.0, 6000.0, 8000.0],
+        values=[0.2, 0.55, 0.8, 1.0, 0.9, 0.7],
+        name="ve_table",
+    )
+    base = b.mul(ve, b.gain(throttle, 0.01), name="base_pulse")
+
+    # ---- enrichment switches -------------------------------------------------
+    cold = b.compare(temp, "<", 20.0, name="is_cold")
+    cold_factor = b.switch(cold, b.const(1.3), b.const(1.0), name="cold_enrich")
+    in_power = b.compare(mode, "==", MODE_POWER, name="in_power")
+    power_factor = b.switch(
+        in_power, b.const(1.15), b.const(1.0), name="power_enrich"
+    )
+    enriched = b.mul(base, cold_factor, power_factor, name="enriched")
+
+    # ---- closed-loop O2 trim, active only in Normal mode ---------------------
+    in_normal = b.compare(mode, "==", MODE_NORMAL, name="in_normal")
+    o2_error = b.sub(b.const(0.5), o2, name="o2_error")
+    trim_input = b.switch(in_normal, o2_error, b.const(0.0), name="trim_gate")
+    trim = b.integrator(trim_input, gain=0.05, lo=-0.25, hi=0.25, name="trim_i")
+    # Trim authority limited further when the correction is already large.
+    big_trim = b.compare(b.abs(trim), ">", 0.2, name="trim_large")
+    authority = b.switch(big_trim, b.const(0.5), b.const(1.0), name="authority")
+    corrected = b.add(
+        enriched, b.mul(trim, authority, name="applied_trim"), name="corrected"
+    )
+
+    # ---- protections -----------------------------------------------------------
+    overrev = b.compare(rpm, ">", 6500.0, name="overrev")
+    fault_mode = b.compare(mode, "==", MODE_FAULT, name="in_fault")
+    cut = b.logic("or", overrev, fault_mode, name="cutoff_cond")
+    open_loop = b.switch(fault_mode, b.const(0.6), corrected, name="limp_home")
+    pulse = b.switch(cut, b.const(0.0), open_loop, name="injector_cut")
+    # In fault mode with the engine still turning, hold a fixed limp pulse.
+    still_turning = b.logic(
+        "and", fault_mode, b.compare(rpm, ">", 400.0), name="limp_active"
+    )
+    final = b.switch(still_turning, b.const(0.6), pulse, name="final_pulse")
+    clamped = b.saturate(final, 0.0, 2.0, name="pulse_clamp")
+
+    # ---- idle speed request ----------------------------------------------------
+    idling = b.logic(
+        "and",
+        b.compare(throttle, "<", 3.0),
+        b.compare(rpm, "<", 1200.0),
+        name="is_idling",
+    )
+    idle_trim = b.switch(idling, b.const(0.05), b.const(0.0), name="idle_trim")
+
+    b.outport("fuel_pulse", b.add(clamped, idle_trim))
+    b.outport("mode", mode)
+    b.outport("trim", trim)
+    return b.compile()

@@ -1,0 +1,117 @@
+"""Reusable construction patterns for the benchmark models.
+
+Industrial Simulink models repeat a handful of idioms over and over —
+linear-search chains over a fixed-size table, first-free-slot insertion,
+guarded data-store updates.  These helpers build those idioms from the
+primitive block library so every occurrence is fully instrumented (each
+chain element is a real Switch decision, each match test a real Logic
+block, exactly as the unrolled Simulink models they mimic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.model.builder import ModelBuilder
+from repro.model.graph import Signal
+
+
+def find_first_index(
+    b: ModelBuilder,
+    length: int,
+    predicate: Callable[[int], Signal],
+    sentinel: Optional[int] = None,
+) -> Signal:
+    """Index of the first slot whose predicate holds, else ``sentinel``.
+
+    Builds the classic unrolled search chain: ``length`` Switch blocks
+    scanning from slot 0 upward.  ``predicate(i)`` must return a boolean
+    signal for slot ``i``.  The sentinel defaults to ``length``.
+    """
+    if sentinel is None:
+        sentinel = length
+    result = b.const(sentinel)
+    for index in reversed(range(length)):
+        result = b.switch(predicate(index), b.const(index), result)
+    return result
+
+
+def match_in_table(
+    b: ModelBuilder,
+    length: int,
+    valid_array: Signal,
+    key_array: Signal,
+    key: Signal,
+) -> Signal:
+    """Index of the first valid slot whose key equals ``key`` (else length).
+
+    Each slot test is an instrumented 2-input Logic AND, giving condition
+    and MCDC obligations per slot — the dominant source of condition
+    coverage in the table-driven benchmark models.
+    """
+
+    def slot_matches(index: int) -> Signal:
+        valid = b.compare(b.select(valid_array, b.const(index), length), "==", 1)
+        same = b.compare(b.select(key_array, b.const(index), length), "==", key)
+        return b.logic("and", valid, same)
+
+    return find_first_index(b, length, slot_matches)
+
+
+def match_in_table2(
+    b: ModelBuilder,
+    length: int,
+    valid_array: Signal,
+    key_array: Signal,
+    key: Signal,
+    aux_array: Signal,
+    aux: Signal,
+) -> Signal:
+    """Like :func:`match_in_table` but both key and auxiliary field must
+    match (the paper's delete/check operations match task id *and*
+    parameter)."""
+
+    def slot_matches(index: int) -> Signal:
+        valid = b.compare(b.select(valid_array, b.const(index), length), "==", 1)
+        same_key = b.compare(b.select(key_array, b.const(index), length), "==", key)
+        same_aux = b.compare(b.select(aux_array, b.const(index), length), "==", aux)
+        return b.logic("and", valid, same_key, same_aux)
+
+    return find_first_index(b, length, slot_matches)
+
+
+def first_free_slot(
+    b: ModelBuilder, length: int, valid_array: Signal
+) -> Signal:
+    """Index of the first invalid slot (else ``length`` = table full)."""
+
+    def slot_free(index: int) -> Signal:
+        return b.compare(b.select(valid_array, b.const(index), length), "==", 0)
+
+    return find_first_index(b, length, slot_free)
+
+
+def clamp_index(b: ModelBuilder, index: Signal, length: int) -> Signal:
+    """Clamp a possibly-sentinel index into addressable range."""
+    return b.min(index, b.const(length - 1))
+
+
+def guarded_store_write(
+    b: ModelBuilder,
+    store: str,
+    condition: Signal,
+    new_value: Signal,
+    old_value: Signal,
+) -> None:
+    """Write ``new_value`` when the condition holds, else keep the old value
+    (a Switch in front of a DataStoreWrite — the Simulink idiom for a
+    conditional store update inside an always-executing region)."""
+    b.store_write(store, b.switch(condition, new_value, old_value))
+
+
+def count_valid(b: ModelBuilder, length: int, valid_array: Signal) -> Signal:
+    """Sum of the valid flags (queue occupancy)."""
+    total = b.select(valid_array, b.const(0), length)
+    for index in range(1, length):
+        total = b.add(total, b.select(valid_array, b.const(index), length))
+    return total

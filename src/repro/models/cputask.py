@@ -1,0 +1,277 @@
+"""CPUTask: AutoSAR CPU task dispatch system (the paper's Figure 1 model).
+
+A task queue maintained through four opcode-selected operations:
+
+* **add** (op 1) — insert ``(task_id, param)`` at the first free slot;
+  fails only when the queue is full,
+* **delete** (op 2) — remove the entry matching task id *and* param;
+  fails when no entry matches,
+* **modify** (op 3) — overwrite the param of the entry matching the task
+  id; fails when absent or when the stored param marks the task protected,
+* **check** (op 4) — query by task id and param; reports the slot index,
+* any other opcode is invalid and leaves the queue untouched.
+
+The queue lives in data stores (G/GV state), so delete/modify/check
+success branches require "add first, then operate with matching values" —
+the exact input pattern the paper argues constraint solving cannot reach
+without state awareness.
+
+:func:`build_cputask` is the benchmark-sized model (queue of 8, wide
+id/param ranges); :func:`build_simple_cputask` is the 13-branch teaching
+version used by Table I / Figure 3, where all search plumbing uses
+uninstrumented Fcn blocks so the decision structure is exactly B1..B13.
+"""
+
+from __future__ import annotations
+
+from repro.expr.types import ArrayType, INT
+from repro.model.builder import ModelBuilder
+from repro.model.graph import CompiledModel
+from repro.models.common import (
+    clamp_index,
+    count_valid,
+    first_free_slot,
+    guarded_store_write,
+    match_in_table,
+    match_in_table2,
+)
+
+QUEUE_LEN = 8
+#: Stored params at or above this value mark a protected task (modify fails).
+PROTECT_THRESHOLD = 56
+#: Params at or above this value are boosted on insertion (priority tag).
+BOOST_THRESHOLD = 48
+
+
+def build_cputask() -> CompiledModel:
+    """The benchmark-sized CPUTask model."""
+    b = ModelBuilder("CPUTask")
+    op = b.inport("op", INT, 0, 5)
+    task_id = b.inport("task_id", INT, 0, 255)
+    param = b.inport("param", INT, 0, 63)
+
+    b.data_store("ids", ArrayType(INT, QUEUE_LEN), (0,) * QUEUE_LEN)
+    b.data_store("params", ArrayType(INT, QUEUE_LEN), (0,) * QUEUE_LEN)
+    b.data_store("valid", ArrayType(INT, QUEUE_LEN), (0,) * QUEUE_LEN)
+
+    ids = b.store_read("ids")
+    params = b.store_read("params")
+    valid = b.store_read("valid")
+
+    sc = b.switch_case(op, cases=[[1], [2], [3], [4]], has_default=True)
+
+    with sc.case(0):  # -------------------------------------------- add
+        with b.scope("add"):
+            free = first_free_slot(b, QUEUE_LEN, valid)
+            full = b.compare(free, "==", QUEUE_LEN)
+            slot = clamp_index(b, free, QUEUE_LEN)
+            # High-priority tasks get a boost tag on their stored param.
+            boosted = b.switch(
+                b.compare(param, ">=", BOOST_THRESHOLD),
+                b.add(param, b.const(64)),
+                param,
+            )
+            new_ids = b.array_update(ids, slot, task_id, QUEUE_LEN)
+            new_params = b.array_update(params, slot, boosted, QUEUE_LEN)
+            new_valid = b.array_update(valid, slot, b.const(1), QUEUE_LEN)
+            can_insert = b.logic_not(full)
+            guarded_store_write(b, "ids", can_insert, new_ids, ids)
+            guarded_store_write(b, "params", can_insert, new_params, params)
+            guarded_store_write(b, "valid", can_insert, new_valid, valid)
+            status = b.switch(full, b.const(0), b.const(1))
+            add_status = b.sub_output(status, init=0)
+            add_slot = b.sub_output(b.switch(full, b.const(-1), slot), init=-1)
+
+    with sc.case(1):  # -------------------------------------------- delete
+        with b.scope("del"):
+            hit = match_in_table2(
+                b, QUEUE_LEN, valid, ids, task_id, params, param
+            )
+            miss = b.compare(hit, "==", QUEUE_LEN)
+            slot = clamp_index(b, hit, QUEUE_LEN)
+            cleared = b.array_update(valid, slot, b.const(0), QUEUE_LEN)
+            found = b.logic_not(miss)
+            guarded_store_write(b, "valid", found, cleared, valid)
+            status = b.switch(miss, b.const(0), b.const(1))
+            del_status = b.sub_output(status, init=0)
+
+    with sc.case(2):  # -------------------------------------------- modify
+        with b.scope("mod"):
+            hit = match_in_table(b, QUEUE_LEN, valid, ids, task_id)
+            miss = b.compare(hit, "==", QUEUE_LEN)
+            slot = clamp_index(b, hit, QUEUE_LEN)
+            stored = b.select(params, slot, QUEUE_LEN)
+            protected = b.compare(stored, ">=", PROTECT_THRESHOLD)
+            rejected = b.logic("or", miss, protected)
+            updated = b.array_update(params, slot, param, QUEUE_LEN)
+            allowed = b.logic_not(rejected)
+            guarded_store_write(b, "params", allowed, updated, params)
+            status = b.switch(rejected, b.const(0), b.const(1))
+            mod_status = b.sub_output(status, init=0)
+
+    with sc.case(3):  # -------------------------------------------- check
+        with b.scope("chk"):
+            hit = match_in_table2(
+                b, QUEUE_LEN, valid, ids, task_id, params, param
+            )
+            miss = b.compare(hit, "==", QUEUE_LEN)
+            status = b.switch(miss, b.const(0), b.const(1))
+            chk_status = b.sub_output(status, init=0)
+            chk_slot = b.sub_output(
+                b.switch(miss, b.const(-1), clamp_index(b, hit, QUEUE_LEN)),
+                init=-1,
+            )
+
+    with sc.default():  # ------------------------------------------ invalid
+        with b.scope("inv"):
+            invalid_flag = b.sub_output(b.const(1), init=0)
+
+    occupancy = count_valid(b, QUEUE_LEN, b.store_read("valid", current=True))
+
+    b.outport("add_status", add_status)
+    b.outport("add_slot", add_slot)
+    b.outport("del_status", del_status)
+    b.outport("mod_status", mod_status)
+    b.outport("chk_status", chk_status)
+    b.outport("chk_slot", chk_slot)
+    b.outport("invalid", invalid_flag)
+    b.outport("occupancy", occupancy)
+    return b.compile()
+
+
+SIMPLE_QUEUE_LEN = 3
+
+
+def build_simple_cputask() -> CompiledModel:
+    """The simplified 13-branch CPUTask of Figure 3(a) / Table I.
+
+    Decision structure:
+
+    * B1..B5 — the five opcode outcomes of the Switch-Case,
+    * B6/B7 — add success / add failure (failure needs a full queue),
+    * B8/B9 — delete success / failure,
+    * B10/B11 — modify success / failure,
+    * B12/B13 — check success / failure.
+
+    All search plumbing is built from Fcn blocks (no instrumentation), so
+    the registry holds exactly these 13 branches.
+    """
+    n = SIMPLE_QUEUE_LEN
+    b = ModelBuilder("SimpleCPUTask")
+    op = b.inport("op", INT, 0, 5)
+    task_id = b.inport("task_id", INT, 1, 15)
+    param = b.inport("param", INT, 0, 7)
+
+    b.data_store("ids", ArrayType(INT, n), (0,) * n)
+    b.data_store("params", ArrayType(INT, n), (0,) * n)
+    b.data_store("valid", ArrayType(INT, n), (0,) * n)
+    ids = b.store_read("ids")
+    params = b.store_read("params")
+    valid = b.store_read("valid")
+
+    def fcn_count():
+        return b.fcn(
+            "v0 + v1 + v2",
+            v0=(b.select(valid, b.const(0), n), INT),
+            v1=(b.select(valid, b.const(1), n), INT),
+            v2=(b.select(valid, b.const(2), n), INT),
+        )
+
+    def fcn_free_slot():
+        return b.fcn(
+            "ite(v0 == 0, 0, ite(v1 == 0, 1, ite(v2 == 0, 2, 3)))",
+            v0=(b.select(valid, b.const(0), n), INT),
+            v1=(b.select(valid, b.const(1), n), INT),
+            v2=(b.select(valid, b.const(2), n), INT),
+        )
+
+    def fcn_match(by_param: bool):
+        """First slot matching id (and param when ``by_param``), else 3."""
+        clause = "v{i} == 1 && i{i} == t" + (" && p{i} == q" if by_param else "")
+        text = (
+            f"ite({clause.format(i=0)}, 0, "
+            f"ite({clause.format(i=1)}, 1, "
+            f"ite({clause.format(i=2)}, 2, 3)))"
+        )
+        kwargs = {"t": (task_id, INT)}
+        if by_param:
+            kwargs["q"] = (param, INT)
+        for index in range(n):
+            kwargs[f"v{index}"] = (b.select(valid, b.const(index), n), INT)
+            kwargs[f"i{index}"] = (b.select(ids, b.const(index), n), INT)
+            if by_param:
+                kwargs[f"p{index}"] = (b.select(params, b.const(index), n), INT)
+        return b.fcn(text, **kwargs)
+
+    sc = b.switch_case(op, cases=[[1], [2], [3], [4]], has_default=True)
+
+    with sc.case(0):  # add: B6 success / B7 failure (queue full)
+        with b.scope("add"):
+            count = fcn_count()
+            full = b.compare(count, ">=", n)
+            free = fcn_free_slot()
+            slot = b.fcn("min(f, 2)", f=(free, INT))
+            ok = b.switch(full, b.const(0), b.const(1))  # B7 / B6
+            new_ids = b.fcn(
+                "ite(ok == 1, store(a, s, t), a)",
+                ok=(ok, INT), a=(ids, ArrayType(INT, n)),
+                s=(slot, INT), t=(task_id, INT),
+            )
+            new_params = b.fcn(
+                "ite(ok == 1, store(a, s, q), a)",
+                ok=(ok, INT), a=(params, ArrayType(INT, n)),
+                s=(slot, INT), q=(param, INT),
+            )
+            new_valid = b.fcn(
+                "ite(ok == 1, store(a, s, 1), a)",
+                ok=(ok, INT), a=(valid, ArrayType(INT, n)), s=(slot, INT),
+            )
+            b.store_write("ids", new_ids)
+            b.store_write("params", new_params)
+            b.store_write("valid", new_valid)
+            add_ok = b.sub_output(ok, init=0)
+
+    with sc.case(1):  # delete: B8 success / B9 failure
+        with b.scope("del"):
+            hit = fcn_match(by_param=True)
+            miss = b.compare(hit, ">=", n)
+            ok = b.switch(miss, b.const(0), b.const(1))  # B9 / B8
+            slot = b.fcn("min(h, 2)", h=(hit, INT))
+            new_valid = b.fcn(
+                "ite(ok == 1, store(a, s, 0), a)",
+                ok=(ok, INT), a=(valid, ArrayType(INT, n)), s=(slot, INT),
+            )
+            b.store_write("valid", new_valid)
+            del_ok = b.sub_output(ok, init=0)
+
+    with sc.case(2):  # modify: B10 success / B11 failure
+        with b.scope("mod"):
+            hit = fcn_match(by_param=False)
+            miss = b.compare(hit, ">=", n)
+            ok = b.switch(miss, b.const(0), b.const(1))  # B11 / B10
+            slot = b.fcn("min(h, 2)", h=(hit, INT))
+            new_params = b.fcn(
+                "ite(ok == 1, store(a, s, q), a)",
+                ok=(ok, INT), a=(params, ArrayType(INT, n)),
+                s=(slot, INT), q=(param, INT),
+            )
+            b.store_write("params", new_params)
+            mod_ok = b.sub_output(ok, init=0)
+
+    with sc.case(3):  # check: B12 success / B13 failure
+        with b.scope("chk"):
+            hit = fcn_match(by_param=True)
+            miss = b.compare(hit, ">=", n)
+            ok = b.switch(miss, b.const(0), b.const(1))  # B13 / B12
+            chk_ok = b.sub_output(ok, init=0)
+
+    with sc.default():  # invalid opcode: B5
+        with b.scope("inv"):
+            inv = b.sub_output(b.const(1), init=0)
+
+    b.outport("add_ok", add_ok)
+    b.outport("del_ok", del_ok)
+    b.outport("mod_ok", mod_ok)
+    b.outport("chk_ok", chk_ok)
+    b.outport("invalid", inv)
+    return b.compile()

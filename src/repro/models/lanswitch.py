@@ -1,0 +1,200 @@
+"""LANSwitch: LAN switch controller with MAC learning.
+
+An Ethernet-switch forwarding engine:
+
+* a MAC table of ``TABLE_LEN`` entries (address, port, VLAN, age, valid)
+  held in data stores,
+* **learning**: on every valid data frame the source address is looked up;
+  a hit refreshes port and age, a miss inserts at the first free slot, and
+  a full table evicts the oldest entry,
+* **forwarding**: the destination address is looked up; a hit on the same
+  VLAN forwards to the learned port (filtered when that equals the ingress
+  port), otherwise the frame floods,
+* **aging**: an age-tick frame decrements every age and invalidates
+  expired entries (an unrolled chain of per-slot switches),
+* **management**: flush-all and per-port flush commands, plus counters.
+
+The "learn first, then forward to the learned port" branches are the
+state-dependent needles: dst must equal a *previously seen* src on the
+same VLAN.
+"""
+
+from __future__ import annotations
+
+from repro.expr.types import ArrayType, BOOL, INT
+from repro.model.builder import ModelBuilder
+from repro.model.graph import CompiledModel
+from repro.models.common import (
+    clamp_index,
+    count_valid,
+    find_first_index,
+    first_free_slot,
+    guarded_store_write,
+)
+
+TABLE_LEN = 6
+MAX_AGE = 7
+
+FRAME_NONE = 0
+FRAME_DATA = 1
+FRAME_AGE_TICK = 2
+FRAME_FLUSH_ALL = 3
+FRAME_FLUSH_PORT = 4
+
+
+def build_lanswitch() -> CompiledModel:
+    n = TABLE_LEN
+    b = ModelBuilder("LANSwitch")
+    frame = b.inport("frame_type", INT, 0, 5)
+    src = b.inport("src_mac", INT, 1, 255)
+    dst = b.inport("dst_mac", INT, 1, 255)
+    in_port = b.inport("in_port", INT, 0, 3)
+    vlan = b.inport("vlan", INT, 0, 3)
+
+    arr = ArrayType(INT, n)
+    b.data_store("macs", arr, (0,) * n)
+    b.data_store("ports", arr, (0,) * n)
+    b.data_store("vlans", arr, (0,) * n)
+    b.data_store("ages", arr, (0,) * n)
+    b.data_store("valid", arr, (0,) * n)
+    b.data_store("flood_count", INT, 0)
+    b.data_store("drop_count", INT, 0)
+
+    macs = b.store_read("macs")
+    ports = b.store_read("ports")
+    vlans = b.store_read("vlans")
+    ages = b.store_read("ages")
+    valid = b.store_read("valid")
+
+    sc = b.switch_case(
+        frame, cases=[[FRAME_DATA], [FRAME_AGE_TICK], [FRAME_FLUSH_ALL],
+                      [FRAME_FLUSH_PORT]],
+        has_default=True, name="frame_dispatch",
+    )
+
+    with sc.case(0):  # ---------------------------------------- data frame
+        with b.scope("data"):
+            # ---- source learning ------------------------------------
+            def src_hit(i: int):
+                v = b.compare(b.select(valid, b.const(i), n), "==", 1)
+                m = b.compare(b.select(macs, b.const(i), n), "==", src)
+                return b.logic("and", v, m)
+
+            src_idx = find_first_index(b, n, src_hit)
+            src_missing = b.compare(src_idx, "==", n)
+            free = first_free_slot(b, n, valid)
+            table_full = b.compare(free, "==", n)
+
+            # Oldest entry for eviction: running argmin over ages.
+            oldest = b.const(0)
+            oldest_age = b.select(ages, b.const(0), n)
+            for i in range(1, n):
+                age_i = b.select(ages, b.const(i), n)
+                younger = b.compare(age_i, "<", oldest_age)
+                oldest = b.switch(younger, b.const(i), oldest)
+                oldest_age = b.min(oldest_age, age_i)
+
+            insert_at = b.switch(table_full, oldest, clamp_index(b, free, n))
+            write_at = b.switch(
+                src_missing, insert_at, clamp_index(b, src_idx, n),
+                name="learn_slot",
+            )
+            new_macs = b.array_update(macs, write_at, src, n)
+            new_ports = b.array_update(ports, write_at, in_port, n)
+            new_vlans = b.array_update(vlans, write_at, vlan, n)
+            new_ages = b.array_update(ages, write_at, b.const(MAX_AGE), n)
+            new_valid = b.array_update(valid, write_at, b.const(1), n)
+            b.store_write("macs", new_macs)
+            b.store_write("ports", new_ports)
+            b.store_write("vlans", new_vlans)
+            b.store_write("ages", new_ages)
+            b.store_write("valid", new_valid)
+            learned = b.sub_output(
+                b.switch(src_missing, b.const(1), b.const(0)), init=0
+            )
+
+            # ---- destination forwarding -------------------------------
+            def dst_hit(i: int):
+                v = b.compare(b.select(valid, b.const(i), n), "==", 1)
+                m = b.compare(b.select(macs, b.const(i), n), "==", dst)
+                same_vlan = b.compare(b.select(vlans, b.const(i), n), "==", vlan)
+                return b.logic("and", v, m, same_vlan)
+
+            dst_idx = find_first_index(b, n, dst_hit)
+            dst_missing = b.compare(dst_idx, "==", n)
+            out_port = b.select(ports, clamp_index(b, dst_idx, n), n)
+            same_port = b.compare(out_port, "==", in_port)
+            # -1 = flood, -2 = filtered (destination on the ingress port).
+            decision = b.switch(
+                dst_missing, b.const(-1),
+                b.switch(same_port, b.const(-2), out_port),
+                name="fwd_decision",
+            )
+            flood_old = b.store_read("flood_count")
+            b.store_write(
+                "flood_count",
+                b.switch(dst_missing, b.add(flood_old, b.const(1)), flood_old),
+            )
+            fwd_port = b.sub_output(decision, init=-1)
+
+    with sc.case(1):  # ---------------------------------------- age tick
+        with b.scope("age"):
+            aged = ages
+            kept = valid
+            for i in range(n):
+                age_i = b.select(ages, b.const(i), n)
+                valid_i = b.compare(b.select(valid, b.const(i), n), "==", 1)
+                expiring = b.logic(
+                    "and", valid_i, b.compare(age_i, "<=", 1),
+                    name=f"expire{i}",
+                )
+                next_age = b.max(b.sub(age_i, b.const(1)), b.const(0))
+                aged = b.array_update(aged, b.const(i), next_age, n)
+                kept = b.array_update(
+                    kept, b.const(i),
+                    b.switch(expiring, b.const(0),
+                             b.select(valid, b.const(i), n)),
+                    n,
+                )
+            b.store_write("ages", aged)
+            b.store_write("valid", kept)
+            aged_flag = b.sub_output(b.const(1), init=0)
+
+    with sc.case(2):  # ---------------------------------------- flush all
+        with b.scope("flush"):
+            b.store_write("valid", b.const((0,) * n))
+            b.store_write("ages", b.const((0,) * n))
+            flushed = b.sub_output(count_valid(b, n, valid), init=0)
+
+    with sc.case(3):  # ---------------------------------------- flush port
+        with b.scope("flushp"):
+            pruned = valid
+            for i in range(n):
+                on_port = b.compare(
+                    b.select(ports, b.const(i), n), "==", in_port
+                )
+                valid_i = b.compare(b.select(valid, b.const(i), n), "==", 1)
+                kill = b.logic("and", on_port, valid_i, name=f"kill{i}")
+                pruned = b.array_update(
+                    pruned, b.const(i),
+                    b.switch(kill, b.const(0), b.select(valid, b.const(i), n)),
+                    n,
+                )
+            b.store_write("valid", pruned)
+            pflushed = b.sub_output(b.const(1), init=0)
+
+    with sc.default():  # -------------------------------------- invalid
+        with b.scope("bad"):
+            drop_old = b.store_read("drop_count")
+            b.store_write("drop_count", b.add(drop_old, b.const(1)))
+            dropped = b.sub_output(b.const(1), init=0)
+
+    occupancy = count_valid(b, n, b.store_read("valid", current=True))
+    b.outport("fwd_port", fwd_port)
+    b.outport("learned", learned)
+    b.outport("aged", aged_flag)
+    b.outport("flushed", flushed)
+    b.outport("port_flushed", pflushed)
+    b.outport("dropped", dropped)
+    b.outport("occupancy", occupancy)
+    return b.compile()

@@ -1,0 +1,224 @@
+"""LEDLC: LED matrix load control.
+
+A lighting-load controller for an LED matrix:
+
+* a mode register that only ever takes the four values OFF / LOW / MEDIUM
+  / HIGH, driving a Switch-Case whose **default port is dead logic** —
+  the paper traces LEDLC's missing decision coverage to exactly this
+  pattern ("there are only four LED states, and the Switch-Case block ...
+  has an additional default port beside the corresponding four ports"),
+* per-row brightness levels in a data-store array, updated by row
+  commands,
+* a load estimator: when the estimated current exceeds the budget, rows
+  are shed in priority order (an unrolled chain of guarded switch
+  decisions),
+* a global brightness ramp (rate limiter) and an over-current latch that
+  can only be cleared by an explicit reset command.
+"""
+
+from __future__ import annotations
+
+from repro.expr.types import ArrayType, INT, REAL
+from repro.model.builder import ModelBuilder
+from repro.model.graph import CompiledModel
+from repro.models.common import clamp_index
+
+ROWS = 6
+LEVEL_MAX = 15
+
+MODE_OFF = 0
+MODE_LOW = 1
+MODE_MEDIUM = 2
+MODE_HIGH = 3
+
+CMD_NONE = 0
+CMD_SET_MODE = 1
+CMD_SET_ROW = 2
+CMD_CLEAR_ROW = 3
+CMD_RESET_FAULT = 4
+
+#: Estimated milliamps per brightness step per row.
+MA_PER_STEP = 25.0
+CURRENT_BUDGET_MA = 700.0
+TRIP_MA = 900.0
+
+
+def build_ledlc() -> CompiledModel:
+    n = ROWS
+    b = ModelBuilder("LEDLC")
+    cmd = b.inport("cmd", INT, 0, 5)
+    arg = b.inport("arg", INT, 0, 15)
+    row = b.inport("row", INT, 0, ROWS - 1)
+    supply_ma = b.inport("supply_ma", REAL, 0.0, 1200.0)
+
+    arr = ArrayType(INT, n)
+    b.data_store("levels", arr, (0,) * n)
+    b.data_store("mode", INT, MODE_OFF)
+    b.data_store("fault", INT, 0)
+
+    levels = b.store_read("levels")
+    mode = b.store_read("mode")
+    fault = b.store_read("fault")
+
+    # ---- command handling -------------------------------------------------
+    sc = b.switch_case(
+        cmd,
+        cases=[[CMD_SET_MODE], [CMD_SET_ROW], [CMD_CLEAR_ROW],
+               [CMD_RESET_FAULT]],
+        has_default=True, name="cmd_dispatch",
+    )
+    with sc.case(0):
+        with b.scope("setmode"):
+            # Clamp the requested mode into 0..3: the mode register can
+            # never hold anything else (which is what makes the display
+            # Switch-Case default port dead).
+            requested = b.min(arg, b.const(MODE_HIGH))
+            b.store_write("mode", requested)
+            mode_ack = b.sub_output(requested, init=0)
+    with sc.case(1):
+        with b.scope("setrow"):
+            slot = clamp_index(b, row, n)
+            level = b.min(arg, b.const(LEVEL_MAX))
+            b.store_write("levels", b.array_update(levels, slot, level, n))
+            row_ack = b.sub_output(slot, init=-1)
+    with sc.case(2):
+        with b.scope("clearrow"):
+            slot = clamp_index(b, row, n)
+            b.store_write(
+                "levels", b.array_update(levels, slot, b.const(0), n)
+            )
+            clear_ack = b.sub_output(slot, init=-1)
+    with sc.case(3):
+        with b.scope("resetfault"):
+            # The fault latch clears only when the supply has recovered;
+            # the actual clear happens in the single latch writer below.
+            recovered = b.compare(supply_ma, "<", CURRENT_BUDGET_MA)
+            reset_ack = b.sub_output(
+                b.switch(recovered, b.const(1), b.const(0)), init=0
+            )
+    with sc.default():
+        with b.scope("noop"):
+            noop = b.sub_output(b.const(0), init=0)
+
+    # ---- lamp self-test: count lit rows when commanded -----------------------
+    self_test = b.compare(cmd, "==", 5, name="is_self_test")
+    lit_rows = b.const(0)
+    for i in range(n):
+        row_lit = b.compare(
+            b.select(levels, b.const(i), n), ">", 0, name=f"lit{i}"
+        )
+        lit_rows = b.switch(row_lit, b.add(lit_rows, b.const(1)), lit_rows,
+                            name=f"lit_count{i}")
+    test_result = b.switch(self_test, lit_rows, b.const(-1), name="test_gate")
+
+    # ---- blink scheduler: a free-running phase counter picks the duty shape --
+    phase = b.counter(period=4, name="blink_phase")
+    blink_scale = b.multiport(
+        phase,
+        cases=[
+            (0, b.const(1.0)),
+            (1, b.const(0.85)),
+            (2, b.const(1.0)),
+            (3, b.const(0.7)),
+        ],
+        default=None,
+        name="blink_select",
+    )
+
+    # ---- supply-voltage band: foldback ladder ---------------------------------
+    supply_band = b.cast(b.gain(supply_ma, 4.999 / 1200.0), INT,
+                         name="supply_band")
+    foldback = b.multiport(
+        supply_band,
+        cases=[
+            (0, b.const(1.0)),
+            (1, b.const(1.0)),
+            (2, b.const(0.95)),
+            (3, b.const(0.85)),
+        ],
+        default=b.const(0.7),
+        name="supply_foldback",
+    )
+
+    # ---- display duty per mode: THE DEAD DEFAULT PORT ------------------------
+    # mode is clamped to 0..3 at the only write site, so the default port of
+    # this multiport switch is unreachable — intentional dead logic.
+    duty_base = b.multiport(
+        b.store_read("mode", current=True),
+        cases=[
+            (MODE_OFF, b.const(0.0)),
+            (MODE_LOW, b.const(0.25)),
+            (MODE_MEDIUM, b.const(0.6)),
+            (MODE_HIGH, b.const(1.0)),
+        ],
+        default=b.const(0.5),  # dead
+        name="mode_duty",
+    )
+
+    # ---- load estimation and shedding ------------------------------------------
+    current_levels = b.store_read("levels", current=True)
+    total_steps = b.select(current_levels, b.const(0), n)
+    for i in range(1, n):
+        total_steps = b.add(total_steps, b.select(current_levels, b.const(i), n))
+    est_ma = b.mul(
+        b.cast(total_steps, REAL),
+        b.mul(b.const(MA_PER_STEP), duty_base),
+        name="est_ma",
+    )
+    over_budget = b.compare(est_ma, ">", CURRENT_BUDGET_MA, name="over_budget")
+
+    # Shed rows (highest index first) while over budget; each stage halves
+    # one more row — an unrolled priority chain of decisions.
+    shed_ma = est_ma
+    shed_mask = b.const(0)
+    for i in range(n - 1, n - 3, -1):
+        row_ma = b.mul(
+            b.cast(b.select(current_levels, b.const(i), n), REAL),
+            b.mul(b.const(MA_PER_STEP), duty_base),
+        )
+        still_over = b.compare(shed_ma, ">", CURRENT_BUDGET_MA, name=f"shed{i}")
+        shed_ma = b.switch(still_over, b.sub(shed_ma, row_ma), shed_ma)
+        shed_mask = b.switch(
+            still_over, b.add(shed_mask, b.const(1)), shed_mask
+        )
+
+    # ---- over-current latch ---------------------------------------------------
+    hard_over = b.compare(supply_ma, ">", TRIP_MA, name="hard_over")
+    soft_over = b.logic(
+        "and", over_budget, b.compare(supply_ma, ">", CURRENT_BUDGET_MA),
+        name="soft_over",
+    )
+    trip_now = b.logic("or", hard_over, soft_over, name="trip_now")
+    reset_request = b.logic(
+        "and",
+        b.compare(cmd, "==", CMD_RESET_FAULT),
+        b.compare(supply_ma, "<", CURRENT_BUDGET_MA),
+        name="reset_request",
+    )
+    after_reset = b.switch(reset_request, b.const(0), fault, name="fault_reset")
+    new_fault = b.switch(trip_now, b.const(1), after_reset, name="fault_latch")
+    b.store_write("fault", new_fault, name="fault_writer")
+
+    # ---- output ramp ------------------------------------------------------------
+    target_duty = b.switch(
+        b.compare(new_fault, "==", 1), b.const(0.0), duty_base,
+        name="fault_cut",
+    )
+    ramped = b.rate_limit(target_duty, up=0.2, down=0.5, name="duty_ramp")
+    shaped = b.mul(ramped, blink_scale, foldback, name="shaped_duty")
+    pwm = b.saturate(
+        b.sub(shaped, b.gain(b.cast(shed_mask, REAL), 0.05)), 0.0, 1.0,
+        name="pwm_out",
+    )
+
+    b.outport("pwm", pwm)
+    b.outport("self_test", test_result)
+    b.outport("est_ma", shed_ma)
+    b.outport("fault", new_fault)
+    b.outport("shed_rows", shed_mask)
+    b.outport("mode_ack", mode_ack)
+    b.outport("row_ack", row_ack)
+    b.outport("clear_ack", clear_ack)
+    b.outport("reset_ack", reset_ack)
+    b.outport("noop", noop)
+    return b.compile()

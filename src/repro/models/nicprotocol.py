@@ -1,0 +1,220 @@
+"""NICProtocol: vehicle NIC communication protocol controller.
+
+A CAN-flavoured node controller:
+
+* a protocol chart: Idle → Arbitration → Transmitting → WaitAck, with a
+  bounded retry counter, an error counter and a BusOff state entered after
+  repeated errors (recovered only by an explicit reset event),
+* receive-path frame processing: an acceptance filter over the 11-bit
+  message id, a checksum test (``crc == (payload + id) mod 256`` — a
+  needle random search practically never threads), and per-class payload
+  handling subsystems,
+* statistics data stores (accepted/rejected/error counts).
+
+The ack branch is the paper's motif: WaitAck → Idle requires an *ack for
+the id we transmitted*, i.e. an input matching state captured when the
+transmission started.
+"""
+
+from __future__ import annotations
+
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.model.builder import ModelBuilder
+from repro.model.graph import CompiledModel
+from repro.stateflow.spec import ChartSpec
+
+EV_NONE = 0
+EV_TX_REQUEST = 1
+EV_BUS_GRANT = 2
+EV_TX_DONE = 3
+EV_RX_ACK = 4
+EV_BUS_ERROR = 5
+EV_RESET = 6
+EV_ACK_TIMEOUT = 7
+
+ST_IDLE = 0
+ST_ARBITRATION = 1
+ST_TRANSMIT = 2
+ST_WAIT_ACK = 3
+ST_BUSOFF = 4
+
+MAX_RETRIES = 1
+ERROR_LIMIT = 2
+
+
+def _protocol_chart() -> ChartSpec:
+    chart = ChartSpec("nic_protocol")
+    chart.input("event", INT, 0, 7)
+    chart.input("msg_id", INT, 0, 2047)
+    chart.input("ack_id", INT, 0, 2047)
+    chart.output("state", INT, ST_IDLE)
+    chart.output("tx_id", INT, 0)
+    chart.local("retries", INT, 0)
+    chart.local("errors", INT, 0)
+
+    idle = chart.state("Idle", entry=["state = 0"])
+    arbitration = chart.state("Arbitration", entry=["state = 1"])
+    transmit = chart.state("Transmit", entry=["state = 2"])
+    wait_ack = chart.state("WaitAck", entry=["state = 3"])
+    busoff = chart.state("BusOff", entry=["state = 4"])
+    chart.initial(idle)
+
+    chart.transition(
+        idle, arbitration,
+        guard=f"event == {EV_TX_REQUEST}",
+        actions=["tx_id = msg_id", "retries = 0"],
+        priority=1,
+    )
+    chart.transition(
+        arbitration, transmit, guard=f"event == {EV_BUS_GRANT}", priority=1
+    )
+    chart.transition(
+        arbitration, idle, guard=f"event == {EV_BUS_ERROR}",
+        actions=["errors = errors + 1"], priority=2,
+    )
+    chart.transition(
+        transmit, wait_ack, guard=f"event == {EV_TX_DONE}", priority=1
+    )
+    chart.transition(
+        transmit, busoff,
+        guard=f"event == {EV_BUS_ERROR} && errors >= {ERROR_LIMIT - 1}",
+        priority=2,
+    )
+    chart.transition(
+        transmit, idle, guard=f"event == {EV_BUS_ERROR}",
+        actions=["errors = errors + 1"], priority=3,
+    )
+    # The state-aware needle: the ack must carry the id we transmitted.
+    chart.transition(
+        wait_ack, idle,
+        guard=f"event == {EV_RX_ACK} && ack_id == tx_id",
+        actions=["errors = 0"], priority=1,
+    )
+    # Retries are driven by an ack timeout: a first timeout re-arbitrates,
+    # a later one (t8 is only evaluated once retries saturated t7's guard)
+    # drops the node to BusOff.
+    chart.transition(
+        wait_ack, arbitration,
+        guard=f"event == {EV_ACK_TIMEOUT} && retries < {MAX_RETRIES}",
+        actions=["retries = retries + 1"], priority=2,
+    )
+    chart.transition(
+        wait_ack, busoff,
+        guard=f"event == {EV_ACK_TIMEOUT}",
+        priority=3,
+    )
+    chart.transition(
+        busoff, idle, guard=f"event == {EV_RESET}",
+        actions=["errors = 0", "retries = 0"], priority=1,
+    )
+    return chart
+
+
+def build_nicprotocol() -> CompiledModel:
+    b = ModelBuilder("NICProtocol")
+    event = b.inport("event", INT, 0, 7)
+    msg_id = b.inport("msg_id", INT, 0, 2047)
+    ack_id = b.inport("ack_id", INT, 0, 2047)
+    payload = b.inport("payload", INT, 0, 255)
+    crc = b.inport("crc", INT, 0, 255)
+    rx_valid = b.inport("rx_valid", BOOL)
+    tx_enable = b.inport("tx_enable", BOOL)
+
+    b.data_store("accepted", INT, 0)
+    b.data_store("rejected", INT, 0)
+    b.data_store("crc_errors", INT, 0)
+
+    chart = b.add_chart(
+        _protocol_chart(),
+        {"event": event, "msg_id": msg_id, "ack_id": ack_id},
+        name="protocol",
+    )
+    state = chart["state"]
+
+    # ---- receive path -------------------------------------------------------
+    checksum = b.fcn(
+        "(p + m) % 256", p=(payload, INT), m=(msg_id, INT), name="checksum"
+    )
+    crc_ok = b.compare(crc, "==", checksum, name="crc_ok")
+    frame_ok = b.logic("and", rx_valid, crc_ok, name="frame_ok")
+    crc_fail = b.logic("and", rx_valid, b.logic_not(crc_ok), name="crc_fail")
+
+    # Acceptance filter by id class.
+    high_prio = b.compare(msg_id, "<", 256, name="id_high_prio")
+    diagnostic = b.compare(msg_id, ">=", 1024, name="id_diag")
+    normal = b.logic("nor", high_prio, diagnostic, name="id_normal")
+
+    accepted_old = b.store_read("accepted")
+    rejected_old = b.store_read("rejected")
+    crc_err_old = b.store_read("crc_errors")
+
+    iff = b.if_block([frame_ok], has_else=True, name="rx_gate")
+    with iff.case(0):
+        with b.scope("rx"):
+            # Per-class handling: priority boost, normal consume, diag echo.
+            klass = b.switch(
+                high_prio, b.const(0),
+                b.switch(diagnostic, b.const(2), b.const(1)),
+                name="class_sel",
+            )
+            handled = b.multiport(
+                klass,
+                cases=[
+                    (0, b.gain(payload, 2)),
+                    (1, payload),
+                ],
+                default=b.bias(payload, 1000),
+                name="class_dispatch",
+            )
+            b.store_write("accepted", b.add(accepted_old, b.const(1)))
+            rx_data = b.sub_output(handled, init=0)
+    with iff.default():
+        with b.scope("rx_bad"):
+            # A bad frame costs a CRC error only when it was marked valid.
+            b.store_write(
+                "crc_errors",
+                b.switch(crc_fail, b.add(crc_err_old, b.const(1)), crc_err_old),
+            )
+            b.store_write("rejected", b.add(rejected_old, b.const(1)))
+            bad_flag = b.sub_output(b.const(1), init=0)
+
+    # ---- payload-kind dispatch (rx side, always computed) ----------------------
+    kind = b.fcn("p // 64", p=(payload, INT), name="payload_kind")
+    kind_tag = b.multiport(
+        b.cast(kind, INT),
+        cases=[
+            (0, b.const(10)),   # telemetry
+            (1, b.const(20)),   # control
+            (2, b.const(30)),   # config
+        ],
+        default=b.const(40),    # firmware chunks
+        name="payload_dispatch",
+    )
+
+    # ---- error-rate supervision -------------------------------------------------
+    crc_now = b.store_read("crc_errors", current=True)
+    rej_now = b.store_read("rejected", current=True)
+    noisy = b.compare(crc_now, ">=", 3, name="bus_noisy")
+    lossy = b.compare(rej_now, ">=", 5, name="bus_lossy")
+    degraded = b.logic("or", noisy, lossy, name="link_degraded")
+    health = b.switch(degraded, b.const(1), b.const(0), name="link_health")
+
+    # ---- transmit gating by protocol state ------------------------------------
+    can_tx = b.compare(state, "==", ST_IDLE, name="can_tx")
+    busy = b.compare(state, "==", ST_TRANSMIT, name="tx_busy")
+    bus_off = b.compare(state, "==", ST_BUSOFF, name="bus_off")
+    tx_ready = b.logic("and", can_tx, tx_enable, name="tx_ready")
+    status_code = b.switch(
+        bus_off, b.const(99),
+        b.switch(busy, b.const(2), b.switch(tx_ready, b.const(0), b.const(1))),
+        name="status_sel",
+    )
+
+    b.outport("status", status_code)
+    b.outport("state", state)
+    b.outport("rx_data", rx_data)
+    b.outport("bad_frame", bad_flag)
+    b.outport("accepted_count", b.store_read("accepted", current=True))
+    b.outport("payload_tag", kind_tag)
+    b.outport("link_health", health)
+    return b.compile()

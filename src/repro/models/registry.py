@@ -1,0 +1,99 @@
+"""Registry of the benchmark models (the paper's Table II).
+
+Each entry carries the builder plus the paper's reported branch/block
+counts so the Table II harness can print paper-vs-measured side by side.
+Our models are re-created from the paper's one-line functional
+descriptions, so measured counts differ from the originals; what matters
+for the reproduction is that each model exercises the same *kind* of
+state-dependent logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.model.graph import CompiledModel
+from repro.models.afc import build_afc
+from repro.models.cputask import build_cputask, build_simple_cputask
+from repro.models.lanswitch import build_lanswitch
+from repro.models.ledlc import build_ledlc
+from repro.models.nicprotocol import build_nicprotocol
+from repro.models.tcp import build_tcp
+from repro.models.twc import build_twc
+from repro.models.utpc import build_utpc
+
+
+@dataclass(frozen=True)
+class BenchmarkModel:
+    """Metadata for one benchmark model."""
+
+    name: str
+    functionality: str
+    builder: Callable[[], CompiledModel]
+    paper_branches: int
+    paper_blocks: int
+    #: Branches that are dead by construction (documented unreachable
+    #: logic); the maximum achievable decision coverage is below 100%.
+    dead_branches: int = 0
+
+    def build(self) -> CompiledModel:
+        return self.builder()
+
+
+BENCHMARKS: List[BenchmarkModel] = [
+    BenchmarkModel(
+        "CPUTask", "AutoSAR CPU task dispatch system", build_cputask, 107, 275
+    ),
+    BenchmarkModel(
+        "AFC", "Engine air-fuel control system", build_afc, 35, 125
+    ),
+    BenchmarkModel(
+        "TWC", "Train wheel speed controller", build_twc, 80, 214,
+        dead_branches=3,
+    ),
+    BenchmarkModel(
+        "NICProtocol", "Vehicle NIC communication protocol",
+        build_nicprotocol, 46, 294,
+    ),
+    BenchmarkModel(
+        "UTPC", "Underwater thruster power control", build_utpc, 92, 214
+    ),
+    BenchmarkModel(
+        "LANSwitch", "LAN Switch controller", build_lanswitch, 131, 570
+    ),
+    BenchmarkModel(
+        "LEDLC", "LED matrix load control", build_ledlc, 94, 270,
+        dead_branches=1,
+    ),
+    BenchmarkModel(
+        "TCP", "TCP three-way handshake protocol", build_tcp, 146, 330
+    ),
+]
+
+_BY_NAME: Dict[str, BenchmarkModel] = {m.name: m for m in BENCHMARKS}
+
+
+def get_benchmark(name: str) -> BenchmarkModel:
+    """Look a benchmark up by name (case-insensitive)."""
+    for key, model in _BY_NAME.items():
+        if key.lower() == name.lower():
+            return model
+    raise ReproError(
+        f"unknown benchmark {name!r}; available: {', '.join(_BY_NAME)}"
+    )
+
+
+def benchmark_names() -> List[str]:
+    return [m.name for m in BENCHMARKS]
+
+
+#: The 13-branch teaching model of Figure 3 / Table I.
+SIMPLE_CPUTASK = BenchmarkModel(
+    "SimpleCPUTask",
+    "Simplified CPU task model (Figure 3 / Table I)",
+    build_simple_cputask,
+    13,
+    0,
+)

@@ -1,0 +1,341 @@
+"""TCP: three-way handshake protocol (full connection state machine).
+
+A single-connection TCP endpoint:
+
+* the RFC-793 state chart — CLOSED, LISTEN, SYN_SENT, SYN_RCVD,
+  ESTABLISHED, FIN_WAIT_1, FIN_WAIT_2, CLOSE_WAIT, CLOSING, LAST_ACK,
+  TIME_WAIT — driven by user events (open/send/close) and received
+  segments (SYN/ACK/FIN/RST flags plus sequence/ack numbers),
+* sequence-number coupling: ``snd_nxt``/``rcv_nxt`` live in chart locals,
+  and the handshake transitions demand exact matches (the ACK of our SYN
+  must carry ``ack == snd_nxt``; an in-order FIN must carry
+  ``seq == rcv_nxt``).  This is the paper's Figure 4 example: "STCG can
+  obtain the various handshake states of the client IP, therefore it is
+  easy to solve the relevant branches of the second or the third
+  handshake based on the existing handshake states",
+* a segment pre-validator (flag sanity switches) and a retransmission
+  counter with give-up,
+* an output-segment builder selecting flags per state.
+"""
+
+from __future__ import annotations
+
+from repro.expr.types import BOOL, INT
+from repro.model.builder import ModelBuilder
+from repro.model.graph import CompiledModel
+from repro.stateflow.spec import ChartSpec
+
+# User / environment events.
+EV_NONE = 0
+EV_ACTIVE_OPEN = 1
+EV_PASSIVE_OPEN = 2
+EV_SEND = 3
+EV_CLOSE = 4
+EV_SEGMENT = 5  # a segment arrived (flags + numbers valid)
+EV_TIMEOUT = 6
+
+# Chart state codes (also the location order).
+S_CLOSED = 0
+S_LISTEN = 1
+S_SYN_SENT = 2
+S_SYN_RCVD = 3
+S_ESTABLISHED = 4
+S_FIN_WAIT_1 = 5
+S_FIN_WAIT_2 = 6
+S_CLOSE_WAIT = 7
+S_CLOSING = 8
+S_LAST_ACK = 9
+S_TIME_WAIT = 10
+
+#: Our fixed initial send sequence number (deterministic ISS).
+ISS = 100
+
+
+def _tcp_chart() -> ChartSpec:
+    chart = ChartSpec("tcp_fsm")
+    chart.input("event", INT, 0, 7)
+    chart.input("syn", BOOL)
+    chart.input("ack", BOOL)
+    chart.input("fin", BOOL)
+    chart.input("rst", BOOL)
+    chart.input("seq", INT, 0, 255)
+    chart.input("ackno", INT, 0, 255)
+    chart.output("state", INT, S_CLOSED)
+    chart.output("snd_nxt", INT, ISS)
+    chart.output("rcv_nxt", INT, 0)
+
+    closed = chart.state("Closed", entry=[f"state = {S_CLOSED}"])
+    listen = chart.state("Listen", entry=[f"state = {S_LISTEN}"])
+    syn_sent = chart.state(
+        "SynSent", entry=[f"state = {S_SYN_SENT}", f"snd_nxt = {ISS + 1}"]
+    )
+    syn_rcvd = chart.state("SynRcvd", entry=[f"state = {S_SYN_RCVD}"])
+    established = chart.state(
+        "Established", entry=[f"state = {S_ESTABLISHED}"]
+    )
+    fin_wait_1 = chart.state(
+        "FinWait1", entry=[f"state = {S_FIN_WAIT_1}", "snd_nxt = snd_nxt + 1"]
+    )
+    fin_wait_2 = chart.state("FinWait2", entry=[f"state = {S_FIN_WAIT_2}"])
+    close_wait = chart.state("CloseWait", entry=[f"state = {S_CLOSE_WAIT}"])
+    closing = chart.state("Closing", entry=[f"state = {S_CLOSING}"])
+    last_ack = chart.state(
+        "LastAck", entry=[f"state = {S_LAST_ACK}", "snd_nxt = snd_nxt + 1"]
+    )
+    time_wait = chart.state("TimeWait", entry=[f"state = {S_TIME_WAIT}"])
+    chart.initial(closed)
+
+    seg = f"event == {EV_SEGMENT}"
+
+    # -- opening -------------------------------------------------------------
+    chart.transition(
+        closed, syn_sent, guard=f"event == {EV_ACTIVE_OPEN}", priority=1
+    )
+    chart.transition(
+        closed, listen, guard=f"event == {EV_PASSIVE_OPEN}", priority=2
+    )
+    # First handshake: a SYN arrives on a listening socket.
+    chart.transition(
+        listen, syn_rcvd,
+        guard=f"{seg} && syn && !ack && !rst",
+        actions=["rcv_nxt = seq + 1", f"snd_nxt = {ISS + 1}"],
+        priority=1,
+    )
+    chart.transition(listen, closed, guard=f"event == {EV_CLOSE}", priority=2)
+    # Second handshake (active side): SYN+ACK acknowledging our SYN.
+    chart.transition(
+        syn_sent, established,
+        guard=f"{seg} && syn && ack && ackno == snd_nxt",
+        actions=["rcv_nxt = seq + 1"],
+        priority=1,
+    )
+    # Simultaneous open.
+    chart.transition(
+        syn_sent, syn_rcvd,
+        guard=f"{seg} && syn && !ack",
+        actions=["rcv_nxt = seq + 1"],
+        priority=2,
+    )
+    chart.transition(
+        syn_sent, closed, guard=f"{seg} && rst", priority=3
+    )
+    chart.transition(
+        syn_sent, closed, guard=f"event == {EV_CLOSE}", priority=4
+    )
+    # Third handshake (passive side): the ACK completing the handshake
+    # must acknowledge exactly our SYN (ackno == snd_nxt, state-coupled).
+    chart.transition(
+        syn_rcvd, established,
+        guard=f"{seg} && ack && !syn && ackno == snd_nxt",
+        priority=1,
+    )
+    chart.transition(
+        syn_rcvd, listen, guard=f"{seg} && rst", priority=2
+    )
+    chart.transition(
+        syn_rcvd, fin_wait_1, guard=f"event == {EV_CLOSE}", priority=3
+    )
+
+    # -- established / teardown ------------------------------------------------
+    chart.transition(
+        established, close_wait,
+        guard=f"{seg} && fin && seq == rcv_nxt",
+        actions=["rcv_nxt = rcv_nxt + 1"],
+        priority=1,
+    )
+    chart.transition(
+        established, closed, guard=f"{seg} && rst", priority=2
+    )
+    chart.transition(
+        established, fin_wait_1, guard=f"event == {EV_CLOSE}", priority=3
+    )
+    chart.transition(
+        established, established,
+        guard=f"event == {EV_SEND}",
+        actions=["snd_nxt = snd_nxt + 1"],
+        priority=4,
+    )
+    chart.transition(
+        fin_wait_1, fin_wait_2,
+        guard=f"{seg} && ack && !fin && ackno == snd_nxt",
+        priority=1,
+    )
+    chart.transition(
+        fin_wait_1, closing,
+        guard=f"{seg} && fin && !ack",
+        actions=["rcv_nxt = rcv_nxt + 1"],
+        priority=2,
+    )
+    chart.transition(
+        fin_wait_1, time_wait,
+        guard=f"{seg} && fin && ack && ackno == snd_nxt",
+        actions=["rcv_nxt = rcv_nxt + 1"],
+        priority=3,
+    )
+    chart.transition(
+        fin_wait_2, time_wait,
+        guard=f"{seg} && fin && seq == rcv_nxt",
+        actions=["rcv_nxt = rcv_nxt + 1"],
+        priority=1,
+    )
+    chart.transition(
+        close_wait, last_ack, guard=f"event == {EV_CLOSE}", priority=1
+    )
+    chart.transition(
+        closing, time_wait,
+        guard=f"{seg} && ack && ackno == snd_nxt",
+        priority=1,
+    )
+    chart.transition(
+        last_ack, closed,
+        guard=f"{seg} && ack && ackno == snd_nxt",
+        priority=1,
+    )
+    chart.transition(
+        time_wait, closed, guard=f"event == {EV_TIMEOUT}", priority=1
+    )
+    # Reset tears down everything past the handshake.
+    for state in (fin_wait_1, fin_wait_2, close_wait, closing, last_ack):
+        chart.transition(
+            state, closed, guard=f"{seg} && rst", priority=9
+        )
+    return chart
+
+
+def build_tcp() -> CompiledModel:
+    b = ModelBuilder("TCP")
+    event = b.inport("event", INT, 0, 7)
+    syn = b.inport("syn", BOOL)
+    ack = b.inport("ack", BOOL)
+    fin = b.inport("fin", BOOL)
+    rst = b.inport("rst", BOOL)
+    seq = b.inport("seq", INT, 0, 255)
+    ackno = b.inport("ackno", INT, 0, 255)
+
+    b.data_store("rx_segments", INT, 0)
+    b.data_store("bad_segments", INT, 0)
+
+    chart = b.add_chart(
+        _tcp_chart(),
+        {
+            "event": event, "syn": syn, "ack": ack, "fin": fin,
+            "rst": rst, "seq": seq, "ackno": ackno,
+        },
+        name="fsm",
+    )
+    state = chart["state"]
+    snd_nxt = chart["snd_nxt"]
+    rcv_nxt = chart["rcv_nxt"]
+
+    # ---- segment sanity checking ------------------------------------------------
+    is_segment = b.compare(event, "==", EV_SEGMENT, name="is_segment")
+    syn_fin = b.logic("and", syn, fin, name="syn_fin_both")
+    rst_syn = b.logic("and", rst, syn, name="rst_syn_both")
+    malformed = b.logic("or", syn_fin, rst_syn, name="malformed")
+    bad_seg = b.logic("and", is_segment, malformed, name="bad_segment")
+    rx_old = b.store_read("rx_segments")
+    bad_old = b.store_read("bad_segments")
+    b.store_write(
+        "rx_segments",
+        b.switch(is_segment, b.add(rx_old, b.const(1)), rx_old),
+    )
+    b.store_write(
+        "bad_segments",
+        b.switch(bad_seg, b.add(bad_old, b.const(1)), bad_old),
+    )
+
+    # ---- in-window check for data segments -----------------------------------------
+    in_order = b.compare(seq, "==", rcv_nxt, name="seq_in_order")
+    established = b.compare(state, "==", S_ESTABLISHED, name="is_established")
+    acceptable = b.logic(
+        "and", is_segment, established, in_order, name="acceptable_data"
+    )
+    deliver = b.switch(acceptable, seq, b.const(-1), name="deliver_seq")
+
+    # ---- retransmission bookkeeping ---------------------------------------------
+    awaiting = b.logic(
+        "or",
+        b.compare(state, "==", S_SYN_SENT),
+        b.compare(state, "==", S_FIN_WAIT_1),
+        b.compare(state, "==", S_LAST_ACK),
+        name="awaiting_ack",
+    )
+    timeout_now = b.compare(event, "==", EV_TIMEOUT, name="is_timeout")
+    retx_event = b.logic("and", awaiting, timeout_now, name="retx_event")
+    retx_in = b.switch(retx_event, b.const(1.0), b.const(0.0), name="retx_pulse")
+    retx = b.integrator(retx_in, gain=1.0, lo=0.0, hi=5.0, name="retx_count")
+    give_up = b.compare(retx, ">=", 3.0, name="give_up")
+
+    # ---- receive-window classification ------------------------------------------
+    # In-order / within-window / stale / far-future, relative to rcv_nxt.
+    offset = b.fcn(
+        "(s - r + 256) % 256", s=(seq, INT), r=(b.cast(rcv_nxt, INT), INT),
+        name="seq_offset",
+    )
+    off_int = b.cast(offset, INT, name="seq_offset_i")
+    window_class = b.multiport(
+        b.fcn("ite(o == 0, 0, ite(o < 32, 1, ite(o > 224, 2, 3)))",
+              o=(off_int, INT), name="window_bucket"),
+        cases=[
+            (0, b.const(0)),   # exactly in order
+            (1, b.const(1)),   # inside the receive window
+            (2, b.const(2)),   # stale duplicate (wrapped behind)
+        ],
+        default=b.const(3),    # far future
+        name="window_class",
+    )
+
+    # ---- keep-alive supervision ----------------------------------------------------
+    quiet_step = b.logic(
+        "and",
+        b.compare(event, "==", EV_NONE),
+        b.compare(state, "==", S_ESTABLISHED),
+        name="idle_established",
+    )
+    idle_in = b.switch(quiet_step, b.const(2.0), b.const(0.0), name="idle_pulse")
+    idle_count = b.integrator(idle_in, gain=1.0, lo=0.0, hi=8.0, name="idle_count")
+    keepalive_due = b.compare(idle_count, ">=", 4.0, name="keepalive_due")
+    probe = b.switch(keepalive_due, b.const(1), b.const(0), name="probe_out")
+
+    # ---- output segment builder ------------------------------------------------------
+    sends_syn = b.logic(
+        "or",
+        b.compare(state, "==", S_SYN_SENT),
+        b.compare(state, "==", S_SYN_RCVD),
+        name="sends_syn",
+    )
+    sends_fin = b.logic(
+        "or",
+        b.compare(state, "==", S_FIN_WAIT_1),
+        b.compare(state, "==", S_LAST_ACK),
+        b.compare(state, "==", S_CLOSING),
+        name="sends_fin",
+    )
+    quiet = b.logic(
+        "or",
+        b.compare(state, "==", S_CLOSED),
+        b.compare(state, "==", S_LISTEN),
+        name="is_quiet",
+    )
+    out_flags = b.switch(
+        quiet, b.const(0),
+        b.switch(
+            sends_syn, b.const(1),
+            b.switch(sends_fin, b.const(2), b.const(4)),
+            name="flag_inner",
+        ),
+        name="flag_sel",
+    )
+    out_seq = b.switch(
+        give_up, b.const(-1), b.cast(snd_nxt, INT), name="out_seq_sel"
+    )
+
+    b.outport("state", state)
+    b.outport("out_flags", out_flags)
+    b.outport("out_seq", out_seq)
+    b.outport("deliver", deliver)
+    b.outport("rx_count", b.store_read("rx_segments", current=True))
+    b.outport("bad_count", b.store_read("bad_segments", current=True))
+    b.outport("window_class", window_class)
+    b.outport("probe", probe)
+    return b.compile()

@@ -1,0 +1,235 @@
+"""TWC: train wheel speed controller.
+
+Wheel-slip protection plus speed regulation:
+
+* a slip chart (Normal → SlipDetected → SlipControl → Recovery, with an
+  EmergencyBrake state entered after repeated slip episodes; an episode
+  counter lives in chart locals),
+* a PI speed controller with anti-windup, torque rate limiting and
+  direction handling,
+* brake blending selected by a quantized brake-demand level (multiport
+  switch),
+* sanding control activated during slip recovery at low adhesion.
+
+This model deliberately contains **dead logic** (like the paper found in
+the real TWC): two switch branches whose conditions compare a saturated
+signal against values outside the saturation range can never fire, so no
+tool can reach 100% decision coverage here.
+"""
+
+from __future__ import annotations
+
+from repro.expr.types import INT, REAL
+from repro.model.builder import ModelBuilder
+from repro.model.graph import CompiledModel
+from repro.stateflow.spec import ChartSpec
+
+SLIP_ON = 0.12  # slip ratio that triggers detection
+SLIP_OFF = 0.05  # slip ratio considered recovered
+EPISODE_LIMIT = 3  # slip episodes before emergency braking
+
+MODE_NORMAL = 0
+MODE_DETECTED = 1
+MODE_CONTROL = 2
+MODE_RECOVERY = 3
+MODE_EMERGENCY = 4
+
+
+def _slip_chart() -> ChartSpec:
+    chart = ChartSpec("twc_slip")
+    chart.input("slip", REAL, -1.0, 2.0)
+    chart.input("speed", REAL, 0.0, 350.0)
+    chart.input("brake", REAL, 0.0, 1.0)
+    chart.output("mode", INT, MODE_NORMAL)
+    chart.output("torque_scale_pct", INT, 100)
+    chart.local("episodes", INT, 0)
+    chart.local("hold", INT, 0)
+
+    normal = chart.state(
+        "Normal", entry=["mode = 0", "torque_scale_pct = 100"]
+    )
+    detected = chart.state(
+        "Detected",
+        entry=["mode = 1", "episodes = episodes + 1", "hold = 0"],
+    )
+    control = chart.state(
+        "Control",
+        entry=["mode = 2", "torque_scale_pct = 40"],
+        during=["hold = hold + 1"],
+    )
+    recovery = chart.state(
+        "Recovery",
+        entry=["mode = 3", "torque_scale_pct = 70"],
+        during=["hold = hold + 1"],
+    )
+    emergency = chart.state(
+        "Emergency", entry=["mode = 4", "torque_scale_pct = 0"]
+    )
+    chart.initial(normal)
+
+    chart.transition(normal, detected, guard=f"slip > {SLIP_ON}", priority=1)
+    chart.transition(
+        detected, emergency, guard=f"episodes >= {EPISODE_LIMIT}", priority=1
+    )
+    # Always true in practice (brake is bounded), but not structurally
+    # constant: the solver re-proves the not-taken side infeasible on every
+    # state — the "perpetually false branch" waste the paper discusses.
+    chart.transition(detected, control, guard="brake <= 1.0", priority=2)
+    chart.transition(
+        control, recovery, guard=f"slip < {SLIP_OFF} && hold >= 2", priority=1
+    )
+    chart.transition(
+        control, emergency, guard="speed > 320.0 && brake < 0.1", priority=2
+    )
+    chart.transition(
+        recovery, normal, guard=f"hold >= 3 && slip < {SLIP_OFF}", priority=1
+    )
+    chart.transition(recovery, detected, guard=f"slip > {SLIP_ON}", priority=2)
+    chart.transition(
+        emergency, normal, guard="speed < 5.0 && brake > 0.8", priority=1
+    )
+    return chart
+
+
+def build_twc() -> CompiledModel:
+    b = ModelBuilder("TWC")
+    target = b.inport("target_speed", REAL, 0.0, 300.0)
+    wheel = b.inport("wheel_speed", REAL, 0.0, 350.0)
+    train = b.inport("train_speed", REAL, 0.0, 300.0)
+    brake = b.inport("brake_demand", REAL, 0.0, 1.0)
+    grade = b.inport("track_grade", REAL, -5.0, 5.0)
+
+    # ---- slip estimation --------------------------------------------------
+    denom = b.max(train, b.const(1.0), name="slip_denom")
+    slip = b.div(b.sub(wheel, train), denom, name="slip_ratio")
+
+    chart = b.add_chart(
+        _slip_chart(),
+        {"slip": slip, "speed": wheel, "brake": brake},
+        name="slip_chart",
+    )
+    mode = chart["mode"]
+    scale_pct = chart["torque_scale_pct"]
+
+    # ---- PI speed control with anti-windup --------------------------------
+    error = b.sub(target, train, name="speed_error")
+    coasting = b.compare(brake, ">", 0.05, name="is_braking")
+    i_input = b.switch(coasting, b.const(0.0), error, name="integrator_gate")
+    integral = b.integrator(i_input, gain=0.2, lo=-50.0, hi=50.0, name="pi_i")
+    saturating = b.compare(b.abs(integral), ">=", 30.0, name="windup_near")
+    i_term = b.switch(
+        saturating, b.gain(integral, 0.5), integral, name="antiwindup"
+    )
+    p_term = b.gain(error, 0.8, name="pi_p")
+    raw_torque = b.add(p_term, i_term, name="raw_torque")
+
+    # Grade compensation from a lookup table.
+    comp = b.lookup(
+        grade,
+        breakpoints=[-5.0, -2.0, 0.0, 2.0, 5.0],
+        values=[-20.0, -8.0, 0.0, 8.0, 20.0],
+        name="grade_comp",
+    )
+    compensated = b.add(raw_torque, comp, name="compensated")
+
+    # Apply the chart's torque scaling.
+    scaled = b.mul(
+        compensated, b.div(b.cast(scale_pct, REAL), b.const(100.0)),
+        name="scaled_torque",
+    )
+    limited = b.rate_limit(scaled, up=15.0, down=25.0, name="torque_slew")
+    torque = b.saturate(limited, -120.0, 120.0, name="torque_clamp")
+
+    # ---- brake blending: quantized demand level selects the blend ---------
+    level = b.cast(b.gain(brake, 4.999), INT, name="brake_level")
+    blend = b.multiport(
+        level,
+        cases=[
+            (0, b.const(0.0)),
+            (1, b.gain(brake, 40.0)),
+            (2, b.gain(brake, 80.0)),
+            (3, b.gain(brake, 120.0)),
+        ],
+        default=b.const(120.0),
+        name="brake_blend",
+    )
+    emergency = b.compare(mode, "==", MODE_EMERGENCY, name="is_emergency")
+    brake_force = b.switch(emergency, b.const(150.0), blend, name="brake_sel")
+
+    # ---- sanding: slip recovery at meaningful speed ------------------------
+    in_recovery = b.compare(mode, "==", MODE_RECOVERY, name="in_recovery")
+    moving = b.compare(train, ">", 10.0, name="is_moving")
+    sander = b.logic("and", in_recovery, moving, name="sander_on")
+    sand_cmd = b.switch(sander, b.const(1), b.const(0), name="sand_cmd")
+
+    # ---- traction cutoff conditions ----------------------------------------
+    overspeed = b.compare(wheel, ">", 330.0, name="overspeed")
+    heavy_brake = b.compare(brake, ">", 0.9, name="heavy_brake")
+    cutoff = b.logic("or", overspeed, heavy_brake, emergency, name="cutoff")
+    applied = b.switch(cutoff, b.const(0.0), torque, name="torque_cut")
+
+    # ---- per-axle torque distribution --------------------------------------
+    # Four axles share the applied torque; grade shifts the front/rear
+    # split, and any axle whose share exceeds the per-axle limit is
+    # clipped and flagged.
+    downhill = b.compare(grade, "<", -1.0, name="is_downhill")
+    uphill = b.compare(grade, ">", 1.0, name="is_uphill")
+    front_bias = b.switch(
+        downhill, b.const(0.35),
+        b.switch(uphill, b.const(0.15), b.const(0.25), name="bias_inner"),
+        name="front_bias",
+    )
+    axle_flags = b.const(0)
+    axle0_out = None
+    for axle in range(4):
+        if axle < 2:
+            bias = front_bias
+        else:
+            bias = b.sub(b.const(0.5), front_bias, name=f"rear_bias{axle}")
+        share = b.mul(applied, bias, name=f"axle{axle}_share")
+        clipped = b.compare(b.abs(share), ">", 35.0, name=f"axle{axle}_over")
+        axle_out = b.switch(
+            clipped,
+            b.saturate(share, -35.0, 35.0, name=f"axle{axle}_sat"),
+            share,
+            name=f"axle{axle}_clip",
+        )
+        axle_flags = b.switch(
+            clipped, b.add(axle_flags, b.const(1)), axle_flags,
+            name=f"axle{axle}_flag",
+        )
+        if axle == 0:
+            axle0_out = axle_out
+
+    # ---- adhesion class from the grade (banded ladder) -----------------------
+    grade_band = b.cast(b.bias(b.gain(grade, 0.4), 2.0), INT, name="grade_band")
+    adhesion_pct = b.multiport(
+        grade_band,
+        cases=[
+            (0, b.const(80)),
+            (1, b.const(95)),
+            (2, b.const(100)),
+            (3, b.const(92)),
+        ],
+        default=b.const(75),
+        name="adhesion_class",
+    )
+
+    # ---- DEAD LOGIC (intentional): saturated signal vs impossible bounds ---
+    sat_speed = b.saturate(wheel, 0.0, 350.0, name="speed_sat")
+    impossible_hi = b.compare(sat_speed, ">", 400.0, name="dead_hi")
+    dead1 = b.switch(impossible_hi, b.const(1), b.const(0), name="dead_switch1")
+    sat_brake = b.saturate(brake, 0.0, 1.0, name="brake_sat")
+    impossible_lo = b.compare(sat_brake, "<", -0.5, name="dead_lo")
+    dead2 = b.switch(impossible_lo, b.const(1), b.const(0), name="dead_switch2")
+    diag = b.add(dead1, dead2, name="diag_code")
+
+    b.outport("torque", applied)
+    b.outport("brake_force", brake_force)
+    b.outport("sand", sand_cmd)
+    b.outport("mode", mode)
+    b.outport("diag", diag)
+    b.outport("axle0", axle0_out)
+    b.outport("axle_flags", axle_flags)
+    b.outport("adhesion", adhesion_pct)
+    return b.compile()

@@ -1,0 +1,217 @@
+"""UTPC: underwater thruster power control.
+
+Power management for an ROV thruster:
+
+* a battery-management chart (Normal → Low → Critical, plus a Charging
+  state with hysteresis and a debounce counter so single voltage dips do
+  not trip the state),
+* a thermal-derate ladder: an over-temperature accumulator drives a
+  multiport derate-level selector,
+* thrust command conditioning: deadband, depth-dependent power ceiling
+  from a lookup table, soft-start rate limiting, and a reversal interlock
+  that only permits a direction change once the previous output has
+  decayed near zero (internal state of the rate limiter — a branch that
+  needs history by construction),
+* an enable/trip ladder combining all protections.
+"""
+
+from __future__ import annotations
+
+from repro.expr.types import BOOL, INT, REAL
+from repro.model.builder import ModelBuilder
+from repro.model.graph import CompiledModel
+from repro.stateflow.spec import ChartSpec
+
+BATT_NORMAL = 0
+BATT_LOW = 1
+BATT_CRITICAL = 2
+BATT_CHARGING = 3
+
+LOW_VOLTS = 44.0
+CRITICAL_VOLTS = 38.0
+RECOVER_VOLTS = 48.0
+DEBOUNCE = 1
+
+
+def _battery_chart() -> ChartSpec:
+    chart = ChartSpec("utpc_battery")
+    chart.input("volts", REAL, 30.0, 60.0)
+    chart.input("charger", BOOL)
+    chart.output("batt_state", INT, BATT_NORMAL)
+    chart.output("batt_limit_pct", INT, 100)
+    chart.local("dips", INT, 0)
+
+    normal = chart.state(
+        "Normal",
+        entry=["batt_state = 0", "batt_limit_pct = 100"],
+        during=[f"dips = ite(volts < {LOW_VOLTS}, dips + 1, 0)"],
+    )
+    low = chart.state(
+        "Low",
+        entry=["batt_state = 1", "batt_limit_pct = 60", "dips = 0"],
+        during=[f"dips = ite(volts < {CRITICAL_VOLTS}, dips + 1, 0)"],
+    )
+    critical = chart.state(
+        "Critical", entry=["batt_state = 2", "batt_limit_pct = 20"]
+    )
+    charging = chart.state(
+        "Charging", entry=["batt_state = 3", "batt_limit_pct = 0"]
+    )
+    chart.initial(normal)
+
+    chart.transition(normal, charging, guard="charger", priority=1)
+    chart.transition(
+        normal, low, guard=f"dips >= {DEBOUNCE}", priority=2
+    )
+    chart.transition(low, charging, guard="charger", priority=1)
+    chart.transition(low, critical, guard=f"dips >= {DEBOUNCE}", priority=2)
+    chart.transition(
+        low, normal, guard=f"volts > {RECOVER_VOLTS}", priority=3,
+        actions=["dips = 0"],
+    )
+    chart.transition(critical, charging, guard="charger", priority=1)
+    chart.transition(
+        charging, normal, guard=f"!charger && volts > {RECOVER_VOLTS}",
+        priority=1,
+    )
+    return chart
+
+
+def build_utpc() -> CompiledModel:
+    b = ModelBuilder("UTPC")
+    depth = b.inport("depth", REAL, 0.0, 500.0)
+    cmd = b.inport("thrust_cmd", REAL, -100.0, 100.0)
+    volts = b.inport("battery_v", REAL, 30.0, 60.0)
+    temp = b.inport("motor_temp", REAL, -5.0, 120.0)
+    charger = b.inport("charger", BOOL)
+    enable = b.inport("enable", BOOL)
+    arm_cmd = b.inport("arm_cmd", INT, 0, 3)
+    arm_code = b.inport("arm_code", INT, 0, 8191)
+
+    # ---- arming handshake: a challenge/response needle --------------------
+    # An arm *request* stores a challenge derived from the supplied code; the
+    # following *confirm* must quote challenge+37 (mod 8192) exactly.  Random
+    # search hits the response with probability 1/8192 per confirm; the
+    # state-aware solver reads the stored challenge as a constant and solves
+    # the equality immediately — the paper's "add data first, then operate
+    # with matching values" pattern in arithmetic form.
+    b.data_store("challenge", INT, 0)
+    b.data_store("armed", INT, 0)
+    challenge = b.store_read("challenge")
+    armed_old = b.store_read("armed")
+    sc_arm = b.switch_case(arm_cmd, cases=[[1], [2], [3]], has_default=True,
+                           name="arm_dispatch")
+    with sc_arm.case(0):  # request: latch a new challenge
+        with b.scope("arm_req"):
+            b.store_write("challenge", b.fcn(
+                "(c * 3 + 11) % 8192", c=(arm_code, INT)))
+            req_ack = b.sub_output(b.const(1), init=0)
+    with sc_arm.case(1):  # confirm: must quote challenge + 37 mod 256
+        with b.scope("arm_ok"):
+            expected = b.fcn("(c + 37) % 8192", c=(challenge, INT))
+            good = b.compare(arm_code, "==", expected, name="code_match")
+            b.store_write("armed", b.switch(good, b.const(1), armed_old))
+            confirm_ack = b.sub_output(
+                b.switch(good, b.const(1), b.const(0)), init=0
+            )
+    with sc_arm.case(2):  # disarm
+        with b.scope("arm_off"):
+            b.store_write("armed", b.const(0))
+            disarm_ack = b.sub_output(b.const(1), init=0)
+    with sc_arm.default():
+        with b.scope("arm_idle"):
+            idle_ack = b.sub_output(b.const(0), init=0)
+    armed = b.compare(b.store_read("armed", current=True), "==", 1,
+                      name="is_armed")
+
+    battery = b.add_chart(
+        _battery_chart(), {"volts": volts, "charger": charger}, name="battery"
+    )
+    batt_state = battery["batt_state"]
+    batt_limit = battery["batt_limit_pct"]
+
+    # ---- thermal derate ladder ------------------------------------------------
+    hot = b.compare(temp, ">", 85.0, name="is_hot")
+    heat_in = b.switch(hot, b.const(3.0), b.const(-2.0), name="heat_flow")
+    heat = b.integrator(heat_in, gain=1.0, lo=0.0, hi=10.0, name="heat_acc")
+    heat_band = b.cast(b.gain(heat, 0.3), INT, name="heat_band")
+    derate_pct = b.multiport(
+        heat_band,
+        cases=[
+            (0, b.const(100)),
+            (1, b.const(75)),
+            (2, b.const(50)),
+        ],
+        default=b.const(25),
+        name="thermal_derate",
+    )
+
+    # ---- depth-dependent ceiling -------------------------------------------------
+    ceiling = b.lookup(
+        depth,
+        breakpoints=[0.0, 50.0, 150.0, 300.0, 500.0],
+        values=[100.0, 95.0, 80.0, 60.0, 40.0],
+        name="depth_ceiling",
+    )
+
+    # ---- command conditioning ------------------------------------------------------
+    small = b.compare(b.abs(cmd), "<", 5.0, name="in_deadband")
+    shaped = b.switch(small, b.const(0.0), cmd, name="deadband")
+
+    # Combined power limit in percent.
+    limit_pct = b.min(
+        b.cast(batt_limit, REAL),
+        b.cast(derate_pct, REAL),
+        ceiling,
+        name="limit_pct",
+    )
+    bounded = b.saturate(
+        b.mul(shaped, b.gain(limit_pct, 0.01)), -100.0, 100.0, name="bounded"
+    )
+
+    # ---- reversal interlock: direction change only near zero output ------------
+    soft = b.rate_limit(bounded, up=25.0, down=25.0, name="soft_start")
+    # Direction of the request vs the current (rate-limited) output.
+    req_fwd = b.compare(shaped, ">", 0.0, name="req_forward")
+    out_fwd = b.compare(soft, ">", 0.0, name="out_forward")
+    out_small = b.compare(b.abs(soft), "<", 15.0, name="out_near_zero")
+    opposing = b.logic("xor", req_fwd, out_fwd, name="direction_flip")
+    blocked = b.logic(
+        "and", opposing, b.logic_not(out_small), name="reversal_blocked"
+    )
+    interlocked = b.switch(blocked, b.const(0.0), soft, name="interlock")
+
+    # ---- trip ladder -----------------------------------------------------------
+    critical_batt = b.compare(batt_state, "==", BATT_CRITICAL, name="batt_crit")
+    charging_now = b.compare(batt_state, "==", BATT_CHARGING, name="batt_chg")
+    overheat = b.compare(heat, ">=", 9.0, name="overheat_trip")
+    tripped = b.logic(
+        "or", charging_now, overheat, b.logic_not(enable), name="tripped"
+    )
+    derated_hard = b.switch(
+        critical_batt, b.gain(interlocked, 0.2), interlocked, name="crit_derate"
+    )
+    gated = b.switch(armed, derated_hard, b.const(0.0), name="arm_gate")
+    output = b.switch(tripped, b.const(0.0), gated, name="trip_cut")
+
+    # ---- telemetry -----------------------------------------------------------------
+    power_est = b.mul(b.abs(output), b.gain(volts, 0.02), name="power_est")
+    over_budget = b.compare(power_est, ">", 90.0, name="over_budget")
+    alarm = b.logic(
+        "or", over_budget, critical_batt, overheat, name="alarm"
+    )
+    alarm_code = b.switch(
+        alarm,
+        b.switch(overheat, b.const(3),
+                 b.switch(critical_batt, b.const(2), b.const(1))),
+        b.const(0),
+        name="alarm_code",
+    )
+
+    b.outport("thrust_out", output)
+    b.outport("batt_state", batt_state)
+    b.outport("alarm", alarm_code)
+    b.outport("limit_pct", limit_pct)
+    b.outport("armed", b.store_read("armed", current=True, name="armed_out"))
+    b.outport("arm_acks", b.add(req_ack, confirm_ack, disarm_ack, idle_ack))
+    return b.compile()

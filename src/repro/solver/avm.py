@@ -1,0 +1,186 @@
+"""Alternating Variable Method search over a branch-distance objective.
+
+AVM (Korel 1990) is a local search that optimizes one variable at a time:
+first probing +/- one step ("exploratory moves"), then accelerating in the
+improving direction with geometrically growing steps ("pattern moves").
+Combined with random restarts it is a strong baseline for the piecewise
+linear branch-distance landscapes produced by control models.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.expr.types import BOOL, INT
+from repro.solver.box import Box
+from repro.solver.interval import Interval
+from repro.solver.sampler import clamp_to_domain, sample_point
+
+Objective = Callable[[Dict[str, object]], float]
+
+#: Real-valued variables get exploratory passes at these base step sizes.
+REAL_STEPS = (1.0, 0.1, 0.01)
+
+
+@dataclass
+class AvmResult:
+    """Outcome of an AVM run."""
+
+    env: Dict[str, object]
+    distance: float
+    evaluations: int
+    restarts: int = 0
+
+    @property
+    def satisfied(self) -> bool:
+        return self.distance == 0.0
+
+
+@dataclass
+class _Budget:
+    max_evaluations: int
+    deadline: Optional[Callable[[], bool]] = None
+    used: int = field(default=0)
+
+    def spend(self) -> bool:
+        """Consume one evaluation; returns False once exhausted."""
+        self.used += 1
+        if self.used > self.max_evaluations:
+            return False
+        if self.deadline is not None and self.deadline():
+            return False
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        if self.used >= self.max_evaluations:
+            return True
+        return self.deadline is not None and self.deadline()
+
+
+class AvmSearch:
+    """Reusable AVM searcher for a fixed objective and box."""
+
+    def __init__(
+        self,
+        objective: Objective,
+        box: Box,
+        rng: random.Random,
+        max_evaluations: int = 2000,
+        deadline: Optional[Callable[[], bool]] = None,
+    ):
+        self._objective = objective
+        self._box = box
+        self._rng = rng
+        self._budget = _Budget(max_evaluations, deadline)
+        self._names: List[str] = [name for name, _ in box]
+
+    # -- public ----------------------------------------------------------------
+
+    def run(self, start: Optional[Dict[str, object]] = None) -> AvmResult:
+        """Search from ``start`` (random if omitted), restarting until budget."""
+        best_env = dict(start) if start is not None else sample_point(self._box, self._rng)
+        best_dist = self._evaluate(best_env)
+        restarts = 0
+        current_env, current_dist = dict(best_env), best_dist
+        while best_dist > 0.0 and not self._budget.exhausted:
+            current_env, current_dist = self._climb(current_env, current_dist)
+            if current_dist < best_dist:
+                best_env, best_dist = dict(current_env), current_dist
+            if best_dist == 0.0 or self._budget.exhausted:
+                break
+            # Local optimum: random restart.
+            restarts += 1
+            current_env = sample_point(self._box, self._rng)
+            current_dist = self._evaluate(current_env)
+            if current_dist < best_dist:
+                best_env, best_dist = dict(current_env), current_dist
+        return AvmResult(best_env, best_dist, self._budget.used, restarts)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _evaluate(self, env: Dict[str, object]) -> float:
+        if not self._budget.spend():
+            return math.inf
+        return self._objective(env)
+
+    def _climb(self, env: Dict[str, object], dist: float):
+        """One full alternating pass until no variable improves."""
+        improved = True
+        while improved and dist > 0.0 and not self._budget.exhausted:
+            improved = False
+            order = list(self._names)
+            self._rng.shuffle(order)
+            for name in order:
+                env, dist, moved = self._optimize_variable(env, dist, name)
+                if moved:
+                    improved = True
+                if dist == 0.0 or self._budget.exhausted:
+                    return env, dist
+        return env, dist
+
+    def _optimize_variable(self, env: Dict[str, object], dist: float, name: str):
+        var = self._box.var(name)
+        domain = self._box.domain(name)
+        if var.ty is BOOL:
+            return self._flip_boolean(env, dist, name)
+        steps = (1.0,) if var.ty is INT else REAL_STEPS
+        moved_any = False
+        for step in steps:
+            env, dist, moved = self._pattern_search(env, dist, name, step, domain, var.ty is INT)
+            moved_any = moved_any or moved
+            if dist == 0.0 or self._budget.exhausted:
+                break
+        return env, dist, moved_any
+
+    def _flip_boolean(self, env: Dict[str, object], dist: float, name: str):
+        trial = dict(env)
+        trial[name] = not bool(env[name])
+        trial_dist = self._evaluate(trial)
+        if trial_dist < dist:
+            return trial, trial_dist, True
+        return env, dist, False
+
+    def _pattern_search(
+        self,
+        env: Dict[str, object],
+        dist: float,
+        name: str,
+        step: float,
+        domain: Interval,
+        is_int: bool,
+    ):
+        """Exploratory probe then geometric acceleration along one variable."""
+        direction = 0
+        for sign in (+1, -1):
+            trial, trial_dist = self._probe(env, name, sign * step, domain, is_int)
+            if trial_dist < dist:
+                env, dist = trial, trial_dist
+                direction = sign
+                break
+        if direction == 0:
+            return env, dist, False
+        # Pattern moves: double the step while it keeps improving.
+        scale = 2.0
+        while not self._budget.exhausted:
+            trial, trial_dist = self._probe(
+                env, name, direction * step * scale, domain, is_int
+            )
+            if trial_dist < dist:
+                env, dist = trial, trial_dist
+                scale *= 2.0
+            else:
+                break
+        return env, dist, True
+
+    def _probe(self, env, name, delta, domain, is_int):
+        trial = dict(env)
+        base = float(env[name])
+        value = clamp_to_domain(base + delta, domain, is_int)
+        trial[name] = int(value) if is_int else value
+        if trial[name] == env[name]:
+            return trial, math.inf
+        return trial, self._evaluate(trial)

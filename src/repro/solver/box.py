@@ -1,0 +1,92 @@
+"""Variable boxes: per-variable interval domains used by the contractor."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.expr.ast import Var
+from repro.expr.types import BOOL, INT
+from repro.solver.interval import Interval
+
+#: Fallback domain for variables that declare no bounds.
+DEFAULT_LO = -1.0e9
+DEFAULT_HI = 1.0e9
+
+
+class Box:
+    """A mapping from variable name to interval, tracking the variable types.
+
+    The box starts from each variable's declared ``lo``/``hi`` bounds (or a
+    wide default) and is narrowed by contraction.  Booleans are clamped to
+    ``[0, 1]`` and integers to whole numbers.
+    """
+
+    def __init__(self, variables: Iterable[Var]):
+        self._vars: Dict[str, Var] = {}
+        self._domains: Dict[str, Interval] = {}
+        for var in variables:
+            if var.name in self._vars:
+                continue
+            if not var.ty.is_scalar:
+                raise ValueError(
+                    f"solver box requires scalar variables, got {var.name!r}: {var.ty!r}"
+                )
+            self._vars[var.name] = var
+            self._domains[var.name] = _initial_domain(var)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def variables(self) -> Mapping[str, Var]:
+        return self._vars
+
+    def domain(self, name: str) -> Interval:
+        return self._domains[name]
+
+    def var(self, name: str) -> Var:
+        return self._vars[name]
+
+    @property
+    def is_empty(self) -> bool:
+        return any(domain.is_empty for domain in self._domains.values())
+
+    def snapshot(self) -> Dict[str, Interval]:
+        return dict(self._domains)
+
+    def __iter__(self):
+        return iter(self._domains.items())
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    # -- updates ----------------------------------------------------------------
+
+    def narrow(self, name: str, interval: Interval) -> bool:
+        """Intersect a variable's domain; returns True if it changed."""
+        var = self._vars[name]
+        current = self._domains[name]
+        refined = current.intersect(interval)
+        if var.ty is INT or var.ty is BOOL:
+            refined = refined.round_to_int()
+        if refined == current:
+            return False
+        self._domains[name] = refined
+        return True
+
+    def total_width(self) -> float:
+        return sum(d.width for d in self._domains.values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._domains.items()))
+        return f"Box({inner})"
+
+
+def _initial_domain(var: Var) -> Interval:
+    if var.ty is BOOL:
+        return Interval(0.0, 1.0)
+    lo = DEFAULT_LO if var.lo is None else float(var.lo)
+    hi = DEFAULT_HI if var.hi is None else float(var.hi)
+    interval = Interval(lo, hi)
+    if var.ty is INT:
+        interval = interval.round_to_int()
+    return interval

@@ -1,0 +1,406 @@
+"""HC4-style forward/backward interval contraction over constraint trees.
+
+The contractor narrows a :class:`~repro.solver.box.Box` of input domains so
+that every solution of the constraint stays inside the box.  An empty box
+after contraction is therefore a *proof of unsatisfiability*; a non-empty box
+guides the sampling and AVM stages.
+
+The implementation is deliberately conservative: operators it cannot invert
+(stores, selects with symbolic indices, XOR, multiplication across zero)
+simply do not contract, which keeps soundness trivially intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.expr import ast
+from repro.expr.ast import Binary, Const, Expr, Ite, Select, Store, Unary, Var
+from repro.solver.box import Box
+from repro.solver.interval import (
+    BOOL_FALSE,
+    BOOL_TRUE,
+    BOOL_UNKNOWN,
+    Interval,
+)
+
+#: Contraction fixpoint iteration cap.
+MAX_PASSES = 12
+
+
+class Contractor:
+    """Runs forward/backward contraction passes for a fixed constraint."""
+
+    def __init__(self, constraint: Expr):
+        self._constraint = constraint
+        self._forward: Dict[int, Optional[Interval]] = {}
+
+    def contract(self, box: Box) -> bool:
+        """Narrow ``box`` in place.
+
+        Returns ``False`` when the constraint is proven unsatisfiable over
+        the box (the box is left empty), ``True`` otherwise.
+        """
+        for _ in range(MAX_PASSES):
+            self._forward = {}
+            root = self._eval(self._constraint, box)
+            if root is not None and root.definitely_false:
+                _empty_out(box)
+                return False
+            changed = self._backward(self._constraint, BOOL_TRUE, box)
+            if box.is_empty:
+                return False
+            if not changed:
+                break
+        return True
+
+    # ------------------------------------------------------------------
+    # Forward pass: compute an interval (or None for opaque) per node.
+    # ------------------------------------------------------------------
+
+    def _eval(self, node: Expr, box: Box) -> Optional[Interval]:
+        key = id(node)
+        if key in self._forward:
+            return self._forward[key]
+        result = self._eval_node(node, box)
+        self._forward[key] = result
+        return result
+
+    def _eval_node(self, node: Expr, box: Box) -> Optional[Interval]:
+        if isinstance(node, Const):
+            if node.ty.is_array:
+                return None
+            return Interval.point(float(node.value))
+        if isinstance(node, Var):
+            return box.domain(node.name)
+        if isinstance(node, Unary):
+            arg = self._eval(node.arg, box)
+            if arg is None:
+                return Interval.top() if node.ty.is_numeric else BOOL_UNKNOWN
+            return _forward_unary(node.op, arg)
+        if isinstance(node, Binary):
+            left = self._eval(node.left, box)
+            right = self._eval(node.right, box)
+            if left is None or right is None:
+                return BOOL_UNKNOWN if node.ty.is_bool else Interval.top()
+            return _forward_binary(node.op, left, right)
+        if isinstance(node, Ite):
+            cond = self._eval(node.cond, box)
+            then = self._eval(node.then, box)
+            orelse = self._eval(node.orelse, box)
+            if cond is not None and cond.definitely_true:
+                return then
+            if cond is not None and cond.definitely_false:
+                return orelse
+            if then is None or orelse is None:
+                return None
+            return then.hull(orelse)
+        if isinstance(node, Select):
+            if isinstance(node.array, Const):
+                values = node.array.value
+                index = self._eval(node.index, box)
+                if index is None or index.is_empty:
+                    return None
+                lo = max(0, int(index.lo))
+                hi = min(len(values) - 1, int(index.hi))
+                if lo > hi:
+                    return Interval.empty()
+                window = [float(v) for v in values[lo : hi + 1]]
+                return Interval(min(window), max(window))
+            return Interval.top() if node.ty.is_numeric else BOOL_UNKNOWN
+        if isinstance(node, Store):
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Backward pass: push a required interval down toward the variables.
+    # ------------------------------------------------------------------
+
+    def _backward(self, node: Expr, req: Interval, box: Box) -> bool:
+        if isinstance(node, Var):
+            return box.narrow(node.name, req)
+        if isinstance(node, Const):
+            return False
+        if isinstance(node, Unary):
+            return self._backward_unary(node, req, box)
+        if isinstance(node, Binary):
+            if node.op in ast.BOOL_OPS:
+                return self._backward_bool(node, req, box)
+            if node.op in ast.REL_OPS:
+                return self._backward_rel(node, req, box)
+            return self._backward_arith(node, req, box)
+        if isinstance(node, Ite):
+            cond = self._fwd(node.cond)
+            if cond is not None and cond.definitely_true:
+                return self._backward(node.then, req, box)
+            if cond is not None and cond.definitely_false:
+                return self._backward(node.orelse, req, box)
+            return False
+        return False
+
+    def _fwd(self, node: Expr) -> Optional[Interval]:
+        return self._forward.get(id(node))
+
+    def _backward_unary(self, node: Unary, req: Interval, box: Box) -> bool:
+        op = node.op
+        if op == ast.NEG:
+            return self._backward(node.arg, -req, box)
+        if op == ast.NOT:
+            if req.definitely_true:
+                return self._backward(node.arg, BOOL_FALSE, box)
+            if req.definitely_false:
+                return self._backward(node.arg, BOOL_TRUE, box)
+            return False
+        if op == ast.ABS:
+            if req.hi < 0:
+                _empty_out(box)
+                return True
+            return self._backward(node.arg, Interval(-req.hi, req.hi), box)
+        if op in (ast.FLOOR, ast.CEIL, ast.TO_INT):
+            return self._backward(node.arg, Interval(req.lo - 1.0, req.hi + 1.0), box)
+        if op == ast.TO_REAL:
+            return self._backward(node.arg, req, box)
+        if op == ast.TO_BOOL:
+            if req.definitely_false:
+                return self._backward(node.arg, Interval.point(0.0), box)
+            return False
+        return False
+
+    def _backward_bool(self, node: Binary, req: Interval, box: Box) -> bool:
+        op = node.op
+        left_fwd = self._fwd(node.left)
+        right_fwd = self._fwd(node.right)
+        changed = False
+        if req.definitely_true:
+            if op == ast.AND:
+                changed |= self._backward(node.left, BOOL_TRUE, box)
+                changed |= self._backward(node.right, BOOL_TRUE, box)
+            elif op == ast.OR:
+                if left_fwd is not None and left_fwd.definitely_false:
+                    changed |= self._backward(node.right, BOOL_TRUE, box)
+                elif right_fwd is not None and right_fwd.definitely_false:
+                    changed |= self._backward(node.left, BOOL_TRUE, box)
+            elif op == ast.IMPLIES:
+                if left_fwd is not None and left_fwd.definitely_true:
+                    changed |= self._backward(node.right, BOOL_TRUE, box)
+        elif req.definitely_false:
+            if op == ast.OR:
+                changed |= self._backward(node.left, BOOL_FALSE, box)
+                changed |= self._backward(node.right, BOOL_FALSE, box)
+            elif op == ast.AND:
+                if left_fwd is not None and left_fwd.definitely_true:
+                    changed |= self._backward(node.right, BOOL_FALSE, box)
+                elif right_fwd is not None and right_fwd.definitely_true:
+                    changed |= self._backward(node.left, BOOL_FALSE, box)
+            elif op == ast.IMPLIES:
+                changed |= self._backward(node.left, BOOL_TRUE, box)
+                changed |= self._backward(node.right, BOOL_FALSE, box)
+        return changed
+
+    def _backward_rel(self, node: Binary, req: Interval, box: Box) -> bool:
+        op = node.op
+        if req.definitely_false:
+            op = ast.REL_NEGATION[op]
+        elif not req.definitely_true:
+            return False
+        left = self._fwd(node.left)
+        right = self._fwd(node.right)
+        if left is None or right is None or left.is_empty or right.is_empty:
+            return False
+        # Strict inequalities over integer-typed operands tighten by one.
+        strict_gap = (
+            1.0
+            if node.left.ty.is_int and node.right.ty.is_int
+            and op in (ast.LT, ast.GT)
+            else 0.0
+        )
+        changed = False
+        if op in (ast.LT, ast.LE):
+            changed |= self._backward(
+                node.left, Interval(-_inf(), right.hi - strict_gap), box
+            )
+            changed |= self._backward(
+                node.right, Interval(left.lo + strict_gap, _inf()), box
+            )
+        elif op in (ast.GT, ast.GE):
+            changed |= self._backward(
+                node.left, Interval(right.lo + strict_gap, _inf()), box
+            )
+            changed |= self._backward(
+                node.right, Interval(-_inf(), left.hi - strict_gap), box
+            )
+        elif op == ast.EQ:
+            meet = left.intersect(right)
+            if meet.is_empty:
+                _empty_out(box)
+                return True
+            changed |= self._backward(node.left, meet, box)
+            changed |= self._backward(node.right, meet, box)
+        elif op == ast.NE:
+            if left.is_point and right.is_point and left.lo == right.lo:
+                _empty_out(box)
+                return True
+        return changed
+
+    def _backward_arith(self, node: Binary, req: Interval, box: Box) -> bool:
+        op = node.op
+        left = self._fwd(node.left)
+        right = self._fwd(node.right)
+        if left is None or right is None:
+            return False
+        changed = False
+        if op == ast.ADD:
+            changed |= self._backward(node.left, req - right, box)
+            changed |= self._backward(node.right, req - left, box)
+        elif op == ast.SUB:
+            changed |= self._backward(node.left, req + right, box)
+            changed |= self._backward(node.right, left - req, box)
+        elif op == ast.MUL:
+            if not right.contains(0.0):
+                changed |= self._backward(node.left, req.divide(right), box)
+            if not left.contains(0.0):
+                changed |= self._backward(node.right, req.divide(left), box)
+        elif op == ast.DIV:
+            changed |= self._backward(node.left, req * right, box)
+            if not req.contains(0.0):
+                changed |= self._backward(node.right, left.divide(req), box)
+        elif op == ast.MIN:
+            left_req = Interval(req.lo, _inf())
+            right_req = Interval(req.lo, _inf())
+            if right.lo > req.hi:
+                left_req = req
+            if left.lo > req.hi:
+                right_req = req
+            changed |= self._backward(node.left, left_req, box)
+            changed |= self._backward(node.right, right_req, box)
+        elif op == ast.MAX:
+            left_req = Interval(-_inf(), req.hi)
+            right_req = Interval(-_inf(), req.hi)
+            if right.hi < req.lo:
+                left_req = req
+            if left.hi < req.lo:
+                right_req = req
+            changed |= self._backward(node.left, left_req, box)
+            changed |= self._backward(node.right, right_req, box)
+        # IDIV / MOD: no backward contraction (forward bounds only).
+        return changed
+
+
+def _forward_unary(op: str, arg: Interval) -> Interval:
+    if op == ast.NEG:
+        return -arg
+    if op == ast.NOT:
+        if arg.definitely_true:
+            return BOOL_FALSE
+        if arg.definitely_false:
+            return BOOL_TRUE
+        return BOOL_UNKNOWN
+    if op == ast.ABS:
+        return arg.absolute()
+    if op == ast.FLOOR:
+        return arg.floor()
+    if op == ast.CEIL:
+        return arg.ceil()
+    if op == ast.TO_INT:
+        return arg.trunc()
+    if op == ast.TO_REAL:
+        return arg
+    if op == ast.TO_BOOL:
+        if arg.is_point and arg.lo == 0.0:
+            return BOOL_FALSE
+        if not arg.contains(0.0):
+            return BOOL_TRUE
+        return BOOL_UNKNOWN
+    return Interval.top()
+
+
+def _forward_binary(op: str, left: Interval, right: Interval) -> Interval:
+    if left.is_empty or right.is_empty:
+        return Interval.empty()
+    if op == ast.ADD:
+        return left + right
+    if op == ast.SUB:
+        return left - right
+    if op == ast.MUL:
+        return left * right
+    if op == ast.DIV:
+        return left.divide(right)
+    if op == ast.IDIV:
+        return left.divide(right).trunc()
+    if op == ast.MOD:
+        bound = max(abs(right.lo), abs(right.hi))
+        return Interval(-bound, bound)
+    if op == ast.MIN:
+        return left.minimum(right)
+    if op == ast.MAX:
+        return left.maximum(right)
+    if op == ast.LT:
+        if left.hi < right.lo:
+            return BOOL_TRUE
+        if left.lo >= right.hi:
+            return BOOL_FALSE
+        return BOOL_UNKNOWN
+    if op == ast.LE:
+        if left.hi <= right.lo:
+            return BOOL_TRUE
+        if left.lo > right.hi:
+            return BOOL_FALSE
+        return BOOL_UNKNOWN
+    if op == ast.GT:
+        if left.lo > right.hi:
+            return BOOL_TRUE
+        if left.hi <= right.lo:
+            return BOOL_FALSE
+        return BOOL_UNKNOWN
+    if op == ast.GE:
+        if left.lo >= right.hi:
+            return BOOL_TRUE
+        if left.hi < right.lo:
+            return BOOL_FALSE
+        return BOOL_UNKNOWN
+    if op == ast.EQ:
+        if left.is_point and right.is_point and left.lo == right.lo:
+            return BOOL_TRUE
+        if left.intersect(right).is_empty:
+            return BOOL_FALSE
+        return BOOL_UNKNOWN
+    if op == ast.NE:
+        if left.is_point and right.is_point and left.lo == right.lo:
+            return BOOL_FALSE
+        if left.intersect(right).is_empty:
+            return BOOL_TRUE
+        return BOOL_UNKNOWN
+    if op == ast.AND:
+        if left.definitely_false or right.definitely_false:
+            return BOOL_FALSE
+        if left.definitely_true and right.definitely_true:
+            return BOOL_TRUE
+        return BOOL_UNKNOWN
+    if op == ast.OR:
+        if left.definitely_true or right.definitely_true:
+            return BOOL_TRUE
+        if left.definitely_false and right.definitely_false:
+            return BOOL_FALSE
+        return BOOL_UNKNOWN
+    if op == ast.XOR:
+        if left.is_point and right.is_point:
+            return BOOL_TRUE if (left.lo > 0) != (right.lo > 0) else BOOL_FALSE
+        return BOOL_UNKNOWN
+    if op == ast.IMPLIES:
+        if left.definitely_false or right.definitely_true:
+            return BOOL_TRUE
+        if left.definitely_true and right.definitely_false:
+            return BOOL_FALSE
+        return BOOL_UNKNOWN
+    return Interval.top()
+
+
+def _empty_out(box: Box) -> None:
+    """Mark the box empty by emptying one domain (used for proven conflicts)."""
+    for name, _ in box:
+        box.narrow(name, Interval.empty())
+        break
+
+
+def _inf() -> float:
+    return float("inf")

@@ -1,0 +1,201 @@
+"""Closed-interval arithmetic for the contraction-based solver stage.
+
+Intervals are over the extended reals; booleans are encoded as the interval
+``[0, 1]`` (``[1, 1]`` definitely true, ``[0, 0]`` definitely false).
+Operations are conservative: the result interval always contains every value
+producible from operand values, which keeps the contractor sound (an empty
+contracted box proves unsatisfiability).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; ``lo > hi`` denotes the empty set."""
+
+    lo: float
+    hi: float
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        value = float(value)
+        return Interval(value, value)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(-INF, INF)
+
+    @staticmethod
+    def empty() -> "Interval":
+        return _EMPTY
+
+    @staticmethod
+    def boolean() -> "Interval":
+        return Interval(0.0, 1.0)
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    @property
+    def width(self) -> float:
+        if self.is_empty:
+            return 0.0
+        return self.hi - self.lo
+
+    # As a boolean lattice value.
+    @property
+    def definitely_true(self) -> bool:
+        return not self.is_empty and self.lo > 0.0
+
+    @property
+    def definitely_false(self) -> bool:
+        return not self.is_empty and self.hi <= 0.0
+
+    # -- set operations -------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return _EMPTY
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return _EMPTY
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def round_to_int(self) -> "Interval":
+        """Tighten to the integers contained in the interval."""
+        if self.is_empty:
+            return self
+        lo = self.lo if math.isinf(self.lo) else math.ceil(self.lo - 1e-9)
+        hi = self.hi if math.isinf(self.hi) else math.floor(self.hi + 1e-9)
+        if lo > hi:
+            return _EMPTY
+        return Interval(float(lo), float(hi))
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return _EMPTY
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return _EMPTY
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def __neg__(self) -> "Interval":
+        if self.is_empty:
+            return _EMPTY
+        return Interval(-self.hi, -self.lo)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return _EMPTY
+        products = [
+            _mul(self.lo, other.lo),
+            _mul(self.lo, other.hi),
+            _mul(self.hi, other.lo),
+            _mul(self.hi, other.hi),
+        ]
+        return Interval(min(products), max(products))
+
+    def divide(self, other: "Interval") -> "Interval":
+        """Conservative division; divisor straddling zero yields top."""
+        if self.is_empty or other.is_empty:
+            return _EMPTY
+        if other.contains(0.0):
+            return Interval.top()
+        quotients = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ]
+        return Interval(min(quotients), max(quotients))
+
+    def minimum(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return _EMPTY
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def maximum(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return _EMPTY
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def absolute(self) -> "Interval":
+        if self.is_empty:
+            return _EMPTY
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return -self
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def floor(self) -> "Interval":
+        if self.is_empty:
+            return _EMPTY
+        lo = self.lo if math.isinf(self.lo) else math.floor(self.lo)
+        hi = self.hi if math.isinf(self.hi) else math.floor(self.hi)
+        return Interval(float(lo), float(hi))
+
+    def ceil(self) -> "Interval":
+        if self.is_empty:
+            return _EMPTY
+        lo = self.lo if math.isinf(self.lo) else math.ceil(self.lo)
+        hi = self.hi if math.isinf(self.hi) else math.ceil(self.hi)
+        return Interval(float(lo), float(hi))
+
+    def trunc(self) -> "Interval":
+        """C-style truncation toward zero."""
+        if self.is_empty:
+            return _EMPTY
+        lo = self.lo if math.isinf(self.lo) else float(math.trunc(self.lo))
+        hi = self.hi if math.isinf(self.hi) else float(math.trunc(self.hi))
+        return Interval(lo, hi)
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "Interval(empty)"
+        return f"Interval({self.lo}, {self.hi})"
+
+
+def _mul(a: float, b: float) -> float:
+    """Multiplication with 0 * inf = 0 (the conservative choice here)."""
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+_EMPTY = Interval(1.0, -1.0)
+
+#: Boolean lattice constants.
+BOOL_TRUE = Interval(1.0, 1.0)
+BOOL_FALSE = Interval(0.0, 0.0)
+BOOL_UNKNOWN = Interval(0.0, 1.0)

@@ -1,0 +1,75 @@
+"""Disjunction splitting for the solver pipeline.
+
+Interval contraction is weak on disjunctions (``a == 5 || b == 7`` narrows
+nothing), and branch-distance search can get stuck between basins.  The
+splitter decomposes an NNF constraint's top-level OR structure into
+individual conjunctive cases, bounded by :data:`MAX_CASES`; the engine then
+contracts/solves each case separately:
+
+* any SAT case is a SAT verdict for the whole constraint,
+* all cases UNSAT is a *proof* of unsatisfiability,
+* otherwise the engine falls back to whole-constraint search.
+
+Distribution is shallow — only ORs reachable from the root through other
+ORs/ANDs are split, never ORs nested under arithmetic — which keeps the
+case count small and the cases themselves conjunction-shaped (exactly what
+HC4 contraction handles well).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.expr import ast
+from repro.expr.ast import Binary, Expr
+from repro.expr import ops as x
+
+#: Cap on produced cases; constraints that would exceed it are not split.
+MAX_CASES = 16
+
+
+def split_cases(nnf_constraint: Expr, max_cases: int = MAX_CASES) -> List[Expr]:
+    """Decompose an NNF constraint into disjunctive cases.
+
+    Returns a list of constraints whose disjunction is equivalent to the
+    input.  A single-element list means the constraint had no usable OR
+    structure (or splitting would exceed ``max_cases``).
+    """
+    cases = _split(nnf_constraint, max_cases)
+    if cases is None:
+        return [nnf_constraint]
+    return cases
+
+
+def _split(node: Expr, budget: int) -> Optional[List[Expr]]:
+    """Return disjunctive cases of ``node`` or None if over budget."""
+    if isinstance(node, Binary):
+        if node.op == ast.OR:
+            left = _split(node.left, budget)
+            if left is None:
+                return None
+            right = _split(node.right, budget - len(left))
+            if right is None:
+                return None
+            combined = left + right
+            if len(combined) > budget:
+                return None
+            return combined
+        if node.op == ast.AND:
+            left = _split(node.left, budget)
+            right = _split(node.right, budget)
+            if left is None or right is None:
+                return None
+            if len(left) * len(right) > budget:
+                # Distribute only if the product stays small; otherwise keep
+                # the AND intact on the larger side.
+                if len(left) == 1 or len(right) == 1:
+                    pass  # product == max(len), fine
+                else:
+                    return None
+            return [
+                x.land(a, b)
+                for a in left
+                for b in right
+            ]
+    return [node]

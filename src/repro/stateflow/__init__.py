@@ -1,0 +1,6 @@
+"""Stateflow-like hierarchical state machines embedded as chart blocks."""
+
+from repro.stateflow.chart import ChartBlock
+from repro.stateflow.spec import ChartSpec, StateDef, TransitionDef, extract_atoms
+
+__all__ = ["ChartBlock", "ChartSpec", "StateDef", "TransitionDef", "extract_atoms"]

@@ -1,0 +1,324 @@
+"""Chart specifications: states, transitions, guards and actions.
+
+A :class:`ChartSpec` declares a Stateflow-like state machine:
+
+* typed inputs, outputs and local variables (outputs and locals are chart
+  state — the paper's M/ML category — and persist between steps),
+* states, optionally nested one or more levels under parent states; only
+  leaf states are *locations* the chart can occupy,
+* prioritized transitions with guard expressions and assignment actions in
+  the text DSL (:mod:`repro.expr.parser`),
+* entry actions per state and during actions executed when no transition
+  fires.
+
+Step semantics (documented simplification of Stateflow):
+
+1. candidate transitions are the active leaf's outgoing transitions in
+   priority order, then its ancestors' (outer transitions yield to inner),
+2. the first transition whose guard holds fires: its actions run, then the
+   target's entry actions (entering a composite state descends into its
+   initial child, running entry actions along the way),
+3. if none fires, the active leaf's during actions run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ChartError
+from repro.expr import ops as x
+from repro.expr.ast import Binary, Const, Expr, Ite, Unary, Var
+from repro.expr import ast as east
+from repro.expr.parser import parse_expr
+from repro.expr.types import BOOL, Type
+
+
+@dataclass
+class ChartVariable:
+    """A declared chart input/output/local."""
+
+    name: str
+    ty: Type
+    init: object = None
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    role: str = "local"  # input | output | local
+
+    def var(self) -> Var:
+        return Var(self.name, self.ty, self.lo, self.hi)
+
+
+@dataclass
+class Assignment:
+    """One ``target = expression`` action."""
+
+    target: str
+    expr: Expr
+    text: str
+
+
+@dataclass
+class StateDef:
+    """A chart state; ``parent`` nests it inside a composite state."""
+
+    name: str
+    index: int
+    parent: Optional["StateDef"] = None
+    children: List["StateDef"] = field(default_factory=list)
+    initial_child: Optional["StateDef"] = None
+    entry: List[Assignment] = field(default_factory=list)
+    during: List[Assignment] = field(default_factory=list)
+    #: leaf location index; -1 for composite states.
+    location: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def depth(self) -> int:
+        level = 0
+        node = self.parent
+        while node is not None:
+            level += 1
+            node = node.parent
+        return level
+
+    def ancestors(self) -> List["StateDef"]:
+        chain = []
+        node = self.parent
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    def __repr__(self) -> str:
+        return f"StateDef({self.name!r})"
+
+
+@dataclass
+class TransitionDef:
+    """A guarded transition between states."""
+
+    index: int
+    source: StateDef
+    target: StateDef
+    guard: Expr
+    guard_text: str
+    actions: List[Assignment]
+    priority: int
+
+    def __repr__(self) -> str:
+        return (
+            f"Transition({self.source.name}->{self.target.name}, "
+            f"[{self.guard_text}])"
+        )
+
+
+class ChartSpec:
+    """Builder/spec for one chart."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.variables: Dict[str, ChartVariable] = {}
+        self.states: Dict[str, StateDef] = {}
+        self.transitions: List[TransitionDef] = []
+        self._root_initial: Optional[StateDef] = None
+        self._state_count = 0
+        self._leaves: List[StateDef] = []
+
+    # -- variables -----------------------------------------------------------
+
+    def input(self, name: str, ty: Type, lo=None, hi=None) -> None:
+        self._declare(ChartVariable(name, ty, None, lo, hi, "input"))
+
+    def output(self, name: str, ty: Type, init) -> None:
+        self._declare(ChartVariable(name, ty, init, role="output"))
+
+    def local(self, name: str, ty: Type, init) -> None:
+        self._declare(ChartVariable(name, ty, init, role="local"))
+
+    def _declare(self, variable: ChartVariable) -> None:
+        if variable.name in self.variables:
+            raise ChartError(f"chart variable {variable.name!r} declared twice")
+        self.variables[variable.name] = variable
+
+    @property
+    def input_names(self) -> List[str]:
+        return [v.name for v in self.variables.values() if v.role == "input"]
+
+    @property
+    def output_names(self) -> List[str]:
+        return [v.name for v in self.variables.values() if v.role == "output"]
+
+    @property
+    def local_names(self) -> List[str]:
+        return [v.name for v in self.variables.values() if v.role == "local"]
+
+    # -- states -----------------------------------------------------------------
+
+    def state(
+        self,
+        name: str,
+        parent: Optional[StateDef] = None,
+        entry: Sequence[str] = (),
+        during: Sequence[str] = (),
+    ) -> StateDef:
+        if name in self.states:
+            raise ChartError(f"state {name!r} declared twice")
+        state = StateDef(name, self._state_count, parent)
+        self._state_count += 1
+        self.states[name] = state
+        if parent is not None:
+            parent.children.append(state)
+        state.entry = [self._assignment(text) for text in entry]
+        state.during = [self._assignment(text) for text in during]
+        return state
+
+    def initial(self, state: StateDef, of: Optional[StateDef] = None) -> None:
+        """Mark the initial (sub)state of the chart or of a composite state."""
+        if of is None:
+            if state.parent is not None:
+                raise ChartError("chart initial state must be top-level")
+            self._root_initial = state
+        else:
+            if state.parent is not of:
+                raise ChartError(
+                    f"{state.name!r} is not a child of {of.name!r}"
+                )
+            of.initial_child = state
+
+    # -- transitions ----------------------------------------------------------------
+
+    def transition(
+        self,
+        source: StateDef,
+        target: StateDef,
+        guard: str = "true",
+        actions: Sequence[str] = (),
+        priority: int = 0,
+    ) -> TransitionDef:
+        guard_expr = parse_expr(guard, self._symbols())
+        if not guard_expr.ty.is_bool:
+            raise ChartError(f"guard {guard!r} is not boolean")
+        transition = TransitionDef(
+            index=len(self.transitions),
+            source=source,
+            target=target,
+            guard=guard_expr,
+            guard_text=guard,
+            actions=[self._assignment(text) for text in actions],
+            priority=priority,
+        )
+        self.transitions.append(transition)
+        return transition
+
+    # -- finalize -----------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Validate and assign leaf location indices (idempotent)."""
+        if self._leaves:
+            return
+        if self._root_initial is None:
+            raise ChartError(f"chart {self.name!r} has no initial state")
+        for state in self.states.values():
+            if not state.is_leaf and state.initial_child is None:
+                raise ChartError(
+                    f"composite state {state.name!r} has no initial child"
+                )
+        for state in self.states.values():
+            if state.is_leaf:
+                state.location = len(self._leaves)
+                self._leaves.append(state)
+
+    @property
+    def leaves(self) -> List[StateDef]:
+        self.finalize()
+        return list(self._leaves)
+
+    def initial_leaf(self) -> StateDef:
+        self.finalize()
+        return self.enter_target(self._root_initial)
+
+    def enter_target(self, state: StateDef) -> StateDef:
+        """Resolve a transition target to the leaf actually entered."""
+        node = state
+        while not node.is_leaf:
+            node = node.initial_child
+        return node
+
+    def entry_chain(self, state: StateDef) -> List[StateDef]:
+        """States whose entry actions run when transitioning into ``state``."""
+        chain = [state]
+        node = state
+        while not node.is_leaf:
+            node = node.initial_child
+            chain.append(node)
+        return chain
+
+    def candidates_for(self, leaf: StateDef) -> List[TransitionDef]:
+        """Transitions evaluated while ``leaf`` is active: own first
+        (priority order), then each ancestor's."""
+        self.finalize()
+        ordered: List[TransitionDef] = []
+        for scope in [leaf] + leaf.ancestors():
+            scoped = [t for t in self.transitions if t.source is scope]
+            scoped.sort(key=lambda t: (t.priority, t.index))
+            ordered.extend(scoped)
+        return ordered
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _symbols(self) -> Dict[str, Var]:
+        return {name: var.var() for name, var in self.variables.items()}
+
+    def _assignment(self, text: str) -> Assignment:
+        if "=" not in text:
+            raise ChartError(f"action {text!r} is not an assignment")
+        target, _, rhs = text.partition("=")
+        target = target.strip()
+        if target not in self.variables:
+            raise ChartError(f"assignment to unknown variable {target!r}")
+        if self.variables[target].role == "input":
+            raise ChartError(f"cannot assign to input {target!r}")
+        expr = parse_expr(rhs.strip(), self._symbols())
+        return Assignment(target, expr, text)
+
+
+def extract_atoms(guard: Expr) -> Tuple[List[Expr], Expr]:
+    """Split a guard into condition atoms and a structure expression.
+
+    Returns ``(atoms, structure)`` where ``structure`` is the guard with
+    each atom replaced by a placeholder variable ``c{i}``.  Atoms are the
+    maximal boolean subexpressions that are not AND/OR/NOT/XOR combinations
+    (relational comparisons, boolean variables, casts).
+    """
+    atoms: List[Expr] = []
+    seen: Dict[Expr, int] = {}
+
+    def placeholder(atom: Expr) -> Expr:
+        index = seen.get(atom)
+        if index is None:
+            index = len(atoms)
+            seen[atom] = index
+            atoms.append(atom)
+        return Var(f"c{index}", BOOL)
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, Const):
+            return node
+        if isinstance(node, Binary) and node.op in (
+            east.AND,
+            east.OR,
+            east.XOR,
+            east.IMPLIES,
+        ):
+            return Binary(node.op, visit(node.left), visit(node.right), node.ty)
+        if isinstance(node, Unary) and node.op == east.NOT:
+            return Unary(east.NOT, visit(node.arg), node.ty)
+        if isinstance(node, Ite) and node.ty.is_bool and node.cond.ty.is_bool:
+            return x.ite(visit(node.cond), visit(node.then), visit(node.orelse))
+        return placeholder(node)
+
+    structure = visit(guard)
+    return atoms, structure

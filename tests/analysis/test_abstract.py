@@ -1,0 +1,197 @@
+"""Tests for interval-domain abstract interpretation and dead-branch proofs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    ABSTRACT,
+    abstract_context,
+    find_dead_branches,
+    hull,
+    input_envelope,
+    interval_eval,
+    lift,
+    state_envelope,
+)
+from repro.coverage import CoverageCollector
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.types import BOOL, INT, REAL
+from repro.model import ModelBuilder, Simulator, execute_step
+from repro.model.inputs import random_input
+from repro.solver.interval import BOOL_UNKNOWN, Interval
+
+from tests.conftest import build_counter_model, build_queue_model
+
+
+class TestLiftHull:
+    def test_lift_scalars(self):
+        assert lift(3) == Interval.point(3.0)
+        assert lift(True).definitely_true
+        assert lift(False).definitely_false
+
+    def test_lift_tuple(self):
+        lifted = lift((1, 2))
+        assert lifted == (Interval.point(1.0), Interval.point(2.0))
+
+    def test_lift_idempotent(self):
+        interval = Interval(0.0, 1.0)
+        assert lift(interval) is interval
+
+    def test_hull_scalars(self):
+        assert hull(Interval.point(1.0), Interval.point(5.0)) == Interval(1.0, 5.0)
+
+    def test_hull_arrays(self):
+        a = (Interval.point(0.0), Interval.point(1.0))
+        b = (Interval.point(2.0), Interval.point(1.0))
+        assert hull(a, b) == (Interval(0.0, 2.0), Interval.point(1.0))
+
+
+class TestAbstractOps:
+    def test_arithmetic(self):
+        result = ABSTRACT.add(Interval(0, 1), Interval(10, 20))
+        assert result == Interval(10.0, 21.0)
+
+    def test_comparison_lattice(self):
+        assert ABSTRACT.lt(Interval(0, 1), Interval(5, 9)).definitely_true
+        assert ABSTRACT.lt(Interval(5, 9), Interval(0, 1)).definitely_false
+        undecided = ABSTRACT.lt(Interval(0, 9), Interval(5, 6))
+        assert not undecided.definitely_true
+        assert not undecided.definitely_false
+
+    def test_ite_merges(self):
+        merged = ABSTRACT.ite(BOOL_UNKNOWN, Interval.point(1.0), Interval.point(9.0))
+        assert merged == Interval(1.0, 9.0)
+
+    def test_ite_definite_selects(self):
+        assert ABSTRACT.ite(lift(True), 1, 9) == Interval.point(1.0)
+        assert ABSTRACT.ite(lift(False), 1, 9) == Interval.point(9.0)
+
+    def test_select_hulls_range(self):
+        arr = (Interval.point(1.0), Interval.point(5.0), Interval.point(3.0))
+        assert ABSTRACT.select(arr, Interval(0, 1)) == Interval(1.0, 5.0)
+
+    def test_store_strong_update_at_point(self):
+        arr = (Interval.point(1.0), Interval.point(2.0))
+        stored = ABSTRACT.store(arr, Interval.point(0.0), Interval.point(9.0))
+        assert stored[0] == Interval.point(9.0)
+        assert stored[1] == Interval.point(2.0)
+
+    def test_store_weak_update_when_unknown(self):
+        arr = (Interval.point(1.0), Interval.point(2.0))
+        stored = ABSTRACT.store(arr, Interval(0, 1), Interval.point(9.0))
+        assert stored[0] == Interval(1.0, 9.0)
+        assert stored[1] == Interval(2.0, 9.0)
+
+
+class TestIntervalEval:
+    I = Var("i", INT)
+
+    def test_matches_concrete_on_points(self):
+        expr = x.add(x.mul(self.I, 3), 7)
+        result = interval_eval(expr, {"i": Interval.point(5.0)})
+        assert result == Interval.point(22.0)
+
+    @given(lo=st.integers(-20, 20), width=st.integers(0, 10),
+           probe=st.floats(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_soundness(self, lo, width, probe):
+        """Concrete results always lie inside the abstract result."""
+        from repro.expr.evaluator import evaluate
+
+        expr = x.add(x.mul(self.I, 3), x.absolute(x.sub(self.I, 4)))
+        hi = lo + width
+        concrete_i = int(lo + (hi - lo) * probe)
+        abstract = interval_eval(expr, {"i": Interval(lo, hi)})
+        concrete = evaluate(expr, {"i": concrete_i})
+        assert abstract.lo - 1e-9 <= concrete <= abstract.hi + 1e-9
+
+
+class TestEnvelope:
+    def test_envelope_contains_initial_state(self, counter_model):
+        envelope = state_envelope(counter_model)
+        count = envelope["$store.count"]
+        assert count.contains(0.0)
+
+    def test_envelope_contains_random_trajectories(self):
+        """Soundness: every concretely reachable state is inside the envelope."""
+        compiled = build_queue_model()
+        envelope = state_envelope(compiled)
+        simulator = Simulator(compiled, CoverageCollector(compiled.registry))
+        rng = random.Random(5)
+        for _ in range(60):
+            simulator.step(random_input(compiled.inports, rng))
+            for path, value in simulator.get_state().values.items():
+                abstract = envelope[path]
+                if isinstance(value, tuple):
+                    for element, itv in zip(value, abstract):
+                        assert itv.contains(float(element)), path
+                else:
+                    assert abstract.contains(float(value)), path
+
+    def test_envelope_terminates_on_unbounded_counter(self):
+        b = ModelBuilder("Grow")
+        u = b.inport("u", INT, 0, 1)
+        b.data_store("acc", INT, 0)
+        b.store_write("acc", b.add(b.store_read("acc"), u))
+        b.outport("y", b.store_read("acc"))
+        compiled = b.compile()
+        envelope = state_envelope(compiled)  # must not loop forever
+        assert envelope["$store.acc"].hi == float("inf")  # widened
+
+
+class TestDeadBranchProofs:
+    def build_with_dead_switch(self):
+        b = ModelBuilder("Dead")
+        u = b.inport("u", REAL, 0.0, 10.0)
+        clamped = b.saturate(u, 0.0, 10.0)
+        impossible = b.compare(clamped, ">", 50.0, name="impossible")
+        b.outport("y", b.switch(impossible, b.const(1), b.const(0), name="dead_sw"))
+        live = b.compare(u, ">", 5.0, name="possible")
+        b.outport("z", b.switch(live, b.const(1), b.const(0), name="live_sw"))
+        return b.compile()
+
+    def test_dead_switch_proven(self):
+        compiled = self.build_with_dead_switch()
+        dead = {branch.label for branch in find_dead_branches(compiled)}
+        assert "dead_sw:true" in dead
+
+    def test_live_switch_not_reported(self):
+        compiled = self.build_with_dead_switch()
+        dead = {branch.label for branch in find_dead_branches(compiled)}
+        assert "live_sw:true" not in dead
+        assert "live_sw:false" not in dead
+
+    def test_twc_dead_logic_proven(self):
+        from repro.models import get_benchmark
+
+        compiled = get_benchmark("TWC").build()
+        dead = {branch.label for branch in find_dead_branches(compiled)}
+        assert "dead_switch1:true" in dead
+        assert "dead_switch2:true" in dead
+
+    def test_proofs_never_claim_coverable_branches(self):
+        """Anything STCG actually covers must not be 'proven' dead."""
+        from repro.core import StcgConfig, StcgGenerator
+
+        compiled = build_queue_model()
+        dead_ids = {b.branch_id for b in find_dead_branches(compiled)}
+        generator = StcgGenerator(
+            build_queue_model(), StcgConfig(budget_s=6, seed=0)
+        )
+        generator.run()
+        covered = generator.collector.covered_branch_ids
+        assert not (dead_ids & covered)
+
+    def test_stcg_integration_skips_proven_dead(self):
+        from repro.core import StcgConfig, StcgGenerator
+        from repro.models import get_benchmark
+
+        generator = StcgGenerator(
+            get_benchmark("TWC").build(),
+            StcgConfig(budget_s=4, seed=0, prove_dead_branches=True),
+        )
+        result = generator.run()
+        assert result.stats["proven_dead"] == 3

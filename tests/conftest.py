@@ -1,0 +1,79 @@
+"""Shared fixtures: small models reused across the suite."""
+
+import random
+
+import pytest
+
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.model import ModelBuilder
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+def build_counter_model():
+    """A 2-input model with a data-store counter and a threshold switch."""
+    b = ModelBuilder("Counter")
+    tick = b.inport("tick", BOOL)
+    amount = b.inport("amount", INT, 0, 10)
+    b.data_store("count", INT, 0)
+    count = b.store_read("count")
+    new_count = b.switch(tick, b.add(count, amount), count, name="tick_gate")
+    b.store_write("count", new_count)
+    high = b.compare(new_count, ">", 15, name="is_high")
+    level = b.switch(high, b.const(2), b.const(1), name="level")
+    b.outport("level", level)
+    b.outport("count", new_count)
+    return b.compile()
+
+
+def build_queue_model(depth=3):
+    """An opcode-driven queue model (miniature CPUTask)."""
+    b = ModelBuilder("Queue")
+    op = b.inport("op", INT, 0, 3)
+    key = b.inport("key", INT, 1, 31)
+    b.data_store("keys", ArrayType(INT, depth), (0,) * depth)
+    b.data_store("used", ArrayType(INT, depth), (0,) * depth)
+    keys = b.store_read("keys")
+    used = b.store_read("used")
+    sc = b.switch_case(op, cases=[[1], [2]], has_default=True)
+    with sc.case(0):  # push into first free slot
+        free = b.const(depth)
+        for i in reversed(range(depth)):
+            is_free = b.compare(b.select(used, b.const(i), depth), "==", 0)
+            free = b.switch(is_free, b.const(i), free)
+        full = b.compare(free, "==", depth)
+        slot = b.min(free, b.const(depth - 1))
+        can = b.logic_not(full)
+        nk = b.array_update(keys, slot, key, depth)
+        nu = b.array_update(used, slot, b.const(1), depth)
+        b.store_write("keys", b.switch(can, nk, keys))
+        b.store_write("used", b.switch(can, nu, used))
+        push_ok = b.sub_output(b.switch(full, b.const(0), b.const(1)), init=0)
+    with sc.case(1):  # pop matching key
+        hit = b.const(depth)
+        for i in reversed(range(depth)):
+            u = b.compare(b.select(used, b.const(i), depth), "==", 1)
+            k = b.compare(b.select(keys, b.const(i), depth), "==", key)
+            match = b.logic("and", u, k)
+            hit = b.switch(match, b.const(i), hit)
+        miss = b.compare(hit, "==", depth)
+        slot = b.min(hit, b.const(depth - 1))
+        nu = b.array_update(used, slot, b.const(0), depth)
+        b.store_write("used", b.switch(b.logic_not(miss), nu, used))
+        pop_ok = b.sub_output(b.switch(miss, b.const(0), b.const(1)), init=0)
+    b.outport("push_ok", push_ok)
+    b.outport("pop_ok", pop_ok)
+    return b.compile()
+
+
+@pytest.fixture
+def counter_model():
+    return build_counter_model()
+
+
+@pytest.fixture
+def queue_model():
+    return build_queue_model()

@@ -1,0 +1,68 @@
+"""Tests for generation results and timeline math."""
+
+import pytest
+
+from repro.core.result import (
+    GenerationResult,
+    ORIGIN_RANDOM,
+    ORIGIN_SOLVER,
+    ORIGIN_TOOL,
+    TimelineEvent,
+)
+from repro.core.testcase import TestSuite
+from repro.coverage.collector import CoverageSummary
+
+
+def make_result(events):
+    return GenerationResult(
+        tool="T",
+        model_name="M",
+        summary=CoverageSummary(0.8, 0.7, 0.6, 8, 10),
+        suite=TestSuite("M", ["u"]),
+        timeline=[TimelineEvent(*e) for e in events],
+    )
+
+
+class TestCoverageAt:
+    def test_empty_timeline(self):
+        result = make_result([])
+        assert result.coverage_at(100.0) == 0.0
+
+    def test_step_function(self):
+        result = make_result(
+            [(1.0, 0.3, ORIGIN_SOLVER), (5.0, 0.7, ORIGIN_RANDOM)]
+        )
+        assert result.coverage_at(0.5) == 0.0
+        assert result.coverage_at(1.0) == 0.3
+        assert result.coverage_at(4.9) == 0.3
+        assert result.coverage_at(5.0) == 0.7
+        assert result.coverage_at(99.0) == 0.7
+
+    def test_monotone_even_with_out_of_order_events(self):
+        result = make_result(
+            [(5.0, 0.7, ORIGIN_SOLVER), (1.0, 0.3, ORIGIN_SOLVER)]
+        )
+        assert result.coverage_at(2.0) == 0.3
+        assert result.coverage_at(6.0) == 0.7
+
+
+class TestAccessors:
+    def test_metric_properties(self):
+        result = make_result([])
+        assert result.decision == 0.8
+        assert result.condition == 0.7
+        assert result.mcdc == 0.6
+
+    def test_repr(self):
+        text = repr(make_result([]))
+        assert "T on M" in text
+        assert "80%" in text
+
+    def test_origin_constants_distinct(self):
+        assert len({ORIGIN_SOLVER, ORIGIN_RANDOM, ORIGIN_TOOL}) == 3
+
+
+class TestTimelineEventFields:
+    def test_new_branches_default(self):
+        event = TimelineEvent(1.0, 0.5, ORIGIN_SOLVER)
+        assert event.new_branches == 0

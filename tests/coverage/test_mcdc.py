@@ -1,0 +1,121 @@
+"""Tests for masking-MCDC analysis."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.types import BOOL
+from repro.coverage.mcdc import (
+    determines,
+    independence_pairs,
+    mcdc_covered_atoms,
+    outcome_of,
+)
+from repro.coverage.registry import ConditionPoint
+
+
+def point_for(structure, n):
+    return ConditionPoint(0, "p", tuple(f"c{i}" for i in range(n)), structure)
+
+
+C = [Var(f"c{i}", BOOL) for i in range(4)]
+
+AND2 = point_for(x.land(C[0], C[1]), 2)
+OR2 = point_for(x.lor(C[0], C[1]), 2)
+XOR2 = point_for(x.lxor(C[0], C[1]), 2)
+AND3 = point_for(x.land(x.land(C[0], C[1]), C[2]), 3)
+MIXED = point_for(x.lor(x.land(C[0], C[1]), C[2]), 3)
+
+
+class TestOutcome:
+    def test_and(self):
+        assert outcome_of(AND2, (True, True)) is True
+        assert outcome_of(AND2, (True, False)) is False
+
+    def test_mixed(self):
+        assert outcome_of(MIXED, (False, False, True)) is True
+        assert outcome_of(MIXED, (True, True, False)) is True
+        assert outcome_of(MIXED, (True, False, False)) is False
+
+
+class TestDetermines:
+    def test_and_first_condition(self):
+        # c0 determines only when c1 is true.
+        assert determines(AND2, (True, True), 0)
+        assert determines(AND2, (False, True), 0)
+        assert not determines(AND2, (True, False), 0)
+
+    def test_or_masking(self):
+        # c0 determines only when c1 is false.
+        assert determines(OR2, (False, False), 0)
+        assert not determines(OR2, (False, True), 0)
+
+    def test_xor_always_determines(self):
+        for vector in itertools.product([True, False], repeat=2):
+            assert determines(XOR2, vector, 0)
+            assert determines(XOR2, vector, 1)
+
+
+class TestMcdcCoverage:
+    def test_and_minimal_set(self):
+        vectors = {(True, True), (True, False), (False, True)}
+        assert mcdc_covered_atoms(AND2, vectors) == {0, 1}
+
+    def test_and_insufficient_set(self):
+        vectors = {(True, True), (False, False)}
+        assert mcdc_covered_atoms(AND2, vectors) == set()
+
+    def test_or_minimal_set(self):
+        vectors = {(False, False), (True, False), (False, True)}
+        assert mcdc_covered_atoms(OR2, vectors) == {0, 1}
+
+    def test_and3_requires_n_plus_one(self):
+        vectors = {
+            (True, True, True),
+            (False, True, True),
+            (True, False, True),
+            (True, True, False),
+        }
+        assert mcdc_covered_atoms(AND3, vectors) == {0, 1, 2}
+
+    def test_empty_vectors(self):
+        assert mcdc_covered_atoms(AND2, set()) == set()
+
+    def test_partial_coverage(self):
+        vectors = {(True, True), (False, True)}  # only c0 flips
+        assert mcdc_covered_atoms(AND2, vectors) == {0}
+
+    def test_mixed_structure(self):
+        vectors = {
+            (True, True, False),   # outcome True via c0&c1
+            (False, True, False),  # outcome False
+            (True, False, False),  # outcome False
+            (True, False, True),   # outcome True via c2
+        }
+        covered = mcdc_covered_atoms(MIXED, vectors)
+        assert covered == {0, 1, 2}
+
+
+class TestIndependencePairs:
+    def test_pairs_witness_flip(self):
+        vectors = {(True, True), (True, False), (False, True)}
+        pairs = independence_pairs(AND2, vectors)
+        assert set(pairs) == {0, 1}
+        for index, (pos, neg) in pairs.items():
+            assert pos[index] is True
+            assert neg[index] is False
+            assert outcome_of(AND2, pos) != outcome_of(AND2, neg)
+
+
+class TestExhaustiveProperty:
+    @given(st.integers(0, 15))
+    @settings(max_examples=16, deadline=None)
+    def test_full_truth_table_covers_all_determinable(self, _):
+        """With every vector observed, every atom with a determining
+        vector pair is covered."""
+        all_vectors = set(itertools.product([True, False], repeat=3))
+        covered = mcdc_covered_atoms(MIXED, all_vectors)
+        assert covered == {0, 1, 2}

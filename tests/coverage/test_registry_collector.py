@@ -1,0 +1,171 @@
+"""Tests for the coverage registry, collector, and metric math."""
+
+import pytest
+
+from repro.errors import CoverageError
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.types import BOOL
+from repro.coverage import (
+    CoverageCollector,
+    CoverageRegistry,
+    DecisionKind,
+)
+from repro.coverage.collector import ConditionObligation
+
+
+def make_registry():
+    registry = CoverageRegistry()
+    switch = registry.register_decision(
+        "sw", DecisionKind.SWITCH, ("true", "false")
+    )
+    nested = registry.register_decision(
+        "nested", DecisionKind.SWITCH, ("true", "false"),
+        parent=switch.branches[0],
+    )
+    c0, c1 = Var("c0", BOOL), Var("c1", BOOL)
+    point = registry.register_condition_point(
+        "logic", ("a", "b"), x.land(c0, c1)
+    )
+    registry.freeze()
+    return registry, switch, nested, point
+
+
+class TestRegistry:
+    def test_branch_ids_sequential(self):
+        registry, switch, nested, _ = make_registry()
+        assert [b.branch_id for b in registry.branches] == [0, 1, 2, 3]
+
+    def test_parent_and_depth(self):
+        registry, switch, nested, _ = make_registry()
+        child = nested.branches[0]
+        assert child.parent is switch.branches[0]
+        assert child.depth == 1
+        assert child.ancestors() == [switch.branches[0]]
+
+    def test_extra_depth(self):
+        registry = CoverageRegistry()
+        decision = registry.register_decision(
+            "t", DecisionKind.TRANSITION, ("taken", "not_taken"),
+            extra_depth=2,
+        )
+        assert decision.branches[0].depth == 2
+
+    def test_branches_by_depth_sorted(self):
+        registry, *_ = make_registry()
+        depths = [b.depth for b in registry.branches_by_depth()]
+        assert depths == sorted(depths)
+
+    def test_frozen_registry_rejects_registration(self):
+        registry, *_ = make_registry()
+        with pytest.raises(CoverageError):
+            registry.register_decision("x", DecisionKind.SWITCH, ("a", "b"))
+
+    def test_single_outcome_rejected(self):
+        registry = CoverageRegistry()
+        with pytest.raises(CoverageError):
+            registry.register_decision("x", DecisionKind.SWITCH, ("only",))
+
+    def test_empty_condition_point_rejected(self):
+        registry = CoverageRegistry()
+        with pytest.raises(CoverageError):
+            registry.register_condition_point("p", (), x.lift(True))
+
+    def test_labels(self):
+        registry, switch, *_ = make_registry()
+        assert switch.branches[0].label == "sw:true"
+
+
+class TestCollectorBranches:
+    def test_first_hit_is_new(self):
+        registry, switch, *_ = make_registry()
+        collector = CoverageCollector(registry)
+        assert collector.on_branch(switch.branches[0]) is True
+        assert collector.on_branch(switch.branches[0]) is False
+
+    def test_decision_coverage_fraction(self):
+        registry, switch, nested, _ = make_registry()
+        collector = CoverageCollector(registry)
+        collector.on_branch(switch.branches[0])
+        assert collector.decision_coverage() == 0.25
+
+    def test_uncovered_branches(self):
+        registry, switch, nested, _ = make_registry()
+        collector = CoverageCollector(registry)
+        collector.on_branch(switch.branches[0])
+        labels = [b.label for b in collector.uncovered_branches()]
+        assert "sw:true" not in labels
+        assert len(labels) == 3
+
+    def test_empty_registry_full_coverage(self):
+        registry = CoverageRegistry()
+        registry.freeze()
+        collector = CoverageCollector(registry)
+        assert collector.decision_coverage() == 1.0
+        assert collector.condition_coverage() == 1.0
+        assert collector.mcdc_coverage() == 1.0
+
+
+class TestCollectorConditions:
+    def test_condition_coverage_counts_outcomes(self):
+        registry, *_, point = make_registry()
+        collector = CoverageCollector(registry)
+        collector.on_condition_vector(point, (True, True))
+        # Atoms a and b each seen true only: 2 of 4 outcomes.
+        assert collector.condition_coverage() == 0.5
+        collector.on_condition_vector(point, (False, False))
+        assert collector.condition_coverage() == 1.0
+
+    def test_new_obligations_reported_once(self):
+        registry, *_, point = make_registry()
+        collector = CoverageCollector(registry)
+        first = collector.on_condition_vector(point, (True, False))
+        assert first  # value obligations for a=T, b=F, plus mcdc for b=F
+        again = collector.on_condition_vector(point, (True, False))
+        assert again == []
+
+    def test_mcdc_for_and_gate(self):
+        registry, *_, point = make_registry()
+        collector = CoverageCollector(registry)
+        # Classic minimal AND set: TT, TF, FT.
+        collector.on_condition_vector(point, (True, True))
+        collector.on_condition_vector(point, (True, False))
+        collector.on_condition_vector(point, (False, True))
+        assert collector.mcdc_coverage() == 1.0
+
+    def test_mcdc_incomplete_without_flip(self):
+        registry, *_, point = make_registry()
+        collector = CoverageCollector(registry)
+        collector.on_condition_vector(point, (True, True))
+        collector.on_condition_vector(point, (False, False))
+        # (F,F) vs (T,T): both conditions change together -> no single
+        # condition demonstrated independent.
+        assert collector.mcdc_coverage() == 0.0
+
+    def test_obligation_bookkeeping(self):
+        registry, *_, point = make_registry()
+        collector = CoverageCollector(registry)
+        total = len(collector.all_condition_obligations())
+        assert total == 8  # 2 atoms x 2 polarities x {value, mcdc}
+        collector.on_condition_vector(point, (True, True))
+        remaining = collector.unsatisfied_condition_obligations()
+        assert len(remaining) < total
+
+    def test_fork_is_independent(self):
+        registry, switch, *_ = make_registry()
+        collector = CoverageCollector(registry)
+        collector.on_branch(switch.branches[0])
+        clone = collector.fork()
+        clone.on_branch(switch.branches[1])
+        assert collector.decision_coverage() == 0.25
+        assert clone.decision_coverage() == 0.5
+
+    def test_summary(self):
+        registry, switch, *_ = make_registry()
+        collector = CoverageCollector(registry)
+        collector.on_branch(switch.branches[0])
+        summary = collector.summary()
+        assert summary.decision == 0.25
+        assert summary.covered_branches == 1
+        assert summary.total_branches == 4
+        assert set(summary.as_dict()) == {"decision", "condition", "mcdc"}

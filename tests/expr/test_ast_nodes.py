@@ -1,0 +1,104 @@
+"""Tests for AST node structural identity, traversal and error paths."""
+
+import pytest
+
+from repro.errors import ExprError
+from repro.expr import ops as x
+from repro.expr.ast import (
+    Binary,
+    Const,
+    FALSE,
+    Ite,
+    Select,
+    Store,
+    TRUE,
+    Unary,
+    Var,
+)
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+
+
+class TestStructuralIdentity:
+    def test_const_equality(self):
+        assert Const(5) == Const(5)
+        assert Const(5) != Const(6)
+        assert hash(Const(5)) == hash(Const(5))
+
+    def test_const_bool_vs_int_distinct(self):
+        # Python's True == 1, but typed constants must differ.
+        assert Const(True) != Const(1)
+
+    def test_var_identity_by_name_and_type(self):
+        assert Var("a", INT) == Var("a", INT)
+        assert Var("a", INT) != Var("a", REAL)
+        assert Var("a", INT) != Var("b", INT)
+
+    def test_var_bounds_not_part_of_identity(self):
+        assert Var("a", INT, 0, 5) == Var("a", INT, -9, 9)
+
+    def test_binary_structural(self):
+        a = x.add(Var("i", INT), 1)
+        b = x.add(Var("i", INT), 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_binary_op_matters(self):
+        i = Var("i", INT)
+        assert x.add(i, 1) != x.sub(i, 1)
+
+    def test_expr_vs_other_types(self):
+        assert Const(5).__eq__(5) is NotImplemented
+        assert (Const(5) == 5) is False
+
+    def test_nodes_usable_in_sets(self):
+        i = Var("i", INT)
+        seen = {x.add(i, 1), x.add(i, 1), x.add(i, 2)}
+        assert len(seen) == 2
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        i, j = Var("i", INT), Var("j", INT)
+        expr = x.add(x.mul(i, 2), j)
+        nodes = list(expr.walk())
+        assert nodes[0] is expr
+        names = [n.name for n in nodes if isinstance(n, Var)]
+        assert names == ["i", "j"]
+
+    def test_children_of_each_kind(self):
+        i = Var("i", INT)
+        arr = Var("a", ArrayType(INT, 3))
+        assert Const(1).children == ()
+        assert i.children == ()
+        assert len(x.neg(i).children) == 1
+        assert len(x.add(i, 1).children) == 2
+        assert len(x.ite(Var("b", BOOL), i, i + 0 if False else Const(0)).children) == 3
+        assert len(x.select(arr, i).children) == 2
+        assert len(x.store(arr, i, Const(7)).children) == 3
+
+    def test_walk_handles_deep_chains(self):
+        expr = Var("i", INT)
+        for _ in range(3000):  # far beyond the recursion limit
+            expr = Unary("neg", expr, INT)
+        assert sum(1 for _ in expr.walk()) == 3001
+
+
+class TestErrorPaths:
+    def test_const_value_on_non_const(self):
+        with pytest.raises(ExprError):
+            Var("i", INT).const_value()
+
+    def test_unknown_unary_op(self):
+        with pytest.raises(ExprError):
+            Unary("sqrt", Const(1), INT)
+
+    def test_unknown_binary_op(self):
+        with pytest.raises(ExprError):
+            Binary("pow", Const(1), Const(2), INT)
+
+    def test_shared_singletons(self):
+        assert TRUE.const_value() is True
+        assert FALSE.const_value() is False
+
+    def test_repr_renders(self):
+        assert "i + 1" in repr(x.add(Var("i", INT), 1))

@@ -1,0 +1,123 @@
+"""Tests for concrete expression evaluation."""
+
+import math
+
+import pytest
+
+from repro.errors import EvalError
+from repro.expr import ops as x
+from repro.expr.ast import Binary, Var
+from repro.expr.evaluator import Evaluator, evaluate
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+
+I = Var("i", INT)
+J = Var("j", INT)
+R = Var("r", REAL)
+B = Var("b", BOOL)
+A = Var("a", ArrayType(INT, 3))
+
+
+class TestBasicEvaluation:
+    def test_variable_lookup(self):
+        assert evaluate(I, {"i": 7}) == 7
+
+    def test_missing_variable(self):
+        with pytest.raises(EvalError):
+            evaluate(I, {})
+
+    def test_variable_coerced_to_declared_type(self):
+        assert evaluate(R, {"r": 3}) == 3.0
+        assert isinstance(evaluate(R, {"r": 3}), float)
+        assert evaluate(B, {"b": 1}) is True
+
+    @pytest.mark.parametrize(
+        "expr,env,expected",
+        [
+            (x.add(I, J), {"i": 2, "j": 3}, 5),
+            (x.sub(I, J), {"i": 2, "j": 3}, -1),
+            (x.mul(I, R), {"i": 2, "r": 1.5}, 3.0),
+            (x.div(I, J), {"i": 1, "j": 4}, 0.25),
+            (x.idiv(I, J), {"i": -7, "j": 2}, -3),
+            (x.mod(I, J), {"i": -7, "j": 2}, -1),
+            (x.minimum(I, J), {"i": 4, "j": 9}, 4),
+            (x.maximum(I, J), {"i": 4, "j": 9}, 9),
+            (x.neg(I), {"i": 5}, -5),
+            (x.absolute(I), {"i": -5}, 5),
+            (x.lt(I, J), {"i": 1, "j": 2}, True),
+            (x.ge(I, J), {"i": 1, "j": 2}, False),
+            (x.eq(I, J), {"i": 2, "j": 2}, True),
+            (x.land(B, x.lt(I, J)), {"b": True, "i": 0, "j": 1}, True),
+            (x.lor(B, x.lt(I, J)), {"b": False, "i": 5, "j": 1}, False),
+            (x.lxor(B, B), {"b": True}, False),
+            (x.lnot(B), {"b": False}, True),
+        ],
+    )
+    def test_operators(self, expr, env, expected):
+        assert evaluate(expr, env) == expected
+
+    def test_floor_ceil_to_int(self):
+        assert evaluate(x.floor(R), {"r": 2.9}) == 2
+        assert evaluate(x.ceil(R), {"r": 2.1}) == 3
+        assert evaluate(x.to_int(R), {"r": -2.9}) == -2
+
+
+class TestTotality:
+    def test_division_by_zero_saturates(self):
+        assert evaluate(x.div(I, J), {"i": 1, "j": 0}) == math.inf
+        assert evaluate(x.div(I, J), {"i": -1, "j": 0}) == -math.inf
+        assert evaluate(x.div(I, J), {"i": 0, "j": 0}) == 0.0
+
+    def test_integer_division_by_zero_is_zero(self):
+        assert evaluate(x.idiv(I, J), {"i": 5, "j": 0}) == 0
+        assert evaluate(x.mod(I, J), {"i": 5, "j": 0}) == 0
+
+
+class TestLaziness:
+    def test_ite_unselected_branch_not_evaluated(self):
+        # idiv by zero is total, so use an out-of-range select to probe.
+        bad = x.select(A, x.lift(10) if False else Var("k", INT))
+        expr = x.ite(B, x.lift(1), bad)
+        assert evaluate(expr, {"b": True, "a": (1, 2, 3), "k": 99}) == 1
+
+    def test_and_short_circuit(self):
+        bad = x.eq(x.select(A, Var("k", INT)), 0)
+        expr = x.land(B, bad)
+        assert evaluate(expr, {"b": False, "a": (1, 2, 3), "k": 99}) is False
+
+    def test_or_short_circuit(self):
+        bad = x.eq(x.select(A, Var("k", INT)), 0)
+        expr = x.lor(B, bad)
+        assert evaluate(expr, {"b": True, "a": (1, 2, 3), "k": 99}) is True
+
+
+class TestArrays:
+    def test_select(self):
+        assert evaluate(x.select(A, I), {"a": (5, 6, 7), "i": 2}) == 7
+
+    def test_select_out_of_range(self):
+        with pytest.raises(EvalError):
+            evaluate(x.select(A, I), {"a": (5, 6, 7), "i": 3})
+
+    def test_store(self):
+        stored = x.store(A, I, x.lift(42))
+        assert evaluate(stored, {"a": (5, 6, 7), "i": 1}) == (5, 42, 7)
+
+    def test_store_then_select(self):
+        expr = x.select(x.store(A, I, x.lift(42)), J)
+        assert evaluate(expr, {"a": (5, 6, 7), "i": 1, "j": 1}) == 42
+        assert evaluate(expr, {"a": (5, 6, 7), "i": 1, "j": 0}) == 5
+
+
+class TestMemoization:
+    def test_shared_subtree_evaluated_once(self):
+        shared = x.add(I, J)
+        expr = x.add(shared, shared)
+        evaluator = Evaluator({"i": 1, "j": 2})
+        assert evaluator.evaluate(expr) == 6
+        # The memo contains the shared node exactly once.
+        assert id(shared) in evaluator._memo
+
+    def test_memo_not_shared_across_instances(self):
+        expr = x.add(I, J)
+        assert evaluate(expr, {"i": 1, "j": 2}) == 3
+        assert evaluate(expr, {"i": 10, "j": 20}) == 30

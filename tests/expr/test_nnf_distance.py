@@ -1,0 +1,166 @@
+"""Tests and property tests for NNF conversion and branch distance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import ops as x
+from repro.expr.ast import Binary, Expr, Unary, Var
+from repro.expr.distance import DistanceEvaluator, branch_distance
+from repro.expr.evaluator import evaluate
+from repro.expr.nnf import to_nnf
+from repro.expr.types import BOOL, INT
+
+I = Var("i", INT, -50, 50)
+J = Var("j", INT, -50, 50)
+P = Var("p", BOOL)
+Q = Var("q", BOOL)
+
+
+class TestNnfBasics:
+    def test_push_not_through_and(self):
+        expr = to_nnf(x.lnot(x.land(P, Q)))
+        assert evaluate(expr, {"p": True, "q": False}) is True
+        assert evaluate(expr, {"p": True, "q": True}) is False
+
+    def test_push_not_through_relation(self):
+        expr = to_nnf(x.lnot(x.lt(I, J)))
+        assert isinstance(expr, Binary)
+        assert expr.op == "ge"
+
+    def test_ite_expansion(self):
+        ite = x.ite(P, x.lt(I, J), x.gt(I, J))
+        expr = to_nnf(ite)
+        for p in (True, False):
+            for i, j in ((1, 2), (2, 1), (1, 1)):
+                env = {"p": p, "i": i, "j": j}
+                assert evaluate(expr, env) == evaluate(ite, env)
+
+    def test_xor_expansion(self):
+        expr = to_nnf(x.lxor(P, Q))
+        for p in (True, False):
+            for q in (True, False):
+                assert evaluate(expr, {"p": p, "q": q}) == (p != q)
+
+    def test_negated_xor_is_equivalence(self):
+        expr = to_nnf(x.lnot(x.lxor(P, Q)))
+        for p in (True, False):
+            for q in (True, False):
+                assert evaluate(expr, {"p": p, "q": q}) == (p == q)
+
+    def test_non_bool_rejected(self):
+        from repro.errors import ExprTypeError
+
+        with pytest.raises(ExprTypeError):
+            to_nnf(I)
+
+
+# -- random boolean expression generator for property tests -----------------
+
+_atoms = st.sampled_from(
+    [P, Q, x.lt(I, J), x.ge(I, 3), x.eq(J, -5), x.ne(I, J)]
+)
+
+
+def _combine(children):
+    left, right = children
+    return st.sampled_from(["and", "or", "xor", "not"]).map(
+        lambda op: {
+            "and": x.land(left, right),
+            "or": x.lor(left, right),
+            "xor": x.lxor(left, right),
+            "not": x.lnot(left),
+        }[op]
+    )
+
+
+bool_exprs = st.recursive(
+    _atoms,
+    lambda inner: st.tuples(inner, inner).flatmap(_combine),
+    max_leaves=8,
+)
+
+envs = st.fixed_dictionaries(
+    {
+        "p": st.booleans(),
+        "q": st.booleans(),
+        "i": st.integers(-50, 50),
+        "j": st.integers(-50, 50),
+    }
+)
+
+
+class TestNnfProperties:
+    @given(expr=bool_exprs, env=envs)
+    @settings(max_examples=200, deadline=None)
+    def test_nnf_preserves_semantics(self, expr, env):
+        assert evaluate(to_nnf(expr), env) == evaluate(expr, env)
+
+    @given(expr=bool_exprs)
+    @settings(max_examples=100, deadline=None)
+    def test_nnf_has_no_negated_composites(self, expr):
+        nnf = to_nnf(expr)
+        for node in nnf.walk():
+            if isinstance(node, Unary) and node.op == "not":
+                # NOT may only wrap opaque atoms (boolean vars).
+                assert isinstance(node.arg, Var)
+
+
+class TestBranchDistance:
+    def test_zero_iff_satisfied_simple(self):
+        constraint = x.lt(I, 10)
+        assert branch_distance(constraint, {"i": 5}) == 0.0
+        assert branch_distance(constraint, {"i": 15}) > 0.0
+
+    def test_distance_decreases_toward_solution(self):
+        constraint = x.eq(I, 42)
+        d_far = branch_distance(constraint, {"i": 0})
+        d_near = branch_distance(constraint, {"i": 40})
+        assert d_near < d_far
+
+    def test_and_sums(self):
+        constraint = x.land(x.ge(I, 10), x.ge(J, 10))
+        one_violated = branch_distance(constraint, {"i": 10, "j": 0})
+        both_violated = branch_distance(constraint, {"i": 0, "j": 0})
+        assert 0 < one_violated < both_violated
+
+    def test_or_takes_minimum(self):
+        constraint = x.lor(x.ge(I, 10), x.ge(J, 10))
+        assert branch_distance(constraint, {"i": 10, "j": -50}) == 0.0
+        d = branch_distance(constraint, {"i": 8, "j": -50})
+        # Distance should reflect the nearer disjunct (i side).
+        assert 0 < d <= 2.0
+
+    def test_boolean_atom_distance(self):
+        assert branch_distance(P, {"p": True}) == 0.0
+        assert branch_distance(P, {"p": False}) > 0.0
+
+    def test_ne_distance(self):
+        constraint = x.ne(I, 5)
+        assert branch_distance(constraint, {"i": 6}) == 0.0
+        assert branch_distance(constraint, {"i": 5}) > 0.0
+
+    def test_failure_distance_on_error(self):
+        from repro.expr.distance import FAILURE_DISTANCE
+
+        arr = Var("a", __import__("repro.expr.types", fromlist=["ArrayType"]).ArrayType(INT, 2))
+        constraint = x.eq(x.select(arr, I), 0)
+        # Index out of range -> failure distance, not an exception.
+        assert (
+            branch_distance(constraint, {"a": (1, 2), "i": 9})
+            == FAILURE_DISTANCE
+        )
+
+    @given(expr=bool_exprs, env=envs)
+    @settings(max_examples=200, deadline=None)
+    def test_zero_distance_iff_satisfied(self, expr, env):
+        distance = branch_distance(expr, env)
+        satisfied = evaluate(expr, env)
+        if satisfied:
+            assert distance == 0.0
+        else:
+            assert distance > 0.0
+
+    def test_reusable_evaluator(self):
+        evaluator = DistanceEvaluator(to_nnf(x.lt(I, 0)))
+        assert evaluator.distance({"i": -1}) == 0.0
+        assert evaluator.distance({"i": 1}) > 0.0

@@ -1,0 +1,259 @@
+"""Tests for the smart constructors: folding, identities, type checking."""
+
+import pytest
+
+from repro.errors import ExprTypeError
+from repro.expr import ops as x
+from repro.expr.ast import Binary, Const, Ite, Select, Store, Unary, Var
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+
+I = Var("i", INT, -10, 10)
+J = Var("j", INT, -10, 10)
+R = Var("r", REAL)
+B = Var("b", BOOL)
+C = Var("c", BOOL)
+
+
+class TestLift:
+    def test_plain_values(self):
+        assert x.lift(3).const_value() == 3
+        assert x.lift(True).ty is BOOL
+        assert x.lift(2.5).ty is REAL
+
+    def test_expr_passthrough(self):
+        assert x.lift(I) is I
+
+
+class TestArithmeticFolding:
+    @pytest.mark.parametrize(
+        "fn,a,b,expected",
+        [
+            (x.add, 2, 3, 5),
+            (x.sub, 7, 3, 4),
+            (x.mul, 4, 5, 20),
+            (x.div, 7, 2, 3.5),
+            (x.idiv, 7, 2, 3),
+            (x.idiv, -7, 2, -3),
+            (x.mod, 7, 3, 1),
+            (x.mod, -7, 3, -1),
+            (x.minimum, 3, 8, 3),
+            (x.maximum, 3, 8, 8),
+        ],
+    )
+    def test_constant_fold(self, fn, a, b, expected):
+        result = fn(a, b)
+        assert isinstance(result, Const)
+        assert result.const_value() == expected
+
+    def test_add_zero_identity(self):
+        assert x.add(I, 0) is I
+        assert x.add(0, I) is I
+
+    def test_sub_zero_identity(self):
+        assert x.sub(I, 0) is I
+
+    def test_mul_one_identity(self):
+        assert x.mul(I, 1) is I
+        assert x.mul(1, I) is I
+
+    def test_mul_zero_annihilates(self):
+        assert x.mul(I, 0).const_value() == 0
+
+    def test_div_produces_real(self):
+        assert x.div(I, J).ty is REAL
+
+    def test_idiv_produces_int(self):
+        assert x.idiv(R, 2).ty is INT if x.idiv(x.to_int(R), 2).ty is INT else True
+        assert x.idiv(I, J).ty is INT
+
+    def test_type_widening(self):
+        assert x.add(I, R).ty is REAL
+        assert x.add(I, J).ty is INT
+
+    def test_bool_operand_rejected(self):
+        with pytest.raises(ExprTypeError):
+            x.add(B, 1)
+
+    def test_neg_double_cancels(self):
+        assert x.neg(x.neg(I)) is I
+
+    def test_neg_folds(self):
+        assert x.neg(5).const_value() == -5
+
+    def test_abs_folds(self):
+        assert x.absolute(-4).const_value() == 4
+
+    def test_saturate_builds_minmax(self):
+        result = x.saturate(I, 0, 5)
+        assert result.ty is INT
+        from repro.expr.evaluator import evaluate
+
+        assert evaluate(result, {"i": 9}) == 5
+        assert evaluate(result, {"i": -3}) == 0
+        assert evaluate(result, {"i": 2}) == 2
+
+
+class TestCasts:
+    def test_to_int_truncates_toward_zero(self):
+        assert x.to_int(-2.7).const_value() == -2
+
+    def test_to_int_noop_on_int(self):
+        assert x.to_int(I) is I
+
+    def test_to_real_noop_on_real(self):
+        assert x.to_real(R) is R
+
+    def test_to_bool_nonzero(self):
+        assert x.to_bool(3).const_value() is True
+        assert x.to_bool(0.0).const_value() is False
+
+    def test_floor_ceil(self):
+        assert x.floor(2.7).const_value() == 2
+        assert x.ceil(2.1).const_value() == 3
+        assert x.floor(I) is I  # already integral
+
+
+class TestRelational:
+    @pytest.mark.parametrize(
+        "fn,a,b,expected",
+        [
+            (x.lt, 1, 2, True),
+            (x.le, 2, 2, True),
+            (x.gt, 1, 2, False),
+            (x.ge, 2, 2, True),
+            (x.eq, 3, 3, True),
+            (x.ne, 3, 3, False),
+        ],
+    )
+    def test_constant_fold(self, fn, a, b, expected):
+        assert fn(a, b).const_value() is expected
+
+    def test_self_comparison_folds(self):
+        assert x.le(I, I).const_value() is True
+        assert x.lt(I, I).const_value() is False
+        assert x.eq(I, I).const_value() is True
+        assert x.ne(I, I).const_value() is False
+
+    def test_result_is_bool(self):
+        assert x.lt(I, J).ty is BOOL
+
+    def test_bool_equality_allowed(self):
+        assert x.eq(B, C).ty is BOOL
+
+    def test_bool_ordering_rejected(self):
+        with pytest.raises(ExprTypeError):
+            x.lt(B, C)
+
+
+class TestBoolean:
+    def test_and_short_circuits_constants(self):
+        assert x.land(True, B) is B
+        assert x.land(False, B).const_value() is False
+        assert x.land(B, True) is B
+
+    def test_or_short_circuits_constants(self):
+        assert x.lor(False, B) is B
+        assert x.lor(True, B).const_value() is True
+
+    def test_idempotence(self):
+        assert x.land(B, B) is B
+        assert x.lor(B, B) is B
+
+    def test_not_folds(self):
+        assert x.lnot(True).const_value() is False
+
+    def test_double_negation_cancels(self):
+        assert x.lnot(x.lnot(B)) is B
+
+    def test_not_pushes_through_relation(self):
+        negated = x.lnot(x.lt(I, J))
+        assert isinstance(negated, Binary)
+        assert negated.op == "ge"
+
+    def test_xor_folds(self):
+        assert x.lxor(True, False).const_value() is True
+        assert x.lxor(True, True).const_value() is False
+
+    def test_implies_rewrites(self):
+        result = x.implies(B, C)
+        from repro.expr.evaluator import evaluate
+
+        for b in (True, False):
+            for c in (True, False):
+                assert evaluate(result, {"b": b, "c": c}) == ((not b) or c)
+
+    def test_conjoin_empty_is_true(self):
+        assert x.conjoin([]).const_value() is True
+
+    def test_disjoin_empty_is_false(self):
+        assert x.disjoin([]).const_value() is False
+
+    def test_numeric_operand_rejected(self):
+        with pytest.raises(ExprTypeError):
+            x.land(I, B)
+
+
+class TestIte:
+    def test_constant_condition_selects(self):
+        assert x.ite(True, I, J) is I
+        assert x.ite(False, I, J) is J
+
+    def test_equal_branches_collapse(self):
+        assert x.ite(B, I, I) is I
+
+    def test_bool_branches_become_logic(self):
+        # ite(c, true, b) == c || b
+        result = x.ite(B, True, C)
+        from repro.expr.evaluator import evaluate
+
+        for b in (True, False):
+            for c in (True, False):
+                assert evaluate(result, {"b": b, "c": c}) == (b or c)
+
+    def test_numeric_branches_widen(self):
+        assert x.ite(B, I, R).ty is REAL
+
+    def test_mismatched_branches_rejected(self):
+        with pytest.raises(ExprTypeError):
+            x.ite(B, I, C)
+
+    def test_non_bool_condition_rejected(self):
+        with pytest.raises(ExprTypeError):
+            x.ite(I, J, J)
+
+
+class TestArrays:
+    ARR = x.lift((10, 20, 30))
+
+    def test_select_constant(self):
+        assert x.select(self.ARR, 1).const_value() == 20
+
+    def test_select_out_of_range_rejected(self):
+        with pytest.raises(ExprTypeError):
+            x.select(self.ARR, 5)
+
+    def test_select_requires_array(self):
+        with pytest.raises(ExprTypeError):
+            x.select(I, 0)
+
+    def test_store_constant_folds(self):
+        stored = x.store(self.ARR, 1, 99)
+        assert stored.const_value() == (10, 99, 30)
+
+    def test_select_of_store_same_index(self):
+        stored = x.store(self.ARR, x.lift(1), Var("v", INT))
+        assert x.select(stored, 1).name == "v"
+
+    def test_select_of_store_different_index(self):
+        stored = x.store(self.ARR, x.lift(1), Var("v", INT))
+        assert x.select(stored, 2).const_value() == 30
+
+    def test_symbolic_select_builds_node(self):
+        result = x.select(self.ARR, I)
+        assert isinstance(result, Select)
+        assert result.ty is INT
+
+    def test_symbolic_store_builds_node(self):
+        result = x.store(self.ARR, I, 7)
+        assert isinstance(result, Store)
+        assert result.ty == ArrayType(INT, 3)

@@ -1,0 +1,187 @@
+"""Tests for the expression DSL parser."""
+
+import pytest
+
+from repro.errors import ExprParseError
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.evaluator import evaluate
+from repro.expr.parser import parse_expr
+from repro.expr.printer import to_string
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+
+SYMBOLS = {
+    "a": Var("a", INT, -100, 100),
+    "b": Var("b", INT, -100, 100),
+    "r": Var("r", REAL),
+    "p": Var("p", BOOL),
+    "q": Var("q", BOOL),
+    "arr": Var("arr", ArrayType(INT, 4)),
+}
+
+
+def run(text, **env):
+    return evaluate(parse_expr(text, SYMBOLS), env)
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert run("42") == 42
+
+    def test_float(self):
+        assert run("2.5") == 2.5
+
+    def test_leading_dot_float(self):
+        assert run(".5") == 0.5
+
+    def test_booleans(self):
+        assert run("true") is True
+        assert run("false") is False
+
+
+class TestPrecedence:
+    def test_mul_before_add(self):
+        assert run("2 + 3 * 4") == 14
+
+    def test_parentheses(self):
+        assert run("(2 + 3) * 4") == 20
+
+    def test_unary_minus(self):
+        assert run("-a + 1", a=5) == -4
+
+    def test_comparison_after_arithmetic(self):
+        assert run("a + 1 < b * 2", a=1, b=2) is True
+
+    def test_and_before_or(self):
+        # p || q && false  ==  p || (q && false)
+        assert run("p || q && false", p=True, q=True) is True
+        assert run("p || q && false", p=False, q=True) is False
+
+    def test_not_binds_tight(self):
+        assert run("!p && q", p=False, q=True) is True
+
+    def test_ternary(self):
+        assert run("a > 0 ? 10 : 20", a=1) == 10
+        assert run("a > 0 ? 10 : 20", a=-1) == 20
+
+    def test_nested_ternary(self):
+        text = "a > 0 ? 1 : a < 0 ? -1 : 0"
+        assert run(text, a=5) == 1
+        assert run(text, a=-5) == -1
+        assert run(text, a=0) == 0
+
+
+class TestOperators:
+    def test_integer_division(self):
+        assert run("7 // 2") == 3
+
+    def test_real_division(self):
+        assert run("7 / 2") == 3.5
+
+    def test_modulo(self):
+        assert run("a % 3", a=7) == 1
+
+    def test_xor(self):
+        assert run("p ^ q", p=True, q=False) is True
+
+    def test_implies(self):
+        assert run("p => q", p=True, q=False) is False
+        assert run("p => q", p=False, q=False) is True
+
+    @pytest.mark.parametrize("op,expected", [
+        ("<", True), ("<=", True), (">", False), (">=", False),
+        ("==", False), ("!=", True),
+    ])
+    def test_comparisons(self, op, expected):
+        assert run(f"a {op} b", a=1, b=2) is expected
+
+
+class TestFunctions:
+    def test_min_max(self):
+        assert run("min(a, b)", a=3, b=5) == 3
+        assert run("max(a, b)", a=3, b=5) == 5
+
+    def test_abs(self):
+        assert run("abs(a)", a=-4) == 4
+
+    def test_ite(self):
+        assert run("ite(p, a, b)", p=True, a=1, b=2) == 1
+
+    def test_sat(self):
+        assert run("sat(a, 0, 10)", a=50) == 10
+
+    def test_casts(self):
+        assert run("int(r)", r=2.9) == 2
+        assert run("real(a)", a=3) == 3.0
+        assert run("bool(a)", a=0) is False
+
+    def test_floor_ceil(self):
+        assert run("floor(r)", r=1.9) == 1
+        assert run("ceil(r)", r=1.1) == 2
+
+    def test_store_and_index(self):
+        assert run("store(arr, 1, 9)[1]", arr=(0, 0, 0, 0)) == 9
+
+    def test_array_indexing(self):
+        assert run("arr[a]", arr=(10, 20, 30, 40), a=2) == 30
+
+    def test_wrong_arity(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("min(a)", SYMBOLS)
+
+    def test_unknown_function(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("frobnicate(a)", SYMBOLS)
+
+
+class TestErrors:
+    def test_unknown_identifier(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("nope + 1", SYMBOLS)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("a + 1 )", SYMBOLS)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("(a + 1", SYMBOLS)
+
+    def test_bad_character(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("a $ b", SYMBOLS)
+
+    def test_missing_ternary_colon(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("p ? a", SYMBOLS)
+
+
+class TestCallableSymbols:
+    def test_callable_resolver(self):
+        expr = parse_expr("a + 1", lambda name: SYMBOLS.get(name))
+        assert evaluate(expr, {"a": 1}) == 2
+
+    def test_callable_returning_none(self):
+        with pytest.raises(ExprParseError):
+            parse_expr("zzz", lambda name: None)
+
+
+class TestPrinterRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "a + b * 2",
+        "(a + b) * 2",
+        "a < b && p",
+        "!p || q",
+        "min(a, b) - max(a, 1)",
+        "ite(p, a, b)",
+        "a % 3 == 1",
+        "arr[a + 1]",
+        "a // b + r",
+    ])
+    def test_round_trip_semantics(self, text):
+        """Parsing the printed form gives a semantically equal expression."""
+        expr = parse_expr(text, SYMBOLS)
+        reparsed = parse_expr(to_string(expr), SYMBOLS)
+        env = {"a": 2, "b": 3, "r": 1.5, "p": True, "q": False,
+               "arr": (9, 8, 7, 6)}
+        assert evaluate(expr, env) == evaluate(reparsed, env)

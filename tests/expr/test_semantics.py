@@ -1,0 +1,103 @@
+"""Tests for concrete operator semantics (C-style division, totality)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.expr import ast, semantics
+
+
+class TestCIdiv:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (7, 2, 3),
+            (-7, 2, -3),
+            (7, -2, -3),
+            (-7, -2, 3),
+            (0, 5, 0),
+            (5, 0, 0),  # guarded: division by zero is 0
+        ],
+    )
+    def test_cases(self, a, b, expected):
+        assert semantics.c_idiv(a, b) == expected
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_matches_c_truncation(self, a, b):
+        if b == 0:
+            assert semantics.c_idiv(a, b) == 0
+        else:
+            assert semantics.c_idiv(a, b) == int(a / b)
+
+
+class TestCMod:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1), (5, 0, 0)],
+    )
+    def test_cases(self, a, b, expected):
+        assert semantics.c_mod(a, b) == expected
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_division_identity(self, a, b):
+        """a == (a // b) * b + (a % b) for nonzero b (C identity)."""
+        if b != 0:
+            assert semantics.c_idiv(a, b) * b + semantics.c_mod(a, b) == a
+
+    @given(st.integers(-1000, 1000), st.integers(1, 1000))
+    def test_remainder_sign_follows_dividend(self, a, b):
+        r = semantics.c_mod(a, b)
+        if r != 0:
+            assert (r > 0) == (a > 0)
+
+
+class TestRealDiv:
+    def test_normal(self):
+        assert semantics.real_div(1.0, 4.0) == 0.25
+
+    def test_zero_over_zero(self):
+        assert semantics.real_div(0.0, 0.0) == 0.0
+
+    def test_positive_over_zero(self):
+        assert semantics.real_div(3.0, 0.0) == math.inf
+
+    def test_negative_over_zero(self):
+        assert semantics.real_div(-3.0, 0.0) == -math.inf
+
+
+class TestApplyUnary:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            (ast.NEG, 5, -5),
+            (ast.NOT, True, False),
+            (ast.ABS, -2.5, 2.5),
+            (ast.FLOOR, 2.7, 2),
+            (ast.CEIL, 2.2, 3),
+            (ast.TO_INT, -2.9, -2),
+            (ast.TO_REAL, 3, 3.0),
+            (ast.TO_BOOL, 0, False),
+            (ast.TO_BOOL, -1, True),
+        ],
+    )
+    def test_cases(self, op, value, expected):
+        assert semantics.apply_unary(op, value) == expected
+
+    def test_unknown_op(self):
+        from repro.errors import EvalError
+
+        with pytest.raises(EvalError):
+            semantics.apply_unary("bogus", 1)
+
+
+class TestApplyBinary:
+    def test_unknown_op(self):
+        from repro.errors import EvalError
+
+        with pytest.raises(EvalError):
+            semantics.apply_binary("bogus", 1, 2)
+
+    def test_implies(self):
+        assert semantics.apply_binary(ast.IMPLIES, True, False) is False
+        assert semantics.apply_binary(ast.IMPLIES, False, False) is True

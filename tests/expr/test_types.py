@@ -1,0 +1,132 @@
+"""Tests for the expression type system."""
+
+import pytest
+
+from repro.errors import ExprTypeError
+from repro.expr.types import (
+    ArrayType,
+    BOOL,
+    INT,
+    REAL,
+    coerce_value,
+    join_numeric,
+    type_of_value,
+)
+
+
+class TestScalarPredicates:
+    def test_bool_predicates(self):
+        assert BOOL.is_bool
+        assert not BOOL.is_numeric
+        assert BOOL.is_scalar
+
+    def test_int_predicates(self):
+        assert INT.is_int
+        assert INT.is_numeric
+        assert not INT.is_bool
+
+    def test_real_predicates(self):
+        assert REAL.is_real
+        assert REAL.is_numeric
+        assert REAL.is_scalar
+
+    def test_scalars_are_not_arrays(self):
+        for ty in (BOOL, INT, REAL):
+            assert not ty.is_array
+
+    def test_repr(self):
+        assert repr(INT) == "int"
+        assert repr(REAL) == "real"
+        assert repr(BOOL) == "bool"
+
+
+class TestArrayType:
+    def test_construction(self):
+        arr = ArrayType(INT, 4)
+        assert arr.is_array
+        assert not arr.is_scalar
+        assert arr.elem is INT
+        assert arr.length == 4
+
+    def test_repr(self):
+        assert repr(ArrayType(REAL, 3)) == "real[3]"
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ExprTypeError):
+            ArrayType(INT, 0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ExprTypeError):
+            ArrayType(INT, -1)
+
+    def test_nested_arrays_rejected(self):
+        with pytest.raises(ExprTypeError):
+            ArrayType(ArrayType(INT, 2), 2)
+
+    def test_equality(self):
+        assert ArrayType(INT, 4) == ArrayType(INT, 4)
+        assert ArrayType(INT, 4) != ArrayType(INT, 5)
+        assert ArrayType(INT, 4) != ArrayType(REAL, 4)
+
+
+class TestJoinNumeric:
+    def test_int_int(self):
+        assert join_numeric(INT, INT) is INT
+
+    def test_int_real_widens(self):
+        assert join_numeric(INT, REAL) is REAL
+        assert join_numeric(REAL, INT) is REAL
+
+    def test_real_real(self):
+        assert join_numeric(REAL, REAL) is REAL
+
+    def test_bool_rejected(self):
+        with pytest.raises(ExprTypeError):
+            join_numeric(BOOL, INT)
+
+
+class TestTypeOfValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(True, BOOL), (False, BOOL), (0, INT), (-3, INT), (1.5, REAL)],
+    )
+    def test_scalars(self, value, expected):
+        assert type_of_value(value) is expected
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; must map to BOOL.
+        assert type_of_value(True) is BOOL
+
+    def test_tuple(self):
+        assert type_of_value((1, 2, 3)) == ArrayType(INT, 3)
+        assert type_of_value((1.0, 2.0)) == ArrayType(REAL, 2)
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(ExprTypeError):
+            type_of_value(())
+
+    def test_unsupported_value(self):
+        with pytest.raises(ExprTypeError):
+            type_of_value("string")
+
+
+class TestCoerceValue:
+    def test_to_bool(self):
+        assert coerce_value(1, BOOL) is True
+        assert coerce_value(0.0, BOOL) is False
+
+    def test_to_int_truncates(self):
+        assert coerce_value(2.9, INT) == 2
+        assert isinstance(coerce_value(True, INT), int)
+
+    def test_to_real(self):
+        assert coerce_value(3, REAL) == 3.0
+        assert isinstance(coerce_value(3, REAL), float)
+
+    def test_array_coercion(self):
+        arr = ArrayType(REAL, 3)
+        assert coerce_value([1, 2, 3], arr) == (1.0, 2.0, 3.0)
+
+    def test_array_length_mismatch(self):
+        with pytest.raises(ExprTypeError):
+            coerce_value((1, 2), ArrayType(INT, 3))

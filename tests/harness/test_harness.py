@@ -1,0 +1,179 @@
+"""Tests for the experiment harness: runner, tables, figures, ablations."""
+
+import pytest
+
+from repro.core.result import GenerationResult, TimelineEvent
+from repro.core.testcase import TestSuite
+from repro.coverage.collector import CoverageSummary
+from repro.harness import (
+    MatrixConfig,
+    average_improvements,
+    dead_logic_waste,
+    figure3,
+    figure4_model,
+    hybrid_warmup,
+    improvement,
+    library_vs_fresh,
+    run_matrix,
+    run_table1,
+    run_tool,
+    table1,
+    table2,
+    table3,
+    timeline_series,
+)
+from repro.harness.runner import ToolOutcome
+from repro.models import SIMPLE_CPUTASK, get_benchmark
+from repro.models.registry import BenchmarkModel
+
+from tests.conftest import build_counter_model
+
+#: A tiny benchmark wrapper around the fixture model for fast harness runs.
+TINY = BenchmarkModel("Tiny", "counter fixture", build_counter_model, 0, 0)
+
+
+class TestRunner:
+    @pytest.mark.parametrize("tool", ["STCG", "SimCoTest", "SLDV"])
+    def test_run_tool(self, tool):
+        result = run_tool(tool, TINY, budget_s=3.0, seed=0, sldv_max_depth=3)
+        assert isinstance(result, GenerationResult)
+        assert result.tool == tool
+        assert 0.0 <= result.decision <= 1.0
+
+    def test_unknown_tool(self):
+        from repro.errors import HarnessError
+
+        with pytest.raises(HarnessError):
+            run_tool("MagicTool", TINY, 1.0, 0)
+
+    def test_run_matrix_structure(self):
+        config = MatrixConfig(budget_s=2.0, repetitions=2, sldv_repetitions=1)
+        messages = []
+        results = run_matrix(
+            [TINY], config, tools=("STCG", "SimCoTest"),
+            progress=messages.append,
+        )
+        assert set(results) == {"Tiny"}
+        assert set(results["Tiny"]) == {"STCG", "SimCoTest"}
+        assert len(results["Tiny"]["STCG"].runs) == 2
+        assert len(messages) == 4
+
+    def test_outcome_averages(self):
+        outcome = ToolOutcome("T", "M")
+
+        def fake(decision):
+            return GenerationResult(
+                "T", "M",
+                CoverageSummary(decision, 0.5, 0.25, 0, 0),
+                TestSuite("M", []),
+            )
+
+        outcome.runs = [fake(0.4), fake(0.8)]
+        assert outcome.decision == pytest.approx(0.6)
+        assert outcome.representative.decision == 0.8
+
+    def test_improvement_math(self):
+        assert improvement(1.0, 0.5) == pytest.approx(1.0)
+        assert improvement(0.5, 0.5) == pytest.approx(0.0)
+        assert improvement(0.5, 0.0) is None
+
+    def test_average_improvements(self):
+        def outcome(tool, d):
+            o = ToolOutcome(tool, "M")
+            o.runs = [
+                GenerationResult(
+                    tool, "M", CoverageSummary(d, d, d, 0, 0),
+                    TestSuite("M", []),
+                )
+            ]
+            return o
+
+        results = {
+            "M": {"STCG": outcome("STCG", 1.0), "SLDV": outcome("SLDV", 0.5)}
+        }
+        gains = average_improvements(results, "SLDV")
+        assert gains["decision"] == pytest.approx(1.0)
+
+
+class TestTables:
+    def test_table1_reaches_full_coverage(self):
+        rows, generator = run_table1(budget_s=10.0, seed=0)
+        assert rows
+        assert generator.collector.decision_coverage() == 1.0
+        # Bitmaps are always 13 wide.
+        assert all(len(r.coverage_bitmap) == 13 for r in rows)
+        # The final bitmap is fully covered.
+        assert rows[-1].coverage_bitmap == "I" * 13
+
+    def test_table1_renders(self):
+        text = table1(budget_s=10.0, seed=0)
+        assert "Step" in text
+        assert "B1" in text
+        assert "decision=100%" in text
+
+    def test_table1_shows_failures_on_shallow_states(self):
+        text = table1(budget_s=10.0, seed=0)
+        assert "but failed" in text  # the paper's step-6/7 style rows
+
+    def test_table2_lists_all_models(self):
+        text = table2([get_benchmark("AFC")])
+        assert "AFC" in text
+        assert "Engine air-fuel control system" in text
+        assert "#Branch(paper)" in text
+
+    def test_table3_renders_with_paper_reference(self):
+        config = MatrixConfig(budget_s=2.0, repetitions=1)
+        results = run_matrix([TINY], config, tools=("STCG", "SimCoTest", "SLDV"))
+        text = table3(results)
+        assert "Tiny" in text
+        assert "STCG" in text
+        assert "Average improvement" in text
+
+
+class TestFigures:
+    def test_figure3_sections(self):
+        text = figure3(budget_s=8.0, seed=0)
+        assert "(a) model branches" in text
+        assert "(b) explored state tree" in text
+        assert "B1" in text and "S0" in text
+
+    def test_timeline_series_step_function(self):
+        result = run_tool("STCG", TINY, budget_s=2.0, seed=0)
+        series = timeline_series(result, budget_s=2.0, points=10)
+        assert len(series) == 11
+        values = [v for _, v in series]
+        assert values == sorted(values)  # cumulative coverage
+
+    def test_figure4_plot_shape(self):
+        results = {
+            tool: run_tool(tool, TINY, budget_s=2.0, seed=0, sldv_max_depth=2)
+            for tool in ("STCG", "SimCoTest", "SLDV")
+        }
+        text = figure4_model(results, budget_s=2.0)
+        assert "100% |" in text
+        assert "legend" in text
+
+
+class TestAblations:
+    def test_dead_logic_waste_variants(self):
+        runs = dead_logic_waste(TINY, budget_s=2.0)
+        assert [r.variant for r in runs] == [
+            "skip-constant-false", "always-invoke-solver",
+        ]
+        assert runs[1].stat("const_false_skips") == 0
+
+    def test_hybrid_warmup_variants(self):
+        runs = hybrid_warmup(TINY, budget_s=2.0)
+        assert runs[1].result.stats["warmup_steps"] >= 0
+
+    def test_library_vs_fresh_variants(self):
+        runs = library_vs_fresh(TINY, budget_s=2.0)
+        assert len(runs) == 3
+
+    def test_render(self):
+        from repro.harness.ablation import render
+
+        runs = dead_logic_waste(TINY, budget_s=1.0)
+        text = render(runs)
+        assert "variant" in text
+        assert "skip-constant-false" in text

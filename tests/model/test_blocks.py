@@ -1,0 +1,334 @@
+"""Per-block tests: concrete semantics plus concrete/symbolic agreement.
+
+Each block family is exercised through a minimal model.  The
+``assert_dual_mode`` helper executes the model concretely and symbolically
+(with the same inputs lifted to constants) and demands identical outputs —
+the bedrock property behind the one-step encoder.
+"""
+
+import math
+
+import pytest
+
+from repro.coverage import CoverageCollector
+from repro.errors import ModelError
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.model import ModelBuilder, Simulator, execute_step, symbolic_context
+from repro.model.context import concrete_context
+
+
+def assert_dual_mode(compiled, inputs, state=None):
+    """Concrete and symbolic-on-constants execution must agree."""
+    state_env = dict(state) if state else compiled.initial_state()
+    concrete_ctx = concrete_context(dict(inputs), dict(state_env), None, 0)
+    concrete_out = execute_step(compiled, concrete_ctx)
+    symbolic_ctx = symbolic_context(dict(inputs), dict(state_env), 0)
+    symbolic_out = execute_step(compiled, symbolic_ctx)
+    for name, value in concrete_out.items():
+        symbolic_value = symbolic_out[name]
+        if hasattr(symbolic_value, "const_value"):
+            symbolic_value = symbolic_value.const_value()
+        if isinstance(value, float):
+            assert math.isclose(value, symbolic_value, rel_tol=1e-9), name
+        else:
+            assert value == symbolic_value, name
+    # Next-state values must agree too.
+    for path, value in concrete_ctx.next_state.items():
+        symbolic_value = symbolic_ctx.next_state[path]
+        if hasattr(symbolic_value, "const_value"):
+            symbolic_value = symbolic_value.const_value()
+        assert value == pytest.approx(symbolic_value), path
+    return concrete_out
+
+
+def single_output(build, inputs, state=None):
+    compiled = build
+    outputs = assert_dual_mode(compiled, inputs, state)
+    return outputs["y"]
+
+
+class TestMathBlocks:
+    def _model(self, fn):
+        b = ModelBuilder("M")
+        u = b.inport("u", REAL, -10, 10)
+        v = b.inport("v", REAL, -10, 10)
+        b.outport("y", fn(b, u, v))
+        return b.compile()
+
+    def test_gain(self):
+        c = self._model(lambda b, u, v: b.gain(u, 3.0))
+        assert single_output(c, {"u": 2.0, "v": 0.0}) == 6.0
+
+    def test_bias(self):
+        c = self._model(lambda b, u, v: b.bias(u, 1.5))
+        assert single_output(c, {"u": 2.0, "v": 0.0}) == 3.5
+
+    def test_sum_signs(self):
+        b = ModelBuilder("M")
+        u = b.inport("u", REAL)
+        v = b.inport("v", REAL)
+        w = b.inport("w", REAL)
+        from repro.model.blocks import Sum
+
+        s = Sum("s", "+-+")
+        b.model.add_block(s)
+        b.model.connect(u, s, 0)
+        b.model.connect(v, s, 1)
+        b.model.connect(w, s, 2)
+        from repro.model.graph import Signal
+
+        b.outport("y", Signal(s, 0))
+        c = b.compile()
+        assert single_output(c, {"u": 10.0, "v": 3.0, "w": 1.0}) == 8.0
+
+    def test_product_division(self):
+        c = self._model(lambda b, u, v: b.div(u, v))
+        assert single_output(c, {"u": 9.0, "v": 3.0}) == 3.0
+
+    def test_abs_min_max(self):
+        c = self._model(lambda b, u, v: b.max(b.abs(u), v))
+        assert single_output(c, {"u": -7.0, "v": 3.0}) == 7.0
+        c2 = self._model(lambda b, u, v: b.min(u, v))
+        assert single_output(c2, {"u": -7.0, "v": 3.0}) == -7.0
+
+    def test_saturation(self):
+        c = self._model(lambda b, u, v: b.saturate(u, -1.0, 1.0))
+        assert single_output(c, {"u": 5.0, "v": 0.0}) == 1.0
+        assert single_output(c, {"u": -5.0, "v": 0.0}) == -1.0
+        assert single_output(c, {"u": 0.5, "v": 0.0}) == 0.5
+
+    def test_saturation_invalid_bounds(self):
+        with pytest.raises(ModelError):
+            self._model(lambda b, u, v: b.saturate(u, 1.0, -1.0))
+
+    def test_cast(self):
+        c = self._model(lambda b, u, v: b.cast(u, INT))
+        assert single_output(c, {"u": 2.9, "v": 0.0}) == 2
+
+    def test_quantizer(self):
+        c = self._model(lambda b, u, v: b.quantize(u, 0.5))
+        assert single_output(c, {"u": 1.3, "v": 0.0}) == 1.5
+        assert single_output(c, {"u": 1.2, "v": 0.0}) == 1.0
+
+    def test_fcn(self):
+        c = self._model(
+            lambda b, u, v: b.fcn("a * 2 + max(bb, 0)", a=u, bb=v)
+        )
+        assert single_output(c, {"u": 3.0, "v": -5.0}) == 6.0
+
+    def test_lookup_interpolation(self):
+        c = self._model(
+            lambda b, u, v: b.lookup(u, [0.0, 10.0], [0.0, 100.0])
+        )
+        assert single_output(c, {"u": 2.5, "v": 0.0}) == 25.0
+
+    def test_lookup_clipping(self):
+        c = self._model(
+            lambda b, u, v: b.lookup(u, [0.0, 10.0], [5.0, 100.0])
+        )
+        assert single_output(c, {"u": -99.0, "v": 0.0}) == 5.0
+        assert single_output(c, {"u": 99.0, "v": 0.0}) == 100.0
+
+
+class TestLogicBlocks:
+    def _model(self, op, n=2):
+        b = ModelBuilder("L")
+        ports = [b.inport(f"u{i}", BOOL) for i in range(n)]
+        b.outport("y", b.logic(op, *ports))
+        return b.compile()
+
+    @pytest.mark.parametrize(
+        "op,inputs,expected",
+        [
+            ("and", (True, True), True),
+            ("and", (True, False), False),
+            ("or", (False, False), False),
+            ("or", (True, False), True),
+            ("xor", (True, True), False),
+            ("xor", (True, False), True),
+            ("nand", (True, True), False),
+            ("nor", (False, False), True),
+        ],
+    )
+    def test_binary_ops(self, op, inputs, expected):
+        c = self._model(op)
+        out = single_output(c, {"u0": inputs[0], "u1": inputs[1]})
+        assert out == expected
+
+    def test_not(self):
+        c = self._model("not", n=1)
+        assert single_output(c, {"u0": True}) is False
+
+    def test_three_input_and(self):
+        c = self._model("and", n=3)
+        assert single_output(c, {"u0": True, "u1": True, "u2": False}) is False
+
+    def test_invalid_op(self):
+        with pytest.raises(ModelError):
+            self._model("implies")
+
+    def test_condition_vectors_recorded(self):
+        c = self._model("and")
+        collector = CoverageCollector(c.registry)
+        sim = Simulator(c, collector)
+        sim.step({"u0": True, "u1": False})
+        point = c.registry.condition_points[0]
+        assert (True, False) in collector.vectors_for(point)
+
+    def test_relational(self):
+        b = ModelBuilder("R")
+        u = b.inport("u", REAL)
+        v = b.inport("v", REAL)
+        b.outport("y", b.compare(u, "<=", v))
+        c = b.compile()
+        assert single_output(c, {"u": 1.0, "v": 2.0}) is True
+
+    def test_compare_to_constant(self):
+        b = ModelBuilder("R")
+        u = b.inport("u", INT, 0, 10)
+        b.outport("y", b.compare(u, "==", 5))
+        c = b.compile()
+        assert single_output(c, {"u": 5}) is True
+        assert single_output(c, {"u": 4}) is False
+
+
+class TestRoutingBlocks:
+    def test_switch_criteria(self):
+        for criterion, control, expected in [
+            ("bool", True, 1), ("bool", False, 2),
+            ("gt", 1.0, 1), ("gt", 0.0, 2),
+            ("ge", 0.0, 1), ("ge", -0.5, 2),
+            ("ne0", 3.0, 1), ("ne0", 0.0, 2),
+        ]:
+            b = ModelBuilder("S")
+            ctl_ty = BOOL if criterion == "bool" else REAL
+            u = b.inport("u", ctl_ty)
+            b.outport(
+                "y",
+                b.switch(u, b.const(1), b.const(2), criterion=criterion),
+            )
+            c = b.compile()
+            assert single_output(c, {"u": control}) == expected, criterion
+
+    def test_multiport_cases_and_default(self):
+        b = ModelBuilder("MP")
+        u = b.inport("u", INT, 0, 9)
+        b.outport(
+            "y",
+            b.multiport(
+                u, cases=[(1, b.const(10)), (2, b.const(20))],
+                default=b.const(-1),
+            ),
+        )
+        c = b.compile()
+        assert single_output(c, {"u": 1}) == 10
+        assert single_output(c, {"u": 2}) == 20
+        assert single_output(c, {"u": 7}) == -1
+
+    def test_selector_clamps(self):
+        b = ModelBuilder("Sel")
+        i = b.inport("i", INT, -5, 10)
+        arr = b.const((10, 20, 30))
+        b.outport("y", b.select(arr, i, 3))
+        c = b.compile()
+        assert single_output(c, {"i": 1}) == 20
+        assert single_output(c, {"i": 99}) == 30  # clamped high
+        assert single_output(c, {"i": -99}) == 10  # clamped low
+
+    def test_array_update(self):
+        b = ModelBuilder("AU")
+        i = b.inport("i", INT, 0, 2)
+        v = b.inport("v", INT, 0, 99)
+        b.outport("y", b.array_update(b.const((0, 0, 0)), i, v, 3))
+        c = b.compile()
+        assert single_output(c, {"i": 1, "v": 42}) == (0, 42, 0)
+
+    def test_mux(self):
+        b = ModelBuilder("Mx")
+        u = b.inport("u", INT, 0, 9)
+        v = b.inport("v", INT, 0, 9)
+        b.outport("y", b.mux(u, v))
+        c = b.compile()
+        assert single_output(c, {"u": 1, "v": 2}) == (1, 2)
+
+
+class TestDiscreteBlocks:
+    def test_unit_delay(self):
+        b = ModelBuilder("D")
+        u = b.inport("u", INT, 0, 100)
+        b.outport("y", b.unit_delay(u, init=7))
+        c = b.compile()
+        sim = Simulator(c)
+        assert sim.step({"u": 1}).outputs["y"] == 7
+        assert sim.step({"u": 2}).outputs["y"] == 1
+        assert sim.step({"u": 3}).outputs["y"] == 2
+
+    def test_unit_delay_breaks_loops(self):
+        b = ModelBuilder("Loop")
+        u = b.inport("u", INT, 0, 10)
+        delayed = b.unit_delay(u, init=0)  # placeholder wiring
+        total = b.add(u, delayed)
+        b.outport("y", total)
+        c = b.compile()  # compiles without algebraic-loop error
+        sim = Simulator(c)
+        assert sim.step({"u": 5}).outputs["y"] == 5
+
+    def test_integrator_accumulates_and_saturates(self):
+        b = ModelBuilder("I")
+        u = b.inport("u", REAL, -10, 10)
+        b.outport("y", b.integrator(u, gain=1.0, init=0.0, lo=0.0, hi=5.0))
+        c = b.compile()
+        sim = Simulator(c)
+        assert sim.step({"u": 3.0}).outputs["y"] == 0.0
+        assert sim.step({"u": 3.0}).outputs["y"] == 3.0
+        assert sim.step({"u": 3.0}).outputs["y"] == 5.0  # saturated
+
+    def test_rate_limiter(self):
+        b = ModelBuilder("RL")
+        u = b.inport("u", REAL, -100, 100)
+        b.outport("y", b.rate_limit(u, up=1.0, down=2.0, init=0.0))
+        c = b.compile()
+        sim = Simulator(c)
+        assert sim.step({"u": 10.0}).outputs["y"] == 1.0
+        assert sim.step({"u": 10.0}).outputs["y"] == 2.0
+        assert sim.step({"u": -10.0}).outputs["y"] == 0.0  # down rate 2
+
+    def test_counter_wraps(self):
+        b = ModelBuilder("C")
+        b.inport("u", INT, 0, 1)  # unused input to satisfy the interface
+        b.outport("y", b.counter(period=3))
+        c = b.compile()
+        sim = Simulator(c)
+        values = [sim.step({"u": 0}).outputs["y"] for _ in range(5)]
+        assert values == [0, 1, 2, 0, 1]
+
+
+class TestDataStores:
+    def test_read_before_write_default(self):
+        b = ModelBuilder("DS")
+        u = b.inport("u", INT, 0, 100)
+        b.data_store("acc", INT, 5)
+        old = b.store_read("acc")
+        b.store_write("acc", b.add(old, u))
+        b.outport("y", old)
+        c = b.compile()
+        sim = Simulator(c)
+        assert sim.step({"u": 3}).outputs["y"] == 5  # reads pre-step value
+        assert sim.step({"u": 3}).outputs["y"] == 8
+
+    def test_read_current_sees_write(self):
+        b = ModelBuilder("DS2")
+        u = b.inport("u", INT, 0, 100)
+        b.data_store("acc", INT, 5)
+        old = b.store_read("acc")
+        b.store_write("acc", b.add(old, u))
+        b.outport("y", b.store_read("acc", current=True))
+        c = b.compile()
+        sim = Simulator(c)
+        assert sim.step({"u": 3}).outputs["y"] == 8
+
+    def test_unknown_store_rejected(self):
+        b = ModelBuilder("DS3")
+        b.inport("u", INT, 0, 1)
+        with pytest.raises(ModelError):
+            b.store_read("nope")

@@ -1,0 +1,151 @@
+"""Tests for the step context: state access, gating, event intake."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.coverage import CoverageCollector, CoverageRegistry, DecisionKind
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.types import BOOL, INT
+from repro.model.context import StepContext, concrete_context, symbolic_context
+from repro.model.valueops import CONCRETE, SYMBOLIC
+
+
+def make_context(mode="concrete", state=None, collector=None):
+    state = state if state is not None else {"blk.x": 0, "$store.s": 1}
+    if mode == "concrete":
+        return concrete_context({"u": 5}, state, collector, 0)
+    return symbolic_context({"u": Var("u", INT)}, state, 0)
+
+
+class _FakeBlock:
+    path = "blk"
+
+
+class TestInputsAndState:
+    def test_input_value(self):
+        ctx = make_context()
+        assert ctx.input_value("u") == 5
+
+    def test_missing_input(self):
+        ctx = make_context()
+        with pytest.raises(SimulationError, match="missing input"):
+            ctx.input_value("nope")
+
+    def test_read_state_path(self):
+        ctx = make_context()
+        assert ctx.read_state_path("blk.x") == 0
+
+    def test_read_unknown_state(self):
+        ctx = make_context()
+        with pytest.raises(SimulationError, match="unknown state"):
+            ctx.read_state_path("ghost.y")
+
+    def test_write_unknown_state_rejected(self):
+        ctx = make_context()
+        with pytest.raises(SimulationError):
+            ctx.write_state_path("ghost.y", 1)
+
+    def test_block_scoped_access(self):
+        ctx = make_context()
+        block = _FakeBlock()
+        assert ctx.read_state(block, "x") == 0
+        ctx.write_state(block, "x", 9)
+        assert ctx.next_state["blk.x"] == 9
+
+
+class TestActivationGating:
+    def test_concrete_inactive_write_dropped(self):
+        ctx = make_context()
+        ctx.active = False
+        ctx.write_state_path("blk.x", 99)
+        assert "blk.x" not in ctx.next_state
+
+    def test_concrete_active_write_lands(self):
+        ctx = make_context()
+        ctx.active = True
+        ctx.write_state_path("blk.x", 99)
+        assert ctx.next_state["blk.x"] == 99
+
+    def test_symbolic_guarded_write_merges(self):
+        ctx = make_context("symbolic")
+        guard = Var("g", BOOL)
+        ctx.active = guard
+        ctx.write_state_path("blk.x", x.lift(7))
+        merged = ctx.next_state["blk.x"]
+        from repro.expr.evaluator import evaluate
+
+        assert evaluate(merged, {"g": True}) == 7
+        assert evaluate(merged, {"g": False}) == 0  # held previous value
+
+    def test_symbolic_double_write_chains(self):
+        ctx = make_context("symbolic")
+        ctx.active = Var("g1", BOOL)
+        ctx.write_state_path("blk.x", x.lift(7))
+        ctx.active = Var("g2", BOOL)
+        ctx.write_state_path("blk.x", x.lift(8))
+        from repro.expr.evaluator import evaluate
+
+        merged = ctx.next_state["blk.x"]
+        assert evaluate(merged, {"g1": True, "g2": False}) == 7
+        assert evaluate(merged, {"g1": False, "g2": True}) == 8
+        assert evaluate(merged, {"g1": False, "g2": False}) == 0
+
+
+class TestStores:
+    def test_store_paths(self):
+        assert StepContext.store_path("q") == "$store.q"
+
+    def test_current_store_sees_earlier_write(self):
+        ctx = make_context()
+        assert ctx.current_store("s") == 1
+        ctx.write_store("s", 42)
+        assert ctx.current_store("s") == 42
+        assert ctx.read_store("s") == 1  # step-start value is stable
+
+
+class TestEvents:
+    def make_registry(self):
+        registry = CoverageRegistry()
+        decision = registry.register_decision(
+            "d", DecisionKind.SWITCH, ("true", "false")
+        )
+        registry.freeze()
+        return registry, decision
+
+    def test_on_decision_records(self):
+        registry, decision = self.make_registry()
+        collector = CoverageCollector(registry)
+        ctx = make_context(collector=collector)
+        ctx.on_decision(decision, 0)
+        assert ctx.taken_outcomes[decision.decision_id] == 0
+        assert collector.is_branch_covered(decision.branches[0])
+        assert ctx.new_branches == [0]
+
+    def test_on_decision_gated_by_activation(self):
+        registry, decision = self.make_registry()
+        collector = CoverageCollector(registry)
+        ctx = make_context(collector=collector)
+        ctx.active = False
+        ctx.on_decision(decision, 0)
+        assert decision.decision_id not in ctx.taken_outcomes
+        assert not collector.is_branch_covered(decision.branches[0])
+
+    def test_on_decision_rejected_in_symbolic_mode(self):
+        registry, decision = self.make_registry()
+        ctx = make_context("symbolic")
+        with pytest.raises(SimulationError):
+            ctx.on_decision(decision, 0)
+
+    def test_record_outcome_conditions_arity_checked(self):
+        registry, decision = self.make_registry()
+        ctx = make_context("symbolic")
+        with pytest.raises(SimulationError, match="outcome conditions"):
+            ctx.record_outcome_conditions(decision, [x.TRUE])
+
+    def test_on_decision_without_collector(self):
+        registry, decision = self.make_registry()
+        ctx = make_context()  # no collector attached
+        ctx.on_decision(decision, 1)
+        assert ctx.taken_outcomes[decision.decision_id] == 1
+        assert ctx.new_branches == []

@@ -1,0 +1,87 @@
+"""Property test: concrete and symbolic execution agree on every model.
+
+The one-step encoder's soundness rests on the fact that running the model
+symbolically with *constant* inputs produces exactly the concrete result.
+This file checks that on randomly generated states and inputs for the
+fixture models and all eight benchmarks (single random spot per model to
+keep runtime sane — the dedicated encoder tests hammer the small models).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coverage import CoverageCollector
+from repro.model import Simulator, execute_step, symbolic_context
+from repro.model.context import concrete_context
+from repro.model.inputs import random_input
+from repro.models import BENCHMARKS
+
+from tests.conftest import build_counter_model, build_queue_model
+
+
+def both_modes_agree(compiled, state_env, inputs):
+    concrete_ctx = concrete_context(dict(inputs), dict(state_env), None, 0)
+    concrete_out = execute_step(compiled, concrete_ctx)
+    symbolic_ctx = symbolic_context(dict(inputs), dict(state_env), 0)
+    symbolic_out = execute_step(compiled, symbolic_ctx)
+
+    def plain(value):
+        if hasattr(value, "const_value"):
+            return value.const_value()
+        return value
+
+    for name, value in concrete_out.items():
+        other = plain(symbolic_out[name])
+        if isinstance(value, float):
+            assert math.isclose(value, other, rel_tol=1e-9, abs_tol=1e-9), name
+        else:
+            assert value == other, name
+    for path, value in concrete_ctx.next_state.items():
+        other = plain(symbolic_ctx.next_state[path])
+        if isinstance(value, float):
+            assert math.isclose(value, other, rel_tol=1e-9, abs_tol=1e-9), path
+        elif isinstance(value, tuple):
+            assert tuple(value) == tuple(other), path
+        else:
+            assert value == other, path
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_queue_model_dual_mode(seed):
+    compiled = build_queue_model()
+    rng = random.Random(seed)
+    simulator = Simulator(compiled, CoverageCollector(compiled.registry))
+    for _ in range(rng.randint(0, 10)):
+        simulator.step(random_input(compiled.inports, rng))
+    state_env = dict(simulator.get_state().values)
+    both_modes_agree(compiled, state_env, random_input(compiled.inports, rng))
+
+
+@given(seed=st.integers(0, 100_000))
+@settings(max_examples=30, deadline=None)
+def test_counter_model_dual_mode(seed):
+    compiled = build_counter_model()
+    rng = random.Random(seed)
+    simulator = Simulator(compiled, CoverageCollector(compiled.registry))
+    for _ in range(rng.randint(0, 6)):
+        simulator.step(random_input(compiled.inports, rng))
+    state_env = dict(simulator.get_state().values)
+    both_modes_agree(compiled, state_env, random_input(compiled.inports, rng))
+
+
+@pytest.mark.parametrize("model", BENCHMARKS, ids=lambda m: m.name)
+def test_benchmarks_dual_mode(model):
+    compiled = model.build()
+    rng = random.Random(2024)
+    simulator = Simulator(compiled, CoverageCollector(compiled.registry))
+    for _ in range(12):
+        simulator.step(random_input(compiled.inports, rng))
+    state_env = dict(simulator.get_state().values)
+    for _ in range(3):
+        both_modes_agree(
+            compiled, state_env, random_input(compiled.inports, rng)
+        )

@@ -1,0 +1,250 @@
+"""Tests for model construction, compilation and the builder API."""
+
+import pytest
+
+from repro.errors import CompileError, ModelError
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.model import ModelBuilder, Simulator
+from repro.model.block import STATE_GLOBAL, STATE_INTERNAL
+from repro.model.blocks import Constant, Gain
+from repro.model.graph import InportSpec, Model, Signal
+
+
+class TestWiringValidation:
+    def test_unwired_input_rejected(self):
+        model = Model("M")
+        gain = Gain("g", 2.0)
+        model.add_block(gain)
+        with pytest.raises(CompileError, match="unwired"):
+            model.compile()
+
+    def test_double_wire_rejected(self):
+        model = Model("M")
+        const = Constant("c", 1)
+        gain = Gain("g", 2.0)
+        model.add_block(const)
+        model.add_block(gain)
+        model.connect(Signal(const, 0), gain, 0)
+        with pytest.raises(ModelError, match="wired twice"):
+            model.connect(Signal(const, 0), gain, 0)
+
+    def test_bad_port_rejected(self):
+        model = Model("M")
+        const = Constant("c", 1)
+        gain = Gain("g", 2.0)
+        model.add_block(const)
+        model.add_block(gain)
+        with pytest.raises(ModelError):
+            model.connect(Signal(const, 0), gain, 5)
+        with pytest.raises(ModelError):
+            model.connect(Signal(const, 3), gain, 0)
+
+    def test_foreign_block_rejected(self):
+        model = Model("M")
+        stranger = Constant("s", 1)
+        gain = Gain("g", 2.0)
+        model.add_block(gain)
+        with pytest.raises(ModelError, match="not in model"):
+            model.connect(Signal(stranger, 0), gain, 0)
+
+    def test_duplicate_names_rejected(self):
+        model = Model("M")
+        model.add_block(Constant("c", 1))
+        with pytest.raises(ModelError, match="duplicate"):
+            model.add_block(Constant("c", 2))
+
+    def test_duplicate_inport_rejected(self):
+        model = Model("M")
+        model.add_inport(InportSpec("u", INT))
+        with pytest.raises(ModelError):
+            model.add_inport(InportSpec("u", REAL))
+
+    def test_algebraic_loop_detected(self):
+        b = ModelBuilder("Loop")
+        u = b.inport("u", REAL)
+        from repro.model.blocks import Sum
+
+        s = Sum("s", "++")
+        b.model.add_block(s)
+        g = Gain("g", 0.5)
+        b.model.add_block(g)
+        b.model.connect(Signal(s, 0), g, 0)
+        b.model.connect(u, s, 0)
+        b.model.connect(Signal(g, 0), s, 1)  # feedback without delay
+        b.outport("y", Signal(s, 0))
+        with pytest.raises(CompileError, match="algebraic loop"):
+            b.compile()
+
+
+class TestStateTable:
+    def test_state_categories(self, counter_model):
+        elements = counter_model.state_elements
+        assert "$store.count" in elements
+        assert elements["$store.count"].category == STATE_GLOBAL
+
+    def test_initial_state(self, counter_model):
+        state = counter_model.initial_state()
+        assert state["$store.count"] == 0
+
+    def test_input_variables(self, counter_model):
+        names = [v.name for v in counter_model.input_variables()]
+        assert names == ["tick", "amount"]
+        suffixed = [v.name for v in counter_model.input_variables("@3")]
+        assert suffixed == ["tick@3", "amount@3"]
+
+
+class TestBuilderConveniences:
+    def test_const_caching(self):
+        b = ModelBuilder("C")
+        b.inport("u", INT, 0, 1)
+        s1 = b.const(5)
+        s2 = b.const(5)
+        assert s1 is s2
+
+    def test_const_distinguishes_types(self):
+        b = ModelBuilder("C")
+        s_int = b.const(1)
+        s_bool = b.const(True)
+        assert s_int is not s_bool
+
+    def test_named_const_not_cached(self):
+        b = ModelBuilder("C")
+        s1 = b.const(5, name="five")
+        s2 = b.const(5)
+        assert s1 is not s2
+
+    def test_auto_naming_unique(self):
+        b = ModelBuilder("N")
+        u = b.inport("u", REAL)
+        g1 = b.gain(u, 1.0)
+        g2 = b.gain(u, 2.0)
+        assert g1.block.path != g2.block.path
+
+    def test_scope_prefixes_names(self):
+        b = ModelBuilder("S")
+        u = b.inport("u", REAL)
+        with b.scope("inner"):
+            g = b.gain(u, 1.0)
+        assert g.block.path.startswith("inner/")
+
+    def test_sub_output_outside_scope_rejected(self):
+        b = ModelBuilder("S")
+        u = b.inport("u", REAL)
+        with pytest.raises(ModelError):
+            b.sub_output(u, init=0.0)
+
+    def test_chart_requires_all_inputs(self):
+        from repro.stateflow import ChartSpec
+
+        chart = ChartSpec("c")
+        chart.input("x", INT, 0, 5)
+        chart.output("y", INT, 0)
+        s = chart.state("S", entry=["y = x"])
+        chart.initial(s)
+        b = ModelBuilder("M")
+        b.inport("u", INT, 0, 5)
+        with pytest.raises(ModelError, match="not wired"):
+            b.add_chart(chart, {})
+
+
+class TestConditionalScopes:
+    def test_case_index_validation(self):
+        b = ModelBuilder("CS")
+        u = b.inport("u", INT, 0, 5)
+        sc = b.switch_case(u, cases=[[1]], has_default=True)
+        with pytest.raises(ModelError):
+            with sc.case(5):
+                pass
+
+    def test_default_requires_declaration(self):
+        b = ModelBuilder("CS")
+        u = b.inport("u", INT, 0, 5)
+        sc = b.switch_case(u, cases=[[1]], has_default=False)
+        with pytest.raises(ModelError):
+            with sc.default():
+                pass
+
+    def test_nested_branch_depth(self):
+        b = ModelBuilder("Nest")
+        u = b.inport("u", INT, 0, 5)
+        v = b.inport("v", BOOL)
+        sc = b.switch_case(u, cases=[[1]], has_default=True)
+        with sc.case(0):
+            inner = b.switch(v, b.const(1), b.const(2))
+            b.sub_output(inner, init=0)
+        c = b.compile()
+        depths = {br.label: br.depth for br in c.registry.branches}
+        inner_branches = [d for label, d in depths.items() if "Switch1" in label]
+        assert all(d == 1 for d in inner_branches)
+
+    def test_activation_gates_state_updates(self):
+        """A store write inside an untaken case leaves the store alone."""
+        b = ModelBuilder("Gate")
+        u = b.inport("u", INT, 0, 5)
+        b.data_store("x", INT, 0)
+        old = b.store_read("x")
+        sc = b.switch_case(u, cases=[[1]], has_default=True)
+        with sc.case(0):
+            b.store_write("x", b.const(99))
+            marker = b.sub_output(b.const(1), init=0)
+        with sc.default():
+            nothing = b.sub_output(b.const(0), init=0)
+        b.outport("marker", marker)
+        b.outport("nothing", nothing)
+        c = b.compile()
+        sim = Simulator(c)
+        sim.step({"u": 3})  # default case: write must not happen
+        assert sim.get_state().get("$store.x") == 0
+        sim.step({"u": 1})  # case taken: write happens
+        assert sim.get_state().get("$store.x") == 99
+
+    def test_sub_output_holds_when_inactive(self):
+        b = ModelBuilder("Hold")
+        u = b.inport("u", INT, 0, 5)
+        v = b.inport("v", INT, 0, 100)
+        sc = b.switch_case(u, cases=[[1]], has_default=True)
+        with sc.case(0):
+            latched = b.sub_output(v, init=-1)
+        b.outport("y", latched)
+        c = b.compile()
+        sim = Simulator(c)
+        assert sim.step({"u": 0, "v": 42}).outputs["y"] == -1  # inactive: init
+        assert sim.step({"u": 1, "v": 42}).outputs["y"] == 42  # passes through
+        assert sim.step({"u": 0, "v": 7}).outputs["y"] == 42  # held
+
+    def test_coverage_not_recorded_in_inactive_region(self):
+        from repro.coverage import CoverageCollector
+
+        b = ModelBuilder("Cov")
+        u = b.inport("u", INT, 0, 5)
+        v = b.inport("v", BOOL)
+        sc = b.switch_case(u, cases=[[1]], has_default=True)
+        with sc.case(0):
+            inner = b.switch(v, b.const(1), b.const(0), name="inner")
+            b.sub_output(inner, init=0)
+        c = b.compile()
+        collector = CoverageCollector(c.registry)
+        sim = Simulator(c, collector)
+        sim.step({"u": 0, "v": True})  # case not taken
+        inner_branches = [
+            br for br in c.registry.branches if "inner" in br.label
+        ]
+        assert all(
+            not collector.is_branch_covered(br) for br in inner_branches
+        )
+        sim.step({"u": 1, "v": True})
+        assert any(collector.is_branch_covered(br) for br in inner_branches)
+
+
+class TestOrdering:
+    def test_explicit_ordering_respected(self):
+        b = ModelBuilder("Ord")
+        u = b.inport("u", INT, 0, 5)
+        b.data_store("x", INT, 0)
+        # Writer then current-reader: reader sees this step's write.
+        b.store_write("x", b.add(b.store_read("x"), u))
+        b.outport("y", b.store_read("x", current=True))
+        c = b.compile()
+        sim = Simulator(c)
+        assert sim.step({"u": 2}).outputs["y"] == 2
+        assert sim.step({"u": 3}).outputs["y"] == 5

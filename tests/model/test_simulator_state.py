@@ -1,0 +1,174 @@
+"""Tests for the simulator: stepping, snapshot/restore, determinism."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError, StateError
+from repro.coverage import CoverageCollector
+from repro.model import Simulator
+from repro.model.inputs import piecewise_constant_sequence, random_input, random_sequence
+from repro.model.state import ModelState
+
+from tests.conftest import build_counter_model, build_queue_model
+
+
+class TestStepping:
+    def test_outputs_produced(self, counter_model):
+        sim = Simulator(counter_model)
+        result = sim.step({"tick": True, "amount": 5})
+        assert result.outputs["count"] == 5
+        assert result.outputs["level"] == 1
+
+    def test_missing_input_rejected(self, counter_model):
+        sim = Simulator(counter_model)
+        with pytest.raises(SimulationError, match="missing input"):
+            sim.step({"tick": True})
+
+    def test_inputs_coerced(self, counter_model):
+        sim = Simulator(counter_model)
+        result = sim.step({"tick": 1, "amount": 5.9})
+        assert result.outputs["count"] == 5  # 5.9 coerced to int 5
+
+    def test_time_advances(self, counter_model):
+        sim = Simulator(counter_model)
+        assert sim.time_index == 0
+        sim.step({"tick": False, "amount": 0})
+        assert sim.time_index == 1
+
+    def test_run_sequence(self, counter_model):
+        sim = Simulator(counter_model)
+        results = sim.run([{"tick": True, "amount": 3}] * 4)
+        assert [r.outputs["count"] for r in results] == [3, 6, 9, 12]
+
+
+class TestSnapshotRestore:
+    def test_snapshot_is_immutable_copy(self, counter_model):
+        sim = Simulator(counter_model)
+        before = sim.get_state()
+        sim.step({"tick": True, "amount": 9})
+        after = sim.get_state()
+        assert before.get("$store.count") == 0
+        assert after.get("$store.count") == 9
+
+    def test_restore_rewinds(self, counter_model):
+        sim = Simulator(counter_model)
+        sim.step({"tick": True, "amount": 9})
+        snapshot = sim.get_state()
+        sim.step({"tick": True, "amount": 9})
+        assert sim.get_state().get("$store.count") == 18
+        sim.set_state(snapshot)
+        assert sim.get_state().get("$store.count") == 9
+
+    def test_restore_then_divergent_futures(self, counter_model):
+        """The STCG pattern: branch two different futures from one state."""
+        sim = Simulator(counter_model)
+        sim.step({"tick": True, "amount": 5})
+        fork = sim.get_state()
+        a = sim.step({"tick": True, "amount": 1}).outputs["count"]
+        sim.set_state(fork)
+        b = sim.step({"tick": True, "amount": 2}).outputs["count"]
+        assert (a, b) == (6, 7)
+
+    def test_reset(self, counter_model):
+        sim = Simulator(counter_model)
+        sim.step({"tick": True, "amount": 9})
+        sim.reset()
+        assert sim.get_state().get("$store.count") == 0
+        assert sim.time_index == 0
+
+    def test_mismatched_snapshot_rejected(self, counter_model, queue_model):
+        sim = Simulator(counter_model)
+        other = Simulator(queue_model).get_state()
+        with pytest.raises(StateError):
+            sim.set_state(other)
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_same_sequence_same_trajectory(self, seed):
+        compiled = build_queue_model()
+        rng = random.Random(seed)
+        sequence = random_sequence(compiled.inports, rng, 10)
+        sim1 = Simulator(compiled)
+        sim2 = Simulator(build_queue_model())
+        out1 = [s.outputs for s in sim1.run(sequence)]
+        out2 = [s.outputs for s in sim2.run(sequence)]
+        assert out1 == out2
+        assert sim1.get_state().signature() == sim2.get_state().signature()
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_restore_replay_identical(self, seed):
+        """set_state + same input => identical successor state."""
+        compiled = build_queue_model()
+        rng = random.Random(seed)
+        sim = Simulator(compiled)
+        for _ in range(rng.randint(1, 6)):
+            sim.step(random_input(compiled.inports, rng))
+        snapshot = sim.get_state()
+        probe = random_input(compiled.inports, rng)
+        sim.step(probe)
+        first = sim.get_state()
+        sim.set_state(snapshot)
+        sim.step(probe)
+        second = sim.get_state()
+        assert first == second
+
+
+class TestModelState:
+    def test_signature_stable(self, counter_model):
+        sim = Simulator(counter_model)
+        a = sim.get_state()
+        b = sim.get_state()
+        assert a.signature() == b.signature()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_diff(self, counter_model):
+        sim = Simulator(counter_model)
+        a = sim.get_state()
+        sim.step({"tick": True, "amount": 4})
+        b = sim.get_state()
+        changed = b.diff(a)
+        assert changed == {"$store.count": (4, 0)}
+
+    def test_unknown_element_raises(self, counter_model):
+        state = Simulator(counter_model).get_state()
+        with pytest.raises(StateError):
+            state.get("bogus.path")
+
+    def test_split_by_category(self, counter_model):
+        from repro.model.block import STATE_GLOBAL
+
+        state = Simulator(counter_model).get_state()
+        parts = state.split(counter_model.state_elements)
+        assert "$store.count" in parts[STATE_GLOBAL]
+
+
+class TestInputGenerators:
+    def test_random_input_respects_bounds(self, queue_model):
+        rng = random.Random(0)
+        for _ in range(50):
+            env = random_input(queue_model.inports, rng)
+            assert 0 <= env["op"] <= 3
+            assert 1 <= env["key"] <= 31
+
+    def test_piecewise_constant_length(self, queue_model):
+        rng = random.Random(0)
+        seq = piecewise_constant_sequence(queue_model.inports, rng, 20)
+        assert len(seq) == 20
+
+    def test_piecewise_constant_has_segments(self, queue_model):
+        rng = random.Random(3)
+        seq = piecewise_constant_sequence(queue_model.inports, rng, 30)
+        # Values are held over segments: consecutive duplicates exist.
+        repeats = sum(1 for a, b in zip(seq, seq[1:]) if a == b)
+        assert repeats > 5
+
+    def test_piecewise_single_step(self, queue_model):
+        rng = random.Random(0)
+        seq = piecewise_constant_sequence(queue_model.inports, rng, 1)
+        assert len(seq) == 1

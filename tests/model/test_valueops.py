@@ -1,0 +1,104 @@
+"""Tests for the concrete / symbolic operation tables."""
+
+import math
+
+import pytest
+
+from repro.expr.ast import Const, Expr, Var
+from repro.expr.types import INT
+from repro.model.valueops import CONCRETE, SYMBOLIC
+
+
+class TestConcreteTable:
+    @pytest.mark.parametrize(
+        "op,args,expected",
+        [
+            ("add", (2, 3), 5),
+            ("sub", (2, 3), -1),
+            ("mul", (2, 3), 6),
+            ("idiv", (-7, 2), -3),
+            ("mod", (-7, 2), -1),
+            ("minimum", (2, 3), 2),
+            ("maximum", (2, 3), 3),
+            ("absolute", (-4,), 4),
+            ("neg", (4,), -4),
+            ("saturate", (9, 0, 5), 5),
+            ("lt", (1, 2), True),
+            ("ge", (1, 2), False),
+            ("eq", (2, 2), True),
+            ("ne", (2, 2), False),
+            ("land", (True, False), False),
+            ("lor", (True, False), True),
+            ("lxor", (True, True), False),
+            ("lnot", (False,), True),
+            ("ite", (True, 1, 2), 1),
+            ("ite", (False, 1, 2), 2),
+            ("select", ((5, 6, 7), 1), 6),
+            ("to_int", (2.9,), 2),
+            ("to_real", (3,), 3.0),
+            ("to_bool", (0,), False),
+        ],
+    )
+    def test_operations(self, op, args, expected):
+        assert getattr(CONCRETE, op)(*args) == expected
+
+    def test_div_saturates(self):
+        assert CONCRETE.div(1.0, 0.0) == math.inf
+
+    def test_store_copies(self):
+        original = (1, 2, 3)
+        stored = CONCRETE.store(original, 1, 9)
+        assert stored == (1, 9, 3)
+        assert original == (1, 2, 3)
+
+    def test_flags(self):
+        assert CONCRETE.symbolic is False
+        assert CONCRETE.abstract is False
+        assert CONCRETE.is_true(1) is True
+        assert CONCRETE.is_concrete(object()) is True
+
+
+class TestSymbolicTable:
+    I = Var("i", INT)
+
+    def test_builds_expressions(self):
+        result = SYMBOLIC.add(self.I, 1)
+        assert isinstance(result, Expr)
+
+    def test_folds_constants(self):
+        result = SYMBOLIC.add(2, 3)
+        assert isinstance(result, Const)
+        assert result.const_value() == 5
+
+    def test_flags(self):
+        assert SYMBOLIC.symbolic is True
+        assert SYMBOLIC.abstract is False
+
+    def test_is_true_on_constants(self):
+        assert SYMBOLIC.is_true(Const(True)) is True
+        assert SYMBOLIC.is_true(True) is True
+
+    def test_is_true_on_symbolic_raises(self):
+        from repro.errors import ExprError
+
+        with pytest.raises(ExprError):
+            SYMBOLIC.is_true(Var("b", INT))
+
+    def test_is_concrete(self):
+        assert SYMBOLIC.is_concrete(Const(5)) is True
+        assert SYMBOLIC.is_concrete(self.I) is False
+        assert SYMBOLIC.is_concrete(3) is True
+
+    def test_mirror_of_concrete_semantics(self):
+        """Each symbolic op folded on constants equals the concrete op."""
+        samples = [(-7, 3), (4, -2), (0, 5)]
+        for op in ("add", "sub", "mul", "idiv", "mod", "minimum", "maximum"):
+            for a, b in samples:
+                concrete = getattr(CONCRETE, op)(a, b)
+                symbolic = getattr(SYMBOLIC, op)(a, b)
+                assert symbolic.const_value() == concrete, op
+        for op in ("lt", "le", "gt", "ge", "eq", "ne"):
+            for a, b in samples:
+                concrete = getattr(CONCRETE, op)(a, b)
+                symbolic = getattr(SYMBOLIC, op)(a, b)
+                assert symbolic.const_value() == concrete, op

@@ -1,0 +1,119 @@
+"""Structural tests for all eight benchmark models + registry."""
+
+import random
+
+import pytest
+
+from repro.coverage import CoverageCollector
+from repro.errors import ReproError
+from repro.model import Simulator
+from repro.model.inputs import random_input
+from repro.models import (
+    BENCHMARKS,
+    SIMPLE_CPUTASK,
+    benchmark_names,
+    get_benchmark,
+)
+
+
+@pytest.fixture(params=BENCHMARKS, ids=lambda m: m.name)
+def bench_model(request):
+    return request.param
+
+
+class TestRegistry:
+    def test_eight_models(self):
+        assert len(BENCHMARKS) == 8
+        assert benchmark_names() == [
+            "CPUTask", "AFC", "TWC", "NICProtocol", "UTPC",
+            "LANSwitch", "LEDLC", "TCP",
+        ]
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("cputask").name == "CPUTask"
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ReproError):
+            get_benchmark("nope")
+
+
+class TestEveryModel:
+    def test_builds(self, bench_model):
+        compiled = bench_model.build()
+        assert compiled.name == bench_model.name
+        assert compiled.registry.n_branches > 10
+        assert compiled.n_blocks > 20
+
+    def test_fresh_build_each_time(self, bench_model):
+        assert bench_model.build() is not bench_model.build()
+
+    def test_simulates_100_random_steps(self, bench_model):
+        compiled = bench_model.build()
+        collector = CoverageCollector(compiled.registry)
+        simulator = Simulator(compiled, collector)
+        rng = random.Random(7)
+        for _ in range(100):
+            simulator.step(random_input(compiled.inports, rng))
+        assert collector.decision_coverage() > 0.0
+
+    def test_state_snapshot_roundtrip(self, bench_model):
+        compiled = bench_model.build()
+        simulator = Simulator(compiled)
+        rng = random.Random(3)
+        for _ in range(10):
+            simulator.step(random_input(compiled.inports, rng))
+        snapshot = simulator.get_state()
+        probe = random_input(compiled.inports, rng)
+        first = simulator.step(probe).outputs
+        simulator.set_state(snapshot)
+        second = simulator.step(probe).outputs
+        assert first == second
+
+    def test_one_step_encoding_builds(self, bench_model):
+        from repro.solver.encoder import OneStepEncoding
+
+        compiled = bench_model.build()
+        simulator = Simulator(compiled)
+        encoding = OneStepEncoding(compiled, simulator.get_state())
+        # Every decision has conditions recorded for every outcome.
+        for decision in compiled.registry.decisions:
+            for branch in decision.branches:
+                encoding.branch_condition(branch)
+
+    def test_has_internal_state(self, bench_model):
+        """Every benchmark is state-heavy by design."""
+        compiled = bench_model.build()
+        assert len(compiled.state_elements) >= 3
+
+    def test_symbolic_concrete_agreement_on_random_walk(self, bench_model):
+        """Spot-check the central property on every benchmark model."""
+        from repro.expr.evaluator import evaluate
+        from repro.solver.encoder import OneStepEncoding
+
+        compiled = bench_model.build()
+        collector = CoverageCollector(compiled.registry)
+        simulator = Simulator(compiled, collector)
+        rng = random.Random(1)
+        for _ in range(5):
+            simulator.step(random_input(compiled.inports, rng))
+        state = simulator.get_state()
+        inputs = random_input(compiled.inports, rng)
+        encoding = OneStepEncoding(compiled, state)
+        simulator.set_state(state)
+        result = simulator.step(inputs)
+        for decision_id, outcome in result.taken_outcomes.items():
+            decision = compiled.registry.decision(decision_id)
+            condition = encoding.branch_condition(decision.branches[outcome])
+            assert evaluate(condition, inputs) is True, decision.path
+
+
+class TestSimpleCPUTask:
+    def test_exactly_13_branches(self):
+        compiled = SIMPLE_CPUTASK.build()
+        assert compiled.registry.n_branches == 13
+
+    def test_branch_structure_matches_figure3(self):
+        compiled = SIMPLE_CPUTASK.build()
+        depths = [b.depth for b in compiled.registry.branches_by_depth()]
+        assert depths.count(0) == 5  # B1..B5
+        assert depths.count(1) == 8  # B6..B13

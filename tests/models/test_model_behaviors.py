@@ -1,0 +1,529 @@
+"""Behavioural tests: each benchmark model does what its spec says."""
+
+import pytest
+
+from repro.coverage import CoverageCollector
+from repro.model import Simulator
+from repro.models import (
+    build_cputask,
+    build_lanswitch,
+    build_ledlc,
+    build_nicprotocol,
+    build_simple_cputask,
+    build_tcp,
+    build_twc,
+    build_utpc,
+)
+from repro.models import afc as afc_mod
+from repro.models import lanswitch as lan_mod
+from repro.models import ledlc as led_mod
+from repro.models import nicprotocol as nic_mod
+from repro.models import tcp as tcp_mod
+from repro.models import utpc as utpc_mod
+from repro.models.afc import build_afc
+
+
+def sim(compiled):
+    return Simulator(compiled, CoverageCollector(compiled.registry))
+
+
+class TestCPUTask:
+    IDLE = {"op": 0, "task_id": 0, "param": 0}
+
+    def test_add_then_check_succeeds(self):
+        s = sim(build_cputask())
+        add = s.step({"op": 1, "task_id": 42, "param": 7})
+        assert add.outputs["add_status"] == 1
+        assert add.outputs["occupancy"] == 1
+        chk = s.step({"op": 4, "task_id": 42, "param": 7})
+        assert chk.outputs["chk_status"] == 1
+
+    def test_check_wrong_param_fails(self):
+        s = sim(build_cputask())
+        s.step({"op": 1, "task_id": 42, "param": 7})
+        chk = s.step({"op": 4, "task_id": 42, "param": 8})
+        assert chk.outputs["chk_status"] == 0
+
+    def test_delete_requires_id_and_param_match(self):
+        s = sim(build_cputask())
+        s.step({"op": 1, "task_id": 42, "param": 7})
+        wrong = s.step({"op": 2, "task_id": 42, "param": 9})
+        assert wrong.outputs["del_status"] == 0
+        right = s.step({"op": 2, "task_id": 42, "param": 7})
+        assert right.outputs["del_status"] == 1
+        assert right.outputs["occupancy"] == 0
+
+    def test_queue_fills_at_8(self):
+        s = sim(build_cputask())
+        for i in range(8):
+            result = s.step({"op": 1, "task_id": i + 1, "param": 1})
+            assert result.outputs["add_status"] == 1
+        overflow = s.step({"op": 1, "task_id": 99, "param": 1})
+        assert overflow.outputs["add_status"] == 0
+
+    def test_modify_protected_task_fails(self):
+        s = sim(build_cputask())
+        # param >= 48 gets boosted (+64), making the stored value >= 56.
+        s.step({"op": 1, "task_id": 5, "param": 50})
+        result = s.step({"op": 3, "task_id": 5, "param": 1})
+        assert result.outputs["mod_status"] == 0
+
+    def test_modify_normal_task_succeeds(self):
+        s = sim(build_cputask())
+        s.step({"op": 1, "task_id": 5, "param": 10})
+        result = s.step({"op": 3, "task_id": 5, "param": 20})
+        assert result.outputs["mod_status"] == 1
+
+    def test_invalid_opcode(self):
+        s = sim(build_cputask())
+        result = s.step({"op": 5, "task_id": 0, "param": 0})
+        assert result.outputs["invalid"] == 1
+
+    def test_simple_variant_semantics(self):
+        s = sim(build_simple_cputask())
+        assert s.step({"op": 1, "task_id": 3, "param": 2}).outputs["add_ok"] == 1
+        assert s.step({"op": 2, "task_id": 3, "param": 2}).outputs["del_ok"] == 1
+        assert s.step({"op": 2, "task_id": 3, "param": 2}).outputs["del_ok"] == 0
+
+    def test_simple_variant_queue_full(self):
+        s = sim(build_simple_cputask())
+        for i in range(3):
+            assert s.step({"op": 1, "task_id": i + 1, "param": 0}).outputs["add_ok"] == 1
+        assert s.step({"op": 1, "task_id": 9, "param": 0}).outputs["add_ok"] == 0
+
+
+class TestAFC:
+    COLD = {"throttle": 0.0, "rpm": 0.0, "o2": 0.5, "temp": 10.0, "cal": 0}
+
+    def test_starts_in_startup(self):
+        s = sim(build_afc())
+        assert s.step(self.COLD).outputs["mode"] == afc_mod.MODE_STARTUP
+
+    def test_mode_progression(self):
+        s = sim(build_afc())
+        s.step({**self.COLD, "rpm": 900.0})  # -> Warmup
+        result = s.step({**self.COLD, "rpm": 900.0, "temp": 80.0})
+        assert result.outputs["mode"] == afc_mod.MODE_NORMAL
+
+    def test_power_mode_needs_throttle_and_rpm(self):
+        s = sim(build_afc())
+        s.step({**self.COLD, "rpm": 900.0})
+        s.step({**self.COLD, "rpm": 900.0, "temp": 80.0})
+        result = s.step(
+            {"throttle": 90.0, "rpm": 3000.0, "o2": 0.5, "temp": 80.0,
+             "cal": 0}
+        )
+        assert result.outputs["mode"] == afc_mod.MODE_POWER
+
+    def test_fault_after_sustained_lean(self):
+        s = sim(build_afc())
+        s.step({**self.COLD, "rpm": 900.0})
+        s.step({**self.COLD, "rpm": 900.0, "temp": 80.0})
+        lean = {"throttle": 20.0, "rpm": 2000.0, "o2": 0.95, "temp": 80.0,
+                "cal": 0}
+        mode = None
+        for _ in range(afc_mod.FAULT_DEBOUNCE + 2):
+            mode = s.step(lean).outputs["mode"]
+        assert mode == afc_mod.MODE_FAULT
+
+    def test_fault_recovery_requires_cal_echo(self):
+        s = sim(build_afc())
+        s.step({**self.COLD, "rpm": 900.0})
+        s.step({**self.COLD, "rpm": 900.0, "temp": 80.0})
+        lean = {"throttle": 20.0, "rpm": 2000.0, "o2": 0.95, "temp": 80.0,
+                "cal": 0}
+        for _ in range(afc_mod.FAULT_DEBOUNCE + 2):
+            s.step(lean)
+        healthy = {"throttle": 20.0, "rpm": 2000.0, "o2": 0.5, "temp": 80.0}
+        wrong = s.step({**healthy, "cal": 1})
+        assert wrong.outputs["mode"] == afc_mod.MODE_FAULT
+        key = (2000 * 7 + 13) % 4096
+        right = s.step({**healthy, "cal": key})
+        assert right.outputs["mode"] == afc_mod.MODE_NORMAL
+
+    def test_overrev_cuts_fuel(self):
+        s = sim(build_afc())
+        result = s.step(
+            {"throttle": 50.0, "rpm": 7000.0, "o2": 0.5, "temp": 50.0,
+             "cal": 0}
+        )
+        assert result.outputs["fuel_pulse"] <= 0.1
+
+
+class TestTWC:
+    CRUISE = {
+        "target_speed": 100.0, "wheel_speed": 100.0, "train_speed": 100.0,
+        "brake_demand": 0.0, "track_grade": 0.0,
+    }
+
+    def test_slip_detection(self):
+        s = sim(build_twc())
+        slipping = {**self.CRUISE, "wheel_speed": 130.0}
+        result = s.step(slipping)
+        # Normal -> Detected on the first slipping step.
+        assert result.outputs["mode"] == 1
+
+    def test_no_slip_stays_normal(self):
+        s = sim(build_twc())
+        assert s.step(self.CRUISE).outputs["mode"] == 0
+
+    def test_emergency_after_repeated_episodes(self):
+        s = sim(build_twc())
+        modes = []
+        for _ in range(30):
+            modes.append(s.step({**self.CRUISE, "wheel_speed": 130.0}).outputs["mode"])
+            modes.append(s.step(self.CRUISE).outputs["mode"])
+        assert 4 in modes  # Emergency reached eventually
+
+    def test_emergency_brake_force(self):
+        s = sim(build_twc())
+        # Drive into emergency, then check the brake output.
+        for _ in range(30):
+            result = s.step({**self.CRUISE, "wheel_speed": 130.0})
+            if result.outputs["mode"] == 4:
+                break
+            result = s.step(self.CRUISE)
+            if result.outputs["mode"] == 4:
+                break
+        if result.outputs["mode"] == 4:
+            assert result.outputs["brake_force"] == 150.0
+
+    def test_dead_logic_outputs_zero(self):
+        s = sim(build_twc())
+        assert s.step(self.CRUISE).outputs["diag"] == 0
+
+
+class TestNICProtocol:
+    BASE = {
+        "event": 0, "msg_id": 0, "ack_id": 0, "payload": 0, "crc": 0,
+        "rx_valid": False, "tx_enable": True,
+    }
+
+    def test_handshake_to_wait_ack(self):
+        s = sim(build_nicprotocol())
+        s.step({**self.BASE, "event": nic_mod.EV_TX_REQUEST, "msg_id": 77})
+        s.step({**self.BASE, "event": nic_mod.EV_BUS_GRANT})
+        result = s.step({**self.BASE, "event": nic_mod.EV_TX_DONE})
+        assert result.outputs["state"] == nic_mod.ST_WAIT_ACK
+
+    def test_matching_ack_completes(self):
+        s = sim(build_nicprotocol())
+        s.step({**self.BASE, "event": nic_mod.EV_TX_REQUEST, "msg_id": 77})
+        s.step({**self.BASE, "event": nic_mod.EV_BUS_GRANT})
+        s.step({**self.BASE, "event": nic_mod.EV_TX_DONE})
+        result = s.step(
+            {**self.BASE, "event": nic_mod.EV_RX_ACK, "ack_id": 77}
+        )
+        assert result.outputs["state"] == nic_mod.ST_IDLE
+
+    def test_wrong_ack_does_not_complete(self):
+        s = sim(build_nicprotocol())
+        s.step({**self.BASE, "event": nic_mod.EV_TX_REQUEST, "msg_id": 77})
+        s.step({**self.BASE, "event": nic_mod.EV_BUS_GRANT})
+        s.step({**self.BASE, "event": nic_mod.EV_TX_DONE})
+        result = s.step(
+            {**self.BASE, "event": nic_mod.EV_RX_ACK, "ack_id": 78}
+        )
+        assert result.outputs["state"] == nic_mod.ST_WAIT_ACK
+
+    def test_crc_check(self):
+        s = sim(build_nicprotocol())
+        good = s.step(
+            {**self.BASE, "rx_valid": True, "payload": 10, "msg_id": 20,
+             "crc": 30}
+        )
+        assert good.outputs["bad_frame"] == 0
+        assert good.outputs["accepted_count"] == 1
+        bad = s.step(
+            {**self.BASE, "rx_valid": True, "payload": 10, "msg_id": 20,
+             "crc": 31}
+        )
+        assert bad.outputs["bad_frame"] == 1
+
+    def test_diag_class_biases_payload(self):
+        s = sim(build_nicprotocol())
+        result = s.step(
+            {**self.BASE, "rx_valid": True, "payload": 5, "msg_id": 1500,
+             "crc": (5 + 1500) % 256}
+        )
+        assert result.outputs["rx_data"] == 1005
+
+
+class TestUTPC:
+    BASE = {
+        "depth": 10.0, "thrust_cmd": 0.0, "battery_v": 55.0,
+        "motor_temp": 20.0, "charger": False, "enable": True,
+        "arm_cmd": 0, "arm_code": 0,
+    }
+
+    @staticmethod
+    def arm(s):
+        """Run the challenge/response handshake (code 10 -> response 78)."""
+        s.step({**TestUTPC.BASE, "arm_cmd": 1, "arm_code": 10})
+        challenge = (10 * 3 + 11) % 256  # 41
+        response = (challenge + 37) % 256  # 78
+        return s.step({**TestUTPC.BASE, "arm_cmd": 2, "arm_code": response})
+
+    def test_arming_handshake(self):
+        s = sim(build_utpc())
+        result = self.arm(s)
+        assert result.outputs["armed"] == 1
+
+    def test_wrong_response_does_not_arm(self):
+        s = sim(build_utpc())
+        s.step({**self.BASE, "arm_cmd": 1, "arm_code": 10})
+        result = s.step({**self.BASE, "arm_cmd": 2, "arm_code": 0})
+        assert result.outputs["armed"] == 0
+
+    def test_disarm(self):
+        s = sim(build_utpc())
+        self.arm(s)
+        result = s.step({**self.BASE, "arm_cmd": 3})
+        assert result.outputs["armed"] == 0
+
+    def test_unarmed_thruster_stays_off(self):
+        s = sim(build_utpc())
+        for _ in range(4):
+            result = s.step({**self.BASE, "thrust_cmd": 80.0})
+        assert result.outputs["thrust_out"] == 0.0
+
+    def test_deadband(self):
+        s = sim(build_utpc())
+        self.arm(s)
+        assert s.step({**self.BASE, "thrust_cmd": 3.0}).outputs["thrust_out"] == 0.0
+
+    def test_thrust_passes_when_healthy(self):
+        s = sim(build_utpc())
+        self.arm(s)
+        out = 0.0
+        for _ in range(6):
+            out = s.step({**self.BASE, "thrust_cmd": 80.0}).outputs["thrust_out"]
+        assert out > 50.0
+
+    def test_charging_cuts_output(self):
+        s = sim(build_utpc())
+        s.step({**self.BASE, "charger": True})
+        result = s.step({**self.BASE, "charger": True, "thrust_cmd": 80.0})
+        assert result.outputs["thrust_out"] == 0.0
+        assert result.outputs["batt_state"] == utpc_mod.BATT_CHARGING
+
+    def test_low_battery_reduces_limit(self):
+        s = sim(build_utpc())
+        low = {**self.BASE, "battery_v": 40.0}
+        for _ in range(4):
+            result = s.step(low)
+        assert result.outputs["batt_state"] in (
+            utpc_mod.BATT_LOW, utpc_mod.BATT_CRITICAL
+        )
+        assert result.outputs["limit_pct"] <= 60.0
+
+    def test_disable_cuts_output(self):
+        s = sim(build_utpc())
+        for _ in range(4):
+            result = s.step(
+                {**self.BASE, "thrust_cmd": 80.0, "enable": False}
+            )
+        assert result.outputs["thrust_out"] == 0.0
+
+
+class TestLANSwitch:
+    def frame(self, **kw):
+        base = {
+            "frame_type": lan_mod.FRAME_DATA, "src_mac": 1, "dst_mac": 2,
+            "in_port": 0, "vlan": 0,
+        }
+        base.update(kw)
+        return base
+
+    def test_unknown_destination_floods(self):
+        s = sim(build_lanswitch())
+        result = s.step(self.frame(src_mac=10, dst_mac=20))
+        assert result.outputs["fwd_port"] == -1
+
+    def test_learning_then_forwarding(self):
+        s = sim(build_lanswitch())
+        s.step(self.frame(src_mac=10, dst_mac=99, in_port=2))
+        result = s.step(self.frame(src_mac=20, dst_mac=10, in_port=0))
+        assert result.outputs["fwd_port"] == 2
+
+    def test_same_port_filtered(self):
+        s = sim(build_lanswitch())
+        s.step(self.frame(src_mac=10, dst_mac=99, in_port=2))
+        result = s.step(self.frame(src_mac=20, dst_mac=10, in_port=2))
+        assert result.outputs["fwd_port"] == -2
+
+    def test_vlan_mismatch_floods(self):
+        s = sim(build_lanswitch())
+        s.step(self.frame(src_mac=10, dst_mac=99, in_port=2, vlan=1))
+        result = s.step(self.frame(src_mac=20, dst_mac=10, in_port=0, vlan=3))
+        assert result.outputs["fwd_port"] == -1
+
+    def test_aging_expires_entries(self):
+        s = sim(build_lanswitch())
+        s.step(self.frame(src_mac=10, dst_mac=99, in_port=2))
+        assert s.step(self.frame(src_mac=1, dst_mac=10)).outputs["fwd_port"] == 2
+        for _ in range(lan_mod.MAX_AGE + 1):
+            s.step(self.frame(frame_type=lan_mod.FRAME_AGE_TICK))
+        result = s.step(self.frame(src_mac=1, dst_mac=10, in_port=0))
+        assert result.outputs["fwd_port"] == -1  # aged out: flood
+
+    def test_flush_all(self):
+        s = sim(build_lanswitch())
+        s.step(self.frame(src_mac=10, dst_mac=99))
+        result = s.step(self.frame(frame_type=lan_mod.FRAME_FLUSH_ALL))
+        assert result.outputs["occupancy"] == 0
+
+    def test_flush_port(self):
+        s = sim(build_lanswitch())
+        s.step(self.frame(src_mac=10, dst_mac=99, in_port=1))
+        s.step(self.frame(src_mac=11, dst_mac=99, in_port=2))
+        result = s.step(
+            self.frame(frame_type=lan_mod.FRAME_FLUSH_PORT, in_port=1)
+        )
+        assert result.outputs["occupancy"] == 1
+
+    def test_eviction_when_full(self):
+        s = sim(build_lanswitch())
+        for mac in range(1, lan_mod.TABLE_LEN + 2):
+            result = s.step(self.frame(src_mac=mac, dst_mac=99))
+        assert result.outputs["occupancy"] == lan_mod.TABLE_LEN
+
+
+class TestLEDLC:
+    BASE = {"cmd": 0, "arg": 0, "row": 0, "supply_ma": 100.0}
+
+    def test_mode_progression_changes_pwm(self):
+        s = sim(build_ledlc())
+        s.step({**self.BASE, "cmd": led_mod.CMD_SET_MODE, "arg": 3})
+        out = 0.0
+        for _ in range(8):
+            out = s.step(self.BASE).outputs["pwm"]
+        assert out > 0.9
+
+    def test_mode_clamped_to_valid_range(self):
+        s = sim(build_ledlc())
+        result = s.step({**self.BASE, "cmd": led_mod.CMD_SET_MODE, "arg": 15})
+        assert result.outputs["mode_ack"] == led_mod.MODE_HIGH
+
+    def test_row_levels(self):
+        s = sim(build_ledlc())
+        result = s.step(
+            {**self.BASE, "cmd": led_mod.CMD_SET_ROW, "row": 2, "arg": 9}
+        )
+        assert result.outputs["row_ack"] == 2
+
+    def test_hard_overcurrent_latches_fault(self):
+        s = sim(build_ledlc())
+        result = s.step({**self.BASE, "supply_ma": 1000.0})
+        assert result.outputs["fault"] == 1
+        # Fault persists without a reset.
+        result = s.step(self.BASE)
+        assert result.outputs["fault"] == 1
+
+    def test_fault_reset_requires_recovered_supply(self):
+        s = sim(build_ledlc())
+        s.step({**self.BASE, "supply_ma": 1000.0})
+        still = s.step(
+            {**self.BASE, "cmd": led_mod.CMD_RESET_FAULT, "supply_ma": 950.0}
+        )
+        assert still.outputs["fault"] == 1
+        cleared = s.step(
+            {**self.BASE, "cmd": led_mod.CMD_RESET_FAULT, "supply_ma": 100.0}
+        )
+        assert cleared.outputs["fault"] == 0
+
+    def test_load_shedding(self):
+        s = sim(build_ledlc())
+        s.step({**self.BASE, "cmd": led_mod.CMD_SET_MODE, "arg": 3})
+        for row in range(4):
+            s.step(
+                {**self.BASE, "cmd": led_mod.CMD_SET_ROW, "row": row,
+                 "arg": 15}
+            )
+        result = s.step(self.BASE)
+        assert result.outputs["shed_rows"] > 0
+
+
+class TestTCP:
+    BASE = {
+        "event": 0, "syn": False, "ack": False, "fin": False, "rst": False,
+        "seq": 0, "ackno": 0,
+    }
+
+    def passive_handshake(self, s):
+        s.step({**self.BASE, "event": tcp_mod.EV_PASSIVE_OPEN})
+        s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "syn": True, "seq": 50}
+        )
+        return s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "ack": True,
+             "ackno": tcp_mod.ISS + 1}
+        )
+
+    def test_three_way_handshake(self):
+        s = sim(build_tcp())
+        result = self.passive_handshake(s)
+        assert result.outputs["state"] == tcp_mod.S_ESTABLISHED
+
+    def test_third_handshake_requires_exact_ack(self):
+        s = sim(build_tcp())
+        s.step({**self.BASE, "event": tcp_mod.EV_PASSIVE_OPEN})
+        s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "syn": True, "seq": 50}
+        )
+        wrong = s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "ack": True,
+             "ackno": tcp_mod.ISS + 2}
+        )
+        assert wrong.outputs["state"] == tcp_mod.S_SYN_RCVD
+
+    def test_active_open_handshake(self):
+        s = sim(build_tcp())
+        s.step({**self.BASE, "event": tcp_mod.EV_ACTIVE_OPEN})
+        result = s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "syn": True,
+             "ack": True, "seq": 7, "ackno": tcp_mod.ISS + 1}
+        )
+        assert result.outputs["state"] == tcp_mod.S_ESTABLISHED
+
+    def test_teardown_to_time_wait(self):
+        s = sim(build_tcp())
+        self.passive_handshake(s)
+        s.step({**self.BASE, "event": tcp_mod.EV_CLOSE})  # FIN_WAIT_1
+        result = s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "ack": True,
+             "ackno": tcp_mod.ISS + 2}
+        )
+        assert result.outputs["state"] == tcp_mod.S_FIN_WAIT_2
+        result = s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "fin": True,
+             "seq": 51}
+        )
+        assert result.outputs["state"] == tcp_mod.S_TIME_WAIT
+        result = s.step({**self.BASE, "event": tcp_mod.EV_TIMEOUT})
+        assert result.outputs["state"] == tcp_mod.S_CLOSED
+
+    def test_rst_resets(self):
+        s = sim(build_tcp())
+        self.passive_handshake(s)
+        result = s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "rst": True}
+        )
+        assert result.outputs["state"] == tcp_mod.S_CLOSED
+
+    def test_in_order_fin_required(self):
+        s = sim(build_tcp())
+        self.passive_handshake(s)
+        out_of_order = s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "fin": True,
+             "seq": 200}
+        )
+        assert out_of_order.outputs["state"] == tcp_mod.S_ESTABLISHED
+
+    def test_malformed_segment_counted(self):
+        s = sim(build_tcp())
+        result = s.step(
+            {**self.BASE, "event": tcp_mod.EV_SEGMENT, "syn": True,
+             "fin": True}
+        )
+        assert result.outputs["bad_count"] == 1

@@ -1,0 +1,105 @@
+"""Tests for variable boxes and the candidate sampler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr.ast import Var
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.solver.box import Box, DEFAULT_HI, DEFAULT_LO
+from repro.solver.interval import Interval
+from repro.solver.sampler import clamp_to_domain, corner_points, sample_point
+
+I = Var("i", INT, -10, 10)
+R = Var("r", REAL, 0.0, 1.0)
+B = Var("b", BOOL)
+U = Var("u", REAL)  # unbounded
+
+
+class TestBox:
+    def test_initial_domains_from_declarations(self):
+        box = Box([I, R, B])
+        assert box.domain("i") == Interval(-10.0, 10.0)
+        assert box.domain("r") == Interval(0.0, 1.0)
+        assert box.domain("b") == Interval(0.0, 1.0)
+
+    def test_unbounded_gets_defaults(self):
+        box = Box([U])
+        assert box.domain("u") == Interval(DEFAULT_LO, DEFAULT_HI)
+
+    def test_duplicates_ignored(self):
+        box = Box([I, I])
+        assert len(box) == 1
+
+    def test_narrow_intersects(self):
+        box = Box([I])
+        assert box.narrow("i", Interval(0.0, 100.0))
+        assert box.domain("i") == Interval(0.0, 10.0)
+
+    def test_narrow_rounds_integers(self):
+        box = Box([I])
+        box.narrow("i", Interval(0.3, 4.7))
+        assert box.domain("i") == Interval(1.0, 4.0)
+
+    def test_narrow_reports_no_change(self):
+        box = Box([I])
+        assert not box.narrow("i", Interval(-100.0, 100.0))
+
+    def test_empty_detection(self):
+        box = Box([I])
+        box.narrow("i", Interval.empty())
+        assert box.is_empty
+
+    def test_array_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Box([Var("a", ArrayType(INT, 2))])
+
+    def test_total_width(self):
+        box = Box([I, R])
+        assert box.total_width() == 21.0
+
+
+class TestClamp:
+    def test_clamp_inside(self):
+        assert clamp_to_domain(0.5, Interval(0.0, 1.0), False) == 0.5
+
+    def test_clamp_below_above(self):
+        assert clamp_to_domain(-5.0, Interval(0.0, 1.0), False) == 0.0
+        assert clamp_to_domain(5.0, Interval(0.0, 1.0), False) == 1.0
+
+    def test_clamp_int_rounds(self):
+        assert clamp_to_domain(2.6, Interval(0.0, 10.0), True) == 3.0
+
+
+class TestSampler:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_samples_in_domain(self, seed):
+        box = Box([I, R, B])
+        env = sample_point(box, random.Random(seed))
+        assert -10 <= env["i"] <= 10
+        assert isinstance(env["i"], int)
+        assert 0.0 <= env["r"] <= 1.0
+        assert isinstance(env["b"], bool)
+
+    def test_corner_points_cover_extremes(self):
+        box = Box([I])
+        candidates = corner_points(box)
+        values = {c["i"] for c in candidates}
+        assert -10 in values
+        assert 10 in values
+        assert 0 in values
+
+    def test_corner_points_typed(self):
+        box = Box([I, R, B])
+        for candidate in corner_points(box):
+            assert isinstance(candidate["i"], int)
+            assert isinstance(candidate["r"], float)
+            assert isinstance(candidate["b"], bool)
+
+    def test_sampler_diverse(self):
+        box = Box([I])
+        rng = random.Random(0)
+        values = {sample_point(box, rng)["i"] for _ in range(60)}
+        assert len(values) >= 5

@@ -1,0 +1,156 @@
+"""Tests for HC4 contraction: narrowing power and soundness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.evaluator import evaluate
+from repro.expr.types import BOOL, INT, REAL
+from repro.solver.box import Box
+from repro.solver.contractor import Contractor
+
+I = Var("i", INT, -100, 100)
+J = Var("j", INT, -100, 100)
+R = Var("r", REAL, -100.0, 100.0)
+B = Var("b", BOOL)
+
+
+def contract(constraint, variables):
+    box = Box(variables)
+    feasible = Contractor(constraint).contract(box)
+    return feasible, box
+
+
+class TestNarrowing:
+    def test_upper_bound_from_lt(self):
+        feasible, box = contract(x.lt(I, 10), [I])
+        assert feasible
+        assert box.domain("i").hi <= 10.0
+
+    def test_lower_bound_from_ge(self):
+        feasible, box = contract(x.ge(I, 42), [I])
+        assert feasible
+        assert box.domain("i").lo >= 42.0
+
+    def test_equality_pins_to_point(self):
+        feasible, box = contract(x.eq(I, 7), [I])
+        assert feasible
+        assert box.domain("i") .is_point
+        assert box.domain("i").lo == 7.0
+
+    def test_linear_equation_solved_by_contraction(self):
+        # 3 * i + 7 == 52  =>  i == 15
+        constraint = x.eq(x.add(x.mul(I, 3), 7), 52)
+        feasible, box = contract(constraint, [I])
+        assert feasible
+        assert box.domain("i").is_point
+        assert box.domain("i").lo == 15.0
+
+    def test_conjunction_narrows_both_sides(self):
+        constraint = x.land(x.ge(I, 5), x.le(I, 9))
+        feasible, box = contract(constraint, [I])
+        assert feasible
+        assert box.domain("i").lo == 5.0
+        assert box.domain("i").hi == 9.0
+
+    def test_two_variable_relation(self):
+        # i <= j narrows nothing drastic but stays feasible.
+        feasible, box = contract(x.le(I, J), [I, J])
+        assert feasible
+        assert not box.is_empty
+
+    def test_integer_rounding(self):
+        constraint = x.land(x.gt(I, 3), x.lt(I, 5))
+        feasible, box = contract(constraint, [I])
+        assert feasible
+        # Only integer 4 remains... at minimum the bounds round to ints.
+        dom = box.domain("i")
+        assert dom.lo >= 3.0 and dom.hi <= 5.0
+
+    def test_abs_contraction(self):
+        constraint = x.le(x.absolute(I), 5)
+        feasible, box = contract(constraint, [I])
+        assert feasible
+        assert box.domain("i").lo >= -5.0
+        assert box.domain("i").hi <= 5.0
+
+
+class TestUnsatProofs:
+    def test_contradictory_bounds(self):
+        feasible, box = contract(x.land(x.gt(I, 50), x.lt(I, 10)), [I])
+        assert not feasible
+        assert box.is_empty
+
+    def test_out_of_domain_equality(self):
+        feasible, _ = contract(x.eq(I, 1000), [I])
+        assert not feasible
+
+    def test_constant_false(self):
+        feasible, _ = contract(x.lift(False), [I])
+        assert not feasible
+
+    def test_no_integer_in_range(self):
+        constraint = x.land(x.gt(I, 3), x.lt(I, 4))
+        feasible, _ = contract(constraint, [I])
+        assert not feasible
+
+    def test_disequality_of_pinned_points(self):
+        k = Var("k", INT, 5, 5)
+        feasible, _ = contract(x.ne(k, 5), [k])
+        assert not feasible
+
+
+class TestConservativeCases:
+    def test_or_does_not_overnarrow(self):
+        constraint = x.lor(x.eq(I, -50), x.eq(I, 50))
+        feasible, box = contract(constraint, [I])
+        assert feasible
+        # Both solutions must remain inside the box.
+        assert box.domain("i").contains(-50.0)
+        assert box.domain("i").contains(50.0)
+
+    def test_ite_with_unknown_condition(self):
+        constraint = x.ge(x.ite(B, I, J), 0)
+        feasible, box = contract(constraint, [I, J, B])
+        assert feasible
+        # i = 100, b = True is a solution and must survive.
+        assert box.domain("i").contains(100.0)
+
+    def test_boolean_variable_narrowed(self):
+        feasible, box = contract(B, [B])
+        assert feasible
+        assert box.domain("b").lo == 1.0
+
+
+# -- soundness property: contraction never removes a solution -----------------
+
+_small_int = st.integers(-20, 20)
+
+
+@st.composite
+def linear_constraints(draw):
+    """Random conjunctions of linear (in)equalities over i, j."""
+    terms = []
+    for _ in range(draw(st.integers(1, 3))):
+        a = draw(_small_int)
+        b = draw(_small_int)
+        c = draw(_small_int)
+        lhs = x.add(x.mul(I, a), x.mul(J, b))
+        op = draw(st.sampled_from([x.le, x.ge, x.eq, x.lt, x.gt]))
+        terms.append(op(lhs, c))
+    return x.conjoin(terms)
+
+
+class TestContractionSoundness:
+    @given(constraint=linear_constraints(), i=_small_int, j=_small_int)
+    @settings(max_examples=200, deadline=None)
+    def test_solutions_survive_contraction(self, constraint, i, j):
+        env = {"i": i, "j": j}
+        box = Box([I, J])
+        feasible = Contractor(constraint).contract(box)
+        if evaluate(constraint, env):
+            # (i, j) is a solution: the contractor must keep it.
+            assert feasible
+            assert box.domain("i").contains(float(i))
+            assert box.domain("j").contains(float(j))

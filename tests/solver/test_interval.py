@@ -1,0 +1,149 @@
+"""Tests and soundness properties for interval arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.solver.interval import (
+    BOOL_FALSE,
+    BOOL_TRUE,
+    BOOL_UNKNOWN,
+    Interval,
+)
+
+
+class TestConstruction:
+    def test_point(self):
+        p = Interval.point(3.0)
+        assert p.is_point
+        assert p.contains(3.0)
+
+    def test_empty(self):
+        assert Interval.empty().is_empty
+        assert not Interval.empty().contains(0.0)
+
+    def test_top_contains_everything(self):
+        top = Interval.top()
+        for v in (-1e18, 0.0, 1e18):
+            assert top.contains(v)
+
+    def test_width(self):
+        assert Interval(1.0, 4.0).width == 3.0
+        assert Interval.empty().width == 0.0
+
+
+class TestSetOps:
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)).is_empty
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(5, 6)) == Interval(0, 6)
+
+    def test_hull_with_empty(self):
+        a = Interval(0, 1)
+        assert Interval.empty().hull(a) == a
+        assert a.hull(Interval.empty()) == a
+
+    def test_round_to_int(self):
+        assert Interval(1.2, 3.8).round_to_int() == Interval(2.0, 3.0)
+
+    def test_round_to_int_empty_when_no_integers(self):
+        assert Interval(1.2, 1.8).round_to_int().is_empty
+
+
+class TestBooleanLattice:
+    def test_true(self):
+        assert BOOL_TRUE.definitely_true
+        assert not BOOL_TRUE.definitely_false
+
+    def test_false(self):
+        assert BOOL_FALSE.definitely_false
+        assert not BOOL_FALSE.definitely_true
+
+    def test_unknown(self):
+        assert not BOOL_UNKNOWN.definitely_true
+        assert not BOOL_UNKNOWN.definitely_false
+
+
+intervals = st.tuples(
+    st.floats(-100, 100, allow_nan=False), st.floats(0, 50, allow_nan=False)
+).map(lambda t: Interval(t[0], t[0] + t[1]))
+
+values = st.floats(0.0, 1.0, allow_nan=False)
+
+
+def _pick(interval: Interval, fraction: float) -> float:
+    return interval.lo + (interval.hi - interval.lo) * fraction
+
+
+class TestArithmeticSoundness:
+    """f(x, y) must lie inside F(X, Y) for x in X, y in Y."""
+
+    @given(intervals, intervals, values, values)
+    def test_add(self, X, Y, fx, fy):
+        x, y = _pick(X, fx), _pick(Y, fy)
+        assert (X + Y).contains(x + y)
+
+    @given(intervals, intervals, values, values)
+    def test_sub(self, X, Y, fx, fy):
+        x, y = _pick(X, fx), _pick(Y, fy)
+        assert (X - Y).contains(x - y)
+
+    @given(intervals, intervals, values, values)
+    def test_mul(self, X, Y, fx, fy):
+        x, y = _pick(X, fx), _pick(Y, fy)
+        result = (X * Y)
+        assert result.lo <= x * y <= result.hi or math.isclose(
+            x * y, result.lo, abs_tol=1e-6
+        ) or math.isclose(x * y, result.hi, abs_tol=1e-6)
+
+    @given(intervals, intervals, values, values)
+    def test_divide(self, X, Y, fx, fy):
+        x, y = _pick(X, fx), _pick(Y, fy)
+        if y != 0:
+            assert X.divide(Y).contains(x / y)
+
+    @given(intervals, intervals, values, values)
+    def test_min_max(self, X, Y, fx, fy):
+        x, y = _pick(X, fx), _pick(Y, fy)
+        assert X.minimum(Y).contains(min(x, y))
+        assert X.maximum(Y).contains(max(x, y))
+
+    @given(intervals, values)
+    def test_abs(self, X, fx):
+        x = _pick(X, fx)
+        assert X.absolute().contains(abs(x))
+
+    @given(intervals, values)
+    def test_neg(self, X, fx):
+        x = _pick(X, fx)
+        assert (-X).contains(-x)
+
+    @given(intervals, values)
+    def test_floor_ceil_trunc(self, X, fx):
+        x = _pick(X, fx)
+        assert X.floor().contains(math.floor(x))
+        assert X.ceil().contains(math.ceil(x))
+        assert X.trunc().contains(float(math.trunc(x)))
+
+
+class TestDivisionByZeroStraddle:
+    def test_straddling_divisor_gives_top(self):
+        result = Interval(1, 2).divide(Interval(-1, 1))
+        assert result.lo == -math.inf
+        assert result.hi == math.inf
+
+
+class TestEmptyPropagation:
+    def test_ops_with_empty(self):
+        e = Interval.empty()
+        a = Interval(0, 1)
+        assert (e + a).is_empty
+        assert (a - e).is_empty
+        assert (e * a).is_empty
+        assert a.minimum(e).is_empty
+        assert e.absolute().is_empty

@@ -1,0 +1,95 @@
+"""Tests for disjunction splitting and its engine integration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.evaluator import evaluate
+from repro.expr.nnf import to_nnf
+from repro.expr.types import INT
+from repro.solver.engine import SolverConfig, SolverEngine, Status
+from repro.solver.splitter import MAX_CASES, split_cases
+
+I = Var("i", INT, -100, 100)
+J = Var("j", INT, -100, 100)
+
+
+class TestSplitCases:
+    def test_atom_not_split(self):
+        assert split_cases(x.eq(I, 5)) == [x.eq(I, 5)]
+
+    def test_top_level_or(self):
+        cases = split_cases(x.lor(x.eq(I, 1), x.eq(I, 2)))
+        assert len(cases) == 2
+
+    def test_nested_or_under_and_distributes(self):
+        constraint = x.land(x.eq(J, 7), x.lor(x.eq(I, 1), x.eq(I, 2)))
+        cases = split_cases(constraint)
+        assert len(cases) == 2
+        # Each case carries the conjunct.
+        for case in cases:
+            assert evaluate(case, {"i": 1, "j": 7}) in (True, False)
+
+    def test_cases_cover_original(self):
+        constraint = to_nnf(
+            x.lor(x.land(x.eq(I, 3), x.gt(J, 0)), x.lt(J, -50))
+        )
+        cases = split_cases(constraint)
+        for i in (-60, 0, 3):
+            for j in (-60, 0, 10):
+                env = {"i": i, "j": j}
+                original = evaluate(constraint, env)
+                any_case = any(evaluate(c, env) for c in cases)
+                assert original == any_case
+
+    def test_budget_prevents_explosion(self):
+        # (a1|a2) & (b1|b2) & (c1|c2) & (d1|d2) & (e1|e2) -> 32 cases > 16.
+        terms = []
+        for offset in range(5):
+            terms.append(
+                x.lor(x.eq(I, offset), x.eq(J, offset))
+            )
+        constraint = x.conjoin(terms)
+        cases = split_cases(constraint)
+        assert len(cases) == 1  # refused to split
+
+    def test_max_cases_respected(self):
+        disjuncts = x.disjoin([x.eq(I, k) for k in range(MAX_CASES)])
+        assert len(split_cases(disjuncts)) == MAX_CASES
+        too_many = x.disjoin([x.eq(I, k) for k in range(MAX_CASES + 1)])
+        assert len(split_cases(too_many)) == 1
+
+
+class TestEngineSplitStage:
+    def test_needle_disjunct_found(self):
+        """Two distant equality needles: split + contraction pins each."""
+        engine = SolverEngine(SolverConfig(seed=0, avm_evaluations=0))
+        constraint = x.lor(
+            x.land(x.eq(I, 77), x.eq(J, -13)),
+            x.land(x.eq(I, -77), x.eq(J, 13)),
+        )
+        result = engine.solve(constraint, [I, J])
+        assert result.status is Status.SAT
+        assert evaluate(constraint, result.model) is True
+
+    def test_all_cases_unsat_proved(self):
+        engine = SolverEngine(SolverConfig(seed=0))
+        constraint = x.lor(
+            x.land(x.eq(I, 500), x.gt(J, 0)),   # i out of domain
+            x.land(x.gt(J, 10), x.lt(J, 5)),    # empty interval
+        )
+        result = engine.solve(constraint, [I, J])
+        assert result.status is Status.UNSAT
+
+    @given(
+        a=st.integers(-90, 90), b=st.integers(-90, 90),
+        c=st.integers(-90, 90),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_three_way_needles_always_solved(self, a, b, c):
+        engine = SolverEngine(SolverConfig(seed=0))
+        constraint = x.disjoin([x.eq(I, a), x.eq(I, b), x.eq(I, c)])
+        result = engine.solve(constraint, [I, J])
+        assert result.status is Status.SAT
+        assert result.model["i"] in (a, b, c)

@@ -1,0 +1,219 @@
+"""Tests for chart blocks: concrete semantics and symbolic agreement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coverage import CoverageCollector
+from repro.expr.evaluator import evaluate
+from repro.expr.types import BOOL, INT, REAL
+from repro.model import ModelBuilder, Simulator
+from repro.model.inputs import random_input
+from repro.solver.encoder import OneStepEncoding
+from repro.stateflow import ChartSpec
+
+
+def traffic_chart():
+    """Red -> Green -> Yellow -> Red cycle with a pedestrian request."""
+    chart = ChartSpec("light")
+    chart.input("tick", BOOL)
+    chart.input("ped_request", BOOL)
+    chart.output("color", INT, 0)  # 0 red, 1 green, 2 yellow
+    chart.local("hold", INT, 0)
+
+    red = chart.state("Red", entry=["color = 0", "hold = 0"],
+                      during=["hold = hold + 1"])
+    green = chart.state("Green", entry=["color = 1", "hold = 0"],
+                        during=["hold = hold + 1"])
+    yellow = chart.state("Yellow", entry=["color = 2"])
+    chart.initial(red)
+    chart.transition(red, green, guard="tick && hold >= 2", priority=1)
+    chart.transition(green, yellow, guard="ped_request", priority=1)
+    chart.transition(green, yellow, guard="tick && hold >= 3", priority=2)
+    chart.transition(yellow, red, guard="tick", priority=1)
+    return chart
+
+
+def build_light_model():
+    b = ModelBuilder("Light")
+    tick = b.inport("tick", BOOL)
+    ped = b.inport("ped_request", BOOL)
+    chart = b.add_chart(
+        traffic_chart(), {"tick": tick, "ped_request": ped}, name="light"
+    )
+    b.outport("color", chart["color"])
+    return b.compile()
+
+
+class TestConcreteSemantics:
+    def test_initial_outputs(self):
+        sim = Simulator(build_light_model())
+        result = sim.step({"tick": False, "ped_request": False})
+        assert result.outputs["color"] == 0
+
+    def test_transition_needs_hold(self):
+        sim = Simulator(build_light_model())
+        # hold increments only via during; needs hold >= 2 before green.
+        out = [
+            sim.step({"tick": True, "ped_request": False}).outputs["color"]
+            for _ in range(4)
+        ]
+        assert 1 in out  # eventually green
+        assert out[0] == 0  # not immediately
+
+    def test_priority_pedestrian_preempts(self):
+        sim = Simulator(build_light_model())
+        # Drive to green first.
+        for _ in range(5):
+            result = sim.step({"tick": True, "ped_request": False})
+            if result.outputs["color"] == 1:
+                break
+        assert result.outputs["color"] == 1
+        # Pedestrian request immediately yields yellow.
+        result = sim.step({"tick": False, "ped_request": True})
+        assert result.outputs["color"] == 2
+
+    def test_entry_actions_run_once(self):
+        sim = Simulator(build_light_model())
+        sim.step({"tick": True, "ped_request": False})
+        state = sim.get_state()
+        assert state.get("light.hold") == 1  # during ran once in Red
+
+    def test_chart_state_in_snapshot(self):
+        compiled = build_light_model()
+        state = Simulator(compiled).get_state()
+        assert "light.loc" in state.values
+        assert "light.color" in state.values
+        from repro.model.block import STATE_CHART
+
+        assert compiled.state_elements["light.loc"].category == STATE_CHART
+
+    def test_transition_decisions_recorded(self):
+        compiled = build_light_model()
+        collector = CoverageCollector(compiled.registry)
+        sim = Simulator(compiled, collector)
+        sim.step({"tick": False, "ped_request": False})
+        # Red's outgoing transition was evaluated (not taken).
+        not_taken = next(
+            b for b in compiled.registry.branches
+            if "Red->Green" in b.label and b.label.endswith("not_taken")
+        )
+        assert collector.is_branch_covered(not_taken)
+
+    def test_preempted_guard_not_evaluated(self):
+        compiled = build_light_model()
+        collector = CoverageCollector(compiled.registry)
+        sim = Simulator(compiled, collector)
+        # Reach green, then trigger the priority-1 pedestrian transition.
+        for _ in range(5):
+            sim.step({"tick": True, "ped_request": False})
+        before = collector.covered_branch_ids
+        sim2_branches = [
+            b.branch_id for b in compiled.registry.branches
+            if "t2:" in b.label  # the lower-priority green->yellow
+        ]
+        # Whatever happened so far, after a pedestrian preemption in green
+        # the t2 decision must not have been newly evaluated that step.
+        # (behavioural check via chart semantics below)
+        sim.reset()
+        for _ in range(3):
+            sim.step({"tick": True, "ped_request": False})
+        covered_before = set(collector.covered_branch_ids)
+        sim.step({"tick": True, "ped_request": True})  # green: ped preempts
+        newly = set(collector.covered_branch_ids) - covered_before
+        assert not (newly & set(sim2_branches))
+
+
+class TestHierarchicalChart:
+    def build(self):
+        chart = ChartSpec("h")
+        chart.input("up", BOOL)
+        chart.input("reset", BOOL)
+        chart.output("o", INT, 0)
+        auto = chart.state("Auto")
+        lo = chart.state("Lo", parent=auto, entry=["o = 1"])
+        hi = chart.state("Hi", parent=auto, entry=["o = 2"])
+        manual = chart.state("Manual", entry=["o = 9"])
+        chart.initial(auto)
+        chart.initial(lo, of=auto)
+        chart.transition(lo, hi, guard="up", priority=1)
+        # Superstate transition: fires from any child of Auto.
+        chart.transition(auto, manual, guard="reset", priority=1)
+        chart.transition(manual, auto, guard="up", priority=1)
+        b = ModelBuilder("H")
+        up = b.inport("up", BOOL)
+        reset = b.inport("reset", BOOL)
+        cs = b.add_chart(chart, {"up": up, "reset": reset}, name="h")
+        b.outport("o", cs["o"])
+        return b.compile()
+
+    def test_enters_initial_child(self):
+        sim = Simulator(self.build())
+        assert sim.step({"up": False, "reset": False}).outputs["o"] == 0
+
+    def test_child_transition(self):
+        sim = Simulator(self.build())
+        result = sim.step({"up": True, "reset": False})
+        assert result.outputs["o"] == 2  # Lo -> Hi
+
+    def test_superstate_transition_from_any_child(self):
+        sim = Simulator(self.build())
+        sim.step({"up": True, "reset": False})  # now in Hi
+        result = sim.step({"up": False, "reset": True})
+        assert result.outputs["o"] == 9  # Auto -> Manual fired from Hi
+
+    def test_reentry_descends_to_initial_child(self):
+        sim = Simulator(self.build())
+        sim.step({"up": False, "reset": True})  # Manual
+        result = sim.step({"up": True, "reset": False})  # back into Auto
+        assert result.outputs["o"] == 1  # entered Lo, not Hi
+
+    def test_inner_transition_preempts_outer(self):
+        """Own transitions are checked before ancestors' (documented rule)."""
+        sim = Simulator(self.build())
+        result = sim.step({"up": True, "reset": True})
+        # In Lo with both guards true: Lo->Hi (inner) wins over Auto->Manual.
+        assert result.outputs["o"] == 2
+
+
+class TestSymbolicAgreement:
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_one_step_conditions_match_concrete(self, seed):
+        compiled = build_light_model()
+        rng = random.Random(seed)
+        sim = Simulator(compiled, CoverageCollector(compiled.registry))
+        for _ in range(rng.randint(0, 6)):
+            sim.step(random_input(compiled.inports, rng))
+        state = sim.get_state()
+        inputs = random_input(compiled.inports, rng)
+        encoding = OneStepEncoding(compiled, state)
+        sim.set_state(state)
+        result = sim.step(inputs)
+        for decision_id, outcome in result.taken_outcomes.items():
+            decision = compiled.registry.decision(decision_id)
+            condition = encoding.branch_condition(decision.branches[outcome])
+            assert evaluate(condition, inputs) is True
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_next_state_expressions_match(self, seed):
+        compiled = build_light_model()
+        rng = random.Random(seed)
+        sim = Simulator(compiled, CoverageCollector(compiled.registry))
+        for _ in range(rng.randint(0, 6)):
+            sim.step(random_input(compiled.inports, rng))
+        state = sim.get_state()
+        inputs = random_input(compiled.inports, rng)
+        encoding = OneStepEncoding(compiled, state)
+        sim.set_state(state)
+        sim.step(inputs)
+        concrete_next = sim.get_state()
+        for path, expr in encoding.next_state_expressions().items():
+            expected = concrete_next.get(path)
+            if hasattr(expr, "ty"):
+                value = evaluate(expr, inputs)
+            else:
+                value = expr
+            assert value == expected, path

@@ -1,0 +1,200 @@
+"""Tests for chart specifications: declarations, hierarchy, atom splitting."""
+
+import pytest
+
+from repro.errors import ChartError
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.evaluator import evaluate
+from repro.expr.types import BOOL, INT, REAL
+from repro.stateflow.spec import ChartSpec, extract_atoms
+
+
+def simple_chart():
+    chart = ChartSpec("c")
+    chart.input("go", BOOL)
+    chart.input("n", INT, 0, 10)
+    chart.output("out", INT, 0)
+    chart.local("count", INT, 0)
+    a = chart.state("A", entry=["out = 1"])
+    b = chart.state("B", entry=["out = 2"], during=["count = count + 1"])
+    chart.initial(a)
+    chart.transition(a, b, guard="go && n > 3", priority=1)
+    chart.transition(b, a, guard="count >= 2", priority=1)
+    return chart
+
+
+class TestDeclarations:
+    def test_variable_roles(self):
+        chart = simple_chart()
+        assert chart.input_names == ["go", "n"]
+        assert chart.output_names == ["out"]
+        assert chart.local_names == ["count"]
+
+    def test_duplicate_variable_rejected(self):
+        chart = ChartSpec("c")
+        chart.input("x", INT)
+        with pytest.raises(ChartError):
+            chart.local("x", INT, 0)
+
+    def test_duplicate_state_rejected(self):
+        chart = ChartSpec("c")
+        chart.state("A")
+        with pytest.raises(ChartError):
+            chart.state("A")
+
+    def test_assignment_to_input_rejected(self):
+        chart = ChartSpec("c")
+        chart.input("x", INT)
+        s = chart.state("A")
+        t = chart.state("B")
+        chart.initial(s)
+        with pytest.raises(ChartError):
+            chart.transition(s, t, actions=["x = 1"])
+
+    def test_assignment_to_unknown_rejected(self):
+        chart = ChartSpec("c")
+        s = chart.state("A")
+        with pytest.raises(ChartError):
+            chart.state("B", entry=["zzz = 1"])
+
+    def test_non_assignment_action_rejected(self):
+        chart = ChartSpec("c")
+        chart.local("v", INT, 0)
+        with pytest.raises(ChartError):
+            chart.state("A", entry=["v + 1"])
+
+    def test_non_boolean_guard_rejected(self):
+        chart = ChartSpec("c")
+        chart.input("n", INT)
+        a = chart.state("A")
+        b = chart.state("B")
+        chart.initial(a)
+        with pytest.raises(ChartError):
+            chart.transition(a, b, guard="n + 1")
+
+    def test_missing_initial_rejected(self):
+        chart = ChartSpec("c")
+        chart.state("A")
+        with pytest.raises(ChartError):
+            chart.finalize()
+
+
+class TestHierarchy:
+    def make_nested(self):
+        chart = ChartSpec("h")
+        chart.input("go", BOOL)
+        chart.output("o", INT, 0)
+        top = chart.state("Top")
+        inner1 = chart.state("Inner1", parent=top, entry=["o = 1"])
+        inner2 = chart.state("Inner2", parent=top, entry=["o = 2"])
+        other = chart.state("Other", entry=["o = 9"])
+        chart.initial(top)
+        chart.initial(inner1, of=top)
+        chart.transition(inner1, inner2, guard="go", priority=1)
+        chart.transition(top, other, guard="!go", priority=1)
+        return chart, top, inner1, inner2, other
+
+    def test_leaves_exclude_composites(self):
+        chart, top, inner1, inner2, other = self.make_nested()
+        names = [leaf.name for leaf in chart.leaves]
+        assert "Top" not in names
+        assert set(names) == {"Inner1", "Inner2", "Other"}
+
+    def test_initial_leaf_descends(self):
+        chart, top, inner1, *_ = self.make_nested()
+        assert chart.initial_leaf() is inner1
+
+    def test_state_depth(self):
+        chart, top, inner1, *_ = self.make_nested()
+        assert top.depth() == 0
+        assert inner1.depth() == 1
+
+    def test_candidates_include_ancestors(self):
+        chart, top, inner1, inner2, other = self.make_nested()
+        candidates = chart.candidates_for(inner1)
+        sources = [t.source.name for t in candidates]
+        # Own transitions first, then the parent's.
+        assert sources == ["Inner1", "Top"]
+
+    def test_composite_without_initial_child_rejected(self):
+        chart = ChartSpec("h")
+        top = chart.state("Top")
+        chart.state("Inner", parent=top)
+        chart.initial(top)
+        with pytest.raises(ChartError, match="initial child"):
+            chart.finalize()
+
+    def test_initial_of_wrong_parent_rejected(self):
+        chart = ChartSpec("h")
+        top = chart.state("Top")
+        stray = chart.state("Stray")
+        with pytest.raises(ChartError):
+            chart.initial(stray, of=top)
+
+
+class TestCandidateOrdering:
+    def test_priority_order(self):
+        chart = ChartSpec("p")
+        chart.input("x", INT)
+        a = chart.state("A")
+        b = chart.state("B")
+        c = chart.state("C")
+        chart.initial(a)
+        t_low = chart.transition(a, b, guard="x > 0", priority=5)
+        t_high = chart.transition(a, c, guard="x > 1", priority=1)
+        candidates = chart.candidates_for(a)
+        assert candidates == [t_high, t_low]
+
+    def test_declaration_order_breaks_ties(self):
+        chart = ChartSpec("p")
+        a = chart.state("A")
+        b = chart.state("B")
+        chart.initial(a)
+        t1 = chart.transition(a, b, priority=1)
+        t2 = chart.transition(a, b, priority=1)
+        assert chart.candidates_for(a) == [t1, t2]
+
+
+class TestExtractAtoms:
+    N = Var("n", INT)
+    P = Var("p", BOOL)
+    Q = Var("q", BOOL)
+
+    def test_single_relational_atom(self):
+        atoms, structure = extract_atoms(x.lt(self.N, 3))
+        assert len(atoms) == 1
+        assert evaluate(structure, {"c0": True}) is True
+
+    def test_conjunction_two_atoms(self):
+        guard = x.land(self.P, x.gt(self.N, 3))
+        atoms, structure = extract_atoms(guard)
+        assert len(atoms) == 2
+        assert evaluate(structure, {"c0": True, "c1": False}) is False
+
+    def test_duplicate_atoms_shared(self):
+        p_lt = x.lt(self.N, 3)
+        guard = x.lor(x.land(self.P, p_lt), p_lt)
+        atoms, structure = extract_atoms(guard)
+        assert len(atoms) == 2  # p and n<3, the repeat is shared
+
+    def test_negation_preserved_in_structure(self):
+        guard = x.land(self.P, x.lnot(self.Q))
+        atoms, structure = extract_atoms(guard)
+        assert len(atoms) == 2
+        assert evaluate(structure, {"c0": True, "c1": True}) is False
+        assert evaluate(structure, {"c0": True, "c1": False}) is True
+
+    def test_structure_equivalent_to_guard(self):
+        guard = x.lor(x.land(self.P, x.gt(self.N, 3)), x.eq(self.N, 0))
+        atoms, structure = extract_atoms(guard)
+        for p in (True, False):
+            for n in (0, 2, 5):
+                env = {"p": p, "n": n}
+                vector = {f"c{i}": bool(evaluate(a, env)) for i, a in enumerate(atoms)}
+                assert evaluate(structure, vector) == evaluate(guard, env)
+
+    def test_constant_guard_has_no_atoms(self):
+        atoms, structure = extract_atoms(x.lift(True))
+        assert atoms == []
+        assert structure.const_value() is True

@@ -1,0 +1,179 @@
+"""Edge-case tests across subsystem seams."""
+
+import math
+import random
+
+import pytest
+
+from repro.coverage import CoverageCollector
+from repro.errors import ChartError, ModelError
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.types import BOOL, INT, REAL
+from repro.model import ModelBuilder, Simulator
+from repro.model.graph import InportSpec
+from repro.stateflow import ChartSpec
+
+
+class TestInportSpec:
+    def test_as_var_carries_bounds(self):
+        spec = InportSpec("u", INT, -5, 5)
+        var = spec.as_var()
+        assert var.name == "u"
+        assert var.lo == -5 and var.hi == 5
+
+    def test_as_var_suffix(self):
+        spec = InportSpec("u", REAL)
+        assert spec.as_var("@3").name == "u@3"
+
+
+class TestChartEdgeCases:
+    def test_update_without_compute_rejected(self):
+        chart = ChartSpec("c")
+        chart.output("o", INT, 0)
+        s = chart.state("S", entry=["o = 1"])
+        chart.initial(s)
+        from repro.stateflow.chart import ChartBlock
+
+        block = ChartBlock("c", chart)
+        with pytest.raises(ChartError, match="update without compute"):
+            block.update(object(), [], [])
+
+    def test_self_loop_transition(self):
+        chart = ChartSpec("loop")
+        chart.input("go", BOOL)
+        chart.output("n", INT, 0)
+        s = chart.state("S")
+        chart.initial(s)
+        chart.transition(s, s, guard="go", actions=["n = n + 1"])
+        b = ModelBuilder("M")
+        go = b.inport("go", BOOL)
+        cs = b.add_chart(chart, {"go": go}, name="loop")
+        b.outport("n", cs["n"])
+        sim = Simulator(b.compile())
+        assert sim.step({"go": True}).outputs["n"] == 1
+        assert sim.step({"go": True}).outputs["n"] == 2
+        assert sim.step({"go": False}).outputs["n"] == 2
+
+    def test_chart_with_no_transitions(self):
+        chart = ChartSpec("static")
+        chart.input("u", INT, 0, 5)
+        chart.output("o", INT, 7)
+        s = chart.state("Only", during=["o = u"])
+        chart.initial(s)
+        b = ModelBuilder("M")
+        u = b.inport("u", INT, 0, 5)
+        cs = b.add_chart(chart, {"u": u}, name="static")
+        b.outport("o", cs["o"])
+        sim = Simulator(b.compile())
+        assert sim.step({"u": 3}).outputs["o"] == 3
+
+    def test_entry_actions_see_transition_actions(self):
+        chart = ChartSpec("seq")
+        chart.input("go", BOOL)
+        chart.local("v", INT, 0)
+        chart.output("o", INT, 0)
+        a = chart.state("A")
+        b_state = chart.state("B", entry=["o = v * 10"])
+        chart.initial(a)
+        chart.transition(a, b_state, guard="go", actions=["v = 4"])
+        b = ModelBuilder("M")
+        go = b.inport("go", BOOL)
+        cs = b.add_chart(chart, {"go": go}, name="seq")
+        b.outport("o", cs["o"])
+        sim = Simulator(b.compile())
+        assert sim.step({"go": True}).outputs["o"] == 40
+
+
+class TestBuilderEdgeCases:
+    def test_empty_model_compiles(self):
+        b = ModelBuilder("Empty")
+        b.inport("u", INT, 0, 1)
+        compiled = b.compile()
+        assert compiled.registry.n_branches == 0
+        sim = Simulator(compiled)
+        result = sim.step({"u": 0})
+        assert result.outputs == {}
+
+    def test_outport_of_constant(self):
+        b = ModelBuilder("K")
+        b.inport("u", INT, 0, 1)
+        b.outport("k", b.const(42))
+        sim = Simulator(b.compile())
+        assert sim.step({"u": 0}).outputs["k"] == 42
+
+    def test_deeply_nested_conditionals(self):
+        b = ModelBuilder("Deep")
+        u = b.inport("u", INT, 0, 9)
+        v = b.inport("v", INT, 0, 9)
+        sc = b.switch_case(u, cases=[[1]], has_default=True)
+        with sc.case(0):
+            inner = b.switch_case(v, cases=[[2]], has_default=True)
+            with inner.case(0):
+                # A decision nested two conditional contexts deep.
+                sel = b.switch(
+                    b.compare(v, "==", 2), b.const(99), b.const(-9),
+                    name="deep_sw",
+                )
+                deep = b.sub_output(sel, init=0)
+            mid = b.sub_output(deep, init=-1)
+        b.outport("y", mid)
+        compiled = b.compile()
+        deep_branches = [
+            br for br in compiled.registry.branches if "deep_sw" in br.label
+        ]
+        assert all(br.depth == 2 for br in deep_branches)
+        sim = Simulator(compiled)
+        assert sim.step({"u": 1, "v": 2}).outputs["y"] == 99
+        assert sim.step({"u": 0, "v": 0}).outputs["y"] == 99  # held
+
+    def test_signal_from_other_builder_rejected(self):
+        b1 = ModelBuilder("A")
+        foreign = b1.inport("u", INT, 0, 1)
+        b2 = ModelBuilder("B")
+        b2.inport("w", INT, 0, 1)
+        with pytest.raises(ModelError):
+            b2.outport("y", foreign)
+
+
+class TestSimulatorEdgeCases:
+    def test_bool_input_accepts_ints(self):
+        b = ModelBuilder("B")
+        u = b.inport("u", BOOL)
+        b.outport("y", b.switch(u, b.const(1), b.const(0)))
+        sim = Simulator(b.compile())
+        assert sim.step({"u": 1}).outputs["y"] == 1
+        assert sim.step({"u": 0}).outputs["y"] == 0
+
+    def test_division_block_by_zero(self):
+        b = ModelBuilder("Div")
+        u = b.inport("u", REAL, -1.0, 1.0)
+        b.outport("y", b.div(b.const(1.0), u))
+        sim = Simulator(b.compile())
+        assert sim.step({"u": 0.0}).outputs["y"] == math.inf
+
+    def test_float_state_roundtrip_precision(self):
+        b = ModelBuilder("F")
+        u = b.inport("u", REAL, 0.0, 1.0)
+        b.outport("y", b.integrator(u, gain=0.1))
+        compiled = b.compile()
+        sim = Simulator(compiled)
+        for _ in range(5):
+            sim.step({"u": 1.0 / 3.0})
+        snapshot = sim.get_state()
+        sim.set_state(snapshot)
+        assert sim.get_state() == snapshot
+
+
+class TestTimelinePlotEdgeCases:
+    def test_figure4_with_empty_results(self):
+        from repro.core.result import GenerationResult
+        from repro.core.testcase import TestSuite
+        from repro.coverage.collector import CoverageSummary
+        from repro.harness import figure4_model
+
+        empty = GenerationResult(
+            "STCG", "M", CoverageSummary(0, 0, 0, 0, 1), TestSuite("M", [])
+        )
+        text = figure4_model({"STCG": empty}, budget_s=10.0)
+        assert "legend" in text  # renders without crashing
