@@ -11,23 +11,29 @@ Shape assertions (the reproduction's claims):
 * average improvements are positive on all three metrics.
 """
 
+import os
 import statistics
 
-from repro.harness import MatrixConfig, average_improvements, run_matrix, table3
+from repro import api
+from repro.harness import average_improvements, table3
 from repro.models import BENCHMARKS
 
 from .conftest import BUDGET_S, REPETITIONS
 
+#: Worker processes for the matrix (serial by default; raise to fan out).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 
 def test_table3_coverage(benchmark, artifact):
-    config = MatrixConfig(
-        budget_s=BUDGET_S, repetitions=REPETITIONS, sldv_repetitions=1,
-        seed=0, sldv_max_depth=5,
+    experiment = benchmark.pedantic(
+        lambda: api.run_experiment(
+            budget_s=BUDGET_S, repetitions=REPETITIONS, sldv_repetitions=1,
+            seed=0, sldv_max_depth=5, workers=WORKERS,
+        ),
+        rounds=1, iterations=1,
     )
-
-    results = benchmark.pedantic(
-        lambda: run_matrix(BENCHMARKS, config), rounds=1, iterations=1
-    )
+    assert not experiment.failures, experiment.failures
+    results = experiment.outcomes
     artifact("table3.txt", table3(results))
 
     stcg_avg = statistics.mean(

@@ -8,7 +8,7 @@ explored state tree of Figure 3(b).
 Run:  python examples/cpu_task_walkthrough.py
 """
 
-from repro.harness import figure3, table1
+from repro import api
 from repro.models import SIMPLE_CPUTASK
 
 
@@ -21,11 +21,11 @@ def main():
     print()
     print("Table I — the main process of constructing the state tree")
     print("=" * 70)
-    print(table1(budget_s=10.0, seed=0))
+    print(api.table1(budget_s=10.0, seed=0))
     print()
     print("Figure 3 — model branches and the explored state tree")
     print("=" * 70)
-    print(figure3(budget_s=10.0, seed=0))
+    print(api.figure3(budget_s=10.0, seed=0))
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ embedding, STCG generation and suite export.
 Run:  python examples/custom_chart_protocol.py
 """
 
-from repro.core import StcgConfig, StcgGenerator
+from repro import api
 from repro.expr.types import BOOL, INT, REAL
 from repro.model import ModelBuilder
 from repro.stateflow import ChartSpec
@@ -90,8 +90,7 @@ def main():
         f"{compiled.name}: {compiled.registry.n_branches} branches, "
         f"{compiled.registry.n_condition_atoms} condition atoms"
     )
-    generator = StcgGenerator(compiled, StcgConfig(budget_s=15.0, seed=2))
-    result = generator.run()
+    result = api.generate(compiled, tool="STCG", budget_s=15.0, seed=2)
     print(
         f"decision={result.decision:.0%} condition={result.condition:.0%} "
         f"mcdc={result.mcdc:.0%} in {len(result.suite)} test cases"
@@ -105,8 +104,10 @@ def main():
             print(case.to_text(result.suite.input_names))
             break
 
-    print("\nexplored state tree (truncated):")
-    print(generator.tree.render(max_nodes=20))
+    print(
+        f"\nexplored state tree: {result.stats['tree_nodes']} nodes, "
+        f"{result.stats['solver_calls']} solver calls"
+    )
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ STCG's state tree makes it trivial.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import StcgConfig, StcgGenerator
+from repro import api
 from repro.expr.types import INT
 from repro.model import ModelBuilder
 
@@ -52,8 +52,7 @@ def main():
     print(f"  blocks:   {compiled.n_blocks}")
     print(f"  branches: {compiled.registry.n_branches}")
 
-    generator = StcgGenerator(compiled, StcgConfig(budget_s=10.0, seed=0))
-    result = generator.run()
+    result = api.generate(compiled, tool="STCG", budget_s=10.0, seed=0)
 
     print("\ncoverage:")
     print(f"  decision:  {result.decision:.0%}")

@@ -16,8 +16,9 @@ Run:  python examples/regression_workflow.py [model] [budget_seconds]
 
 import sys
 
+from repro import api
 from repro.analysis import find_dead_branches, state_envelope
-from repro.core import StcgConfig, StcgGenerator
+from repro.core import StcgConfig
 from repro.core.minimize import minimize_suite
 from repro.coverage.report import full_report
 from repro.models import get_benchmark
@@ -37,11 +38,10 @@ def main():
         print(f"        - {branch.label}")
 
     # 2. generate with the proofs enabled
-    generator = StcgGenerator(
-        model.build(),
-        StcgConfig(budget_s=budget, seed=0, prove_dead_branches=True),
+    result = api.generate(
+        model,
+        config=StcgConfig(budget_s=budget, seed=0, prove_dead_branches=True),
     )
-    result = generator.run()
     print(
         f"[generate] decision={result.decision:.0%} "
         f"condition={result.condition:.0%} mcdc={result.mcdc:.0%} "

@@ -2,8 +2,9 @@
 """Three-tool comparison on one benchmark model (mini Table III + Figure 4).
 
 Runs the SLDV-like bounded unroller, the SimCoTest-like random search and
-STCG on a chosen benchmark under the same wall-clock budget, then prints
-the coverage table and the coverage-versus-time plot.
+STCG on a chosen benchmark under the same wall-clock budget — through the
+``repro.api`` facade, so the three runs fan out over worker processes —
+then prints the coverage table and the coverage-versus-time plot.
 
 Run:  python examples/tool_comparison.py [model] [budget_seconds]
       python examples/tool_comparison.py TCP 20
@@ -11,20 +12,29 @@ Run:  python examples/tool_comparison.py [model] [budget_seconds]
 
 import sys
 
-from repro.harness import figure4_model, run_tool
-from repro.models import benchmark_names, get_benchmark
+from repro import api
 
 
 def main():
     name = sys.argv[1] if len(sys.argv) > 1 else "CPUTask"
     budget = float(sys.argv[2]) if len(sys.argv) > 2 else 15.0
-    model = get_benchmark(name)
-    print(f"benchmarks available: {', '.join(benchmark_names())}")
-    print(f"running SLDV / SimCoTest / STCG on {model.name} for {budget:.0f}s each\n")
+    print(f"benchmarks available: {', '.join(api.list_models())}")
+    print(f"running SLDV / SimCoTest / STCG on {name} for {budget:.0f}s each\n")
 
+    experiment = api.run_experiment(
+        models=[name],
+        budget_s=budget,
+        repetitions=1,
+        seed=1,
+        workers=3,
+    )
+    for failure in experiment.failures:
+        print(f"[failed] {failure.label}: {failure.kind}: {failure.message}")
+
+    per_tool = next(iter(experiment.outcomes.values()))
     results = {}
     for tool in ("SLDV", "SimCoTest", "STCG"):
-        result = run_tool(tool, model, budget, seed=1)
+        result = per_tool[tool].representative
         results[tool] = result
         print(
             f"{tool:10s} decision={result.decision:5.0%} "
@@ -33,7 +43,7 @@ def main():
         )
 
     print("\ncoverage vs. time (Figure 4 style):")
-    print(figure4_model(results, budget))
+    print(api.figure4_model(results, budget))
 
     stcg = results["STCG"]
     solver_cases = sum(1 for c in stcg.suite if c.origin == "solver")

@@ -14,21 +14,30 @@ Generation for Simulink Models* (DAC 2023), including:
   (:mod:`repro.models`) and the experiment harness
   (:mod:`repro.harness`).
 
+* a parallel experiment executor with per-cell timeouts and crash
+  isolation (:mod:`repro.exec`) and structured JSONL run telemetry
+  (:mod:`repro.telemetry`), fronted by the stable facade
+  :mod:`repro.api`.
+
 Quick start::
 
-    from repro.models import get_benchmark
-    from repro.core import StcgGenerator, StcgConfig
+    from repro import api
 
-    model = get_benchmark("CPUTask").build()
-    result = StcgGenerator(model, StcgConfig(budget_s=10)).run()
+    result = api.generate("CPUTask", tool="STCG", budget_s=10.0, seed=0)
     print(result.summary)
+
+    experiment = api.run_experiment(
+        models=["CPUTask", "TCP"], budget_s=10.0, repetitions=3,
+        workers=4, events_out="run.jsonl",
+    )
+    print(api.table3(experiment.outcomes))
 """
 
 from repro.core import StcgConfig, StcgGenerator, generate
 from repro.coverage import CoverageCollector
 from repro.model import ModelBuilder, Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CoverageCollector",

@@ -1,0 +1,248 @@
+"""The stable public facade of the reproduction: ``repro.api``.
+
+Downstream code (the CLI, the examples, the benchmark suite) talks to this
+module instead of reaching into ``repro.harness`` / ``repro.exec``
+internals.  Two entry points cover the whole workflow, both keyword-only:
+
+* :func:`generate` — one generation run of one tool on one model,
+* :func:`run_experiment` — the paper's (tool × model × repetition) matrix,
+  fanned out over worker processes with crash isolation, per-cell
+  timeouts, and structured JSONL telemetry.
+
+The paper-artifact renderers (``table1`` … ``fig4``) are re-exported here
+so a facade import is all an application needs::
+
+    from repro import api
+
+    result = api.generate("CPUTask", tool="STCG", budget_s=10.0, seed=0)
+    experiment = api.run_experiment(
+        models=["CPUTask", "TCP"], budget_s=5.0, repetitions=3,
+        workers=4, cell_timeout=60.0, events_out="run.jsonl",
+    )
+    print(api.table3(experiment.outcomes))
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.config import StcgConfig
+from repro.core.result import GenerationResult
+from repro.core.stcg import StcgGenerator
+from repro.errors import HarnessError, ReproError
+from repro.exec.cells import CellFailure, derive_seed
+from repro.exec.executor import (
+    ExperimentResult,
+    TOOLS,
+    ToolOutcome,
+    _CellAlarm,
+    execute_matrix,
+    run_single,
+)
+from repro.harness.figures import figure3, figure4, figure4_model
+from repro.harness.runner import MatrixConfig
+from repro.harness.tables import table1, table2, table3
+from repro.model.graph import CompiledModel
+from repro.models.registry import (
+    BENCHMARKS,
+    BenchmarkModel,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.telemetry.events import EventLog, read_events
+
+__all__ = [
+    "CellFailure",
+    "EventLog",
+    "ExperimentResult",
+    "GenerationResult",
+    "MatrixConfig",
+    "StcgConfig",
+    "TOOLS",
+    "ToolOutcome",
+    "derive_seed",
+    "figure3",
+    "figure4",
+    "figure4_model",
+    "generate",
+    "list_models",
+    "read_events",
+    "run_experiment",
+    "table1",
+    "table2",
+    "table3",
+]
+
+ModelLike = Union[str, BenchmarkModel, CompiledModel]
+
+
+def list_models() -> List[str]:
+    """Names of the registered benchmark models."""
+    return benchmark_names()
+
+
+def _as_benchmark(model: ModelLike) -> BenchmarkModel:
+    """Accept a benchmark name, a registry entry, or a compiled model."""
+    if isinstance(model, BenchmarkModel):
+        return model
+    if isinstance(model, str):
+        return get_benchmark(model)
+    if isinstance(model, CompiledModel):
+        # Ad-hoc wrapper for user-built models; the lambda builder is not
+        # picklable, which is fine — single runs stay in-process.
+        return BenchmarkModel(
+            name=model.name,
+            functionality="ad-hoc model",
+            builder=lambda compiled=model: compiled,
+            paper_branches=0,
+            paper_blocks=0,
+        )
+    raise HarnessError(
+        f"model must be a name, BenchmarkModel or CompiledModel, "
+        f"got {type(model).__name__}"
+    )
+
+
+def generate(
+    model: ModelLike,
+    *,
+    tool: str = "STCG",
+    budget_s: float = 10.0,
+    seed: int = 0,
+    sldv_max_depth: int = 6,
+    config: Optional[StcgConfig] = None,
+    cell_timeout: Optional[float] = None,
+    events_out: Optional[str] = None,
+) -> GenerationResult:
+    """One generation run of one tool on one model.
+
+    ``model`` may be a benchmark name (``"CPUTask"``), a
+    :class:`BenchmarkModel`, or a user-built :class:`CompiledModel`.
+    ``config`` (STCG only) overrides ``budget_s``/``seed`` with a full
+    :class:`StcgConfig`.  ``cell_timeout`` bounds the run's wall clock
+    (raising :class:`~repro.errors.CellTimeout`); ``events_out`` streams
+    run telemetry to a JSONL file and writes a manifest next to it.
+    """
+    if tool not in TOOLS:
+        raise HarnessError(
+            f"unknown tool {tool!r}; available: {', '.join(TOOLS)}"
+        )
+    if budget_s <= 0:
+        raise HarnessError(f"budget_s must be positive, got {budget_s!r}")
+    if config is not None and tool != "STCG":
+        raise HarnessError("config= applies to STCG only")
+    bench = _as_benchmark(model)
+    events = EventLog(events_out) if events_out else None
+    try:
+        if events is not None:
+            events.emit(
+                "run_started",
+                model=bench.name,
+                tool=tool,
+                budget_s=(config.budget_s if config else budget_s),
+                seed=(config.seed if config else seed),
+            )
+        started = time.monotonic()
+        with _CellAlarm(cell_timeout):
+            if config is not None:
+                result = StcgGenerator(bench.build(), config).run()
+            else:
+                result = run_single(tool, bench, budget_s, seed, sldv_max_depth)
+        if events is not None:
+            events.emit(
+                "run_finished",
+                model=bench.name,
+                tool=tool,
+                duration_s=round(time.monotonic() - started, 6),
+                decision=result.decision,
+                condition=result.condition,
+                mcdc=result.mcdc,
+                cases=len(result.suite),
+                stats=dict(result.stats),
+            )
+            for point in result.timeline:
+                events.emit(
+                    "timeline_point",
+                    t=round(point.t, 6),
+                    decision=point.decision_coverage,
+                    origin=point.origin,
+                    new_branches=point.new_branches,
+                )
+            events.write_manifest(_manifest_path(events_out))
+        return result
+    finally:
+        if events is not None:
+            events.close()
+
+
+def run_experiment(
+    models: Optional[Sequence[ModelLike]] = None,
+    *,
+    tools: Sequence[str] = TOOLS,
+    budget_s: float = 10.0,
+    repetitions: int = 3,
+    sldv_repetitions: int = 1,
+    seed: int = 0,
+    sldv_max_depth: int = 6,
+    workers: int = 1,
+    cell_timeout: Optional[float] = None,
+    events_out: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ExperimentResult:
+    """Run the (tool × model × repetition) matrix, possibly in parallel.
+
+    ``models=None`` runs all registered benchmarks.  ``workers`` fans the
+    cells out over that many processes; ``workers=1`` and ``workers=N``
+    aggregate to identical coverage numbers.  A cell that crashes or
+    exceeds ``cell_timeout`` is recorded in ``result.failures`` instead of
+    aborting the matrix.  ``events_out`` streams one JSON line per event
+    and writes a ``*.manifest.json`` summary when the matrix finishes.
+    """
+    for name in tools:
+        if name not in TOOLS:
+            raise HarnessError(
+                f"unknown tool {name!r}; available: {', '.join(TOOLS)}"
+            )
+    # MatrixConfig is the single source of truth for matrix validation.
+    config = MatrixConfig(
+        budget_s=budget_s,
+        repetitions=repetitions,
+        sldv_repetitions=sldv_repetitions,
+        seed=seed,
+        sldv_max_depth=sldv_max_depth,
+    )
+    benches = [
+        _as_benchmark(model)
+        for model in (models if models is not None else BENCHMARKS)
+    ]
+    if not benches:
+        raise HarnessError("run_experiment needs at least one model")
+    events = EventLog(events_out) if events_out else None
+    try:
+        result = execute_matrix(
+            benches,
+            tools,
+            budget_s=config.budget_s,
+            repetitions=config.repetitions,
+            sldv_repetitions=config.sldv_repetitions,
+            seed=config.seed,
+            sldv_max_depth=config.sldv_max_depth,
+            workers=workers,
+            cell_timeout=cell_timeout,
+            progress=progress,
+            events=events,
+        )
+        if events is not None:
+            events.write_manifest(_manifest_path(events_out))
+        return result
+    finally:
+        if events is not None:
+            events.close()
+
+
+def _manifest_path(events_out: str) -> str:
+    """``run.jsonl`` → ``run.manifest.json`` (or append the suffix)."""
+    if events_out.endswith(".jsonl"):
+        return events_out[: -len(".jsonl")] + ".manifest.json"
+    return events_out + ".manifest.json"

@@ -17,19 +17,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import api
 from repro.coverage.report import full_report
 from repro.core.minimize import minimize_suite
-from repro.harness import (
-    MatrixConfig,
-    figure3,
-    figure4,
-    figure4_model,
-    run_matrix,
-    run_tool,
-    table1,
-    table2,
-    table3,
-)
+from repro.harness import figure3, figure4, figure4_model, table1, table2, table3
 from repro.harness.ablation import (
     dead_logic_waste,
     hybrid_warmup,
@@ -37,7 +28,25 @@ from repro.harness.ablation import (
     render,
 )
 from repro.errors import ReproError
-from repro.models import BENCHMARKS, benchmark_names, get_benchmark
+from repro.models import BENCHMARKS, get_benchmark
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """Executor knobs shared by generate / compare / table3 / fig4."""
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the run matrix (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock timeout per run; a timed-out cell is recorded "
+             "as a failure instead of aborting",
+    )
+    parser.add_argument(
+        "--events-out", default=None, metavar="FILE.jsonl",
+        help="stream structured run telemetry (JSONL) here; a "
+             "*.manifest.json summary is written next to it",
+    )
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -63,11 +72,13 @@ def _parser() -> argparse.ArgumentParser:
                      help="print the full coverage report")
     gen.add_argument("--minimize", action="store_true",
                      help="greedy set-cover suite reduction")
+    _add_exec_flags(gen)
 
     cmp_ = sub.add_parser("compare", help="three-tool comparison on a model")
     cmp_.add_argument("model")
     cmp_.add_argument("--budget", type=float, default=15.0)
     cmp_.add_argument("--seed", type=int, default=0)
+    _add_exec_flags(cmp_)
 
     for name, help_text in [
         ("table1", "Table I: state-tree construction log"),
@@ -84,11 +95,13 @@ def _parser() -> argparse.ArgumentParser:
     t3.add_argument("--reps", type=int, default=2)
     t3.add_argument("--seed", type=int, default=0)
     t3.add_argument("--models", nargs="*", default=None)
+    _add_exec_flags(t3)
 
     f4 = sub.add_parser("fig4", help="Figure 4: coverage vs time plots")
     f4.add_argument("--budget", type=float, default=10.0)
     f4.add_argument("--seed", type=int, default=0)
     f4.add_argument("--models", nargs="*", default=["CPUTask", "TCP"])
+    _add_exec_flags(f4)
 
     prove = sub.add_parser(
         "prove", help="prove dead branches by abstract interpretation"
@@ -136,7 +149,14 @@ def _cmd_info(name: str) -> None:
 
 def _cmd_generate(args) -> None:
     model = get_benchmark(args.model)
-    result = run_tool(args.tool, model, args.budget, args.seed)
+    result = api.generate(
+        model,
+        tool=args.tool,
+        budget_s=args.budget,
+        seed=args.seed,
+        cell_timeout=args.cell_timeout,
+        events_out=args.events_out,
+    )
     print(
         f"{args.tool} on {model.name}: decision={result.decision:.1%} "
         f"condition={result.condition:.1%} mcdc={result.mcdc:.1%} "
@@ -164,11 +184,32 @@ def _cmd_generate(args) -> None:
         print(full_report(collector))
 
 
+def _print_failures(experiment) -> None:
+    for failure in experiment.failures:
+        print(
+            f"  [failed] {failure.label}: {failure.kind}: {failure.message}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_compare(args) -> None:
     model = get_benchmark(args.model)
+    experiment = api.run_experiment(
+        models=[model],
+        budget_s=args.budget,
+        repetitions=1,
+        seed=args.seed,
+        workers=args.workers,
+        cell_timeout=args.cell_timeout,
+        events_out=args.events_out,
+    )
+    _print_failures(experiment)
     results = {}
     for tool in ("SLDV", "SimCoTest", "STCG"):
-        result = run_tool(tool, model, args.budget, args.seed)
+        outcome = experiment.outcomes[model.name][tool]
+        if not outcome.ok:
+            continue
+        result = outcome.representative
         results[tool] = result
         print(
             f"{tool:10s} decision={result.decision:5.1%} "
@@ -180,24 +221,40 @@ def _cmd_compare(args) -> None:
 
 
 def _cmd_table3(args) -> None:
-    names = args.models or benchmark_names()
-    models = [get_benchmark(name) for name in names]
-    config = MatrixConfig(
-        budget_s=args.budget, repetitions=args.reps, seed=args.seed
+    experiment = api.run_experiment(
+        models=args.models,
+        budget_s=args.budget,
+        repetitions=args.reps,
+        seed=args.seed,
+        workers=args.workers,
+        cell_timeout=args.cell_timeout,
+        events_out=args.events_out,
+        progress=lambda m: print(f"  {m}"),
     )
-    results = run_matrix(models, config, progress=lambda m: print(f"  {m}"))
+    _print_failures(experiment)
     print()
-    print(table3(results))
+    print(table3(experiment.outcomes))
 
 
 def _cmd_fig4(args) -> None:
-    all_results = {}
-    for name in args.models:
-        model = get_benchmark(name)
-        all_results[name] = {
-            tool: run_tool(tool, model, args.budget, args.seed)
-            for tool in ("SLDV", "SimCoTest", "STCG")
+    experiment = api.run_experiment(
+        models=args.models,
+        budget_s=args.budget,
+        repetitions=1,
+        seed=args.seed,
+        workers=args.workers,
+        cell_timeout=args.cell_timeout,
+        events_out=args.events_out,
+    )
+    _print_failures(experiment)
+    all_results = {
+        name: {
+            tool: outcome.representative
+            for tool, outcome in per_tool.items()
+            if outcome.ok
         }
+        for name, per_tool in experiment.outcomes.items()
+    }
     print(figure4(all_results, args.budget))
 
 

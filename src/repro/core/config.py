@@ -5,12 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.errors import ConfigError
 from repro.solver.engine import SolverConfig
 
 
-@dataclass
+@dataclass(kw_only=True)
 class StcgConfig:
-    """Knobs of the STCG loop.
+    """Knobs of the STCG loop (keyword-only, validated on construction).
 
     The defaults reproduce the paper's algorithm.  The three flags at the
     bottom implement the Discussion-section variants and are exercised by
@@ -80,3 +81,37 @@ class StcgConfig:
     #: Used by the Table I / Figure 3 reproduction; off by default because
     #: traces grow with every solver attempt.
     record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.budget_s <= 0:
+            raise ConfigError(
+                f"budget_s must be positive, got {self.budget_s!r}"
+            )
+        if self.random_sequence_length < 1:
+            raise ConfigError(
+                "random_sequence_length must be >= 1, got "
+                f"{self.random_sequence_length!r}"
+            )
+        if self.random_batch < 1:
+            raise ConfigError(
+                f"random_batch must be >= 1, got {self.random_batch!r}"
+            )
+        if self.max_tree_nodes < 1:
+            raise ConfigError(
+                f"max_tree_nodes must be >= 1, got {self.max_tree_nodes!r}"
+            )
+        if self.failure_backoff_after < 1:
+            raise ConfigError(
+                "failure_backoff_after must be >= 1, got "
+                f"{self.failure_backoff_after!r}"
+            )
+        if self.random_warmup_s < 0:
+            raise ConfigError(
+                f"random_warmup_s must be >= 0, got {self.random_warmup_s!r}"
+            )
+        if not 0.0 <= self.fresh_input_mix <= 1.0:
+            raise ConfigError(
+                f"fresh_input_mix must be in [0, 1], got {self.fresh_input_mix!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ConfigError(f"seed must be an int, got {self.seed!r}")

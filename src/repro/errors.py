@@ -56,3 +56,15 @@ class CoverageError(ReproError):
 
 class HarnessError(ReproError):
     """Experiment-harness configuration problems."""
+
+
+class ConfigError(ReproError):
+    """A configuration dataclass was constructed with nonsensical values."""
+
+
+class ExecutorError(ReproError):
+    """The parallel experiment executor was misused or failed internally."""
+
+
+class CellTimeout(ExecutorError):
+    """One matrix cell exceeded its wall-clock timeout (recorded, not fatal)."""

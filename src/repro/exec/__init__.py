@@ -1,0 +1,24 @@
+"""Parallel experiment executor: matrix cells, process pool, failures."""
+
+from repro.exec.cells import CellFailure, CellSpec, derive_seed, plan_matrix
+from repro.exec.executor import (
+    ExperimentResult,
+    TOOLS,
+    ToolOutcome,
+    execute_matrix,
+    run_cell,
+    run_single,
+)
+
+__all__ = [
+    "CellFailure",
+    "CellSpec",
+    "ExperimentResult",
+    "TOOLS",
+    "ToolOutcome",
+    "derive_seed",
+    "execute_matrix",
+    "plan_matrix",
+    "run_cell",
+    "run_single",
+]

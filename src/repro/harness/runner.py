@@ -1,31 +1,47 @@
-"""Run-matrix executor: (tool × model × repetition) → aggregated results.
+"""Legacy run-matrix entry points, now thin shims over :mod:`repro.exec`.
 
 The paper runs every tool for one hour and repeats randomized tools ten
 times.  Budgets and repetition counts are scaled-down knobs here; the
 harness averages coverage over repetitions exactly as the paper does.
+
+``run_tool`` and ``run_matrix`` predate the parallel executor and are kept
+for backwards compatibility only — new code should call
+:func:`repro.api.run_experiment` (or :func:`repro.exec.execute_matrix`
+directly), which adds process-pool parallelism, per-cell timeouts, crash
+isolation and structured telemetry.
 """
 
 from __future__ import annotations
 
-import random
 import statistics
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.baselines.simcotest import SimCoTestConfig, SimCoTestGenerator
-from repro.baselines.sldv import SldvConfig, SldvGenerator
-from repro.core.config import StcgConfig
 from repro.core.result import GenerationResult
-from repro.core.stcg import StcgGenerator
-from repro.errors import HarnessError
+from repro.errors import ConfigError, HarnessError
+from repro.exec.executor import (
+    TOOLS,
+    ToolOutcome,
+    execute_matrix,
+    run_single,
+)
 from repro.models.registry import BenchmarkModel
 
-TOOLS = ("SLDV", "SimCoTest", "STCG")
+__all__ = [
+    "MatrixConfig",
+    "TOOLS",
+    "ToolOutcome",
+    "average_improvements",
+    "improvement",
+    "run_matrix",
+    "run_tool",
+]
 
 
-@dataclass
+@dataclass(kw_only=True)
 class MatrixConfig:
-    """Budgets for a comparison run."""
+    """Budgets for a comparison run (keyword-only, validated)."""
 
     budget_s: float = 30.0
     #: Repetitions for tools with random components (STCG, SimCoTest).
@@ -35,32 +51,25 @@ class MatrixConfig:
     seed: int = 0
     sldv_max_depth: int = 6
 
-
-@dataclass
-class ToolOutcome:
-    """Aggregated coverage of one tool on one model."""
-
-    tool: str
-    model: str
-    runs: List[GenerationResult] = field(default_factory=list)
-
-    @property
-    def decision(self) -> float:
-        return statistics.mean(r.decision for r in self.runs)
-
-    @property
-    def condition(self) -> float:
-        return statistics.mean(r.condition for r in self.runs)
-
-    @property
-    def mcdc(self) -> float:
-        return statistics.mean(r.mcdc for r in self.runs)
-
-    @property
-    def representative(self) -> GenerationResult:
-        """The run whose decision coverage is the median (for Figure 4)."""
-        ordered = sorted(self.runs, key=lambda r: r.decision)
-        return ordered[len(ordered) // 2]
+    def __post_init__(self) -> None:
+        if self.budget_s <= 0:
+            raise ConfigError(
+                f"budget_s must be positive, got {self.budget_s!r}"
+            )
+        if self.repetitions < 1:
+            raise ConfigError(
+                f"repetitions must be >= 1, got {self.repetitions!r}"
+            )
+        if self.sldv_repetitions < 1:
+            raise ConfigError(
+                f"sldv_repetitions must be >= 1, got {self.sldv_repetitions!r}"
+            )
+        if self.sldv_max_depth < 1:
+            raise ConfigError(
+                f"sldv_max_depth must be >= 1, got {self.sldv_max_depth!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ConfigError(f"seed must be an int, got {self.seed!r}")
 
 
 def run_tool(
@@ -70,22 +79,17 @@ def run_tool(
     seed: int,
     sldv_max_depth: int = 6,
 ) -> GenerationResult:
-    """One generation run of one tool on a fresh build of the model."""
-    compiled = model.build()
-    if tool == "STCG":
-        return StcgGenerator(
-            compiled, StcgConfig(budget_s=budget_s, seed=seed)
-        ).run()
-    if tool == "SimCoTest":
-        return SimCoTestGenerator(
-            compiled, SimCoTestConfig(budget_s=budget_s, seed=seed)
-        ).run()
-    if tool == "SLDV":
-        return SldvGenerator(
-            compiled,
-            SldvConfig(budget_s=budget_s, seed=seed, max_depth=sldv_max_depth),
-        ).run()
-    raise HarnessError(f"unknown tool {tool!r}")
+    """One generation run of one tool on a fresh build of the model.
+
+    .. deprecated:: 1.1
+       Use :func:`repro.api.generate` instead.
+    """
+    warnings.warn(
+        "run_tool is deprecated; use repro.api.generate",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_single(tool, model, budget_s, seed, sldv_max_depth)
 
 
 def run_matrix(
@@ -94,32 +98,38 @@ def run_matrix(
     tools: Sequence[str] = TOOLS,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Dict[str, ToolOutcome]]:
-    """Run every tool on every model; returns ``{model: {tool: outcome}}``."""
+    """Run every tool on every model; returns ``{model: {tool: outcome}}``.
+
+    .. deprecated:: 1.1
+       Use :func:`repro.api.run_experiment`, which adds ``workers``,
+       ``cell_timeout`` and telemetry.  This shim runs the same executor
+       serially and re-raises the first recorded cell failure, matching the
+       legacy fail-fast behaviour.
+    """
+    warnings.warn(
+        "run_matrix is deprecated; use repro.api.run_experiment",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     config = config or MatrixConfig()
-    results: Dict[str, Dict[str, ToolOutcome]] = {}
-    for model in models:
-        per_tool: Dict[str, ToolOutcome] = {}
-        for tool in tools:
-            outcome = ToolOutcome(tool, model.name)
-            repetitions = (
-                config.sldv_repetitions if tool == "SLDV" else config.repetitions
-            )
-            for repetition in range(repetitions):
-                tool_salt = sum(ord(ch) for ch in tool)  # stable across runs
-                seed = config.seed * 1000 + repetition * 7 + tool_salt % 97
-                run = run_tool(
-                    tool, model, config.budget_s, seed, config.sldv_max_depth
-                )
-                outcome.runs.append(run)
-                if progress is not None:
-                    progress(
-                        f"{model.name}/{tool} rep {repetition + 1}/{repetitions}: "
-                        f"D={run.decision:.0%} C={run.condition:.0%} "
-                        f"M={run.mcdc:.0%}"
-                    )
-            per_tool[tool] = outcome
-        results[model.name] = per_tool
-    return results
+    result = execute_matrix(
+        models,
+        tools,
+        budget_s=config.budget_s,
+        repetitions=config.repetitions,
+        sldv_repetitions=config.sldv_repetitions,
+        seed=config.seed,
+        sldv_max_depth=config.sldv_max_depth,
+        workers=1,
+        progress=progress,
+    )
+    if result.failures:
+        first = result.failures[0]
+        raise HarnessError(
+            f"{len(result.failures)} matrix cell(s) failed; first: "
+            f"{first.label} ({first.kind}: {first.message})"
+        )
+    return result.outcomes
 
 
 def improvement(stcg: float, baseline: float) -> Optional[float]:

@@ -1,0 +1,15 @@
+"""Structured run telemetry: JSONL event streams and run manifests."""
+
+from repro.telemetry.events import (
+    EVENT_SCHEMA,
+    EventLog,
+    MANIFEST_SCHEMA,
+    read_events,
+)
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EventLog",
+    "MANIFEST_SCHEMA",
+    "read_events",
+]

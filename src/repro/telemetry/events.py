@@ -1,0 +1,196 @@
+"""Structured run telemetry: a JSONL event stream plus a run manifest.
+
+Every experiment emits a sequence of events — matrix/run lifecycle, one
+record per finished cell (with the generator's ``stats`` and coverage),
+per-test-case timeline points and recorded failures.  :class:`EventLog`
+buffers them in memory and, when given a path, streams each event to disk
+as one JSON line the moment it is emitted, so a crashed or killed run
+still leaves a parseable log behind.
+
+Event schema (``repro.events/1``) — every line is an object with:
+
+* ``seq``   — 0-based monotonically increasing sequence number,
+* ``t``     — seconds since the log was opened (monotonic clock),
+* ``event`` — the kind, one of ``matrix_started``, ``cell_started``,
+  ``cell_finished``, ``cell_failed``, ``timeline_point``,
+  ``matrix_finished``, ``run_started``, ``run_finished``,
+* kind-specific payload fields (model, tool, repetition, seed, coverage
+  numbers, solver ``stats``, failure ``kind``/``message``, ...).
+
+The manifest is a single JSON document derived from the event stream:
+counts, per-(model, tool) coverage aggregates, failures, and totals over
+the generators' solver statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, IO, List, Optional, Union
+
+from repro.errors import ReproError
+
+#: Version tag embedded in every stream and manifest.
+EVENT_SCHEMA = "repro.events/1"
+MANIFEST_SCHEMA = "repro.run-manifest/1"
+
+#: Solver/executor counters summed into the manifest when cells carry them.
+_STAT_TOTALS = (
+    "solver_calls",
+    "sat",
+    "unsat",
+    "unknown",
+    "steps_executed",
+    "random_sequences",
+    "simulations",
+)
+
+
+class EventLog:
+    """An append-only event sink: in-memory list + optional JSONL stream.
+
+    Use as a context manager (or call :meth:`close`) when writing to disk::
+
+        with EventLog("run.jsonl") as events:
+            events.emit("run_started", model="TCP", tool="STCG")
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = str(path) if path is not None else None
+        self._events: List[Dict[str, object]] = []
+        self._handle: Optional[IO[str]] = None
+        self._t0 = time.monotonic()
+        if self.path is not None:
+            self._handle = open(self.path, "w")
+            self.emit("log_opened", schema=EVENT_SCHEMA)
+
+    # -- emission ------------------------------------------------------
+
+    def emit(self, kind: str, /, **payload: object) -> Dict[str, object]:
+        """Record one event; returns the event dict (already serialized)."""
+        event: Dict[str, object] = {
+            "seq": len(self._events),
+            "t": round(time.monotonic() - self._t0, 6),
+            "event": kind,
+        }
+        event.update(payload)
+        self._events.append(event)
+        if self._handle is not None:
+            self._handle.write(json.dumps(event, default=_jsonable) + "\n")
+            self._handle.flush()
+        return event
+
+    # -- access --------------------------------------------------------
+
+    @property
+    def events(self) -> List[Dict[str, object]]:
+        """All events emitted so far (the in-memory copy)."""
+        return list(self._events)
+
+    def of_kind(self, kind: str) -> List[Dict[str, object]]:
+        return [e for e in self._events if e["event"] == kind]
+
+    # -- manifest ------------------------------------------------------
+
+    def manifest(self) -> Dict[str, object]:
+        """Summarize the event stream into a single run-manifest document."""
+        # Single runs (run_finished) aggregate exactly like matrix cells.
+        cells_ok = self.of_kind("cell_finished") + self.of_kind("run_finished")
+        cells_failed = self.of_kind("cell_failed")
+        coverage: Dict[str, Dict[str, Dict[str, object]]] = {}
+        totals = {key: 0 for key in _STAT_TOTALS}
+        duration = 0.0
+        for cell in cells_ok:
+            per_tool = coverage.setdefault(str(cell["model"]), {})
+            agg = per_tool.setdefault(
+                str(cell["tool"]),
+                {"decision": 0.0, "condition": 0.0, "mcdc": 0.0, "runs": 0},
+            )
+            runs = int(agg["runs"])
+            for metric in ("decision", "condition", "mcdc"):
+                # Running mean, so the manifest matches ToolOutcome.
+                agg[metric] = (
+                    (float(agg[metric]) * runs + float(cell[metric]))
+                    / (runs + 1)
+                )
+            agg["runs"] = runs + 1
+            duration += float(cell.get("duration_s", 0.0))
+            stats = cell.get("stats") or {}
+            for key in _STAT_TOTALS:
+                if key in stats:
+                    totals[key] += int(stats[key])
+        matrix = self.of_kind("matrix_started")
+        finished = self.of_kind("matrix_finished")
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "config": (
+                {k: v for k, v in matrix[0].items()
+                 if k not in ("seq", "t", "event")}
+                if matrix else {}
+            ),
+            "cells": len(cells_ok) + len(cells_failed),
+            "ok": len(cells_ok),
+            "failed": len(cells_failed),
+            "wall_s": (
+                float(finished[-1]["wall_s"]) if finished
+                else round(time.monotonic() - self._t0, 6)
+            ),
+            "cell_seconds": round(duration, 6),
+            "stat_totals": {k: v for k, v in totals.items() if v},
+            "coverage": coverage,
+            "failures": [
+                {k: v for k, v in event.items()
+                 if k not in ("seq", "t", "event")}
+                for event in cells_failed
+            ],
+            "events": len(self._events),
+        }
+
+    def write_manifest(self, path: str) -> Dict[str, object]:
+        """Render the manifest to ``path`` as pretty-printed JSON."""
+        manifest = self.manifest()
+        with open(path, "w") as handle:
+            json.dump(manifest, handle, indent=2, default=_jsonable)
+            handle.write("\n")
+        return manifest
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+def _jsonable(value: object) -> object:
+    """Last-resort JSON coercion for odd stat values (numpy scalars, sets)."""
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+    try:
+        return float(value)  # numpy floats/ints
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL event stream back into a list of event dicts."""
+    events: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise ReproError(
+                    f"{path}:{line_no}: malformed event line: {err}"
+                ) from err
+    return events

@@ -69,6 +69,19 @@ def build_queue_model(depth=3):
     return b.compile()
 
 
+def build_crashy_model():
+    """A builder that always raises (crash-injection fixture)."""
+    raise RuntimeError("injected model-build crash")
+
+
+def build_sleepy_model():
+    """A builder that hangs long enough to trip any sane cell timeout."""
+    import time
+
+    time.sleep(5.0)
+    return build_counter_model()
+
+
 @pytest.fixture
 def counter_model():
     return build_counter_model()

@@ -1,0 +1,183 @@
+"""Tests for the parallel matrix executor: seeds, plans, isolation."""
+
+import time
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.exec import (
+    CellFailure,
+    TOOLS,
+    ToolOutcome,
+    derive_seed,
+    execute_matrix,
+    plan_matrix,
+)
+from repro.models import BENCHMARKS
+from repro.models.registry import BenchmarkModel
+
+from tests.conftest import (
+    build_counter_model,
+    build_crashy_model,
+    build_sleepy_model,
+)
+
+TINY = BenchmarkModel("Tiny", "counter fixture", build_counter_model, 0, 0)
+CRASHY = BenchmarkModel("Crashy", "crash injection", build_crashy_model, 0, 0)
+SLEEPY = BenchmarkModel("Sleepy", "hang injection", build_sleepy_model, 0, 0)
+
+
+class TestSeedDerivation:
+    def test_collision_free_over_paper_matrix(self):
+        # 8 models x 3 tools x 10 repetitions, the paper's full grid.
+        seeds = {
+            derive_seed(0, model.name, tool, rep)
+            for model in BENCHMARKS
+            for tool in TOOLS
+            for rep in range(10)
+        }
+        assert len(seeds) == len(BENCHMARKS) * len(TOOLS) * 10
+
+    def test_stable_across_calls(self):
+        assert derive_seed(7, "TCP", "STCG", 3) == derive_seed(7, "TCP", "STCG", 3)
+
+    def test_every_component_matters(self):
+        base = derive_seed(0, "TCP", "STCG", 0)
+        assert derive_seed(1, "TCP", "STCG", 0) != base
+        assert derive_seed(0, "AFC", "STCG", 0) != base
+        assert derive_seed(0, "TCP", "SLDV", 0) != base
+        assert derive_seed(0, "TCP", "STCG", 1) != base
+
+    def test_legacy_scheme_reused_seeds_across_models(self):
+        # The old derivation ignored the model entirely, so every model ran
+        # the same seed for a given (tool, repetition) — the new one doesn't.
+        legacy = lambda tool, rep: 0 * 1000 + rep * 7 + sum(map(ord, tool)) % 97
+        assert legacy("STCG", 0) == legacy("STCG", 0)  # model-independent
+        assert (
+            derive_seed(0, "TCP", "STCG", 0)
+            != derive_seed(0, "CPUTask", "STCG", 0)
+        )
+
+
+class TestPlan:
+    def test_plan_order_and_repetitions(self):
+        cells = plan_matrix(
+            [TINY, CRASHY], ("SLDV", "STCG"),
+            budget_s=1.0, repetitions=2, sldv_repetitions=1, seed=0,
+        )
+        labels = [(c.model.name, c.tool, c.repetition) for c in cells]
+        assert labels == [
+            ("Tiny", "SLDV", 0),
+            ("Tiny", "STCG", 0), ("Tiny", "STCG", 1),
+            ("Crashy", "SLDV", 0),
+            ("Crashy", "STCG", 0), ("Crashy", "STCG", 1),
+        ]
+        assert [c.index for c in cells] == list(range(6))
+
+    def test_plan_is_deterministic(self):
+        kwargs = dict(budget_s=1.0, repetitions=3, sldv_repetitions=1, seed=9)
+        a = plan_matrix([TINY], TOOLS, **kwargs)
+        b = plan_matrix([TINY], TOOLS, **kwargs)
+        assert [c.seed for c in a] == [c.seed for c in b]
+
+
+class TestEquivalence:
+    def test_serial_and_parallel_aggregate_identically(self):
+        kwargs = dict(budget_s=5.0, repetitions=2, seed=3)
+        serial = execute_matrix([TINY], TOOLS, workers=1, **kwargs)
+        parallel = execute_matrix([TINY], TOOLS, workers=3, **kwargs)
+        assert not serial.failures and not parallel.failures
+        for tool in TOOLS:
+            a = serial.outcomes["Tiny"][tool]
+            b = parallel.outcomes["Tiny"][tool]
+            assert a.decision == b.decision  # bit-identical, not approx
+            assert a.condition == b.condition
+            assert a.mcdc == b.mcdc
+            assert len(a.runs) == len(b.runs)
+            assert [len(r.suite) for r in a.runs] == [len(r.suite) for r in b.runs]
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_crashing_cell_is_recorded_not_fatal(self, workers):
+        result = execute_matrix(
+            [TINY, CRASHY], ("STCG",),
+            budget_s=2.0, repetitions=1, workers=workers,
+        )
+        assert result.cells_total == 2
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert isinstance(failure, CellFailure)
+        assert failure.model == "Crashy"
+        assert failure.kind == "crash"
+        assert "injected model-build crash" in failure.message
+        # The healthy cell still aggregated.
+        assert result.outcomes["Tiny"]["STCG"].ok
+        assert not result.outcomes["Crashy"]["STCG"].ok
+
+    def test_timeout_degrades_to_recorded_failure(self):
+        started = time.monotonic()
+        result = execute_matrix(
+            [SLEEPY, TINY], ("STCG",),
+            budget_s=2.0, repetitions=1, workers=1, cell_timeout=0.5,
+        )
+        assert time.monotonic() - started < 4.5  # did not sit out the sleep
+        kinds = {f.model: f.kind for f in result.failures}
+        assert kinds == {"Sleepy": "timeout"}
+        assert result.outcomes["Tiny"]["STCG"].ok
+
+    def test_progress_reports_failures(self):
+        messages = []
+        execute_matrix(
+            [CRASHY], ("STCG",),
+            budget_s=1.0, repetitions=1, progress=messages.append,
+        )
+        assert len(messages) == 1
+        assert "FAILED" in messages[0] and "crash" in messages[0]
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(HarnessError):
+            execute_matrix([TINY], ("STCG",), budget_s=1.0, workers=0)
+        with pytest.raises(HarnessError):
+            execute_matrix([TINY], ("STCG",), budget_s=1.0, cell_timeout=-1.0)
+
+
+class TestToolOutcome:
+    def test_empty_outcome_renders_as_zero(self):
+        outcome = ToolOutcome("STCG", "M")
+        assert outcome.decision == 0.0
+        assert outcome.condition == 0.0
+        assert outcome.mcdc == 0.0
+        assert not outcome.ok
+        with pytest.raises(HarnessError):
+            outcome.representative
+
+
+class TestLegacyShims:
+    def test_run_matrix_warns_and_matches_executor(self):
+        from repro.harness import MatrixConfig, run_matrix
+
+        config = MatrixConfig(budget_s=4.0, repetitions=2, seed=3)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_matrix([TINY], config, tools=TOOLS)
+        modern = execute_matrix(
+            [TINY], TOOLS, budget_s=4.0, repetitions=2, seed=3
+        )
+        for tool in TOOLS:
+            assert legacy["Tiny"][tool].decision == \
+                modern.outcomes["Tiny"][tool].decision
+
+    def test_run_matrix_raises_on_cell_failure(self):
+        from repro.harness import MatrixConfig, run_matrix
+
+        config = MatrixConfig(budget_s=1.0, repetitions=1)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(HarnessError, match="injected"):
+                run_matrix([CRASHY], config, tools=("STCG",))
+
+    def test_run_tool_warns(self):
+        from repro.harness import run_tool
+
+        with pytest.warns(DeprecationWarning):
+            result = run_tool("STCG", TINY, 2.0, 0)
+        assert result.tool == "STCG"

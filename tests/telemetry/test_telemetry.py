@@ -1,0 +1,112 @@
+"""Tests for the structured telemetry layer: events, JSONL, manifest."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exec import execute_matrix
+from repro.models.registry import BenchmarkModel
+from repro.telemetry import EVENT_SCHEMA, EventLog, MANIFEST_SCHEMA, read_events
+
+from tests.conftest import build_counter_model, build_crashy_model
+
+TINY = BenchmarkModel("Tiny", "counter fixture", build_counter_model, 0, 0)
+CRASHY = BenchmarkModel("Crashy", "crash injection", build_crashy_model, 0, 0)
+
+
+class TestEventLog:
+    def test_in_memory_emission(self):
+        log = EventLog()
+        log.emit("run_started", model="M", tool="STCG")
+        log.emit("run_finished", model="M", tool="STCG", decision=0.5)
+        assert [e["event"] for e in log.events] == ["run_started", "run_finished"]
+        assert [e["seq"] for e in log.events] == [0, 1]
+        assert log.of_kind("run_finished")[0]["decision"] == 0.5
+
+    def test_jsonl_stream_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(str(path)) as log:
+            log.emit("cell_started", cell=0, model="M", tool="STCG")
+            log.emit("cell_failed", cell=0, model="M", tool="STCG",
+                     kind="crash", message="boom")
+        events = read_events(str(path))
+        assert events[0]["event"] == "log_opened"
+        assert events[0]["schema"] == EVENT_SCHEMA
+        assert events[-1]["kind"] == "crash"
+        # Every line was valid JSON with monotonically increasing seq.
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_odd_payload_values_are_coerced(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(str(path)) as log:
+            log.emit("stats", branches={3, 1, 2}, pair=(1, 2))
+        event = read_events(str(path))[-1]
+        assert event["branches"] == [1, 2, 3]
+        assert event["pair"] == [1, 2]
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"event": "ok", "seq": 0}\nnot json\n')
+        with pytest.raises(ReproError, match="malformed"):
+            read_events(str(path))
+
+    def test_manifest_aggregates_cells(self):
+        log = EventLog()
+        log.emit("matrix_started", models=["M"], tools=["STCG"], cells=3)
+        for decision in (0.4, 0.8):
+            log.emit("cell_finished", model="M", tool="STCG",
+                     decision=decision, condition=0.5, mcdc=0.25,
+                     duration_s=1.0, stats={"solver_calls": 10, "sat": 4})
+        log.emit("cell_failed", model="M", tool="STCG", repetition=2,
+                 seed=1, kind="timeout", message="slow", duration_s=2.0)
+        log.emit("matrix_finished", cells=3, ok=2, failed=1, wall_s=4.0)
+        manifest = log.manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["cells"] == 3
+        assert manifest["ok"] == 2 and manifest["failed"] == 1
+        agg = manifest["coverage"]["M"]["STCG"]
+        assert agg["decision"] == pytest.approx(0.6)
+        assert agg["runs"] == 2
+        assert manifest["stat_totals"] == {"solver_calls": 20, "sat": 8}
+        assert manifest["wall_s"] == 4.0
+        assert manifest["failures"][0]["kind"] == "timeout"
+        assert manifest["config"]["cells"] == 3
+
+
+class TestExecutorTelemetry:
+    def test_matrix_event_stream(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(str(path)) as log:
+            execute_matrix(
+                [TINY, CRASHY], ("STCG",),
+                budget_s=2.0, repetitions=1, workers=1, events=log,
+            )
+        events = read_events(str(path))
+        kinds = [e["event"] for e in events]
+        assert kinds[1] == "matrix_started"
+        assert kinds[-1] == "matrix_finished"
+        assert kinds.count("cell_started") == 2
+        assert kinds.count("cell_finished") == 1
+        assert kinds.count("cell_failed") == 1
+        # STCG on the counter model emits at least one timeline point.
+        assert kinds.count("timeline_point") >= 1
+        finished = next(e for e in events if e["event"] == "cell_finished")
+        assert finished["model"] == "Tiny"
+        assert 0.0 <= finished["decision"] <= 1.0
+        assert finished["stats"]["solver_calls"] >= 0
+        failed = next(e for e in events if e["event"] == "cell_failed")
+        assert failed["model"] == "Crashy" and failed["kind"] == "crash"
+
+    def test_manifest_matches_execution(self):
+        log = EventLog()
+        result = execute_matrix(
+            [TINY], ("STCG", "SimCoTest"),
+            budget_s=2.0, repetitions=1, workers=1, events=log,
+        )
+        manifest = result.manifest
+        assert manifest["cells"] == 2
+        assert manifest["ok"] == 2
+        for tool in ("STCG", "SimCoTest"):
+            assert manifest["coverage"]["Tiny"][tool]["decision"] == \
+                result.outcomes["Tiny"][tool].decision
