@@ -25,6 +25,7 @@ so a facade import is all an application needs::
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.config import StcgConfig
@@ -50,7 +51,8 @@ from repro.models.registry import (
     benchmark_names,
     get_benchmark,
 )
-from repro.telemetry.events import EventLog, read_events
+from repro.obs.report import render_report
+from repro.telemetry.events import EventLog, emit_trace_events, read_events
 
 __all__ = [
     "CellFailure",
@@ -68,6 +70,7 @@ __all__ = [
     "generate",
     "list_models",
     "read_events",
+    "render_report",
     "run_experiment",
     "table1",
     "table2",
@@ -114,6 +117,7 @@ def generate(
     config: Optional[StcgConfig] = None,
     cell_timeout: Optional[float] = None,
     events_out: Optional[str] = None,
+    trace: bool = False,
 ) -> GenerationResult:
     """One generation run of one tool on one model.
 
@@ -123,6 +127,9 @@ def generate(
     :class:`StcgConfig`.  ``cell_timeout`` bounds the run's wall clock
     (raising :class:`~repro.errors.CellTimeout`); ``events_out`` streams
     run telemetry to a JSONL file and writes a manifest next to it.
+    ``trace`` turns on deep generator tracing: phase/solver-stage
+    aggregates land in ``result.trace_data`` and — with ``events_out`` —
+    as ``repro.trace/1`` events in the stream (see ``repro report``).
     """
     if tool not in TOOLS:
         raise HarnessError(
@@ -132,6 +139,8 @@ def generate(
         raise HarnessError(f"budget_s must be positive, got {budget_s!r}")
     if config is not None and tool != "STCG":
         raise HarnessError("config= applies to STCG only")
+    if config is not None and trace and not config.trace:
+        config = replace(config, trace=True)
     bench = _as_benchmark(model)
     events = EventLog(events_out) if events_out else None
     try:
@@ -148,7 +157,9 @@ def generate(
             if config is not None:
                 result = StcgGenerator(bench.build(), config).run()
             else:
-                result = run_single(tool, bench, budget_s, seed, sldv_max_depth)
+                result = run_single(
+                    tool, bench, budget_s, seed, sldv_max_depth, trace
+                )
         if events is not None:
             events.emit(
                 "run_finished",
@@ -169,6 +180,9 @@ def generate(
                     origin=point.origin,
                     new_branches=point.new_branches,
                 )
+            emit_trace_events(
+                events, {"model": bench.name, "tool": tool}, result.trace_data
+            )
             events.write_manifest(_manifest_path(events_out))
         return result
     finally:
@@ -189,6 +203,7 @@ def run_experiment(
     cell_timeout: Optional[float] = None,
     events_out: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    trace: bool = False,
 ) -> ExperimentResult:
     """Run the (tool × model × repetition) matrix, possibly in parallel.
 
@@ -198,6 +213,8 @@ def run_experiment(
     exceeds ``cell_timeout`` is recorded in ``result.failures`` instead of
     aborting the matrix.  ``events_out`` streams one JSON line per event
     and writes a ``*.manifest.json`` summary when the matrix finishes.
+    ``trace`` enables deep generator tracing per cell; the aggregates are
+    forwarded into the event stream as ``repro.trace/1`` events.
     """
     for name in tools:
         if name not in TOOLS:
@@ -232,6 +249,7 @@ def run_experiment(
             cell_timeout=cell_timeout,
             progress=progress,
             events=events,
+            trace=trace,
         )
         if events is not None:
             events.write_manifest(_manifest_path(events_out))

@@ -21,6 +21,7 @@ from repro.core.testcase import TestCase, TestSuite
 from repro.model.graph import CompiledModel
 from repro.model.inputs import piecewise_constant_sequence
 from repro.model.simulator import Simulator
+from repro.obs.tracer import NULL_TRACER, PhaseProfiler, Tracer
 
 
 @dataclass
@@ -34,6 +35,9 @@ class SimCoTestConfig:
     #: Max piecewise-constant segments per input signal.
     max_segments: int = 5
     stop_on_full_coverage: bool = True
+    #: Deep tracing (``repro.trace/1``): per-candidate simulate phase
+    #: totals and step counters.  Observation only.
+    trace: bool = False
 
 
 class SimCoTestGenerator:
@@ -44,10 +48,17 @@ class SimCoTestGenerator:
         compiled: CompiledModel,
         config: Optional[SimCoTestConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ):
         self.compiled = compiled
         self.config = config or SimCoTestConfig()
         self._clock = clock
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.trace:
+            self.tracer = PhaseProfiler()
+        else:
+            self.tracer = NULL_TRACER
         self._rng = random.Random(self.config.seed)
         self.collector = CoverageCollector(compiled.registry)
         self.suite = TestSuite(
@@ -58,7 +69,8 @@ class SimCoTestGenerator:
 
     def run(self) -> GenerationResult:
         start = self._clock()
-        simulator = Simulator(self.compiled, self.collector)
+        tracer = self.tracer
+        simulator = Simulator(self.compiled, self.collector, tracer=tracer)
         while True:
             elapsed = self._clock() - start
             if elapsed >= self.config.budget_s:
@@ -76,9 +88,10 @@ class SimCoTestGenerator:
             )
             simulator.reset()
             new_ids: List[int] = []
-            for step_inputs in sequence:
-                result = simulator.step(step_inputs)
-                new_ids.extend(result.new_branch_ids)
+            with tracer.span("simulate"):
+                for step_inputs in sequence:
+                    result = simulator.step(step_inputs)
+                    new_ids.extend(result.new_branch_ids)
             self.stats["simulations"] += 1
             self.stats["steps_executed"] += len(sequence)
             if new_ids:
@@ -107,7 +120,22 @@ class SimCoTestGenerator:
             suite=self.suite,
             timeline=list(self.timeline),
             stats=dict(self.stats),
+            trace_data=self._trace_data(),
         )
+
+    def _trace_data(self):
+        summarize = getattr(self.tracer, "summary", None)
+        if summarize is None:
+            return {}
+        summary = summarize()
+        return {
+            "schema": "repro.trace/1",
+            "phase_totals": summary["phase_totals"],
+            "solver_stages": {},
+            "tree_growth": [],
+            "solver_targets": summary["targets"],
+            "counters": dict(summary["counters"]),
+        }
 
 
 def generate(compiled: CompiledModel, config: Optional[SimCoTestConfig] = None):

@@ -30,6 +30,8 @@ from repro.model.context import symbolic_context
 from repro.model.executor import execute_step
 from repro.model.graph import CompiledModel
 from repro.model.simulator import Simulator
+from repro.obs.stages import merge_stage_dicts
+from repro.obs.tracer import NULL_TRACER, PhaseProfiler, Tracer
 from repro.solver.engine import SolverConfig, SolverEngine, Status
 
 
@@ -47,6 +49,9 @@ class SldvConfig:
         max_samples=96, avm_evaluations=3000, time_budget_s=1.0
     ))
     stop_on_full_coverage: bool = True
+    #: Deep tracing (``repro.trace/1``): phase totals (unroll / solve /
+    #: replay), solver-stage metrics.  Observation only.
+    trace: bool = False
 
 
 class _IncrementalUnroll:
@@ -107,10 +112,17 @@ class SldvGenerator:
         compiled: CompiledModel,
         config: Optional[SldvConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ):
         self.compiled = compiled
         self.config = config or SldvConfig()
         self._clock = clock
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.trace:
+            self.tracer = PhaseProfiler()
+        else:
+            self.tracer = NULL_TRACER
         self._rng = random.Random(self.config.seed)
         self._engine = SolverEngine(self.config.solver)
         self.collector = CoverageCollector(compiled.registry)
@@ -128,14 +140,16 @@ class SldvGenerator:
 
     def run(self) -> GenerationResult:
         start = self._clock()
-        simulator = Simulator(self.compiled, self.collector)
+        tracer = self.tracer
+        simulator = Simulator(self.compiled, self.collector, tracer=tracer)
         unroll = _IncrementalUnroll(self.compiled)
 
         def out_of_time() -> bool:
             return self._clock() - start >= self.config.budget_s
 
         while unroll.depth < self.config.max_depth and not out_of_time():
-            unroll.extend()
+            with tracer.span("unroll"):
+                unroll.extend()
             self.stats["depth_reached"] = unroll.depth
             step = unroll.depth - 1
             for branch in self.compiled.registry.branches_by_depth():
@@ -147,9 +161,10 @@ class SldvGenerator:
                 if isinstance(constraint, Const) and constraint.value is False:
                     continue
                 self.stats["solver_calls"] += 1
-                result = self._engine.solve(
-                    constraint, unroll.variables, self._rng
-                )
+                with tracer.span("solve", target=branch.label):
+                    result = self._engine.solve(
+                        constraint, unroll.variables, self._rng
+                    )
                 self.stats[result.status.value] += 1
                 if result.status is not Status.SAT:
                     continue
@@ -157,9 +172,10 @@ class SldvGenerator:
                 sequence = unroll.decode_sequence(result.model, step)
                 simulator.reset()
                 new_ids: List[int] = []
-                for step_inputs in sequence:
-                    step_result = simulator.step(step_inputs)
-                    new_ids.extend(step_result.new_branch_ids)
+                with tracer.span("replay"):
+                    for step_inputs in sequence:
+                        step_result = simulator.step(step_inputs)
+                        new_ids.extend(step_result.new_branch_ids)
                 if new_ids:
                     timestamp = self._clock() - start
                     self.suite.add(
@@ -187,7 +203,24 @@ class SldvGenerator:
             suite=self.suite,
             timeline=list(self.timeline),
             stats=dict(self.stats),
+            trace_data=self._trace_data(),
         )
+
+    def _trace_data(self):
+        summarize = getattr(self.tracer, "summary", None)
+        if summarize is None:
+            return {}
+        summary = summarize()
+        return {
+            "schema": "repro.trace/1",
+            "phase_totals": summary["phase_totals"],
+            "solver_stages": merge_stage_dicts(
+                {}, self._engine.metrics.as_dict()
+            ),
+            "tree_growth": [],
+            "solver_targets": summary["targets"],
+            "counters": dict(summary["counters"]),
+        }
 
 
 def generate(compiled: CompiledModel, config: Optional[SldvConfig] = None):

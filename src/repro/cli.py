@@ -8,6 +8,8 @@ Commands:
   suite, a coverage report and a minimized suite,
 * ``compare MODEL`` — SLDV vs SimCoTest vs STCG with the Figure-4 plot,
 * ``table1 | table2 | table3 | fig3 | fig4`` — the paper's artefacts,
+* ``report FILE.jsonl`` — analyze a telemetry stream: phase times,
+  solver-stage win rates, tree growth, coverage-vs-time, slow targets,
 * ``ablation KIND MODEL`` — the Discussion-section ablations.
 """
 
@@ -46,6 +48,12 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         "--events-out", default=None, metavar="FILE.jsonl",
         help="stream structured run telemetry (JSONL) here; a "
              "*.manifest.json summary is written next to it",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="deep generator tracing: phase spans, solver-stage metrics "
+             "and tree growth as repro.trace/1 events (analyze with "
+             "'repro report')",
     )
 
 
@@ -103,6 +111,19 @@ def _parser() -> argparse.ArgumentParser:
     f4.add_argument("--models", nargs="*", default=["CPUTask", "TCP"])
     _add_exec_flags(f4)
 
+    rep = sub.add_parser(
+        "report", help="analyze a telemetry JSONL stream (phase times, "
+                       "solver stages, coverage curves)"
+    )
+    rep.add_argument("events", metavar="FILE.jsonl")
+    rep.add_argument("--top", type=int, default=10,
+                     help="slowest solver targets to list (default 10)")
+    rep.add_argument(
+        "--require-trace", action="store_true",
+        help="exit non-zero unless the stream carries repro.trace/1 "
+             "phase totals (for CI gates)",
+    )
+
     prove = sub.add_parser(
         "prove", help="prove dead branches by abstract interpretation"
     )
@@ -156,6 +177,7 @@ def _cmd_generate(args) -> None:
         seed=args.seed,
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
+        trace=args.trace,
     )
     print(
         f"{args.tool} on {model.name}: decision={result.decision:.1%} "
@@ -202,6 +224,7 @@ def _cmd_compare(args) -> None:
         workers=args.workers,
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
+        trace=args.trace,
     )
     _print_failures(experiment)
     results = {}
@@ -229,6 +252,7 @@ def _cmd_table3(args) -> None:
         workers=args.workers,
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
+        trace=args.trace,
         progress=lambda m: print(f"  {m}"),
     )
     _print_failures(experiment)
@@ -245,6 +269,7 @@ def _cmd_fig4(args) -> None:
         workers=args.workers,
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
+        trace=args.trace,
     )
     _print_failures(experiment)
     all_results = {
@@ -256,6 +281,22 @@ def _cmd_fig4(args) -> None:
         for name, per_tool in experiment.outcomes.items()
     }
     print(figure4(all_results, args.budget))
+
+
+def _cmd_report(args) -> None:
+    from repro.obs.report import render_report, trace_phase_totals
+    from repro.telemetry import read_events
+
+    try:
+        events = read_events(args.events)
+    except OSError as err:
+        raise ReproError(f"cannot read {args.events!r}: {err}") from err
+    print(render_report(events, top_n=args.top))
+    if args.require_trace and not trace_phase_totals(events):
+        raise ReproError(
+            f"{args.events}: no repro.trace/1 phase totals in the stream "
+            "(was the run started with --trace?)"
+        )
 
 
 def _cmd_prove(name: str) -> None:
@@ -313,6 +354,8 @@ def _dispatch(args) -> int:
         print(figure3(budget_s=args.budget, seed=args.seed))
     elif args.command == "fig4":
         _cmd_fig4(args)
+    elif args.command == "report":
+        _cmd_report(args)
     elif args.command == "prove":
         _cmd_prove(args.model)
     elif args.command == "ablation":

@@ -82,6 +82,13 @@ class StcgConfig:
     #: traces grow with every solver attempt.
     record_trace: bool = False
 
+    #: Deep tracing: profile the generator's phases (solve scan, solving,
+    #: encoding, execution, warm-up), per-target solver time, solver-stage
+    #: metrics and state-tree growth into ``GenerationResult.trace_data``
+    #: (the ``repro.trace/1`` telemetry kinds).  Off by default; tracing
+    #: never changes the generated tests or ``stats`` — only observes.
+    trace: bool = False
+
     def __post_init__(self) -> None:
         if self.budget_s <= 0:
             raise ConfigError(

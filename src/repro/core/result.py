@@ -38,6 +38,11 @@ class GenerationResult:
     suite: TestSuite
     timeline: List[TimelineEvent] = field(default_factory=list)
     stats: Dict[str, object] = field(default_factory=dict)
+    #: Deep-tracing aggregates (``repro.trace/1``): phase totals, solver
+    #: stage metrics, tree growth, slowest solver targets.  Empty unless
+    #: the run was traced; kept separate from ``stats`` so tracing cannot
+    #: perturb the comparison numbers.
+    trace_data: Dict[str, object] = field(default_factory=dict)
 
     @property
     def decision(self) -> float:

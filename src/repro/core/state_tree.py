@@ -108,6 +108,9 @@ class StateTree:
         self._shared_obligations: Dict[tuple, Set] = {}
         self._shared_encodings: Dict[tuple, object] = {}
         self.root = StateTreeNode(0, None, root_state, None)
+        #: One-step-encoding cache traffic (read by the tracing layer).
+        self.encoding_hits = 0
+        self.encoding_misses = 0
         self._link_shared(self.root)
         self._nodes.append(self.root)
 
@@ -123,8 +126,11 @@ class StateTree:
         signature = node.state.signature()
         encoding = self._shared_encodings.get(signature)
         if encoding is None:
+            self.encoding_misses += 1
             encoding = factory(node.state)
             self._shared_encodings[signature] = encoding
+        else:
+            self.encoding_hits += 1
         return encoding
 
     def add_child(

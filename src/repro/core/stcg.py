@@ -36,8 +36,13 @@ from repro.expr.ast import Const
 from repro.model.graph import CompiledModel
 from repro.model.inputs import random_input
 from repro.model.simulator import Simulator
+from repro.obs.stages import merge_stage_dicts
+from repro.obs.tracer import NULL_TRACER, PhaseProfiler, Tracer
 from repro.solver.encoder import OneStepEncoding
 from repro.solver.engine import SolverConfig, SolverEngine, Status
+
+#: Schema tag of the deep-tracing aggregates in ``GenerationResult``.
+TRACE_SCHEMA = "repro.trace/1"
 
 
 @dataclass
@@ -72,10 +77,20 @@ class StcgGenerator:
         compiled: CompiledModel,
         config: Optional[StcgConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer: Optional[Tracer] = None,
     ):
         self.compiled = compiled
         self.config = config or StcgConfig()
         self._clock = clock
+        #: Observability hook.  An explicit ``tracer`` wins; otherwise
+        #: ``config.trace`` turns on an aggregating profiler; the default
+        #: no-op tracer keeps every hook below the noise floor.
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.trace:
+            self.tracer = PhaseProfiler(clock=time.monotonic)
+        else:
+            self.tracer = NULL_TRACER
         self._rng = random.Random(self.config.seed)
         self._engine = SolverEngine(self.config.solver)
         lite = SolverConfig(
@@ -88,7 +103,7 @@ class StcgGenerator:
         #: Failed solver attempts per target (branch id / obligation).
         self._failures: Dict[object, int] = {}
         self.collector = CoverageCollector(compiled.registry)
-        self.simulator = Simulator(compiled, self.collector)
+        self.simulator = Simulator(compiled, self.collector, tracer=self.tracer)
         self.tree = StateTree(self.simulator.get_state())
         self.library = InputLibrary()
         self.suite = TestSuite(
@@ -126,20 +141,27 @@ class StcgGenerator:
     def run(self) -> GenerationResult:
         """Generate test cases until the budget expires or coverage is full."""
         self._start = self._clock()
+        tracer = self.tracer
         if self.config.random_warmup_s > 0:
-            self._random_warmup()
+            with tracer.span("warmup"):
+                self._random_warmup()
         while not self._done():
-            target = self._state_aware_solve()
+            with tracer.span("solve_scan"):
+                target = self._state_aware_solve()
             if self._out_of_time():
                 break
-            self._dynamic_execute(target)
+            with tracer.span("execute"):
+                self._dynamic_execute(target)
             if target is None:
                 # Nothing was solvable anywhere: bias toward exploration for
                 # a few rounds before paying for another full solve scan.
                 for _ in range(self.config.random_batch - 1):
                     if self._done():
                         break
-                    self._dynamic_execute(None)
+                    with tracer.span("execute"):
+                        self._dynamic_execute(None)
+            if tracer.enabled:
+                tracer.sample("tree_nodes", self._elapsed(), len(self.tree))
         return GenerationResult(
             tool="STCG",
             model_name=self.compiled.name,
@@ -147,7 +169,28 @@ class StcgGenerator:
             suite=self.suite,
             timeline=list(self.timeline),
             stats={**self.stats, "tree_nodes": len(self.tree)},
+            trace_data=self._trace_data(),
         )
+
+    def _trace_data(self) -> Dict[str, object]:
+        """Assemble the ``repro.trace/1`` aggregates (empty when untraced)."""
+        summarize = getattr(self.tracer, "summary", None)
+        if summarize is None:
+            return {}
+        summary = summarize()
+        stages = merge_stage_dicts({}, self._engine.metrics.as_dict())
+        merge_stage_dicts(stages, self._lite_engine.metrics.as_dict())
+        counters = dict(summary["counters"])
+        counters["encoding_hits"] = self.tree.encoding_hits
+        counters["encoding_misses"] = self.tree.encoding_misses
+        return {
+            "schema": TRACE_SCHEMA,
+            "phase_totals": summary["phase_totals"],
+            "solver_stages": stages,
+            "tree_growth": summary["series"].get("tree_nodes", []),
+            "solver_targets": summary["targets"],
+            "counters": counters,
+        }
 
     # ------------------------------------------------------------------
     # Algorithm 1: state-aware solving
@@ -202,7 +245,8 @@ class StcgGenerator:
             return None
         self.stats["solver_calls"] += 1
         engine = self._engine_for(("branch", branch.branch_id))
-        result = engine.solve(constraint, encoding.variables, self._rng)
+        with self.tracer.span("solve", target=branch.label):
+            result = engine.solve(constraint, encoding.variables, self._rng)
         self.stats[result.status.value] += 1
         self._note_outcome(("branch", branch.branch_id), result.status is Status.SAT)
         if result.status is not Status.SAT:
@@ -231,7 +275,8 @@ class StcgGenerator:
             return None
         self.stats["solver_calls"] += 1
         engine = self._engine_for(("obligation", obligation))
-        result = engine.solve(constraint, encoding.variables, self._rng)
+        with self.tracer.span("solve", target=repr(obligation)):
+            result = engine.solve(constraint, encoding.variables, self._rng)
         self.stats[result.status.value] += 1
         self._note_outcome(("obligation", obligation), result.status is Status.SAT)
         if result.status is not Status.SAT:
@@ -254,9 +299,10 @@ class StcgGenerator:
             self._failures[target_key] = self._failures.get(target_key, 0) + 1
 
     def _encoding(self, node: StateTreeNode) -> OneStepEncoding:
-        return self.tree.cached_encoding(
-            node, lambda state: OneStepEncoding(self.compiled, state)
-        )
+        with self.tracer.span("encode"):
+            return self.tree.cached_encoding(
+                node, lambda state: OneStepEncoding(self.compiled, state)
+            )
 
     # ------------------------------------------------------------------
     # Algorithm 2: dynamic execution
@@ -272,7 +318,7 @@ class StcgGenerator:
             sequence = self._random_sequence()
             origin = ORIGIN_RANDOM
             self.stats["random_sequences"] += 1
-        case = self._execute_sequence(start, sequence, origin)
+        case, created_ids = self._execute_sequence(start, sequence, origin)
         if self.config.record_trace:
             self.trace.append(
                 TraceEntry(
@@ -281,7 +327,7 @@ class StcgGenerator:
                     if target is not None and target.branch
                     else None,
                     (target.node.node_id if target is not None else None),
-                    (),
+                    created_ids,
                     tuple(case.new_branch_ids) if case is not None else (),
                 )
             )
@@ -292,17 +338,20 @@ class StcgGenerator:
         start: StateTreeNode,
         sequence: List[Dict[str, object]],
         origin: str,
-    ) -> Optional[TestCase]:
+    ) -> Tuple[Optional[TestCase], Tuple[int, ...]]:
         """Algorithm 2's execution loop from a tree node.
 
         Children are appended to the state tree while it is below its size
         cap; past the cap the walk keeps executing (coverage still counts)
-        without recording new nodes.
+        without recording new nodes.  Returns the synthesized test case (or
+        ``None`` when no new coverage appeared) plus the ids of the tree
+        nodes the walk created.
         """
         self.simulator.set_state(start.get_state())
         current = start
         executed: List[Dict[str, object]] = []
         new_ids: List[int] = []
+        created_ids: List[int] = []
         new_obligations = 0
         covering_length = 0
         for step_input in sequence:
@@ -314,13 +363,14 @@ class StcgGenerator:
                     current, self.simulator.get_state(), step_input
                 )
                 child.covered_branches = set(result.new_branch_ids)
+                created_ids.append(child.node_id)
                 current = child
             if result.found_new_coverage:
                 new_ids.extend(result.new_branch_ids)
                 new_obligations += len(result.new_obligations)
                 covering_length = len(executed)
         if covering_length == 0:
-            return None
+            return None, tuple(created_ids)
         case = TestCase(
             inputs=start.path_inputs() + executed[:covering_length],
             origin=origin,
@@ -336,7 +386,7 @@ class StcgGenerator:
                 new_branches=len(new_ids),
             )
         )
-        return case
+        return case, tuple(created_ids)
 
     def _random_sequence(self) -> List[Dict[str, object]]:
         length = self.config.random_sequence_length

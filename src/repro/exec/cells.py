@@ -49,6 +49,8 @@ class CellSpec:
     seed: int
     budget_s: float
     sldv_max_depth: int = 6
+    #: Deep tracing (``repro.trace/1``) for this cell's generator.
+    trace: bool = False
 
     @property
     def label(self) -> str:
@@ -110,6 +112,7 @@ def plan_matrix(
     sldv_repetitions: int,
     seed: int,
     sldv_max_depth: int = 6,
+    trace: bool = False,
 ) -> List[CellSpec]:
     """Expand a matrix into its cell list, in deterministic order.
 
@@ -132,6 +135,7 @@ def plan_matrix(
                         seed=derive_seed(seed, model.name, tool, repetition),
                         budget_s=budget_s,
                         sldv_max_depth=sldv_max_depth,
+                        trace=trace,
                     )
                 )
     return cells

@@ -41,7 +41,7 @@ from repro.core.stcg import StcgGenerator
 from repro.errors import CellTimeout, HarnessError
 from repro.exec.cells import CellFailure, CellSpec, plan_matrix
 from repro.models.registry import BenchmarkModel
-from repro.telemetry.events import EventLog
+from repro.telemetry.events import EventLog, emit_trace_events
 
 #: The paper's three tools, in rendering order.
 TOOLS = ("SLDV", "SimCoTest", "STCG")
@@ -53,21 +53,24 @@ def run_single(
     budget_s: float,
     seed: int,
     sldv_max_depth: int = 6,
+    trace: bool = False,
 ) -> GenerationResult:
     """One generation run of one tool on a fresh build of the model."""
     compiled = model.build()
     if tool == "STCG":
         return StcgGenerator(
-            compiled, StcgConfig(budget_s=budget_s, seed=seed)
+            compiled, StcgConfig(budget_s=budget_s, seed=seed, trace=trace)
         ).run()
     if tool == "SimCoTest":
         return SimCoTestGenerator(
-            compiled, SimCoTestConfig(budget_s=budget_s, seed=seed)
+            compiled,
+            SimCoTestConfig(budget_s=budget_s, seed=seed, trace=trace),
         ).run()
     if tool == "SLDV":
         return SldvGenerator(
             compiled,
-            SldvConfig(budget_s=budget_s, seed=seed, max_depth=sldv_max_depth),
+            SldvConfig(budget_s=budget_s, seed=seed,
+                       max_depth=sldv_max_depth, trace=trace),
         ).run()
     raise HarnessError(f"unknown tool {tool!r}")
 
@@ -75,7 +78,8 @@ def run_single(
 def run_cell(spec: CellSpec) -> GenerationResult:
     """Execute one matrix cell (in whatever process this is called from)."""
     return run_single(
-        spec.tool, spec.model, spec.budget_s, spec.seed, spec.sldv_max_depth
+        spec.tool, spec.model, spec.budget_s, spec.seed, spec.sldv_max_depth,
+        spec.trace,
     )
 
 
@@ -256,6 +260,7 @@ def execute_matrix(
     cell_timeout: Optional[float] = None,
     progress: Optional[Callable[[str], None]] = None,
     events: Optional[EventLog] = None,
+    trace: bool = False,
 ) -> ExperimentResult:
     """Run every tool on every model, fanned out over ``workers`` processes.
 
@@ -276,6 +281,7 @@ def execute_matrix(
         sldv_repetitions=sldv_repetitions,
         seed=seed,
         sldv_max_depth=sldv_max_depth,
+        trace=trace,
     )
     started = time.monotonic()
     if events is not None:
@@ -289,6 +295,7 @@ def execute_matrix(
             seed=seed,
             workers=workers,
             cell_timeout=cell_timeout,
+            trace=trace,
             cells=len(cells),
         )
 
@@ -423,6 +430,7 @@ def _notify(
                     origin=point.origin,
                     new_branches=point.new_branches,
                 )
+            emit_trace_events(events, spec.identity(), result.trace_data)
     else:
         if progress is not None:
             progress(f"{spec.label}: FAILED ({payload.kind}: {payload.message})")

@@ -18,6 +18,7 @@ from repro.model.context import concrete_context
 from repro.model.executor import execute_step
 from repro.model.graph import CompiledModel
 from repro.model.state import ModelState
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -43,9 +44,14 @@ class Simulator:
         self,
         compiled: CompiledModel,
         collector: Optional[CoverageCollector] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.compiled = compiled
         self.collector = collector
+        #: Observability hook; a step is timed only when ``tracer.enabled``
+        #: (steps are hot — tens of microseconds — so the disabled path
+        #: must not even construct a span).
+        self.tracer = tracer
         self._state: Dict[str, object] = compiled.initial_state()
         self._time = 0
 
@@ -80,6 +86,14 @@ class Simulator:
 
     def step(self, inputs: Mapping[str, object]) -> StepResult:
         """Execute one iteration of the model with concrete ``inputs``."""
+        if self.tracer.enabled:
+            with self.tracer.span("sim_step"):
+                result = self._step(inputs)
+            self.tracer.count("sim_steps")
+            return result
+        return self._step(inputs)
+
+    def _step(self, inputs: Mapping[str, object]) -> StepResult:
         prepared = self._prepare_inputs(inputs)
         ctx = concrete_context(prepared, self._state, self.collector, self._time)
         outputs = execute_step(self.compiled, ctx)

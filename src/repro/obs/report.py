@@ -1,0 +1,255 @@
+"""Render a ``repro.events/1`` + ``repro.trace/1`` stream as a text report.
+
+The ``repro report`` subcommand reads an events JSONL file (written by
+``repro generate/compare/table3/fig4 --events-out ... [--trace]``) and
+prints:
+
+* run summary (cells, failures, wall-clock),
+* per-cell phase-time breakdown (where the generator's time went),
+* solver-stage win rates (which pipeline stage actually closes targets),
+* state-tree growth curves,
+* coverage-vs-time curves (from the ``timeline_point`` events),
+* the top-N slowest solver targets.
+
+Everything degrades gracefully: an untraced stream still renders the
+summary and coverage sections, with the trace sections noting that the run
+was not traced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["render_report", "trace_phase_totals"]
+
+_SPARK = " .:-=+*#%@"
+
+
+def _spark(values: Sequence[float], width: int = 40) -> str:
+    """A fixed-width ASCII sparkline over ``values`` (last sample wins)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    # Resample onto `width` columns.
+    columns: List[float] = []
+    for i in range(width):
+        index = min(len(values) - 1, i * len(values) // width)
+        columns.append(values[index])
+    scale = len(_SPARK) - 1
+    return "".join(
+        _SPARK[int(round((v - lo) / span * scale))] for v in columns
+    )
+
+
+def _of_kind(events, kind: str) -> List[Dict[str, object]]:
+    return [e for e in events if e.get("event") == kind]
+
+
+def _cell_key(event: Dict[str, object]) -> Tuple:
+    return (
+        event.get("model", "?"),
+        event.get("tool", "?"),
+        event.get("repetition", 0),
+    )
+
+
+def _cell_label(key: Tuple) -> str:
+    model, tool, repetition = key
+    return f"{model}/{tool} rep{repetition}"
+
+
+def trace_phase_totals(events) -> Dict[str, float]:
+    """Total traced seconds per phase across the whole stream."""
+    totals: Dict[str, float] = {}
+    for event in _of_kind(events, "phase_totals"):
+        for phase, stat in (event.get("phases") or {}).items():
+            totals[phase] = (
+                totals.get(phase, 0.0) + float((stat or {}).get("seconds", 0.0))
+            )
+    return totals
+
+
+def render_report(events, top_n: int = 10) -> str:
+    """The full text report over one parsed event stream."""
+    lines: List[str] = []
+    lines += _section_summary(events)
+    lines += _section_phases(events)
+    lines += _section_stages(events)
+    lines += _section_tree_growth(events)
+    lines += _section_coverage(events)
+    lines += _section_targets(events, top_n)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+
+
+def _section_summary(events) -> List[str]:
+    finished = _of_kind(events, "matrix_finished")
+    ok = len(_of_kind(events, "cell_finished")) + len(
+        _of_kind(events, "run_finished")
+    )
+    failed = len(_of_kind(events, "cell_failed"))
+    wall = (
+        float(finished[-1].get("wall_s", 0.0)) if finished
+        else (float(events[-1].get("t", 0.0)) if events else 0.0)
+    )
+    lines = [
+        "run report",
+        "==========",
+        f"  events: {len(events)}   cells ok: {ok}   failed: {failed}   "
+        f"wall: {wall:.2f}s",
+    ]
+    for failure in _of_kind(events, "cell_failed"):
+        lines.append(
+            f"  [failed] {_cell_label(_cell_key(failure))}: "
+            f"{failure.get('kind')}: {failure.get('message')}"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_phases(events) -> List[str]:
+    lines = ["phase-time breakdown (repro.trace/1)",
+             "------------------------------------"]
+    phase_events = _of_kind(events, "phase_totals")
+    if not phase_events:
+        lines += ["  (no trace events — re-run with --trace)", ""]
+        return lines
+    for event in phase_events:
+        phases = event.get("phases") or {}
+        total = sum(
+            float((stat or {}).get("seconds", 0.0)) for stat in phases.values()
+        )
+        lines.append(f"  {_cell_label(_cell_key(event))}  "
+                     f"(traced {total:.3f}s)")
+        for phase, stat in sorted(
+            phases.items(),
+            key=lambda item: -float((item[1] or {}).get("seconds", 0.0)),
+        ):
+            seconds = float((stat or {}).get("seconds", 0.0))
+            count = int((stat or {}).get("count", 0))
+            share = (seconds / total * 100.0) if total else 0.0
+            lines.append(
+                f"    {phase:<12s} {seconds:>9.3f}s  {share:5.1f}%"
+                f"  x{count}"
+            )
+        counters = event.get("counters") or {}
+        if counters:
+            rendered = ", ".join(
+                f"{name}={counters[name]}" for name in sorted(counters)
+            )
+            lines.append(f"    counters: {rendered}")
+    lines.append("")
+    return lines
+
+
+def _section_stages(events) -> List[str]:
+    lines = ["solver-stage win rates", "----------------------"]
+    stage_events = _of_kind(events, "solver_stages")
+    merged: Dict[str, Dict[str, float]] = {}
+    from repro.obs.stages import SOLVER_STAGES, merge_stage_dicts
+
+    for event in stage_events:
+        merge_stage_dicts(merged, event.get("stages") or {})
+    if not merged:
+        lines += ["  (no solver-stage events — re-run with --trace)", ""]
+        return lines
+    lines.append(
+        f"  {'stage':<10s} {'attempts':>8s} {'finished':>8s} "
+        f"{'wins':>6s} {'win%':>6s} {'seconds':>9s}"
+    )
+    ordered = [s for s in SOLVER_STAGES if s in merged]
+    ordered += [s for s in sorted(merged) if s not in SOLVER_STAGES]
+    for stage in ordered:
+        stat = merged[stage]
+        finished = int(stat.get("finished", 0))
+        wins = int(stat.get("wins", 0))
+        rate = (wins / finished * 100.0) if finished else 0.0
+        lines.append(
+            f"  {stage:<10s} {int(stat.get('attempts', 0)):>8d} "
+            f"{finished:>8d} {wins:>6d} {rate:>5.1f}% "
+            f"{float(stat.get('seconds', 0.0)):>8.3f}s"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_tree_growth(events) -> List[str]:
+    lines = ["state-tree growth", "-----------------"]
+    growth_events = _of_kind(events, "tree_growth")
+    if not growth_events:
+        lines += ["  (no tree-growth events — STCG cells only, with --trace)",
+                  ""]
+        return lines
+    for event in growth_events:
+        points = event.get("points") or []
+        values = [float(p[1]) for p in points]
+        final = int(values[-1]) if values else 0
+        lines.append(
+            f"  {_cell_label(_cell_key(event)):<28s} "
+            f"|{_spark(values)}| {final} nodes"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_coverage(events) -> List[str]:
+    lines = ["coverage vs time", "----------------"]
+    points = _of_kind(events, "timeline_point")
+    if not points:
+        lines += ["  (no timeline points in this stream)", ""]
+        return lines
+    # Matrix streams key points by cell index; single runs carry none.
+    cell_names = {
+        e.get("cell"): _cell_label(_cell_key(e))
+        for e in _of_kind(events, "cell_started")
+    }
+    by_cell: Dict[object, List[Tuple[float, float]]] = {}
+    for point in points:
+        by_cell.setdefault(point.get("cell"), []).append(
+            (float(point.get("t", 0.0)), float(point.get("decision", 0.0)))
+        )
+    for cell, series in sorted(
+        by_cell.items(), key=lambda item: str(item[0])
+    ):
+        series.sort()
+        values = [v for _, v in series]
+        label = cell_names.get(cell) or _single_run_label(events) or "run"
+        lines.append(
+            f"  {label:<28s} |{_spark(values)}| "
+            f"{values[-1]:.1%} in {series[-1][0]:.2f}s"
+        )
+    lines.append("")
+    return lines
+
+
+def _single_run_label(events) -> Optional[str]:
+    started = _of_kind(events, "run_started")
+    if not started:
+        return None
+    event = started[-1]
+    return f"{event.get('model', '?')}/{event.get('tool', '?')}"
+
+
+def _section_targets(events, top_n: int) -> List[str]:
+    lines = [f"slowest solver targets (top {top_n})",
+             "-----------------------------------"]
+    spans = [e for e in _of_kind(events, "span") if e.get("target")]
+    if not spans:
+        lines += ["  (no span events — re-run with --trace)", ""]
+        return lines
+    targets: Dict[str, List[float]] = {}
+    for span in spans:
+        agg = targets.setdefault(str(span["target"]), [0, 0.0])
+        agg[0] += int(span.get("calls", 0))
+        agg[1] += float(span.get("seconds", 0.0))
+    ranked = sorted(targets.items(), key=lambda item: -item[1][1])[:top_n]
+    width = max(len(name) for name, _ in ranked)
+    for name, (calls, seconds) in ranked:
+        lines.append(f"  {name:<{width}s}  {seconds:>9.3f}s  x{calls}")
+    lines.append("")
+    return lines

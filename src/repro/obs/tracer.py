@@ -1,0 +1,276 @@
+"""Tracing primitives: the :class:`Tracer` protocol and its implementations.
+
+Three hooks cover everything the generators need:
+
+* ``span(name, **tags)`` — a context manager timing one phase of work
+  (solve scan, one solver call, one simulation step, ...);
+* ``count(name, n)``     — a named monotone counter;
+* ``sample(series, t, value)`` — one point of a time series (state-tree
+  growth, queue depths, ...).
+
+:data:`NULL_TRACER` implements all three as no-ops sharing a single
+stateless context manager, so instrumented code pays only an attribute
+lookup and a call when tracing is off — the overhead budget for a fully
+disabled tracer is <3% of generator wall-clock.  :class:`SpanTracer` keeps
+every raw span (unbounded; tests, short runs).  :class:`PhaseProfiler`
+aggregates into per-phase totals and decimated series, so its memory stays
+bounded no matter how long the run is.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, ContextManager, Dict, List, Protocol, Tuple
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseProfiler",
+    "Span",
+    "SpanTracer",
+    "Tracer",
+]
+
+
+@dataclass
+class Span:
+    """One finished timed section: name, monotonic start/end, tags."""
+
+    name: str
+    start: float
+    end: float = 0.0
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+class Tracer(Protocol):
+    """What instrumented code sees; see module docstring for the contract.
+
+    ``enabled`` lets hot paths skip even the cheap no-op call::
+
+        if tracer.enabled:
+            with tracer.span("sim_step"):
+                ...
+    """
+
+    enabled: bool
+
+    def span(self, name: str, **tags: object) -> ContextManager: ...
+
+    def count(self, name: str, n: int = 1) -> None: ...
+
+    def sample(self, series: str, t: float, value: float) -> None: ...
+
+
+class _NullSpan:
+    """A single shared, stateless no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every hook is a no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **tags: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def sample(self, series: str, t: float, value: float) -> None:
+        pass
+
+
+#: Shared no-op instance; instrumented classes default to this.
+NULL_TRACER = NullTracer()
+
+
+class _RecordingSpan:
+    """Context manager that reports its duration back to its tracer."""
+
+    __slots__ = ("_tracer", "name", "tags", "_t0")
+
+    def __init__(self, tracer, name: str, tags: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+
+    def __enter__(self) -> "_RecordingSpan":
+        self._t0 = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._tracer._finish(self.name, self.tags, self._t0,
+                             self._tracer._clock())
+        return False
+
+
+class SpanTracer:
+    """Records every span verbatim (plus counters and series).
+
+    Unbounded memory — meant for tests and short diagnostic runs; long
+    runs should use :class:`PhaseProfiler`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self.spans: List[Span] = []
+        self.counters: Dict[str, int] = {}
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def span(self, name: str, **tags: object) -> _RecordingSpan:
+        return _RecordingSpan(self, name, tags)
+
+    def _finish(self, name, tags, start, end) -> None:
+        self.spans.append(Span(name, start, end, tags))
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def sample(self, series: str, t: float, value: float) -> None:
+        self.series.setdefault(series, []).append((t, value))
+
+    # -- summaries -----------------------------------------------------
+
+    def phase_totals(self) -> Dict[str, Dict[str, float]]:
+        totals: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            agg = totals.setdefault(span.name, {"count": 0, "seconds": 0.0})
+            agg["count"] += 1
+            agg["seconds"] += span.seconds
+        return {
+            name: {"count": agg["count"],
+                   "seconds": round(agg["seconds"], 6)}
+            for name, agg in totals.items()
+        }
+
+    def target_totals(self) -> List[Dict[str, object]]:
+        """Per-``target``-tag time aggregation, slowest first."""
+        targets: Dict[str, List[float]] = {}
+        for span in self.spans:
+            target = span.tags.get("target")
+            if target is None:
+                continue
+            agg = targets.setdefault(str(target), [0, 0.0])
+            agg[0] += 1
+            agg[1] += span.seconds
+        return _sorted_targets(targets)
+
+    def summary(self) -> Dict[str, object]:
+        return _summary(self)
+
+
+class PhaseProfiler:
+    """Aggregating tracer with bounded memory.
+
+    Spans collapse into per-phase ``{count, seconds}`` totals; spans
+    carrying a ``target`` tag additionally accumulate per-target time (the
+    "slowest solver targets" table).  Series are decimated in place once
+    they exceed ``max_series_points``, halving their resolution instead of
+    growing without bound — sampling-friendly for arbitrarily long runs.
+    ``sample_every > 0`` additionally keeps every Nth raw span in
+    ``samples`` for spot-checking latency distributions.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        sample_every: int = 0,
+        max_series_points: int = 512,
+    ):
+        self._clock = clock
+        self.sample_every = sample_every
+        self.max_series_points = max(8, max_series_points)
+        self._totals: Dict[str, List[float]] = {}  # name -> [count, seconds]
+        self._targets: Dict[str, List[float]] = {}  # target -> [count, seconds]
+        self._span_seen = 0
+        self.samples: List[Span] = []
+        self.counters: Dict[str, int] = {}
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def span(self, name: str, **tags: object) -> _RecordingSpan:
+        return _RecordingSpan(self, name, tags)
+
+    def _finish(self, name, tags, start, end) -> None:
+        seconds = max(0.0, end - start)
+        agg = self._totals.get(name)
+        if agg is None:
+            agg = self._totals[name] = [0, 0.0]
+        agg[0] += 1
+        agg[1] += seconds
+        target = tags.get("target")
+        if target is not None:
+            tagg = self._targets.get(str(target))
+            if tagg is None:
+                tagg = self._targets[str(target)] = [0, 0.0]
+            tagg[0] += 1
+            tagg[1] += seconds
+        self._span_seen += 1
+        if self.sample_every and self._span_seen % self.sample_every == 0:
+            self.samples.append(Span(name, start, end, dict(tags)))
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def sample(self, series: str, t: float, value: float) -> None:
+        points = self.series.setdefault(series, [])
+        points.append((t, value))
+        if len(points) > self.max_series_points:
+            # Keep the first and last point, halve the middle.
+            points[:] = points[::2] + points[-1:]
+
+    # -- summaries -----------------------------------------------------
+
+    def phase_totals(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"count": int(count), "seconds": round(seconds, 6)}
+            for name, (count, seconds) in sorted(self._totals.items())
+        }
+
+    def target_totals(self) -> List[Dict[str, object]]:
+        return _sorted_targets(self._targets)
+
+    def summary(self) -> Dict[str, object]:
+        return _summary(self)
+
+
+def _sorted_targets(targets: Dict[str, List[float]]) -> List[Dict[str, object]]:
+    return [
+        {"target": name, "calls": int(count), "seconds": round(seconds, 6)}
+        for name, (count, seconds) in sorted(
+            targets.items(), key=lambda item: -item[1][1]
+        )
+    ]
+
+
+def _summary(tracer) -> Dict[str, object]:
+    """The common ``{phase_totals, targets, counters, series}`` digest."""
+    return {
+        "phase_totals": tracer.phase_totals(),
+        "targets": tracer.target_totals(),
+        "counters": dict(tracer.counters),
+        "series": {
+            name: [[round(t, 6), value] for t, value in points]
+            for name, points in tracer.series.items()
+        },
+    }

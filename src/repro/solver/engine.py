@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.errors import SolverError
 from repro.expr.ast import Const, Expr, Var
+from repro.obs.stages import SolverStageMetrics, canonical_stage
 from repro.expr.distance import DistanceEvaluator
 from repro.expr.evaluator import evaluate
 from repro.expr.nnf import to_nnf
@@ -52,13 +53,19 @@ class SolverConfig:
 
 @dataclass
 class SolveStats:
-    """Bookkeeping for one solver call."""
+    """Bookkeeping for one solver call.
+
+    ``stage`` is the fine tag of the stage that produced the verdict;
+    ``stage_times`` holds wall-clock seconds per *canonical* stage the call
+    passed through (see :mod:`repro.obs.stages`).
+    """
 
     status: Status = Status.UNKNOWN
     stage: str = ""
     samples: int = 0
     avm_evaluations: int = 0
     elapsed_s: float = 0.0
+    stage_times: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -80,6 +87,9 @@ class SolverEngine:
     def __init__(self, config: Optional[SolverConfig] = None):
         self.config = config or SolverConfig()
         self._rng = random.Random(self.config.seed)
+        #: Lifetime per-stage attempt/win/time accounting (always on; a
+        #: handful of clock reads per call, negligible next to a solve).
+        self.metrics = SolverStageMetrics()
 
     def solve(
         self,
@@ -103,10 +113,23 @@ class SolverEngine:
         def out_of_time() -> bool:
             return time.monotonic() - started > self.config.time_budget_s
 
+        last_mark = started
+
+        def mark(stage: str) -> None:
+            """Attribute the time since the previous mark to ``stage``."""
+            nonlocal last_mark
+            now = time.monotonic()
+            stats.stage_times[stage] = (
+                stats.stage_times.get(stage, 0.0) + (now - last_mark)
+            )
+            last_mark = now
+
         def finish(status: Status, model=None, stage: str = "") -> SolveResult:
+            mark(canonical_stage(stage))
             stats.status = status
             stats.stage = stage
             stats.elapsed_s = time.monotonic() - started
+            self.metrics.record(stats)
             return SolveResult(status, model, stats)
 
         # Stage 0: constant constraint.
@@ -123,6 +146,7 @@ class SolverEngine:
         feasible = Contractor(constraint).contract(box)
         if not feasible:
             return finish(Status.UNSAT, stage="contract")
+        mark("contract")
 
         nnf = to_nnf(constraint)
         distance = DistanceEvaluator(nnf)
@@ -158,6 +182,7 @@ class SolverEngine:
         # Stage 3: disjunction splitting — contract and sample each OR case
         # separately.  Any satisfied case is SAT; all cases proven
         # inconsistent is UNSAT.
+        mark("sample")
         cases = split_cases(nnf)
         if len(cases) > 1:
             all_unsat = True
@@ -194,6 +219,7 @@ class SolverEngine:
                         best_env, best_dist = candidate, whole
             if all_unsat:
                 return finish(Status.UNSAT, stage="split")
+            mark("split")
 
         # Stage 4: AVM from the best point seen so far.
         search = AvmSearch(

@@ -4,6 +4,10 @@ from repro.telemetry.events import (
     EVENT_SCHEMA,
     EventLog,
     MANIFEST_SCHEMA,
+    TRACE_KINDS,
+    TRACE_SCHEMA,
+    build_manifest,
+    emit_trace_events,
     read_events,
 )
 
@@ -11,5 +15,9 @@ __all__ = [
     "EVENT_SCHEMA",
     "EventLog",
     "MANIFEST_SCHEMA",
+    "TRACE_KINDS",
+    "TRACE_SCHEMA",
+    "build_manifest",
+    "emit_trace_events",
     "read_events",
 ]

@@ -17,9 +17,16 @@ Event schema (``repro.events/1``) — every line is an object with:
 * kind-specific payload fields (model, tool, repetition, seed, coverage
   numbers, solver ``stats``, failure ``kind``/``message``, ...).
 
+Traced runs additionally emit the ``repro.trace/1`` kinds (each tagged
+``schema: repro.trace/1``): ``phase_totals`` (per-cell phase time
+breakdown + counters), ``solver_stages`` (per-stage attempt/win/time),
+``tree_growth`` (state-tree size samples) and ``span`` (per-target solver
+time aggregates).  See :func:`emit_trace_events`.
+
 The manifest is a single JSON document derived from the event stream:
-counts, per-(model, tool) coverage aggregates, failures, and totals over
-the generators' solver statistics.
+counts, per-(model, tool) coverage aggregates, failures, totals over the
+generators' solver statistics, and — for traced runs — ``phase_seconds``
+and ``solver_stages`` aggregates.
 """
 
 from __future__ import annotations
@@ -29,10 +36,20 @@ import time
 from typing import Dict, IO, List, Optional, Union
 
 from repro.errors import ReproError
+from repro.obs.stages import merge_stage_dicts
 
 #: Version tag embedded in every stream and manifest.
 EVENT_SCHEMA = "repro.events/1"
 MANIFEST_SCHEMA = "repro.run-manifest/1"
+#: Version tag carried by every deep-tracing event.
+TRACE_SCHEMA = "repro.trace/1"
+
+#: The deep-tracing event kinds (all tagged with :data:`TRACE_SCHEMA`).
+TRACE_KINDS = ("span", "phase_totals", "solver_stages", "tree_growth")
+
+#: Solver targets forwarded per traced cell (slowest first); bounds the
+#: number of ``span`` events a cell can contribute.
+_MAX_TARGET_SPANS = 20
 
 #: Solver/executor counters summed into the manifest when cells carry them.
 _STAT_TOTALS = (
@@ -94,57 +111,7 @@ class EventLog:
 
     def manifest(self) -> Dict[str, object]:
         """Summarize the event stream into a single run-manifest document."""
-        # Single runs (run_finished) aggregate exactly like matrix cells.
-        cells_ok = self.of_kind("cell_finished") + self.of_kind("run_finished")
-        cells_failed = self.of_kind("cell_failed")
-        coverage: Dict[str, Dict[str, Dict[str, object]]] = {}
-        totals = {key: 0 for key in _STAT_TOTALS}
-        duration = 0.0
-        for cell in cells_ok:
-            per_tool = coverage.setdefault(str(cell["model"]), {})
-            agg = per_tool.setdefault(
-                str(cell["tool"]),
-                {"decision": 0.0, "condition": 0.0, "mcdc": 0.0, "runs": 0},
-            )
-            runs = int(agg["runs"])
-            for metric in ("decision", "condition", "mcdc"):
-                # Running mean, so the manifest matches ToolOutcome.
-                agg[metric] = (
-                    (float(agg[metric]) * runs + float(cell[metric]))
-                    / (runs + 1)
-                )
-            agg["runs"] = runs + 1
-            duration += float(cell.get("duration_s", 0.0))
-            stats = cell.get("stats") or {}
-            for key in _STAT_TOTALS:
-                if key in stats:
-                    totals[key] += int(stats[key])
-        matrix = self.of_kind("matrix_started")
-        finished = self.of_kind("matrix_finished")
-        return {
-            "schema": MANIFEST_SCHEMA,
-            "config": (
-                {k: v for k, v in matrix[0].items()
-                 if k not in ("seq", "t", "event")}
-                if matrix else {}
-            ),
-            "cells": len(cells_ok) + len(cells_failed),
-            "ok": len(cells_ok),
-            "failed": len(cells_failed),
-            "wall_s": (
-                float(finished[-1]["wall_s"]) if finished
-                else round(time.monotonic() - self._t0, 6)
-            ),
-            "cell_seconds": round(duration, 6),
-            "stat_totals": {k: v for k, v in totals.items() if v},
-            "coverage": coverage,
-            "failures": [
-                {k: v for k, v in event.items()
-                 if k not in ("seq", "t", "event")}
-                for event in cells_failed
-            ],
-            "events": len(self._events),
-        }
+        return build_manifest(self._events)
 
     def write_manifest(self, path: str) -> Dict[str, object]:
         """Render the manifest to ``path`` as pretty-printed JSON."""
@@ -167,6 +134,132 @@ class EventLog:
     def __exit__(self, *exc_info) -> bool:
         self.close()
         return False
+
+
+def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
+    """Summarize an event stream into a single run-manifest document.
+
+    Pure over its input: the same events (in memory, or read back from a
+    JSONL file via :func:`read_events`) produce the same manifest, so a
+    stream round-trips losslessly to its summary.
+    """
+
+    def of_kind(kind: str) -> List[Dict[str, object]]:
+        return [e for e in events if e.get("event") == kind]
+
+    # Single runs (run_finished) aggregate exactly like matrix cells.
+    cells_ok = of_kind("cell_finished") + of_kind("run_finished")
+    cells_failed = of_kind("cell_failed")
+    coverage: Dict[str, Dict[str, Dict[str, object]]] = {}
+    totals = {key: 0 for key in _STAT_TOTALS}
+    duration = 0.0
+    for cell in cells_ok:
+        per_tool = coverage.setdefault(str(cell["model"]), {})
+        agg = per_tool.setdefault(
+            str(cell["tool"]),
+            {"decision": 0.0, "condition": 0.0, "mcdc": 0.0, "runs": 0},
+        )
+        runs = int(agg["runs"])
+        for metric in ("decision", "condition", "mcdc"):
+            # Running mean, so the manifest matches ToolOutcome.
+            agg[metric] = (
+                (float(agg[metric]) * runs + float(cell[metric]))
+                / (runs + 1)
+            )
+        agg["runs"] = runs + 1
+        duration += float(cell.get("duration_s", 0.0))
+        stats = cell.get("stats") or {}
+        for key in _STAT_TOTALS:
+            if key in stats:
+                totals[key] += int(stats[key])
+    # Deep-tracing aggregates (repro.trace/1 events, when present).
+    phase_seconds: Dict[str, float] = {}
+    for event in of_kind("phase_totals"):
+        for phase, stat in (event.get("phases") or {}).items():
+            phase_seconds[phase] = round(
+                phase_seconds.get(phase, 0.0)
+                + float((stat or {}).get("seconds", 0.0)),
+                6,
+            )
+    solver_stages: Dict[str, Dict[str, float]] = {}
+    for event in of_kind("solver_stages"):
+        merge_stage_dicts(solver_stages, event.get("stages") or {})
+    matrix = of_kind("matrix_started")
+    finished = of_kind("matrix_finished")
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "config": (
+            {k: v for k, v in matrix[0].items()
+             if k not in ("seq", "t", "event")}
+            if matrix else {}
+        ),
+        "cells": len(cells_ok) + len(cells_failed),
+        "ok": len(cells_ok),
+        "failed": len(cells_failed),
+        "wall_s": (
+            float(finished[-1]["wall_s"]) if finished
+            else (float(events[-1].get("t", 0.0)) if events else 0.0)
+        ),
+        "cell_seconds": round(duration, 6),
+        # Always every key: a zero counter and an absent counter must not
+        # change the manifest's key set run-to-run.
+        "stat_totals": dict(totals),
+        "phase_seconds": phase_seconds,
+        "solver_stages": solver_stages,
+        "coverage": coverage,
+        "failures": [
+            {k: v for k, v in event.items()
+             if k not in ("seq", "t", "event")}
+            for event in cells_failed
+        ],
+        "events": len(events),
+    }
+
+
+def emit_trace_events(
+    log: EventLog,
+    identity: Dict[str, object],
+    trace_data: Dict[str, object],
+) -> None:
+    """Forward one run's ``trace_data`` aggregates as ``repro.trace/1`` events.
+
+    ``identity`` carries the cell-identifying fields (model, tool,
+    repetition, ...) stamped onto every emitted event.  No-op when the run
+    was not traced.
+    """
+    if not trace_data:
+        return
+    log.emit(
+        "phase_totals",
+        **identity,
+        schema=TRACE_SCHEMA,
+        phases=trace_data.get("phase_totals") or {},
+        counters=trace_data.get("counters") or {},
+    )
+    log.emit(
+        "solver_stages",
+        **identity,
+        schema=TRACE_SCHEMA,
+        stages=trace_data.get("solver_stages") or {},
+    )
+    growth = trace_data.get("tree_growth") or []
+    if growth:
+        log.emit(
+            "tree_growth",
+            **identity,
+            schema=TRACE_SCHEMA,
+            points=[[round(float(t), 6), value] for t, value in growth],
+        )
+    for target in (trace_data.get("solver_targets") or [])[:_MAX_TARGET_SPANS]:
+        log.emit(
+            "span",
+            **identity,
+            schema=TRACE_SCHEMA,
+            name="solve",
+            target=target.get("target"),
+            calls=target.get("calls", 0),
+            seconds=target.get("seconds", 0.0),
+        )
 
 
 def _jsonable(value: object) -> object:

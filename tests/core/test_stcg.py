@@ -149,6 +149,66 @@ class TestConfigVariants:
         generator, _ = run_stcg(queue_model)
         assert generator.trace == []
 
+    def test_trace_records_new_node_ids(self, queue_model):
+        """Execution entries report the tree nodes they created."""
+        generator, _ = run_stcg(queue_model, record_trace=True)
+        exec_entries = [
+            e for e in generator.trace if e.kind in ("exec", "random")
+        ]
+        assert exec_entries
+        created = [i for e in exec_entries for i in e.new_node_ids]
+        # The tree grew, and every growth step must be attributed.
+        assert created
+        assert len(generator.tree) == 1 + len(created)  # root pre-exists
+        # Ids are unique across entries and actually live in the tree.
+        assert len(created) == len(set(created))
+        tree_ids = {node.node_id for node in generator.tree}
+        assert set(created) <= tree_ids
+
+
+class TestDeepTracing:
+    """The repro.trace/1 layer must observe without perturbing."""
+
+    def test_stats_identical_with_tracer_on_and_off(self):
+        from tests.conftest import build_queue_model
+
+        _, plain = run_stcg(build_queue_model(), seed=11)
+        _, traced = run_stcg(build_queue_model(), seed=11, trace=True)
+        assert plain.stats == traced.stats
+        assert [c.inputs for c in plain.suite] == \
+            [c.inputs for c in traced.suite]
+        assert plain.trace_data == {}
+        assert traced.trace_data
+
+    def test_trace_data_shape(self, queue_model):
+        _, result = run_stcg(queue_model, trace=True)
+        data = result.trace_data
+        assert data["schema"] == "repro.trace/1"
+        assert "solve_scan" in data["phase_totals"]
+        assert "solve" in data["phase_totals"]
+        stages = data["solver_stages"]
+        finished = sum(int(s["finished"]) for s in stages.values())
+        wins = sum(int(s["wins"]) for s in stages.values())
+        assert finished == result.stats["solver_calls"]
+        assert wins == result.stats["sat"]
+        # Tree growth was sampled and reaches the final node count.
+        points = data["tree_growth"]
+        assert points and int(points[-1][1]) == result.stats["tree_nodes"]
+
+    def test_explicit_tracer_instance(self, queue_model):
+        from repro.core import StcgConfig, StcgGenerator
+        from repro.obs import SpanTracer
+
+        tracer = SpanTracer()
+        generator = StcgGenerator(
+            queue_model, StcgConfig(budget_s=10.0, seed=0), tracer=tracer
+        )
+        result = generator.run()
+        assert generator.tracer is tracer
+        names = {span.name for span in tracer.spans}
+        assert {"solve_scan", "solve", "sim_step"} <= names
+        assert tracer.counters["sim_steps"] == result.stats["steps_executed"]
+
 
 class TestObligationTargeting:
     def test_mcdc_obligations_pursued(self, queue_model):

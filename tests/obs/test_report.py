@@ -1,0 +1,128 @@
+"""Tests for the ``repro report`` renderer and CLI subcommand."""
+
+import pytest
+
+from repro import api, cli
+from repro.models.registry import BenchmarkModel
+from repro.obs.report import render_report, trace_phase_totals
+
+from tests.conftest import build_counter_model
+
+TINY = BenchmarkModel("Tiny", "counter fixture", build_counter_model, 0, 0)
+
+
+def traced_events():
+    """A synthetic matrix-style stream carrying every trace event kind."""
+    return [
+        {"event": "log_opened", "seq": 0, "t": 0.0},
+        {"event": "matrix_started", "seq": 1, "t": 0.0, "cells": 1},
+        {"event": "cell_started", "seq": 2, "t": 0.0, "cell": 0,
+         "model": "M", "tool": "STCG", "repetition": 0},
+        {"event": "timeline_point", "seq": 3, "t": 0.1, "cell": 0,
+         "decision": 0.5},
+        {"event": "timeline_point", "seq": 4, "t": 0.2, "cell": 0,
+         "decision": 1.0},
+        {"event": "phase_totals", "seq": 5, "t": 0.3, "cell": 0,
+         "model": "M", "tool": "STCG", "repetition": 0,
+         "phases": {"solve": {"count": 4, "seconds": 0.2},
+                    "encode": {"count": 2, "seconds": 0.1}},
+         "counters": {"encoding_hits": 3}},
+        {"event": "solver_stages", "seq": 6, "t": 0.3, "cell": 0,
+         "model": "M", "tool": "STCG", "repetition": 0,
+         "stages": {"sample": {"attempts": 4, "finished": 3, "wins": 3,
+                               "seconds": 0.15},
+                    "avm": {"attempts": 1, "finished": 1, "wins": 1,
+                            "seconds": 0.05}}},
+        {"event": "tree_growth", "seq": 7, "t": 0.3, "cell": 0,
+         "model": "M", "tool": "STCG", "repetition": 0,
+         "points": [[0.0, 1], [0.1, 3], [0.2, 7]]},
+        {"event": "span", "seq": 8, "t": 0.3, "cell": 0,
+         "model": "M", "tool": "STCG", "repetition": 0,
+         "name": "solve", "target": "b1", "calls": 3, "seconds": 0.18},
+        {"event": "cell_finished", "seq": 9, "t": 0.3, "cell": 0,
+         "model": "M", "tool": "STCG", "repetition": 0, "decision": 1.0},
+        {"event": "matrix_finished", "seq": 10, "t": 0.3, "cells": 1,
+         "ok": 1, "failed": 0, "wall_s": 0.3},
+    ]
+
+
+class TestRenderReport:
+    def test_traced_stream_renders_every_section(self):
+        text = render_report(traced_events())
+        assert "run report" in text
+        assert "cells ok: 1" in text
+        assert "phase-time breakdown" in text
+        assert "solve" in text and "66.7%" in text  # 0.2 of 0.3 traced
+        assert "counters: encoding_hits=3" in text
+        assert "solver-stage win rates" in text
+        assert "avm" in text and "100.0%" in text
+        assert "M/STCG rep0" in text
+        assert "7 nodes" in text          # tree growth final value
+        assert "100.0% in 0.20s" in text  # coverage curve
+        assert "b1" in text and "x3" in text  # slowest targets
+
+    def test_untraced_stream_degrades_gracefully(self):
+        events = [e for e in traced_events()
+                  if e["event"] not in ("phase_totals", "solver_stages",
+                                        "tree_growth", "span")]
+        text = render_report(events)
+        assert "no trace events — re-run with --trace" in text
+        assert "no solver-stage events" in text
+        # Coverage still renders from plain timeline points.
+        assert "100.0% in 0.20s" in text
+
+    def test_empty_stream(self):
+        text = render_report([])
+        assert "events: 0" in text
+
+    def test_failures_listed(self):
+        events = traced_events()
+        events.insert(-1, {
+            "event": "cell_failed", "seq": 99, "t": 0.25, "cell": 1,
+            "model": "M", "tool": "SLDV", "repetition": 0,
+            "kind": "timeout", "message": "slow",
+        })
+        text = render_report(events)
+        assert "[failed] M/SLDV rep0: timeout: slow" in text
+
+    def test_top_n_limits_targets(self):
+        events = traced_events()
+        for i in range(5):
+            events.append({
+                "event": "span", "seq": 100 + i, "t": 0.3, "cell": 0,
+                "name": "solve", "target": f"extra{i}", "calls": 1,
+                "seconds": 0.01 * (i + 1),
+            })
+        text = render_report(events, top_n=2)
+        # Exactly two target rows: the two slowest survive.
+        assert "b1" in text and "extra4" in text
+        assert "extra0" not in text
+
+    def test_trace_phase_totals(self):
+        totals = trace_phase_totals(traced_events())
+        assert totals == {"solve": pytest.approx(0.2),
+                          "encode": pytest.approx(0.1)}
+        assert trace_phase_totals([]) == {}
+
+
+class TestReportCli:
+    def test_report_on_traced_single_run(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        api.generate(TINY, budget_s=5.0, seed=0,
+                     events_out=str(path), trace=True)
+        assert cli.main(["report", str(path), "--require-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "phase-time breakdown" in out
+        assert "solver-stage win rates" in out
+        assert "Tiny/STCG" in out
+
+    def test_require_trace_fails_on_untraced_stream(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        api.generate(TINY, budget_s=5.0, seed=0, events_out=str(path))
+        assert cli.main(["report", str(path)]) == 0
+        assert cli.main(["report", str(path), "--require-trace"]) == 1
+        assert "no repro.trace/1 phase totals" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert cli.main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err

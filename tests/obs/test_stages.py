@@ -1,0 +1,121 @@
+"""Tests for solver-stage canonicalization and stage metrics accounting."""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import pytest
+
+from repro.obs.stages import (
+    SOLVER_STAGES,
+    SolverStageMetrics,
+    canonical_stage,
+    merge_stage_dicts,
+)
+from repro.solver.engine import Status
+
+
+@dataclass
+class FakeStats:
+    """Just the SolveStats fields SolverStageMetrics.record consumes."""
+
+    status: Status
+    stage: str
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+
+class TestCanonicalStage:
+    @pytest.mark.parametrize("tag,expected", [
+        ("fold", "fold"),
+        ("contract", "contract"),
+        ("corner", "sample"),
+        ("sample", "sample"),
+        ("sample-timeout", "sample"),
+        ("split", "split"),
+        ("split-corner", "split"),
+        ("split-sample", "split"),
+        ("avm", "avm"),
+    ])
+    def test_known_tags(self, tag, expected):
+        assert canonical_stage(tag) == expected
+        assert expected in SOLVER_STAGES
+
+    def test_unknown_tag_passes_through(self):
+        assert canonical_stage("mystery") == "mystery"
+
+    def test_empty_tag(self):
+        assert canonical_stage("") == "unknown"
+
+
+class TestSolverStageMetrics:
+    def test_record_splits_attempts_and_finished(self):
+        metrics = SolverStageMetrics()
+        # A SAT call that passed through contract and sample, won by AVM.
+        metrics.record(FakeStats(
+            Status.SAT, "avm",
+            {"contract": 0.1, "sample": 0.2, "avm": 0.7},
+        ))
+        # An UNSAT verdict produced directly by the contractor.
+        metrics.record(FakeStats(Status.UNSAT, "contract", {"contract": 0.3}))
+        snap = metrics.as_dict()
+        assert metrics.calls == 2
+        assert metrics.by_status == {"sat": 1, "unsat": 1}
+        assert snap["contract"]["attempts"] == 2
+        assert snap["contract"]["finished"] == 1
+        assert snap["contract"]["wins"] == 0
+        assert snap["contract"]["seconds"] == pytest.approx(0.4)
+        assert snap["avm"] == {
+            "attempts": 1, "finished": 1, "wins": 1, "seconds": 0.7,
+        }
+
+    def test_fine_tags_fold_onto_canonical_stages(self):
+        metrics = SolverStageMetrics()
+        metrics.record(FakeStats(Status.SAT, "split-corner",
+                                 {"sample": 0.1, "split": 0.2}))
+        snap = metrics.as_dict()
+        assert snap["split"]["finished"] == 1 and snap["split"]["wins"] == 1
+
+    def test_invariants_finished_and_wins(self):
+        metrics = SolverStageMetrics()
+        calls = [
+            FakeStats(Status.SAT, "corner", {"sample": 0.1}),
+            FakeStats(Status.SAT, "avm", {"sample": 0.1, "avm": 0.4}),
+            FakeStats(Status.UNSAT, "contract", {"contract": 0.1}),
+            FakeStats(Status.UNKNOWN, "avm", {"sample": 0.2, "avm": 1.0}),
+        ]
+        for stats in calls:
+            metrics.record(stats)
+        snap = metrics.as_dict()
+        assert sum(s["finished"] for s in snap.values()) == metrics.calls
+        assert sum(s["wins"] for s in snap.values()) == \
+            metrics.by_status.get("sat", 0)
+
+    def test_as_dict_pipeline_order(self):
+        metrics = SolverStageMetrics()
+        metrics.record(FakeStats(Status.SAT, "avm",
+                                 {"avm": 0.1, "contract": 0.1, "sample": 0.1}))
+        names = list(metrics.as_dict())
+        assert names == ["contract", "sample", "avm"]  # pipeline order
+
+
+class TestMergeStageDicts:
+    def test_merges_in_place_and_sums(self):
+        into = {"avm": {"attempts": 1, "finished": 1, "wins": 1,
+                        "seconds": 0.5}}
+        other = {
+            "avm": {"attempts": 2, "finished": 1, "wins": 0, "seconds": 0.25},
+            "sample": {"attempts": 3, "finished": 2, "wins": 2,
+                       "seconds": 1.0},
+        }
+        result = merge_stage_dicts(into, other)
+        assert result is into
+        assert into["avm"] == {"attempts": 3, "finished": 2, "wins": 1,
+                               "seconds": 0.75}
+        assert into["sample"]["attempts"] == 3
+
+    def test_none_and_partial_stats_tolerated(self):
+        into = {}
+        merge_stage_dicts(into, None)
+        assert into == {}
+        merge_stage_dicts(into, {"fold": {"finished": 2}})
+        assert into["fold"] == {"attempts": 0, "finished": 2, "wins": 0,
+                                "seconds": 0.0}

@@ -109,6 +109,60 @@ class TestBudgets:
         assert result.stats.stage != ""
 
 
+class TestStageMetrics:
+    """The engine-lifetime stage accounting behind ``repro report``."""
+
+    CONSTRAINTS = [
+        x.lift(True),                           # folds to a constant
+        x.land(x.gt(I, 50), x.lt(I, -50)),      # contractor proves UNSAT
+        x.gt(I, 95),                            # easy sample
+        x.eq(x.add(x.mul(I, 3), 7), 52),        # needle: AVM territory
+        x.lor(x.eq(I, 88), x.eq(J, -88)),       # disjunctive: split path
+        x.eq(R, 13.25),
+    ]
+
+    def test_stage_times_cover_the_call(self):
+        engine = SolverEngine(SolverConfig(seed=99))
+        result = engine.solve(x.eq(I, -73), ALL_VARS)
+        assert result.stats.stage_times
+        total = sum(result.stats.stage_times.values())
+        assert 0.0 <= total <= result.stats.elapsed_s + 0.05
+
+    def test_fixed_seed_counters_sum_to_calls(self):
+        engine = SolverEngine(SolverConfig(seed=99))
+        results = [engine.solve(c, ALL_VARS) for c in self.CONSTRAINTS]
+        metrics = engine.metrics
+        assert metrics.calls == len(self.CONSTRAINTS)
+        snap = metrics.as_dict()
+        # Every call finishes in exactly one canonical stage...
+        assert sum(s["finished"] for s in snap.values()) == metrics.calls
+        # ...and every SAT verdict is exactly one stage's win.
+        sat = sum(1 for r in results if r.status is Status.SAT)
+        assert sum(s["wins"] for s in snap.values()) == sat
+        assert metrics.by_status.get("sat", 0) == sat
+
+    def test_winning_stage_matches_result_stage(self):
+        from repro.obs.stages import canonical_stage
+
+        for constraint in self.CONSTRAINTS:
+            engine = SolverEngine(SolverConfig(seed=99))
+            result = engine.solve(constraint, ALL_VARS)
+            snap = engine.metrics.as_dict()
+            terminal = canonical_stage(result.stats.stage)
+            assert snap[terminal]["finished"] == 1
+            expected_wins = 1 if result.status is Status.SAT else 0
+            assert snap[terminal]["wins"] == expected_wins
+
+    def test_attempts_count_stages_entered(self):
+        engine = SolverEngine(SolverConfig(seed=99))
+        result = engine.solve(x.eq(x.add(x.mul(I, 3), 7), 52), ALL_VARS)
+        snap = engine.metrics.as_dict()
+        # Each stage the call spent time in is one attempt.
+        entered = set(result.stats.stage_times)
+        assert set(snap) == entered
+        assert all(snap[stage]["attempts"] == 1 for stage in entered)
+
+
 class TestAvmDirect:
     def test_solves_equality_needle(self):
         box = Box([I, J])

@@ -7,7 +7,15 @@ import pytest
 from repro.errors import ReproError
 from repro.exec import execute_matrix
 from repro.models.registry import BenchmarkModel
-from repro.telemetry import EVENT_SCHEMA, EventLog, MANIFEST_SCHEMA, read_events
+from repro.telemetry import (
+    EVENT_SCHEMA,
+    EventLog,
+    MANIFEST_SCHEMA,
+    TRACE_KINDS,
+    TRACE_SCHEMA,
+    build_manifest,
+    read_events,
+)
 
 from tests.conftest import build_counter_model, build_crashy_model
 
@@ -68,10 +76,35 @@ class TestEventLog:
         agg = manifest["coverage"]["M"]["STCG"]
         assert agg["decision"] == pytest.approx(0.6)
         assert agg["runs"] == 2
-        assert manifest["stat_totals"] == {"solver_calls": 20, "sat": 8}
+        # Schema-stable: every stat key appears even when its total is zero.
+        assert manifest["stat_totals"] == {
+            "solver_calls": 20, "sat": 8, "unsat": 0, "unknown": 0,
+            "steps_executed": 0, "random_sequences": 0, "simulations": 0,
+        }
         assert manifest["wall_s"] == 4.0
         assert manifest["failures"][0]["kind"] == "timeout"
         assert manifest["config"]["cells"] == 3
+
+    def test_manifest_aggregates_trace_events(self):
+        log = EventLog()
+        log.emit("matrix_started", models=["M"], tools=["STCG"], cells=1)
+        for cell in (0, 1):
+            log.emit("phase_totals", cell=cell, model="M", tool="STCG",
+                     phases={"solve": {"count": 2, "seconds": 0.5}})
+            log.emit("solver_stages", cell=cell, model="M", tool="STCG",
+                     stages={"avm": {"attempts": 1, "finished": 1,
+                                     "wins": 1, "seconds": 0.25}})
+        manifest = log.manifest()
+        assert manifest["phase_seconds"] == {"solve": 1.0}
+        assert manifest["solver_stages"]["avm"]["wins"] == 2
+        assert manifest["solver_stages"]["avm"]["seconds"] == 0.5
+
+    def test_untraced_manifest_has_empty_trace_aggregates(self):
+        log = EventLog()
+        log.emit("matrix_started", models=["M"], tools=["STCG"], cells=0)
+        manifest = log.manifest()
+        assert manifest["phase_seconds"] == {}
+        assert manifest["solver_stages"] == {}
 
 
 class TestExecutorTelemetry:
@@ -110,3 +143,68 @@ class TestExecutorTelemetry:
         for tool in ("STCG", "SimCoTest"):
             assert manifest["coverage"]["Tiny"][tool]["decision"] == \
                 result.outcomes["Tiny"][tool].decision
+
+    def test_traced_matrix_emits_trace_events_per_cell(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with EventLog(str(path)) as log:
+            execute_matrix(
+                [TINY], ("STCG", "SimCoTest"),
+                budget_s=2.0, repetitions=1, workers=1, events=log,
+                trace=True,
+            )
+        events = read_events(str(path))
+        assert next(
+            e for e in events if e["event"] == "matrix_started"
+        )["trace"] is True
+        phase_events = [e for e in events if e["event"] == "phase_totals"]
+        # One per cell, tagged with the trace schema and the cell identity.
+        assert {e["tool"] for e in phase_events} == {"STCG", "SimCoTest"}
+        for event in phase_events:
+            assert event["schema"] == TRACE_SCHEMA
+            assert event["phases"]
+            assert "cell" in event and "seed" in event
+        # STCG cells additionally report solver stages and tree growth.
+        stcg_stages = [e for e in events if e["event"] == "solver_stages"
+                       and e["tool"] == "STCG"]
+        assert stcg_stages and stcg_stages[0]["stages"]
+        growth = [e for e in events if e["event"] == "tree_growth"]
+        assert growth and growth[0]["tool"] == "STCG"
+        assert growth[0]["points"]
+
+    def test_untraced_matrix_has_no_trace_events(self):
+        log = EventLog()
+        execute_matrix(
+            [TINY], ("STCG",), budget_s=2.0, repetitions=1, workers=1,
+            events=log,
+        )
+        kinds = {e["event"] for e in log.events}
+        assert not (kinds & set(TRACE_KINDS))
+
+
+class TestManifestRoundTrip:
+    def test_disk_round_trip_matches_in_memory(self, tmp_path):
+        """EventLog → disk → read_events → manifest is loss-free."""
+        path = tmp_path / "run.jsonl"
+        with EventLog(str(path)) as log:
+            execute_matrix(
+                [TINY, CRASHY], ("STCG", "SimCoTest"),
+                budget_s=2.0, repetitions=1, workers=1, events=log,
+                trace=True,
+            )
+            in_memory = log.manifest()
+        from_disk = build_manifest(read_events(str(path)))
+        assert from_disk == in_memory
+        assert from_disk["phase_seconds"]
+        assert from_disk["solver_stages"]
+
+    def test_write_manifest_equals_build_manifest(self, tmp_path):
+        events_path = tmp_path / "run.jsonl"
+        manifest_path = tmp_path / "run.manifest.json"
+        with EventLog(str(events_path)) as log:
+            execute_matrix(
+                [TINY], ("STCG",), budget_s=2.0, repetitions=1, workers=1,
+                events=log, trace=True,
+            )
+            log.write_manifest(str(manifest_path))
+        written = json.loads(manifest_path.read_text())
+        assert written == build_manifest(read_events(str(events_path)))
