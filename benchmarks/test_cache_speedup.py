@@ -1,0 +1,121 @@
+"""Bench: solve-cache speedup on a repeated Table III cell.
+
+The cache-heavy workload of the evaluation harness is *re-solving the same
+cell*: repeated repetitions of a matrix run, re-runs of an experiment, CI
+smoke jobs.  A shared :class:`~repro.cache.SolveCache` lets every run
+after the first reuse the one-step encodings and the deterministic UNSAT
+verdicts learned the first time — on SimpleCPUTask that removes ~90% of
+the solver calls (the model's dead (state, branch) pairs are all refuted
+in the draw-free fold stage, so they are all cacheable).
+
+Two guarantees are asserted here, matching the repo's acceptance bar:
+
+* the warm run's mean wall-clock is at least ``MIN_SPEEDUP`` times faster
+  than the cold run's, and
+* warm and cold runs produce bit-identical suites (observational
+  transparency under a fixed seed).
+
+The ``test_repeated_cell_{cold,warm}`` pair additionally records both
+timings with pytest-benchmark so CI can gate on regressions against the
+committed ``BENCH_baseline.json``.
+"""
+
+import statistics
+import time
+
+from repro.cache import SolveCache
+from repro.core import StcgConfig, StcgGenerator
+from repro.models.registry import get_benchmark
+
+#: The generation budget is a cap, not a target: SimpleCPUTask reaches
+#: full coverage and stops, so wall-clock measures work done, not budget.
+BUDGET_S = 30.0
+SEED = 0
+#: Required cold/warm mean speedup (the issue's acceptance threshold is
+#: 1.5x; the measured margin on an idle machine is ~2.5x).
+MIN_SPEEDUP = 1.5
+
+
+def _build():
+    return get_benchmark("CPUTask").build()
+
+
+def _run_cell(compiled, cache):
+    generator = StcgGenerator(
+        compiled, StcgConfig(budget_s=BUDGET_S, seed=SEED), cache=cache
+    )
+    return generator.run()
+
+
+def _warmed_cache(compiled):
+    cache = SolveCache(compiled.name)
+    _run_cell(compiled, cache)
+    return cache
+
+
+def test_cache_speedup(artifact):
+    """Warm mean >= MIN_SPEEDUP x faster, suites bit-identical."""
+    compiled = _build()
+    shared = _warmed_cache(compiled)
+    cold_times, warm_times = [], []
+    cold_result = warm_result = None
+    for _ in range(5):
+        started = time.perf_counter()
+        cold_result = _run_cell(compiled, None)
+        cold_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        warm_result = _run_cell(compiled, shared)
+        warm_times.append(time.perf_counter() - started)
+
+    # Transparency first: speed means nothing if the results moved.
+    assert [c.inputs for c in cold_result.suite] == [
+        c.inputs for c in warm_result.suite
+    ]
+    assert cold_result.decision == warm_result.decision == 1.0
+    assert warm_result.stats["verdict_skips"] > 0
+    assert warm_result.stats["solver_calls"] < cold_result.stats["solver_calls"]
+
+    cold_mean = statistics.mean(cold_times)
+    warm_mean = statistics.mean(warm_times)
+    speedup = cold_mean / warm_mean
+    artifact(
+        "cache_speedup.txt",
+        "repeated CPUTask cell (seed fixed, full coverage)\n"
+        f"  cold mean: {cold_mean * 1000:.1f} ms over {len(cold_times)} runs\n"
+        f"  warm mean: {warm_mean * 1000:.1f} ms over {len(warm_times)} runs\n"
+        f"  speedup:   {speedup:.2f}x (required: {MIN_SPEEDUP:.1f}x)\n"
+        f"  solver calls: {cold_result.stats['solver_calls']} cold -> "
+        f"{warm_result.stats['solver_calls']} warm "
+        f"({warm_result.stats['verdict_skips']} verdict skips)\n",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm cache speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP:.1f}x acceptance threshold "
+        f"(cold {cold_mean:.3f}s, warm {warm_mean:.3f}s)"
+    )
+
+
+def test_repeated_cell_cold(benchmark):
+    """Baseline: every run builds encodings and refutes dead pairs anew."""
+    compiled = _build()
+    result = benchmark.pedantic(
+        lambda: _run_cell(compiled, None),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.decision == 1.0
+
+
+def test_repeated_cell_warm(benchmark):
+    """The same cell against a pre-warmed shared SolveCache."""
+    compiled = _build()
+    shared = _warmed_cache(compiled)
+    result = benchmark.pedantic(
+        lambda: _run_cell(compiled, shared),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.decision == 1.0
+    assert result.stats["verdict_skips"] > 0

@@ -6,9 +6,8 @@ from typing import Dict, Mapping
 
 from repro.errors import EvalError
 from repro.expr.ast import Binary, Const, Expr, Ite, Select, Store, Unary, Var
-from repro.analysis.intervalops import ABSTRACT, Abstract, hull, lift
+from repro.analysis.intervalops import ABSTRACT, Abstract, lift
 from repro.solver.contractor import _forward_binary, _forward_unary
-from repro.solver.interval import Interval
 
 
 def interval_eval(expr: Expr, env: Mapping[str, Abstract]) -> Abstract:

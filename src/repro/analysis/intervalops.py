@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from typing import Tuple, Union
 
-from repro.solver import interval as iv
 from repro.solver.contractor import _forward_binary, _forward_unary
-from repro.solver.interval import BOOL_FALSE, BOOL_TRUE, BOOL_UNKNOWN, Interval
+from repro.solver.interval import BOOL_FALSE, BOOL_TRUE, Interval
 
 Abstract = Union[Interval, Tuple[Interval, ...]]
 

@@ -31,7 +31,7 @@ from typing import Callable, List, Optional, Sequence, Union
 from repro.core.config import StcgConfig
 from repro.core.result import GenerationResult
 from repro.core.stcg import StcgGenerator
-from repro.errors import HarnessError, ReproError
+from repro.errors import HarnessError
 from repro.exec.cells import CellFailure, derive_seed
 from repro.exec.executor import (
     ExperimentResult,
@@ -102,7 +102,7 @@ def _as_benchmark(model: ModelLike) -> BenchmarkModel:
             paper_blocks=0,
         )
     raise HarnessError(
-        f"model must be a name, BenchmarkModel or CompiledModel, "
+        "model must be a name, BenchmarkModel or CompiledModel, "
         f"got {type(model).__name__}"
     )
 
@@ -204,6 +204,7 @@ def run_experiment(
     events_out: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    stcg_overrides: Optional[dict] = None,
 ) -> ExperimentResult:
     """Run the (tool × model × repetition) matrix, possibly in parallel.
 
@@ -215,6 +216,8 @@ def run_experiment(
     and writes a ``*.manifest.json`` summary when the matrix finishes.
     ``trace`` enables deep generator tracing per cell; the aggregates are
     forwarded into the event stream as ``repro.trace/1`` events.
+    ``stcg_overrides`` applies extra :class:`StcgConfig` fields (cache
+    knobs, ablation flags) to every STCG cell.
     """
     for name in tools:
         if name not in TOOLS:
@@ -250,6 +253,7 @@ def run_experiment(
             progress=progress,
             events=events,
             trace=trace,
+            stcg_overrides=stcg_overrides,
         )
         if events is not None:
             events.write_manifest(_manifest_path(events_out))

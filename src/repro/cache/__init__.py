@@ -1,0 +1,33 @@
+"""Fingerprint-keyed caching for the solve hot path.
+
+Three pieces:
+
+* :func:`~repro.cache.fingerprint.state_fingerprint` — a stable,
+  order-independent, ``PYTHONHASHSEED``-proof content digest of a model
+  state (the cache key everything else shares);
+* :class:`~repro.cache.lru.LRUCache` — a bounded LRU with hit / miss /
+  eviction counters;
+* :class:`~repro.cache.solve.SolveCache` — the per-model bundle the
+  generator uses: an encoding LRU plus a cache of deterministic UNSAT
+  verdicts, both keyed on (model, state fingerprint).
+
+See DESIGN.md ("Cache-key soundness") for why UNSAT verdicts are safe to
+cache per state while UNKNOWN must stay retryable.
+"""
+
+from repro.cache.fingerprint import fingerprint_value, state_fingerprint
+from repro.cache.lru import LRUCache
+from repro.cache.solve import (
+    CACHEABLE_UNSAT_STAGES,
+    DEFAULT_ENCODING_CAPACITY,
+    SolveCache,
+)
+
+__all__ = [
+    "CACHEABLE_UNSAT_STAGES",
+    "DEFAULT_ENCODING_CAPACITY",
+    "LRUCache",
+    "SolveCache",
+    "fingerprint_value",
+    "state_fingerprint",
+]

@@ -1,0 +1,142 @@
+"""Fingerprint-keyed caches for the STCG solve hot path.
+
+One :class:`SolveCache` serves one model (its ``model_key``) and bundles
+the two memoizations Algorithm 1 profits from:
+
+* the **encoding cache** — a bounded LRU from state fingerprint to
+  :class:`~repro.solver.encoder.OneStepEncoding`.  Building an encoding is
+  a full symbolic execution of the model; revisiting a tree node whose
+  state was already encoded is a dictionary lookup instead.
+* the **verdict cache** — (state fingerprint, solve target) pairs the
+  solver *refuted deterministically*.  A later attempt on the same pair
+  (typically a fresh generator re-solving the same cell, or a new tree
+  node that reaches an already-known state) skips the solver call
+  entirely.
+
+Cache-key soundness (see DESIGN.md for the full argument): a one-step
+constraint is a pure function of (model, state value, target), so the
+fingerprint fully determines it.  An UNSAT verdict is a *proof* — it holds
+for every input, independent of search randomness — so it may be cached
+per (fingerprint, target) forever.  UNKNOWN is a *budget artifact* (the
+search ran out of samples or time) and must stay retryable; it is never
+cached.  SAT is not cached either: the generator wants fresh, diverse
+models, and a SAT branch leaves the uncovered set immediately anyway.
+
+Only verdicts from the randomness-free pipeline stages
+(:data:`CACHEABLE_UNSAT_STAGES`) are recorded: a ``fold``/``contract``
+refutation consumes zero RNG draws, so skipping its replay leaves the
+generator's random stream — and therefore every downstream decision —
+bit-identical.  A ``split``-stage UNSAT is only reached *after* the
+randomized sampling stage has consumed draws; caching it would make a warm
+run diverge from a cold one, so it is deliberately left out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cache.lru import LRUCache
+
+__all__ = ["CACHEABLE_UNSAT_STAGES", "DEFAULT_ENCODING_CAPACITY", "SolveCache"]
+
+#: Solver stages whose UNSAT verdicts are deterministic *and* consume no
+#: RNG draws — the two properties that make them safe to cache without
+#: perturbing a fixed-seed run (``canonical_stage`` tags).
+CACHEABLE_UNSAT_STAGES = ("fold", "contract")
+
+#: Default bound of the encoding LRU (``StcgConfig.encoding_cache_size``).
+DEFAULT_ENCODING_CAPACITY = 512
+
+
+class SolveCache:
+    """Encoding + verdict caches for one model, keyed by state fingerprint.
+
+    Instances are cheap and by default private to one generator; passing
+    the same instance to several generators of the *same compiled model*
+    (repeated repetitions of a matrix cell, a re-run of an experiment)
+    shares the learned encodings and dead verdicts across runs.  The cache
+    is observationally transparent: with it warm or cold, a fixed-seed
+    generation run produces bit-identical suites and coverage.
+    """
+
+    __slots__ = (
+        "model_key",
+        "encodings",
+        "verdicts_enabled",
+        "verdict_hits",
+        "_dead",
+    )
+
+    def __init__(
+        self,
+        model_key: str,
+        *,
+        encoding_capacity: int = DEFAULT_ENCODING_CAPACITY,
+        verdicts: bool = True,
+    ):
+        self.model_key = str(model_key)
+        self.encodings = LRUCache(encoding_capacity)
+        self.verdicts_enabled = bool(verdicts)
+        self.verdict_hits = 0
+        #: (fingerprint, target key) -> whether the refutation counted as
+        #: a solver failure when first seen (a skip must replicate the
+        #: failure-backoff bookkeeping exactly to stay transparent).
+        self._dead: Dict[Tuple[str, object], bool] = {}
+
+    # -- encodings -----------------------------------------------------
+
+    def encoding(self, fingerprint: str, factory):
+        """The cached one-step encoding for ``fingerprint``, else build it.
+
+        ``factory`` is a zero-argument callable; a rebuild after eviction
+        is deterministic, so a bounded cache never changes results — only
+        how often the symbolic executor runs.
+        """
+        encoding = self.encodings.get(fingerprint)
+        if encoding is None:
+            encoding = factory()
+            self.encodings.put(fingerprint, encoding)
+        return encoding
+
+    # -- verdicts ------------------------------------------------------
+
+    def dead_verdict(self, fingerprint: str, target_key) -> Optional[bool]:
+        """``None`` if the pair is not known dead; else whether the
+        original refutation counted toward failure backoff."""
+        counts_failure = self._dead.get((fingerprint, target_key))
+        if counts_failure is not None:
+            self.verdict_hits += 1
+        return counts_failure
+
+    def mark_dead(
+        self, fingerprint: str, target_key, *, counts_failure: bool
+    ) -> None:
+        """Record a deterministic refutation of (state, target)."""
+        if self.verdicts_enabled:
+            self._dead[(fingerprint, target_key)] = counts_failure
+
+    @property
+    def verdict_entries(self) -> int:
+        return len(self._dead)
+
+    # -- telemetry -----------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters in the canonical ``CACHE_COUNTERS`` naming."""
+        return {
+            "encoding_hits": self.encodings.hits,
+            "encoding_misses": self.encodings.misses,
+            "encoding_evictions": self.encodings.evictions,
+            "verdict_hits": self.verdict_hits,
+            "verdict_entries": len(self._dead),
+        }
+
+    def clear(self) -> None:
+        self.encodings.clear()
+        self._dead.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveCache({self.model_key!r}, encodings={self.encodings!r}, "
+            f"dead={len(self._dead)})"
+        )

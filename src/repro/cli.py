@@ -80,6 +80,15 @@ def _parser() -> argparse.ArgumentParser:
                      help="print the full coverage report")
     gen.add_argument("--minimize", action="store_true",
                      help="greedy set-cover suite reduction")
+    gen.add_argument(
+        "--encoding-cache-size", type=int, default=None, metavar="N",
+        help="STCG only: entries in the one-step-encoding LRU "
+             "(0 disables it; default 512)",
+    )
+    gen.add_argument(
+        "--no-verdict-cache", action="store_true",
+        help="STCG only: disable the cached-UNSAT verdict skip",
+    )
     _add_exec_flags(gen)
 
     cmp_ = sub.add_parser("compare", help="three-tool comparison on a model")
@@ -170,11 +179,26 @@ def _cmd_info(name: str) -> None:
 
 def _cmd_generate(args) -> None:
     model = get_benchmark(args.model)
+    cache_overrides = {}
+    if args.encoding_cache_size is not None:
+        cache_overrides["encoding_cache_size"] = args.encoding_cache_size
+    if args.no_verdict_cache:
+        cache_overrides["verdict_cache"] = False
+    if cache_overrides and args.tool != "STCG":
+        raise ReproError("cache flags apply to --tool STCG only")
+    config = (
+        api.StcgConfig(
+            budget_s=args.budget, seed=args.seed, trace=args.trace,
+            **cache_overrides,
+        )
+        if cache_overrides else None
+    )
     result = api.generate(
         model,
         tool=args.tool,
         budget_s=args.budget,
         seed=args.seed,
+        config=config,
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
         trace=args.trace,

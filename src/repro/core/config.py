@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.errors import ConfigError
 from repro.solver.engine import SolverConfig
@@ -77,6 +76,23 @@ class StcgConfig:
     #: method") and exclude proven-dead branches from solving.
     prove_dead_branches: bool = False
 
+    # -- solve caches (repro.cache) ---------------------------------------------
+
+    #: Capacity of the per-model one-step-encoding LRU (entries).  0 turns
+    #: the cache off; every solver attempt then rebuilds the symbolic
+    #: encoding.  The cache is observationally transparent — results are
+    #: bit-identical at any capacity (see DESIGN.md, "Cache-key soundness").
+    encoding_cache_size: int = 512
+    #: Remember deterministic UNSAT verdicts per (state fingerprint,
+    #: target) and skip the solver on a repeat attempt.  Only verdicts
+    #: from randomness-free stages are recorded, so fixed-seed runs stay
+    #: bit-identical with the cache on or off.
+    verdict_cache: bool = True
+    #: Skip duplicate-fingerprint tree nodes in the Algorithm-1 solve scan
+    #: (they share solved-sets with their canonical node, so the skip is
+    #: exact).  Off reproduces the naive full scan.
+    tree_dedup: bool = True
+
     #: Record a per-attempt trace (solve successes/failures, random runs).
     #: Used by the Table I / Figure 3 reproduction; off by default because
     #: traces grow with every solver attempt.
@@ -119,6 +135,11 @@ class StcgConfig:
         if not 0.0 <= self.fresh_input_mix <= 1.0:
             raise ConfigError(
                 f"fresh_input_mix must be in [0, 1], got {self.fresh_input_mix!r}"
+            )
+        if self.encoding_cache_size < 0:
+            raise ConfigError(
+                "encoding_cache_size must be >= 0, got "
+                f"{self.encoding_cache_size!r}"
             )
         if not isinstance(self.seed, int):
             raise ConfigError(f"seed must be an int, got {self.seed!r}")

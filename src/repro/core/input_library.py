@@ -9,7 +9,7 @@ draw is uniform over *distinct* solved behaviours.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 class InputLibrary:

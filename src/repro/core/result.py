@@ -7,7 +7,7 @@ compares them uniformly (Table III) and plots their timelines (Figure 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.coverage.collector import CoverageSummary
 from repro.core.testcase import TestSuite

@@ -5,15 +5,25 @@ produced it from its parent, the set of branches already *attempted* by the
 solver on this state (``SB`` — attempted, whether or not a solution was
 found, so Algorithm 1 never re-solves a pair), and the branches *covered*
 while executing into this state (``CV``).
+
+Nodes are deduplicated by state **fingerprint**
+(:meth:`~repro.model.state.ModelState.fingerprint`): the first node to
+reach a state value is its *canonical* node; later nodes with the same
+fingerprint link to it instead of growing an independent subtree of solver
+bookkeeping.  Duplicates still exist as tree nodes — their root paths are
+distinct input sequences Algorithm 2 replays — but they share the
+canonical node's solved-branch/obligation sets and are skipped by the
+solver's scan (:meth:`StateTree.solve_nodes`).  The skip is exact, not a
+heuristic: shared ``SB`` sets mean a duplicate can never be the first
+unsolved node for any target, so the scan's outcome is bit-identical with
+dedup on or off (``dedup=False`` keeps the full scan for A/B runs).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set
 
-from repro.errors import ReproError
 from repro.model.state import ModelState
 
 
@@ -29,7 +39,7 @@ class StateTreeNode:
         "solved_obligations",
         "covered_branches",
         "children",
-        "encoding",
+        "canonical",
     )
 
     def __init__(
@@ -47,8 +57,8 @@ class StateTreeNode:
         self.solved_obligations: Set = set()
         self.covered_branches: Set[int] = set()
         self.children: List["StateTreeNode"] = []
-        #: Cached one-step symbolic encoding for this state (lazily built).
-        self.encoding = None
+        #: First tree node with this state fingerprint (self when unique).
+        self.canonical: "StateTreeNode" = self
 
     # -- paper operations -------------------------------------------------------
 
@@ -67,6 +77,11 @@ class StateTreeNode:
 
     def get_parent(self) -> Optional["StateTreeNode"]:
         return self.parent
+
+    @property
+    def is_canonical(self) -> bool:
+        """Is this the first node that reached its state value?"""
+        return self.canonical is self
 
     # -- path utilities -------------------------------------------------------------
 
@@ -96,42 +111,45 @@ class StateTree:
     """The explored-state tree (Definition 4).
 
     Nodes whose states are value-identical *share* their solved-branch and
-    solved-obligation bookkeeping (and their cached one-step encoding):
-    ``solve(Model, Branch)`` depends only on the state value, so re-solving
-    the same branch on a revisited state is the duplicate work the paper's
-    ``isSolved`` check exists to avoid.
+    solved-obligation bookkeeping: ``solve(Model, Branch)`` depends only on
+    the state value, so re-solving the same branch on a revisited state is
+    the duplicate work the paper's ``isSolved`` check exists to avoid.
+    Sharing (and the solver-scan dedup built on it) is keyed by the state's
+    content fingerprint; one-step encodings are cached by the same key in
+    :class:`~repro.cache.solve.SolveCache`.
     """
 
-    def __init__(self, root_state: ModelState):
+    def __init__(self, root_state: ModelState, dedup: bool = True):
         self._nodes: List[StateTreeNode] = []
-        self._shared_solved: Dict[tuple, Set[int]] = {}
-        self._shared_obligations: Dict[tuple, Set] = {}
-        self._shared_encodings: Dict[tuple, object] = {}
+        self._shared_solved: Dict[str, Set[int]] = {}
+        self._shared_obligations: Dict[str, Set] = {}
+        #: fingerprint -> canonical (first) node.
+        self._canonical: Dict[str, StateTreeNode] = {}
+        #: Nodes the solver scan visits: canonical-only under dedup.
+        self._solve_nodes: List[StateTreeNode] = []
+        self.dedup = dedup
+        #: Nodes that linked to an existing canonical node instead of
+        #: bringing their own solver bookkeeping.
+        self.dedup_links = 0
         self.root = StateTreeNode(0, None, root_state, None)
-        #: One-step-encoding cache traffic (read by the tracing layer).
-        self.encoding_hits = 0
-        self.encoding_misses = 0
         self._link_shared(self.root)
         self._nodes.append(self.root)
 
     def _link_shared(self, node: StateTreeNode) -> None:
-        signature = node.state.signature()
-        node.solved_branches = self._shared_solved.setdefault(signature, set())
+        fingerprint = node.state.fingerprint()
+        node.solved_branches = self._shared_solved.setdefault(fingerprint, set())
         node.solved_obligations = self._shared_obligations.setdefault(
-            signature, set()
+            fingerprint, set()
         )
-
-    def cached_encoding(self, node: StateTreeNode, factory):
-        """Per-state-signature cache for one-step encodings."""
-        signature = node.state.signature()
-        encoding = self._shared_encodings.get(signature)
-        if encoding is None:
-            self.encoding_misses += 1
-            encoding = factory(node.state)
-            self._shared_encodings[signature] = encoding
+        first = self._canonical.get(fingerprint)
+        if first is None:
+            self._canonical[fingerprint] = node
+            self._solve_nodes.append(node)
         else:
-            self.encoding_hits += 1
-        return encoding
+            node.canonical = first
+            self.dedup_links += 1
+            if not self.dedup:
+                self._solve_nodes.append(node)
 
     def add_child(
         self,
@@ -153,6 +171,19 @@ class StateTree:
     def __iter__(self) -> Iterator[StateTreeNode]:
         return iter(self._nodes)
 
+    def solve_nodes(self) -> Iterator[StateTreeNode]:
+        """Nodes Algorithm 1 scans, in insertion order.
+
+        Under dedup this yields one node per distinct state fingerprint
+        (the canonical node); with ``dedup=False`` it yields every node,
+        matching the naive scan.
+        """
+        return iter(self._solve_nodes)
+
+    def unique_states(self) -> int:
+        """Number of distinct state fingerprints in the tree."""
+        return len(self._canonical)
+
     def node(self, node_id: int) -> StateTreeNode:
         return self._nodes[node_id]
 
@@ -167,11 +198,7 @@ class StateTree:
 
     def find_by_state(self, state: ModelState) -> Optional[StateTreeNode]:
         """First node holding an identical state (duplicate detection)."""
-        signature = state.signature()
-        for node in self._nodes:
-            if node.state.signature() == signature:
-                return node
-        return None
+        return self._canonical.get(state.fingerprint())
 
     def render(self, max_nodes: int = 64) -> str:
         """ASCII rendering (Figure 3(b) style)."""

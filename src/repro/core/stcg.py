@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cache.solve import CACHEABLE_UNSAT_STAGES, SolveCache
 from repro.coverage.collector import CoverageCollector
 from repro.coverage.registry import Branch
 from repro.core.config import StcgConfig
@@ -78,10 +79,22 @@ class StcgGenerator:
         config: Optional[StcgConfig] = None,
         clock: Callable[[], float] = time.monotonic,
         tracer: Optional[Tracer] = None,
+        cache: Optional[SolveCache] = None,
     ):
         self.compiled = compiled
         self.config = config or StcgConfig()
         self._clock = clock
+        #: Fingerprint-keyed encoding/verdict caches.  Private per
+        #: generator by default; pass a shared instance to reuse learned
+        #: encodings and dead verdicts across runs of the same model.
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = SolveCache(
+                compiled.name,
+                encoding_capacity=self.config.encoding_cache_size,
+                verdicts=self.config.verdict_cache,
+            )
         #: Observability hook.  An explicit ``tracer`` wins; otherwise
         #: ``config.trace`` turns on an aggregating profiler; the default
         #: no-op tracer keeps every hook below the noise floor.
@@ -104,7 +117,9 @@ class StcgGenerator:
         self._failures: Dict[object, int] = {}
         self.collector = CoverageCollector(compiled.registry)
         self.simulator = Simulator(compiled, self.collector, tracer=self.tracer)
-        self.tree = StateTree(self.simulator.get_state())
+        self.tree = StateTree(
+            self.simulator.get_state(), dedup=self.config.tree_dedup
+        )
         self.library = InputLibrary()
         self.suite = TestSuite(
             compiled.name, [spec.name for spec in compiled.inports]
@@ -116,6 +131,7 @@ class StcgGenerator:
             "unsat": 0,
             "unknown": 0,
             "const_false_skips": 0,
+            "verdict_skips": 0,
             "random_sequences": 0,
             "steps_executed": 0,
             "warmup_steps": 0,
@@ -181,8 +197,9 @@ class StcgGenerator:
         stages = merge_stage_dicts({}, self._engine.metrics.as_dict())
         merge_stage_dicts(stages, self._lite_engine.metrics.as_dict())
         counters = dict(summary["counters"])
-        counters["encoding_hits"] = self.tree.encoding_hits
-        counters["encoding_misses"] = self.tree.encoding_misses
+        cache_stats = self.cache.stats()
+        counters.update(cache_stats)
+        counters["dedup_links"] = self.tree.dedup_links
         return {
             "schema": TRACE_SCHEMA,
             "phase_totals": summary["phase_totals"],
@@ -190,6 +207,12 @@ class StcgGenerator:
             "tree_growth": summary["series"].get("tree_nodes", []),
             "solver_targets": summary["targets"],
             "counters": counters,
+            "cache": {
+                **cache_stats,
+                "verdict_skips": self.stats["verdict_skips"],
+                "dedup_links": self.tree.dedup_links,
+                "unique_states": self.tree.unique_states(),
+            },
         }
 
     # ------------------------------------------------------------------
@@ -202,7 +225,7 @@ class StcgGenerator:
                 continue
             if branch.branch_id in self.proven_dead:
                 continue
-            for node in self.tree:
+            for node in self.tree.solve_nodes():
                 if node.is_solved(branch.branch_id):
                     continue
                 if self._out_of_time():
@@ -213,7 +236,7 @@ class StcgGenerator:
         # Branch obligations exhausted for now; work on condition / MCDC
         # obligations ("all the coverage requirements" of the paper).
         for obligation in self.collector.unsatisfied_condition_obligations():
-            for node in self.tree:
+            for node in self.tree.solve_nodes():
                 if obligation in node.solved_obligations:
                     continue
                 if self._out_of_time():
@@ -227,29 +250,43 @@ class StcgGenerator:
         self, node: StateTreeNode, branch: Branch
     ) -> Optional[SolveTarget]:
         """One solver attempt for (state, branch); marks the pair attempted."""
+        target_key = ("branch", branch.branch_id)
+        node.set_solved(branch.branch_id)
+        if self._skip_dead(node, target_key, branch.label):
+            return None
         encoding = self._encoding(node)
         constraint = encoding.path_constraint(branch)
-        node.set_solved(branch.branch_id)
+        fingerprint = node.state.fingerprint()
         if (
             self.config.skip_constant_false
             and isinstance(constraint, Const)
             and constraint.value is False
         ):
             # The branch is unreachable from this state regardless of input
-            # (e.g. a transition whose source state is inactive).
+            # (e.g. a transition whose source state is inactive).  The skip
+            # never counted toward failure backoff, so a cached replay of
+            # it must not either.
             self.stats["const_false_skips"] += 1
+            self.cache.mark_dead(fingerprint, target_key, counts_failure=False)
             if self.config.record_trace:
                 self.trace.append(
                     TraceEntry("solve_fail", branch.label, node.node_id)
                 )
             return None
         self.stats["solver_calls"] += 1
-        engine = self._engine_for(("branch", branch.branch_id))
+        engine = self._engine_for(target_key)
         with self.tracer.span("solve", target=branch.label):
             result = engine.solve(constraint, encoding.variables, self._rng)
         self.stats[result.status.value] += 1
-        self._note_outcome(("branch", branch.branch_id), result.status is Status.SAT)
+        self._note_outcome(target_key, result.status is Status.SAT)
         if result.status is not Status.SAT:
+            if (
+                result.status is Status.UNSAT
+                and result.stats.stage in CACHEABLE_UNSAT_STAGES
+            ):
+                self.cache.mark_dead(
+                    fingerprint, target_key, counts_failure=True
+                )
             if self.config.record_trace:
                 self.trace.append(
                     TraceEntry("solve_fail", branch.label, node.node_id)
@@ -263,27 +300,65 @@ class StcgGenerator:
 
     def _solve_obligation(self, node: StateTreeNode, obligation) -> Optional[SolveTarget]:
         """One solver attempt for (state, condition obligation)."""
+        target_key = ("obligation", obligation)
+        node.solved_obligations.add(obligation)
+        if self._skip_dead(node, target_key, None):
+            return None
         encoding = self._encoding(node)
         constraint = encoding.obligation_constraint(obligation)
-        node.solved_obligations.add(obligation)
+        fingerprint = node.state.fingerprint()
         if (
             self.config.skip_constant_false
             and isinstance(constraint, Const)
             and constraint.value is False
         ):
             self.stats["const_false_skips"] += 1
+            self.cache.mark_dead(fingerprint, target_key, counts_failure=False)
             return None
         self.stats["solver_calls"] += 1
-        engine = self._engine_for(("obligation", obligation))
+        engine = self._engine_for(target_key)
         with self.tracer.span("solve", target=repr(obligation)):
             result = engine.solve(constraint, encoding.variables, self._rng)
         self.stats[result.status.value] += 1
-        self._note_outcome(("obligation", obligation), result.status is Status.SAT)
+        self._note_outcome(target_key, result.status is Status.SAT)
         if result.status is not Status.SAT:
+            if (
+                result.status is Status.UNSAT
+                and result.stats.stage in CACHEABLE_UNSAT_STAGES
+            ):
+                self.cache.mark_dead(
+                    fingerprint, target_key, counts_failure=True
+                )
             return None
         assert result.model is not None
         self.library.add(result.model)
         return SolveTarget(node, None, result.model)
+
+    def _skip_dead(
+        self, node: StateTreeNode, target_key, branch_label: Optional[str]
+    ) -> bool:
+        """Skip a (state, target) pair the cache knows is dead.
+
+        The skip replicates everything the refuted attempt would have done
+        to generator state: failure backoff advances iff the original
+        refutation counted as a solver failure, and the process trace gets
+        the same ``solve_fail`` row.  No RNG is consumed either way (the
+        cached stages are draw-free), so a warm run stays bit-identical.
+        """
+        counts_failure = self.cache.dead_verdict(
+            node.state.fingerprint(), target_key
+        )
+        if counts_failure is None:
+            return False
+        self.stats["verdict_skips"] += 1
+        self._engine.metrics.note_skip("verdict")
+        if counts_failure:
+            self._note_outcome(target_key, False)
+        if self.config.record_trace:
+            self.trace.append(
+                TraceEntry("solve_fail", branch_label, node.node_id)
+            )
+        return True
 
     def _engine_for(self, target_key) -> SolverEngine:
         """Full-budget engine until a target has failed often; lite after."""
@@ -300,8 +375,9 @@ class StcgGenerator:
 
     def _encoding(self, node: StateTreeNode) -> OneStepEncoding:
         with self.tracer.span("encode"):
-            return self.tree.cached_encoding(
-                node, lambda state: OneStepEncoding(self.compiled, state)
+            return self.cache.encoding(
+                node.state.fingerprint(),
+                lambda: OneStepEncoding(self.compiled, node.state),
             )
 
     # ------------------------------------------------------------------
@@ -352,7 +428,6 @@ class StcgGenerator:
         executed: List[Dict[str, object]] = []
         new_ids: List[int] = []
         created_ids: List[int] = []
-        new_obligations = 0
         covering_length = 0
         for step_input in sequence:
             result = self.simulator.step(step_input)
@@ -367,7 +442,6 @@ class StcgGenerator:
                 current = child
             if result.found_new_coverage:
                 new_ids.extend(result.new_branch_ids)
-                new_obligations += len(result.new_obligations)
                 covering_length = len(executed)
         if covering_length == 0:
             return None, tuple(created_ids)

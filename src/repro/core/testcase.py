@@ -10,7 +10,7 @@ suites can be replayed independently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass

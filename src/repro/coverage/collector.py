@@ -15,7 +15,7 @@ targets STCG solves for:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.coverage.mcdc import determines, mcdc_covered_atoms
 from repro.coverage.registry import Branch, ConditionPoint, CoverageRegistry

@@ -18,9 +18,8 @@ for Logic blocks and Stateflow transition guards.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
-from repro.expr.ast import Expr
 from repro.expr.evaluator import evaluate
 from repro.coverage.registry import ConditionPoint
 

@@ -8,11 +8,10 @@ is called out when a branch is annotated unreachable).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Set
 
 from repro.coverage.collector import CoverageCollector
 from repro.coverage.mcdc import mcdc_covered_atoms
-from repro.coverage.registry import Branch, ConditionPoint
 
 
 def decision_report(collector: CoverageCollector) -> str:

@@ -51,6 +51,11 @@ class CellSpec:
     sldv_max_depth: int = 6
     #: Deep tracing (``repro.trace/1``) for this cell's generator.
     trace: bool = False
+    #: Extra ``StcgConfig`` fields for this cell's generator, as a sorted
+    #: (name, value) tuple so the spec stays hashable and picklable (e.g.
+    #: ``(("encoding_cache_size", 0), ("verdict_cache", False))`` for a
+    #: cache-ablation run).  Ignored by non-STCG tools.
+    stcg_overrides: tuple = ()
 
     @property
     def label(self) -> str:
@@ -113,6 +118,7 @@ def plan_matrix(
     seed: int,
     sldv_max_depth: int = 6,
     trace: bool = False,
+    stcg_overrides: Dict[str, object] = None,
 ) -> List[CellSpec]:
     """Expand a matrix into its cell list, in deterministic order.
 
@@ -120,6 +126,7 @@ def plan_matrix(
     serial runner, so progress output and aggregation are stable no matter
     how many workers later execute the plan.
     """
+    overrides = tuple(sorted((stcg_overrides or {}).items()))
     cells: List[CellSpec] = []
     for model in models:
         for tool in tools:
@@ -136,6 +143,7 @@ def plan_matrix(
                         budget_s=budget_s,
                         sldv_max_depth=sldv_max_depth,
                         trace=trace,
+                        stcg_overrides=overrides,
                     )
                 )
     return cells

@@ -54,12 +54,21 @@ def run_single(
     seed: int,
     sldv_max_depth: int = 6,
     trace: bool = False,
+    stcg_overrides: Dict[str, object] = None,
 ) -> GenerationResult:
-    """One generation run of one tool on a fresh build of the model."""
+    """One generation run of one tool on a fresh build of the model.
+
+    ``stcg_overrides`` carries extra ``StcgConfig`` fields (cache knobs,
+    ablation flags) applied only when ``tool == "STCG"``.
+    """
     compiled = model.build()
     if tool == "STCG":
         return StcgGenerator(
-            compiled, StcgConfig(budget_s=budget_s, seed=seed, trace=trace)
+            compiled,
+            StcgConfig(
+                budget_s=budget_s, seed=seed, trace=trace,
+                **dict(stcg_overrides or {}),
+            ),
         ).run()
     if tool == "SimCoTest":
         return SimCoTestGenerator(
@@ -79,7 +88,7 @@ def run_cell(spec: CellSpec) -> GenerationResult:
     """Execute one matrix cell (in whatever process this is called from)."""
     return run_single(
         spec.tool, spec.model, spec.budget_s, spec.seed, spec.sldv_max_depth,
-        spec.trace,
+        spec.trace, dict(spec.stcg_overrides),
     )
 
 
@@ -261,6 +270,7 @@ def execute_matrix(
     progress: Optional[Callable[[str], None]] = None,
     events: Optional[EventLog] = None,
     trace: bool = False,
+    stcg_overrides: Optional[Dict[str, object]] = None,
 ) -> ExperimentResult:
     """Run every tool on every model, fanned out over ``workers`` processes.
 
@@ -282,6 +292,7 @@ def execute_matrix(
         seed=seed,
         sldv_max_depth=sldv_max_depth,
         trace=trace,
+        stcg_overrides=stcg_overrides,
     )
     started = time.monotonic()
     if events is not None:

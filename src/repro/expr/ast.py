@@ -13,16 +13,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
-from repro.errors import ExprError, ExprTypeError
-from repro.expr.types import (
-    ArrayType,
-    BOOL,
-    INT,
-    REAL,
-    Type,
-    coerce_value,
-    type_of_value,
-)
+from repro.errors import ExprError
+from repro.expr.types import ArrayType, BOOL, INT, Type, coerce_value, type_of_value
 
 # ---------------------------------------------------------------------------
 # Operator name constants

@@ -24,7 +24,7 @@ import math
 from typing import Mapping
 
 from repro.expr import ast
-from repro.expr.ast import Binary, Const, Expr, Ite, Unary
+from repro.expr.ast import Binary, Const, Expr
 from repro.expr.evaluator import Evaluator
 from repro.expr.nnf import to_nnf
 

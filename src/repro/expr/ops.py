@@ -17,7 +17,11 @@ from typing import Union
 
 from repro.errors import ExprTypeError
 from repro.expr import ast, semantics
-from repro.expr.ast import Binary, Const, Expr, FALSE, Ite, Select, Store, TRUE, Unary
+from repro.expr.ast import Binary, Const, Expr, Ite, Select, Store, Unary
+
+# Re-exported: callers treat this module as the expression-building facade
+# and reach the canonical constants through it (``ops.TRUE`` / ``ops.FALSE``).
+from repro.expr.ast import FALSE as FALSE, TRUE as TRUE
 from repro.expr.types import ArrayType, BOOL, INT, REAL, Type, join_numeric
 
 ExprLike = Union[Expr, bool, int, float, tuple]

@@ -17,7 +17,7 @@ Three experiments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.core.config import StcgConfig
 from repro.core.result import GenerationResult

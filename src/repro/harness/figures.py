@@ -10,9 +10,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
-from repro.core.result import GenerationResult, ORIGIN_RANDOM, ORIGIN_SOLVER
+from repro.core.result import GenerationResult, ORIGIN_SOLVER
 from repro.harness.tables import branch_number, run_table1
 
 

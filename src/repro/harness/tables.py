@@ -11,10 +11,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.config import StcgConfig
-from repro.core.stcg import StcgGenerator, TraceEntry
+from repro.core.stcg import StcgGenerator
 from repro.harness.runner import ToolOutcome, average_improvements
 from repro.models.registry import SIMPLE_CPUTASK, BenchmarkModel
 

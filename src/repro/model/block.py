@@ -16,7 +16,7 @@ reads happen in ``compute`` before the write).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ModelError
 from repro.expr.types import Type

@@ -9,7 +9,7 @@ from repro.expr.ast import Expr, Var
 from repro.expr.evaluator import evaluate
 from repro.expr.parser import parse_expr
 from repro.expr.types import BOOL, INT, REAL, Type
-from repro.expr.variables import free_variables, substitute
+from repro.expr.variables import substitute
 from repro.model.block import Block
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.expr.types import INT, Type
+from repro.expr.types import INT
 from repro.model.block import Block, StateElement
 
 

@@ -29,7 +29,7 @@ import contextlib
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ModelError
-from repro.expr.types import ArrayType, BOOL, INT, REAL, Type
+from repro.expr.types import Type
 from repro.model import blocks as lib
 from repro.model.block import Block
 from repro.model.graph import CompiledModel, Enable, InportSpec, Model, Signal

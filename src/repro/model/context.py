@@ -20,7 +20,7 @@ gated here, which yields exactly Simulink's conditional-execution semantics.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.coverage.collector import CoverageCollector

@@ -73,7 +73,7 @@ class Simulator:
             missing = expected - set(values)
             extra = set(values) - expected
             raise StateError(
-                f"snapshot does not match model layout "
+                "snapshot does not match model layout "
                 f"(missing={sorted(missing)[:3]}, extra={sorted(extra)[:3]})"
             )
         self._state = dict(values)

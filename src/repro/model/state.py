@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Tuple
 
+from repro.cache.fingerprint import state_fingerprint
 from repro.errors import StateError
 from repro.model.block import STATE_CHART, STATE_GLOBAL, STATE_INTERNAL, StateElement
 
@@ -21,11 +22,12 @@ from repro.model.block import STATE_CHART, STATE_GLOBAL, STATE_INTERNAL, StateEl
 class ModelState:
     """An immutable snapshot of every state element of a model."""
 
-    __slots__ = ("_values", "_signature")
+    __slots__ = ("_values", "_signature", "_fingerprint")
 
     def __init__(self, values: Mapping[str, object]):
         self._values: Dict[str, object] = dict(values)
         self._signature: Tuple = ()
+        self._fingerprint: str = ""
 
     # -- access ---------------------------------------------------------------
 
@@ -52,6 +54,18 @@ class ModelState:
         if not self._signature:
             self._signature = tuple(sorted(self._values.items()))
         return self._signature
+
+    def fingerprint(self) -> str:
+        """Stable content digest (cached): the solve-cache key.
+
+        Order-independent over the underlying mapping, consistent with
+        ``==`` (equal states share a fingerprint), and identical across
+        processes regardless of ``PYTHONHASHSEED`` — see
+        :func:`repro.cache.fingerprint.state_fingerprint`.
+        """
+        if not self._fingerprint:
+            self._fingerprint = state_fingerprint(self._values)
+        return self._fingerprint
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, ModelState):

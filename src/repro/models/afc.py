@@ -17,7 +17,7 @@ history, not just one lucky input.
 
 from __future__ import annotations
 
-from repro.expr.types import BOOL, INT, REAL
+from repro.expr.types import INT, REAL
 from repro.model.builder import ModelBuilder
 from repro.model.graph import CompiledModel
 from repro.stateflow.spec import ChartSpec

@@ -10,7 +10,7 @@ block, exactly as the unrolled Simulink models they mimic).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.model.builder import ModelBuilder
 from repro.model.graph import Signal

@@ -21,7 +21,7 @@ same VLAN.
 
 from __future__ import annotations
 
-from repro.expr.types import ArrayType, BOOL, INT
+from repro.expr.types import ArrayType, INT
 from repro.model.builder import ModelBuilder
 from repro.model.graph import CompiledModel
 from repro.models.common import (
@@ -29,7 +29,6 @@ from repro.models.common import (
     count_valid,
     find_first_index,
     first_free_slot,
-    guarded_store_write,
 )
 
 TABLE_LEN = 6

@@ -57,7 +57,7 @@ def build_ledlc() -> CompiledModel:
     b.data_store("fault", INT, 0)
 
     levels = b.store_read("levels")
-    mode = b.store_read("mode")
+    b.store_read("mode")
     fault = b.store_read("fault")
 
     # ---- command handling -------------------------------------------------

@@ -18,7 +18,7 @@ transmission started.
 
 from __future__ import annotations
 
-from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.expr.types import BOOL, INT
 from repro.model.builder import ModelBuilder
 from repro.model.graph import CompiledModel
 from repro.stateflow.spec import ChartSpec
@@ -142,7 +142,7 @@ def build_nicprotocol() -> CompiledModel:
     # Acceptance filter by id class.
     high_prio = b.compare(msg_id, "<", 256, name="id_high_prio")
     diagnostic = b.compare(msg_id, ">=", 1024, name="id_diag")
-    normal = b.logic("nor", high_prio, diagnostic, name="id_normal")
+    b.logic("nor", high_prio, diagnostic, name="id_normal")
 
     accepted_old = b.store_read("accepted")
     rejected_old = b.store_read("rejected")

@@ -11,7 +11,7 @@ state-dependent logic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.errors import ReproError
 from repro.model.graph import CompiledModel

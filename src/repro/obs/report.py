@@ -7,6 +7,7 @@ prints:
 * run summary (cells, failures, wall-clock),
 * per-cell phase-time breakdown (where the generator's time went),
 * solver-stage win rates (which pipeline stage actually closes targets),
+* solve-cache traffic (encoding hits/misses/evictions, verdict skips),
 * state-tree growth curves,
 * coverage-vs-time curves (from the ``timeline_point`` events),
 * the top-N slowest solver targets.
@@ -76,6 +77,7 @@ def render_report(events, top_n: int = 10) -> str:
     lines += _section_summary(events)
     lines += _section_phases(events)
     lines += _section_stages(events)
+    lines += _section_cache(events)
     lines += _section_tree_growth(events)
     lines += _section_coverage(events)
     lines += _section_targets(events, top_n)
@@ -173,6 +175,31 @@ def _section_stages(events) -> List[str]:
             f"  {stage:<10s} {int(stat.get('attempts', 0)):>8d} "
             f"{finished:>8d} {wins:>6d} {rate:>5.1f}% "
             f"{float(stat.get('seconds', 0.0)):>8.3f}s"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_cache(events) -> List[str]:
+    lines = ["solve-cache traffic", "-------------------"]
+    cache_events = _of_kind(events, "cache_stats")
+    if not cache_events:
+        lines += ["  (no cache events — re-run with --trace)", ""]
+        return lines
+    lines.append(
+        f"  {'cell':<28s} {'enc hit':>8s} {'enc miss':>8s} "
+        f"{'evict':>6s} {'hit%':>6s} {'vskips':>7s} {'dedup':>6s}"
+    )
+    for event in cache_events:
+        hits = int(event.get("encoding_hits", 0))
+        misses = int(event.get("encoding_misses", 0))
+        lookups = hits + misses
+        rate = (hits / lookups * 100.0) if lookups else 0.0
+        lines.append(
+            f"  {_cell_label(_cell_key(event)):<28s} {hits:>8d} "
+            f"{misses:>8d} {int(event.get('encoding_evictions', 0)):>6d} "
+            f"{rate:>5.1f}% {int(event.get('verdict_skips', 0)):>7d} "
+            f"{int(event.get('dedup_links', 0)):>6d}"
         )
     lines.append("")
     return lines

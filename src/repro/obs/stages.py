@@ -18,11 +18,23 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-__all__ = ["SOLVER_STAGES", "SolverStageMetrics", "canonical_stage",
-           "merge_stage_dicts"]
+__all__ = ["CACHE_COUNTERS", "SOLVER_STAGES", "SolverStageMetrics",
+           "canonical_stage", "merge_stage_dicts"]
 
 #: The canonical pipeline stages, in execution order.
 SOLVER_STAGES = ("fold", "contract", "sample", "split", "avm")
+
+#: Canonical names of the solve-cache counters, as reported by
+#: :meth:`repro.cache.solve.SolveCache.stats` and mirrored into trace
+#: counters, ``cache_stats`` telemetry events and the report's cache
+#: section.
+CACHE_COUNTERS = (
+    "encoding_hits",
+    "encoding_misses",
+    "encoding_evictions",
+    "verdict_hits",
+    "verdict_entries",
+)
 
 _CANONICAL = {
     "fold": "fold",
@@ -45,12 +57,16 @@ def canonical_stage(tag: str) -> str:
 class SolverStageMetrics:
     """Accumulates stage counters over the lifetime of one engine."""
 
-    __slots__ = ("stages", "calls", "by_status")
+    __slots__ = ("stages", "calls", "by_status", "skips")
 
     def __init__(self):
         self.stages: Dict[str, Dict[str, float]] = {}
         self.calls = 0
         self.by_status: Dict[str, int] = {}
+        #: Solver calls avoided entirely, by skip kind (e.g. ``"verdict"``
+        #: for verdict-cache hits).  Kept out of :meth:`as_dict` so the
+        #: per-stage shape stays mergeable by :func:`merge_stage_dicts`.
+        self.skips: Dict[str, int] = {}
 
     def _stage(self, name: str) -> Dict[str, float]:
         stat = self.stages.get(name)
@@ -59,6 +75,10 @@ class SolverStageMetrics:
                 "attempts": 0, "finished": 0, "wins": 0, "seconds": 0.0,
             }
         return stat
+
+    def note_skip(self, kind: str) -> None:
+        """Count a solver call that a cache made unnecessary."""
+        self.skips[kind] = self.skips.get(kind, 0) + 1
 
     def record(self, stats) -> None:
         """Fold one finished :class:`~repro.solver.engine.SolveStats` in."""

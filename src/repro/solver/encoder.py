@@ -37,11 +37,16 @@ class OneStepEncoding:
         self.state = state
         self.variables: List[Var] = compiled.input_variables()
         inputs: Dict[str, object] = {v.name: v for v in self.variables}
-        ctx = symbolic_context(inputs, dict(state.values))
+        # ``ModelState.values`` already hands out a fresh dict; execution
+        # only reads it (writes land in ``ctx.next_state``), so one copy
+        # serves both as the execution environment and as the base of the
+        # next-state map.  The snapshot itself is never aliased or mutated.
+        env: Dict[str, object] = state.values
+        ctx = symbolic_context(inputs, env)
         self.outputs = execute_step(compiled, ctx)
         self._outcome_conditions = ctx.outcome_conditions
         self._condition_atoms = ctx.condition_atoms
-        self._next_state = dict(state.values)
+        self._next_state = env
         self._next_state.update(ctx.next_state)
 
     def branch_condition(self, branch: Branch) -> Expr:
@@ -126,7 +131,7 @@ class UnrolledEncoding:
         self.variables: List[Var] = []
         self._step_conditions: List[Dict[int, List[Expr]]] = []
         state_env: Dict[str, object] = (
-            dict(initial_state.values)
+            initial_state.values
             if initial_state is not None
             else compiled.initial_state()
         )

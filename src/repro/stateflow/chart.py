@@ -22,7 +22,7 @@ from repro.expr.evaluator import evaluate
 from repro.expr.types import INT
 from repro.expr.variables import substitute
 from repro.model.block import Block, STATE_CHART, StateElement
-from repro.stateflow.spec import Assignment, ChartSpec, StateDef, TransitionDef, extract_atoms
+from repro.stateflow.spec import ChartSpec, StateDef, TransitionDef, extract_atoms
 
 Frame = Dict[str, object]
 

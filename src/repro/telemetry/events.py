@@ -20,8 +20,9 @@ Event schema (``repro.events/1``) — every line is an object with:
 Traced runs additionally emit the ``repro.trace/1`` kinds (each tagged
 ``schema: repro.trace/1``): ``phase_totals`` (per-cell phase time
 breakdown + counters), ``solver_stages`` (per-stage attempt/win/time),
-``tree_growth`` (state-tree size samples) and ``span`` (per-target solver
-time aggregates).  See :func:`emit_trace_events`.
+``tree_growth`` (state-tree size samples), ``cache_stats`` (solve-cache
+hit/miss/eviction/skip counters) and ``span`` (per-target solver time
+aggregates).  See :func:`emit_trace_events`.
 
 The manifest is a single JSON document derived from the event stream:
 counts, per-(model, tool) coverage aggregates, failures, totals over the
@@ -33,10 +34,10 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict, IO, List, Optional, Union
+from typing import Dict, IO, List, Optional
 
 from repro.errors import ReproError
-from repro.obs.stages import merge_stage_dicts
+from repro.obs.stages import CACHE_COUNTERS, merge_stage_dicts
 
 #: Version tag embedded in every stream and manifest.
 EVENT_SCHEMA = "repro.events/1"
@@ -45,7 +46,13 @@ MANIFEST_SCHEMA = "repro.run-manifest/1"
 TRACE_SCHEMA = "repro.trace/1"
 
 #: The deep-tracing event kinds (all tagged with :data:`TRACE_SCHEMA`).
-TRACE_KINDS = ("span", "phase_totals", "solver_stages", "tree_growth")
+TRACE_KINDS = (
+    "span",
+    "phase_totals",
+    "solver_stages",
+    "tree_growth",
+    "cache_stats",
+)
 
 #: Solver targets forwarded per traced cell (slowest first); bounds the
 #: number of ``span`` events a cell can contribute.
@@ -60,7 +67,14 @@ _STAT_TOTALS = (
     "steps_executed",
     "random_sequences",
     "simulations",
+    "const_false_skips",
+    "verdict_skips",
 )
+
+#: Counters summed into the manifest's ``cache`` aggregate from
+#: ``cache_stats`` events (the :data:`repro.obs.stages.CACHE_COUNTERS`
+#: names plus the generator-side skip/dedup counters).
+_CACHE_TOTALS = CACHE_COUNTERS + ("verdict_skips", "dedup_links")
 
 
 class EventLog:
@@ -184,6 +198,14 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
     solver_stages: Dict[str, Dict[str, float]] = {}
     for event in of_kind("solver_stages"):
         merge_stage_dicts(solver_stages, event.get("stages") or {})
+    # Solve-cache traffic (cache_stats events, when present).  Like
+    # stat_totals, the key set is fixed so warm and cold runs differ only
+    # in the numbers.
+    cache_totals = {key: 0 for key in _CACHE_TOTALS}
+    for event in of_kind("cache_stats"):
+        for key in _CACHE_TOTALS:
+            if key in event:
+                cache_totals[key] += int(event[key])
     matrix = of_kind("matrix_started")
     finished = of_kind("matrix_finished")
     return {
@@ -206,6 +228,7 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
         "stat_totals": dict(totals),
         "phase_seconds": phase_seconds,
         "solver_stages": solver_stages,
+        "cache": cache_totals,
         "coverage": coverage,
         "failures": [
             {k: v for k, v in event.items()
@@ -242,6 +265,15 @@ def emit_trace_events(
         schema=TRACE_SCHEMA,
         stages=trace_data.get("solver_stages") or {},
     )
+    cache = trace_data.get("cache") or {}
+    if cache:
+        log.emit(
+            "cache_stats",
+            **identity,
+            schema=TRACE_SCHEMA,
+            **{key: int(cache.get(key, 0)) for key in _CACHE_TOTALS},
+            unique_states=int(cache.get("unique_states", 0)),
+        )
     growth = trace_data.get("tree_growth") or []
     if growth:
         log.emit(

@@ -2,15 +2,12 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis import (
     ABSTRACT,
-    abstract_context,
     find_dead_branches,
     hull,
-    input_envelope,
     interval_eval,
     lift,
     state_envelope,
@@ -18,12 +15,12 @@ from repro.analysis import (
 from repro.coverage import CoverageCollector
 from repro.expr import ops as x
 from repro.expr.ast import Var
-from repro.expr.types import BOOL, INT, REAL
-from repro.model import ModelBuilder, Simulator, execute_step
+from repro.expr.types import INT, REAL
+from repro.model import ModelBuilder, Simulator
 from repro.model.inputs import random_input
 from repro.solver.interval import BOOL_UNKNOWN, Interval
 
-from tests.conftest import build_counter_model, build_queue_model
+from tests.conftest import build_queue_model
 
 
 class TestLiftHull:

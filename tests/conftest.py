@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.expr.types import ArrayType, BOOL, INT
 from repro.model import ModelBuilder
 
 

@@ -1,6 +1,5 @@
 """Tests for generation results and timeline math."""
 
-import pytest
 
 from repro.core.result import (
     GenerationResult,

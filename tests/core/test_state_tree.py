@@ -58,20 +58,50 @@ class TestStateTree:
         a.set_solved(7)
         assert not b.is_solved(7)
 
-    def test_cached_encoding_shared_by_signature(self):
+    def test_encoding_shared_by_fingerprint(self):
+        """Equal states hit the same SolveCache encoding slot."""
+        from repro.cache import SolveCache
+
         tree = StateTree(state(x=0))
         a = tree.add_child(tree.root, state(x=5), {"u": 1})
         b = tree.add_child(tree.root, state(x=5), {"u": 2})
+        cache = SolveCache("M")
         calls = []
 
-        def factory(s):
-            calls.append(s)
+        def factory():
+            calls.append(1)
             return object()
 
-        enc_a = tree.cached_encoding(a, factory)
-        enc_b = tree.cached_encoding(b, factory)
+        enc_a = cache.encoding(a.state.fingerprint(), factory)
+        enc_b = cache.encoding(b.state.fingerprint(), factory)
         assert enc_a is enc_b
         assert len(calls) == 1
+        assert cache.stats()["encoding_hits"] == 1
+
+    def test_duplicate_states_dedup_solve_scan(self):
+        tree = StateTree(state(x=0))
+        a = tree.add_child(tree.root, state(x=5), {"u": 1})
+        b = tree.add_child(tree.root, state(x=5), {"u": 2})
+        assert a.is_canonical and not b.is_canonical
+        assert b.canonical is a
+        assert tree.dedup_links == 1
+        assert tree.unique_states() == 2  # root + x=5
+        scanned = list(tree.solve_nodes())
+        assert a in scanned and b not in scanned
+        # Duplicates stay real tree nodes: paths and random picks see them.
+        assert len(tree) == 3
+        assert b.path_inputs() == [{"u": 2}]
+
+    def test_dedup_off_scans_every_node(self):
+        tree = StateTree(state(x=0), dedup=False)
+        a = tree.add_child(tree.root, state(x=5), {"u": 1})
+        b = tree.add_child(tree.root, state(x=5), {"u": 2})
+        scanned = list(tree.solve_nodes())
+        assert a in scanned and b in scanned
+        # Sharing is unconditional — only the scan changes.
+        a.set_solved(7)
+        assert b.is_solved(7)
+        assert tree.dedup_links == 1
 
     def test_random_node(self):
         tree = StateTree(state(x=0))

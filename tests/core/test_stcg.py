@@ -2,13 +2,11 @@
 
 import itertools
 
-import pytest
 
 from repro.core import StcgConfig, StcgGenerator
 from repro.core.result import ORIGIN_RANDOM, ORIGIN_SOLVER
-from repro.solver.engine import SolverConfig
 
-from tests.conftest import build_counter_model, build_queue_model
+from tests.conftest import build_queue_model
 
 
 def run_stcg(compiled, **overrides):

@@ -11,7 +11,6 @@ from repro.coverage import (
     CoverageRegistry,
     DecisionKind,
 )
-from repro.coverage.collector import ConditionObligation
 
 
 def make_registry():

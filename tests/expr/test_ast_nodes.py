@@ -4,17 +4,7 @@ import pytest
 
 from repro.errors import ExprError
 from repro.expr import ops as x
-from repro.expr.ast import (
-    Binary,
-    Const,
-    FALSE,
-    Ite,
-    Select,
-    Store,
-    TRUE,
-    Unary,
-    Var,
-)
+from repro.expr.ast import Binary, Const, FALSE, TRUE, Unary, Var
 from repro.expr.types import ArrayType, BOOL, INT, REAL
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import EvalError
 from repro.expr import ops as x
-from repro.expr.ast import Binary, Var
+from repro.expr.ast import Var
 from repro.expr.evaluator import Evaluator, evaluate
 from repro.expr.types import ArrayType, BOOL, INT, REAL
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.expr import ops as x
-from repro.expr.ast import Binary, Expr, Unary, Var
+from repro.expr.ast import Binary, Unary, Var
 from repro.expr.distance import DistanceEvaluator, branch_distance
 from repro.expr.evaluator import evaluate
 from repro.expr.nnf import to_nnf

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ExprTypeError
 from repro.expr import ops as x
-from repro.expr.ast import Binary, Const, Ite, Select, Store, Unary, Var
+from repro.expr.ast import Binary, Const, Select, Store, Var
 from repro.expr.types import ArrayType, BOOL, INT, REAL
 
 I = Var("i", INT, -10, 10)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ExprParseError
-from repro.expr import ops as x
 from repro.expr.ast import Var
 from repro.expr.evaluator import evaluate
 from repro.expr.parser import parse_expr

@@ -6,7 +6,7 @@ from repro.expr import ops as x
 from repro.expr.ast import Const, Var
 from repro.expr.evaluator import evaluate
 from repro.expr.printer import to_string
-from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.expr.types import ArrayType, BOOL, INT
 from repro.expr.variables import (
     free_variables,
     free_variables_of,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.result import GenerationResult, TimelineEvent
+from repro.core.result import GenerationResult
 from repro.core.testcase import TestSuite
 from repro.coverage.collector import CoverageSummary
 from repro.harness import (
@@ -23,7 +23,7 @@ from repro.harness import (
     timeline_series,
 )
 from repro.harness.runner import ToolOutcome
-from repro.models import SIMPLE_CPUTASK, get_benchmark
+from repro.models import get_benchmark
 from repro.models.registry import BenchmarkModel
 
 from tests.conftest import build_counter_model

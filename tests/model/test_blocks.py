@@ -12,7 +12,7 @@ import pytest
 
 from repro.coverage import CoverageCollector
 from repro.errors import ModelError
-from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.expr.types import BOOL, INT, REAL
 from repro.model import ModelBuilder, Simulator, execute_step, symbolic_context
 from repro.model.context import concrete_context
 

@@ -8,7 +8,6 @@ from repro.expr import ops as x
 from repro.expr.ast import Var
 from repro.expr.types import BOOL, INT
 from repro.model.context import StepContext, concrete_context, symbolic_context
-from repro.model.valueops import CONCRETE, SYMBOLIC
 
 
 def make_context(mode="concrete", state=None, collector=None):

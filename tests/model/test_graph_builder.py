@@ -3,9 +3,9 @@
 import pytest
 
 from repro.errors import CompileError, ModelError
-from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.expr.types import BOOL, INT, REAL
 from repro.model import ModelBuilder, Simulator
-from repro.model.block import STATE_GLOBAL, STATE_INTERNAL
+from repro.model.block import STATE_GLOBAL
 from repro.model.blocks import Constant, Gain
 from repro.model.graph import InportSpec, Model, Signal
 
@@ -182,7 +182,7 @@ class TestConditionalScopes:
         b = ModelBuilder("Gate")
         u = b.inport("u", INT, 0, 5)
         b.data_store("x", INT, 0)
-        old = b.store_read("x")
+        b.store_read("x")
         sc = b.switch_case(u, cases=[[1]], has_default=True)
         with sc.case(0):
             b.store_write("x", b.const(99))

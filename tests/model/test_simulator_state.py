@@ -6,12 +6,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulationError, StateError
-from repro.coverage import CoverageCollector
 from repro.model import Simulator
 from repro.model.inputs import piecewise_constant_sequence, random_input, random_sequence
-from repro.model.state import ModelState
 
-from tests.conftest import build_counter_model, build_queue_model
+from tests.conftest import build_queue_model
 
 
 class TestStepping:

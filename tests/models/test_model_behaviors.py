@@ -1,6 +1,5 @@
 """Behavioural tests: each benchmark model does what its spec says."""
 
-import pytest
 
 from repro.coverage import CoverageCollector
 from repro.model import Simulator

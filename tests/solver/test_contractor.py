@@ -1,6 +1,5 @@
 """Tests for HC4 contraction: narrowing power and soundness."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.expr import ops as x

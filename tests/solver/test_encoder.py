@@ -29,6 +29,39 @@ def concrete_outcomes(compiled, state, inputs):
     return result.taken_outcomes
 
 
+class TestEncodingDoesNotTouchState:
+    """Encodings are cached and shared; the snapshot they were built from
+    must never be aliased or mutated by construction."""
+
+    def _walk_to_state(self, compiled, steps=3, seed=0):
+        rng = random.Random(seed)
+        simulator = Simulator(compiled, CoverageCollector(compiled.registry))
+        for _ in range(steps):
+            simulator.step(random_input(compiled.inports, rng))
+        return simulator.get_state()
+
+    @pytest.mark.parametrize("build", [build_counter_model, build_queue_model])
+    def test_one_step_encoding_leaves_state_untouched(self, build):
+        compiled = build()
+        state = self._walk_to_state(compiled)
+        before = state.values
+        fingerprint_before = state.fingerprint()
+        encoding = OneStepEncoding(compiled, state)
+        assert state.values == before
+        assert state.fingerprint() == fingerprint_before
+        # The encoding's next-state map is its own dict, not the snapshot's.
+        next_state = encoding.next_state_expressions()
+        next_state["__poison__"] = object()
+        assert "__poison__" not in state.values
+
+    def test_unrolled_encoding_leaves_state_untouched(self):
+        compiled = build_counter_model()
+        state = self._walk_to_state(compiled)
+        before = state.values
+        UnrolledEncoding(compiled, depth=3, initial_state=state)
+        assert state.values == before
+
+
 class TestOneStepAgreement:
     def _check_agreement(self, compiled, state, inputs):
         encoding = OneStepEncoding(compiled, state)
@@ -38,7 +71,7 @@ class TestOneStepAgreement:
             condition = encoding.branch_condition(branch)
             assert evaluate(condition, inputs) is True, (
                 f"branch {branch.label} taken concretely but its symbolic "
-                f"condition is false"
+                "condition is false"
             )
             # And the *other* outcomes' conditions must be false.
             for other in compiled.registry.decision(decision_id).branches:

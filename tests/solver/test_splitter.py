@@ -1,6 +1,5 @@
 """Tests for disjunction splitting and its engine integration."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.expr import ops as x

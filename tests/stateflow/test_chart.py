@@ -2,12 +2,11 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.coverage import CoverageCollector
 from repro.expr.evaluator import evaluate
-from repro.expr.types import BOOL, INT, REAL
+from repro.expr.types import BOOL, INT
 from repro.model import ModelBuilder, Simulator
 from repro.model.inputs import random_input
 from repro.solver.encoder import OneStepEncoding
@@ -108,7 +107,6 @@ class TestConcreteSemantics:
         # Reach green, then trigger the priority-1 pedestrian transition.
         for _ in range(5):
             sim.step({"tick": True, "ped_request": False})
-        before = collector.covered_branch_ids
         sim2_branches = [
             b.branch_id for b in compiled.registry.branches
             if "t2:" in b.label  # the lower-priority green->yellow

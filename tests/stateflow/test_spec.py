@@ -6,7 +6,7 @@ from repro.errors import ChartError
 from repro.expr import ops as x
 from repro.expr.ast import Var
 from repro.expr.evaluator import evaluate
-from repro.expr.types import BOOL, INT, REAL
+from repro.expr.types import BOOL, INT
 from repro.stateflow.spec import ChartSpec, extract_atoms
 
 
@@ -54,7 +54,7 @@ class TestDeclarations:
 
     def test_assignment_to_unknown_rejected(self):
         chart = ChartSpec("c")
-        s = chart.state("A")
+        chart.state("A")
         with pytest.raises(ChartError):
             chart.state("B", entry=["zzz = 1"])
 

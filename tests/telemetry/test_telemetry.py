@@ -80,6 +80,7 @@ class TestEventLog:
         assert manifest["stat_totals"] == {
             "solver_calls": 20, "sat": 8, "unsat": 0, "unknown": 0,
             "steps_executed": 0, "random_sequences": 0, "simulations": 0,
+            "const_false_skips": 0, "verdict_skips": 0,
         }
         assert manifest["wall_s"] == 4.0
         assert manifest["failures"][0]["kind"] == "timeout"

@@ -6,7 +6,7 @@ import pytest
 
 from repro import api
 from repro.core.config import StcgConfig
-from repro.errors import CellTimeout, ConfigError, HarnessError, ReproError
+from repro.errors import CellTimeout, ConfigError, ReproError
 from repro.harness.runner import MatrixConfig
 from repro.models.registry import BenchmarkModel
 

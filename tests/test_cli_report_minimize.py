@@ -12,7 +12,7 @@ from repro.coverage.report import (
     uncovered_report,
 )
 
-from tests.conftest import build_counter_model, build_queue_model
+from tests.conftest import build_queue_model
 
 
 class TestCli:

@@ -1,14 +1,10 @@
 """Edge-case tests across subsystem seams."""
 
 import math
-import random
 
 import pytest
 
-from repro.coverage import CoverageCollector
 from repro.errors import ChartError, ModelError
-from repro.expr import ops as x
-from repro.expr.ast import Var
 from repro.expr.types import BOOL, INT, REAL
 from repro.model import ModelBuilder, Simulator
 from repro.model.graph import InportSpec
