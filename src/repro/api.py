@@ -217,7 +217,7 @@ def run_experiment(
     ``trace`` enables deep generator tracing per cell; the aggregates are
     forwarded into the event stream as ``repro.trace/1`` events.
     ``stcg_overrides`` applies extra :class:`StcgConfig` fields (cache
-    knobs, ablation flags) to every STCG cell.
+    knobs, ``sim_kernel``, ablation flags) to every STCG cell.
     """
     for name in tools:
         if name not in TOOLS:

@@ -87,13 +87,11 @@ class SimCoTestGenerator:
                 self.config.max_segments,
             )
             simulator.reset()
-            new_ids: List[int] = []
             with tracer.span("simulate"):
-                for step_inputs in sequence:
-                    result = simulator.step(step_inputs)
-                    new_ids.extend(result.new_branch_ids)
+                outcome = simulator.run_sequence(sequence)
+            new_ids = list(outcome.new_branch_ids)
             self.stats["simulations"] += 1
-            self.stats["steps_executed"] += len(sequence)
+            self.stats["steps_executed"] += outcome.steps
             if new_ids:
                 timestamp = self._clock() - start
                 self.suite.add(

@@ -171,11 +171,9 @@ class SldvGenerator:
                 assert result.model is not None
                 sequence = unroll.decode_sequence(result.model, step)
                 simulator.reset()
-                new_ids: List[int] = []
                 with tracer.span("replay"):
-                    for step_inputs in sequence:
-                        step_result = simulator.step(step_inputs)
-                        new_ids.extend(step_result.new_branch_ids)
+                    outcome = simulator.run_sequence(sequence)
+                new_ids = list(outcome.new_branch_ids)
                 if new_ids:
                     timestamp = self._clock() - start
                     self.suite.add(

@@ -89,6 +89,11 @@ def _parser() -> argparse.ArgumentParser:
         "--no-verdict-cache", action="store_true",
         help="STCG only: disable the cached-UNSAT verdict skip",
     )
+    gen.add_argument(
+        "--no-sim-kernel", action="store_true",
+        help="STCG only: force the generic step interpreter instead of "
+             "the compiled plan kernel (reference semantics)",
+    )
     _add_exec_flags(gen)
 
     cmp_ = sub.add_parser("compare", help="three-tool comparison on a model")
@@ -179,19 +184,23 @@ def _cmd_info(name: str) -> None:
 
 def _cmd_generate(args) -> None:
     model = get_benchmark(args.model)
-    cache_overrides = {}
+    stcg_overrides = {}
     if args.encoding_cache_size is not None:
-        cache_overrides["encoding_cache_size"] = args.encoding_cache_size
+        stcg_overrides["encoding_cache_size"] = args.encoding_cache_size
     if args.no_verdict_cache:
-        cache_overrides["verdict_cache"] = False
-    if cache_overrides and args.tool != "STCG":
-        raise ReproError("cache flags apply to --tool STCG only")
+        stcg_overrides["verdict_cache"] = False
+    if args.no_sim_kernel:
+        stcg_overrides["sim_kernel"] = False
+    if stcg_overrides and args.tool != "STCG":
+        raise ReproError(
+            "cache and kernel flags apply to --tool STCG only"
+        )
     config = (
         api.StcgConfig(
             budget_s=args.budget, seed=args.seed, trace=args.trace,
-            **cache_overrides,
+            **stcg_overrides,
         )
-        if cache_overrides else None
+        if stcg_overrides else None
     )
     result = api.generate(
         model,

@@ -93,6 +93,16 @@ class StcgConfig:
     #: exact).  Off reproduces the naive full scan.
     tree_dedup: bool = True
 
+    # -- concrete execution ------------------------------------------------------
+
+    #: Run concrete simulation through the compiled plan kernel
+    #: (:mod:`repro.kernel`): per-block closures over pre-resolved input
+    #: slots and reused buffers.  Observably equivalent to the generic
+    #: interpreter (see DESIGN.md, "kernel soundness") — fixed-seed runs
+    #: are bit-identical with the kernel on or off; off forces the
+    #: reference interpreter.  Symbolic execution is unaffected either way.
+    sim_kernel: bool = True
+
     #: Record a per-attempt trace (solve successes/failures, random runs).
     #: Used by the Table I / Figure 3 reproduction; off by default because
     #: traces grow with every solver attempt.

@@ -116,7 +116,12 @@ class StcgGenerator:
         #: Failed solver attempts per target (branch id / obligation).
         self._failures: Dict[object, int] = {}
         self.collector = CoverageCollector(compiled.registry)
-        self.simulator = Simulator(compiled, self.collector, tracer=self.tracer)
+        self.simulator = Simulator(
+            compiled,
+            self.collector,
+            tracer=self.tracer,
+            kernel=self.config.sim_kernel,
+        )
         self.tree = StateTree(
             self.simulator.get_state(), dedup=self.config.tree_dedup
         )
@@ -200,6 +205,7 @@ class StcgGenerator:
         cache_stats = self.cache.stats()
         counters.update(cache_stats)
         counters["dedup_links"] = self.tree.dedup_links
+        kernel_stats = self.simulator.kernel_stats()
         return {
             "schema": TRACE_SCHEMA,
             "phase_totals": summary["phase_totals"],
@@ -213,6 +219,11 @@ class StcgGenerator:
                 "dedup_links": self.tree.dedup_links,
                 "unique_states": self.tree.unique_states(),
             },
+            "kernel": (
+                {"enabled": True, **kernel_stats}
+                if kernel_stats is not None
+                else {"enabled": False}
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -424,31 +435,30 @@ class StcgGenerator:
         nodes the walk created.
         """
         self.simulator.set_state(start.get_state())
-        current = start
-        executed: List[Dict[str, object]] = []
-        new_ids: List[int] = []
+        current = [start]
         created_ids: List[int] = []
-        covering_length = 0
-        for step_input in sequence:
-            result = self.simulator.step(step_input)
-            executed.append(dict(step_input))
+
+        def on_step(index: int, new_branch_ids: Tuple[int, ...], _found: bool):
             self.stats["steps_executed"] += 1
             if len(self.tree) < self.config.max_tree_nodes:
                 child = self.tree.add_child(
-                    current, self.simulator.get_state(), step_input
+                    current[0], self.simulator.get_state(), sequence[index]
                 )
-                child.covered_branches = set(result.new_branch_ids)
+                child.covered_branches = set(new_branch_ids)
                 created_ids.append(child.node_id)
-                current = child
-            if result.found_new_coverage:
-                new_ids.extend(result.new_branch_ids)
-                covering_length = len(executed)
-        if covering_length == 0:
+                current[0] = child
+
+        outcome = self.simulator.run_sequence(sequence, on_step=on_step)
+        if outcome.last_covering_step == 0:
             return None, tuple(created_ids)
+        executed = [
+            dict(step_input)
+            for step_input in sequence[: outcome.last_covering_step]
+        ]
         case = TestCase(
-            inputs=start.path_inputs() + executed[:covering_length],
+            inputs=start.path_inputs() + executed,
             origin=origin,
-            new_branch_ids=new_ids,
+            new_branch_ids=list(outcome.new_branch_ids),
             timestamp=self._elapsed(),
         )
         self.suite.add(case)
@@ -457,7 +467,7 @@ class StcgGenerator:
                 t=case.timestamp,
                 decision_coverage=self.collector.decision_coverage(),
                 origin=origin,
-                new_branches=len(new_ids),
+                new_branches=len(outcome.new_branch_ids),
             )
         )
         return case, tuple(created_ids)

@@ -87,8 +87,7 @@ class TestSuite:
         simulator = Simulator(compiled, collector)
         for case in self.cases:
             simulator.reset()
-            for step_inputs in case.inputs:
-                simulator.step(step_inputs)
+            simulator.run_sequence(case.inputs)
         return collector
 
 

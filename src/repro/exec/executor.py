@@ -59,7 +59,7 @@ def run_single(
     """One generation run of one tool on a fresh build of the model.
 
     ``stcg_overrides`` carries extra ``StcgConfig`` fields (cache knobs,
-    ablation flags) applied only when ``tool == "STCG"``.
+    ``sim_kernel``, ablation flags) applied only when ``tool == "STCG"``.
     """
     compiled = model.build()
     if tool == "STCG":

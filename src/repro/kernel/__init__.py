@@ -1,0 +1,14 @@
+"""Ahead-of-time specialization of concrete model execution.
+
+The kernel layer compiles a :class:`~repro.model.graph.CompiledModel` into
+per-block closures over pre-resolved input slots and reused buffers — the
+concrete fast path behind ``Simulator(kernel=True)``.  It is observably
+equivalent to the generic interpreter in :mod:`repro.model.executor` (see
+DESIGN.md, "kernel soundness"); symbolic and abstract execution always use
+the interpreter.
+"""
+
+from repro.kernel.exprc import compile_expr
+from repro.kernel.plan import CompiledKernel, compile_kernel
+
+__all__ = ["CompiledKernel", "compile_expr", "compile_kernel"]

@@ -1,0 +1,157 @@
+"""Compile expression ASTs to Python closures for the concrete fast path.
+
+:func:`compile_expr` turns an :class:`~repro.expr.ast.Expr` tree into a
+``fn(env) -> value`` closure observably equivalent to
+:func:`repro.expr.evaluator.evaluate` under every environment:
+
+* the same lazy connectives — AND/OR/IMPLIES short-circuit, and the
+  unselected ITE branch is never computed (no spurious division-by-zero),
+* the same per-node result coercion (``coerce_value`` through the node's
+  ``ty``, specialized to ``bool``/``int``/``float`` for scalar types),
+* the same errors with the same messages (``EvalError`` for unbound
+  variables and out-of-range array indices).
+
+What is dropped is the evaluator's per-call memoization of shared
+sub-DAGs.  Expressions are pure, so re-evaluating a shared subtree can only
+change cost, never the value; chart guards and actions — the only
+expressions the kernel compiles — are small parsed trees without sharing.
+Any node type this compiler does not recognize compiles to a closure that
+defers the whole subtree to the interpreter, keeping equivalence trivial.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Callable, Mapping
+
+from repro.errors import EvalError
+from repro.expr import ast, semantics
+from repro.expr.ast import Binary, Const, Expr, Ite, Select, Store, Unary, Var
+from repro.expr.evaluator import evaluate
+from repro.expr.types import Type, coerce_value
+
+CompiledExpr = Callable[[Mapping[str, object]], object]
+
+_UNARY = {
+    ast.NEG: operator.neg,
+    ast.NOT: operator.not_,
+    ast.ABS: abs,
+    ast.FLOOR: math.floor,
+    ast.CEIL: math.ceil,
+    ast.TO_INT: int,
+    ast.TO_REAL: float,
+    ast.TO_BOOL: bool,
+}
+
+_BINARY = {
+    ast.ADD: operator.add,
+    ast.SUB: operator.sub,
+    ast.MUL: operator.mul,
+    ast.DIV: lambda a, b: semantics.real_div(float(a), float(b)),
+    ast.IDIV: lambda a, b: semantics.c_idiv(int(a), int(b)),
+    ast.MOD: lambda a, b: semantics.c_mod(int(a), int(b)),
+    ast.MIN: min,
+    ast.MAX: max,
+    ast.LT: operator.lt,
+    ast.LE: operator.le,
+    ast.GT: operator.gt,
+    ast.GE: operator.ge,
+    ast.EQ: operator.eq,
+    ast.NE: operator.ne,
+    ast.XOR: lambda a, b: bool(a) != bool(b),
+}
+
+
+def _converter(ty: Type) -> Callable[[object], object]:
+    """``coerce_value(value, ty)`` specialized to a plain callable."""
+    if ty.is_bool:
+        return bool
+    if ty.is_int:
+        return int
+    if ty.is_real:
+        return float
+    return lambda value: coerce_value(value, ty)
+
+
+def _interpreted(expr: Expr) -> CompiledExpr:
+    """Fallback: defer the whole subtree to the reference evaluator."""
+    return lambda env: evaluate(expr, env)
+
+
+def compile_expr(expr: Expr) -> CompiledExpr:
+    """Compile ``expr`` into a closure equivalent to ``evaluate(expr, env)``."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, Var):
+        name = expr.name
+        conv = _converter(expr.ty)
+
+        def var_fn(env):
+            try:
+                raw = env[name]
+            except KeyError:
+                raise EvalError(f"no value for variable {name!r}") from None
+            return conv(raw)
+
+        return var_fn
+    if isinstance(expr, Unary):
+        fn = _UNARY.get(expr.op)
+        if fn is None:
+            return _interpreted(expr)
+        arg = compile_expr(expr.arg)
+        conv = _converter(expr.ty)
+        return lambda env: conv(fn(arg(env)))
+    if isinstance(expr, Binary):
+        op = expr.op
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        if op == ast.AND:
+            return lambda env: bool(right(env)) if left(env) else False
+        if op == ast.OR:
+            return lambda env: True if left(env) else bool(right(env))
+        if op == ast.IMPLIES:
+            return lambda env: bool(right(env)) if left(env) else True
+        fn = _BINARY.get(op)
+        if fn is None:
+            return _interpreted(expr)
+        conv = _converter(expr.ty)
+        return lambda env: conv(fn(left(env), right(env)))
+    if isinstance(expr, Ite):
+        cond = compile_expr(expr.cond)
+        then = compile_expr(expr.then)
+        orelse = compile_expr(expr.orelse)
+        conv = _converter(expr.ty)
+        return lambda env: conv(then(env)) if cond(env) else conv(orelse(env))
+    if isinstance(expr, Select):
+        array_fn = compile_expr(expr.array)
+        index_fn = compile_expr(expr.index)
+
+        def select_fn(env):
+            array = array_fn(env)
+            index = int(index_fn(env))
+            if not 0 <= index < len(array):
+                raise EvalError(
+                    f"array index {index} out of range 0..{len(array) - 1}"
+                )
+            return array[index]
+
+        return select_fn
+    if isinstance(expr, Store):
+        array_fn = compile_expr(expr.array)
+        index_fn = compile_expr(expr.index)
+        value_fn = compile_expr(expr.value)
+
+        def store_fn(env):
+            array = list(array_fn(env))
+            index = int(index_fn(env))
+            if not 0 <= index < len(array):
+                raise EvalError(
+                    f"array index {index} out of range 0..{len(array) - 1}"
+                )
+            array[index] = value_fn(env)
+            return tuple(array)
+
+        return store_fn
+    return _interpreted(expr)

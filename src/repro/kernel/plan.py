@@ -1,0 +1,183 @@
+"""Ahead-of-time compilation of a plan into a concrete step kernel.
+
+:func:`compile_kernel` walks a :class:`~repro.model.graph.CompiledModel`'s
+plan once and produces a :class:`CompiledKernel`: a flat tuple of per-item
+closures over
+
+* **pre-resolved slots** — every input reads directly from the producing
+  item's output buffer (``compiled.input_slots``), so the hot loop touches
+  no ``id()``-keyed dicts and no ``PlanItem`` objects,
+* **reused buffers** — output lists and the activation table are allocated
+  once per kernel and overwritten in place every step.
+
+Buffer reuse is only sound because stale reads are impossible by
+construction: an input slot whose source runs *at or after* the consumer
+(``src_index >= item.index``) is exactly the case where the interpreter's
+``_gather_inputs`` finds ``None`` and raises — with a reused buffer it
+would silently read the previous step's value instead.  Those items are
+detected at compile time and compiled to a closure raising the identical
+``SimulationError``; every remaining slot provably holds the current step's
+value when read.  The activation table is likewise safe: items without an
+enable never write their entry (it stays ``True``, as the interpreter would
+set it), and enabled items overwrite theirs before any child reads it.
+
+Any block class without a registered kernel factory runs through the
+generic ``compute``/``update`` interpreter inside the same slot/buffer
+machinery, preserving its exact semantics (including the declared-arity
+check).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import SimulationError
+from repro.kernel.blocks import KERNEL_FACTORIES, PRELOADED
+from repro.model.context import StepContext
+from repro.model.graph import CompiledModel, PlanItem
+
+
+def _make_active(actives: List[bool], item: PlanItem):
+    """The concrete ``_item_active`` specialized for one enabled item.
+
+    Returns ``None`` for always-active items.  The returned callable also
+    maintains the shared activation table so nested enables observe their
+    parent's activation, exactly like the interpreter's ``actives`` list.
+    """
+    if item.enable is None:
+        return None
+    index = item.index
+    decision = getattr(item.enable.block, "decision", None)
+    if decision is None:
+        path = item.enable.block.path
+
+        def broken(ctx):
+            raise SimulationError(f"enable source {path!r} has no decision")
+
+        return broken
+    assert item.enable_index is not None
+    parent = item.enable_index
+    decision_id = decision.decision_id
+    outcome = item.enable.outcome
+
+    def active(ctx):
+        value = bool(
+            actives[parent] and ctx.taken_outcomes.get(decision_id) == outcome
+        )
+        actives[index] = value
+        return value
+
+    return active
+
+
+def _forward_raiser(item: PlanItem, slots) -> Callable:
+    """A closure for an item with a not-yet-run input source.
+
+    The interpreter raises on the first (in port order) input whose source
+    has not produced outputs this step; with reused buffers that slot would
+    silently hold the previous step's value, so the whole item compiles to
+    the identical per-step error instead.
+    """
+    for position, (src_index, _port) in enumerate(slots):
+        if src_index >= item.index:
+            signal = item.input_signals[position]
+            message = (
+                f"{item.block.path!r} reads {signal.block.path!r} before it "
+                "ran (nondirect port feeding a direct one?)"
+            )
+
+            def step(ctx):
+                raise SimulationError(message)
+
+            return step
+    raise AssertionError("no forward slot found")  # pragma: no cover
+
+
+def _fallback_step(item: PlanItem, srcs, out, active) -> Callable:
+    """Generic interpreter dispatch for one item, inside the slot machinery."""
+    block = item.block
+    n_out = block.n_out
+    path = block.path
+    always = active is None
+
+    def step(ctx):
+        ctx.active = True if always else active(ctx)
+        values = [lst[port] for lst, port in srcs]
+        outputs = block.compute(ctx, values)
+        if len(outputs) != n_out:
+            raise SimulationError(
+                f"{path!r} produced {len(outputs)} outputs, declared {n_out}"
+            )
+        block.update(ctx, values, outputs)
+        out[:] = outputs
+
+    return step
+
+
+class CompiledKernel:
+    """The concrete fast path of one compiled model (one per simulator)."""
+
+    def __init__(self, compiled: CompiledModel):
+        self.compiled = compiled
+        plan = compiled.plan
+        out_lists: List[List[object]] = [
+            [None] * item.block.n_out for item in plan
+        ]
+        self.out_lists = out_lists
+        #: Shared activation table; entries of never-enabled items stay True.
+        self.actives: List[bool] = [True] * len(plan)
+        self.n_specialized = 0
+        self.n_fallback = 0
+        self.fallback_classes: set = set()
+        steps: List[Callable] = []
+        for item in plan:
+            slots = compiled.input_slots[item.index]
+            if any(src_index >= item.index for src_index, _ in slots):
+                steps.append(_forward_raiser(item, slots))
+                self.n_specialized += 1
+                continue
+            srcs = tuple((out_lists[src], port) for src, port in slots)
+            out = out_lists[item.index]
+            active = _make_active(self.actives, item)
+            factory = KERNEL_FACTORIES.get(type(item.block))
+            step = None
+            if factory is not None:
+                step = factory(item, item.block, srcs, out, active, compiled)
+            if step is PRELOADED:
+                self.n_specialized += 1
+                continue
+            if step is None:
+                step = _fallback_step(item, srcs, out, active)
+                self.n_fallback += 1
+                self.fallback_classes.add(type(item.block).__name__)
+            else:
+                self.n_specialized += 1
+            steps.append(step)
+        self.steps: Tuple[Callable, ...] = tuple(steps)
+        self._outs = tuple(
+            (name, out_lists[index], port)
+            for name, index, port in compiled.outport_slots
+        )
+
+    def run_step(self, ctx: StepContext) -> None:
+        """Execute one concrete step; coverage/state land on ``ctx``."""
+        for step in self.steps:
+            step(ctx)
+        ctx.active = True
+
+    def read_outputs(self) -> Dict[str, object]:
+        """The outport values of the step most recently run."""
+        return {name: values[port] for name, values, port in self._outs}
+
+    def stats(self) -> Dict[str, object]:
+        """Compile-time specialization counts (for trace/report output)."""
+        return {
+            "specialized_blocks": self.n_specialized,
+            "fallback_blocks": self.n_fallback,
+            "fallback_classes": sorted(self.fallback_classes),
+        }
+
+
+def compile_kernel(compiled: CompiledModel) -> CompiledKernel:
+    """Compile the concrete fast path for ``compiled``."""
+    return CompiledKernel(compiled)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.model.context import StepContext
@@ -16,14 +16,18 @@ def execute_step(compiled: CompiledModel, ctx: StepContext) -> Dict[str, object]
     Next-state values accumulate in ``ctx.next_state``; the caller merges
     them into its state environment (the simulator) or threads them to the
     next unrolled step (the SLDV-like encoder).
+
+    This is the generic interpreter: it dispatches through ``compute`` /
+    ``update`` on every block.  The concrete-only fast path lives in
+    :mod:`repro.kernel`, which must stay observably equivalent to this loop.
     """
     plan = compiled.plan
     outputs_per_item: List[Optional[List[object]]] = [None] * len(plan)
     actives: List[object] = [True] * len(plan)
-    plan_index_of = _plan_index_map(compiled)
+    input_slots = compiled.input_slots
 
     for item in plan:
-        input_values = _gather_inputs(item, outputs_per_item, plan_index_of)
+        input_values = _gather_inputs(item, outputs_per_item, input_slots[item.index])
         active = _item_active(item, actives, ctx)
         actives[item.index] = active
         ctx.active = active
@@ -38,25 +42,25 @@ def execute_step(compiled: CompiledModel, ctx: StepContext) -> Dict[str, object]
 
     ctx.active = True
     result: Dict[str, object] = {}
-    for name, signal in compiled.outports:
-        index = plan_index_of[id(signal.block)]
+    for name, index, port in compiled.outport_slots:
         values = outputs_per_item[index]
         assert values is not None
-        result[name] = values[signal.port]
+        result[name] = values[port]
     return result
 
 
-def _gather_inputs(item: PlanItem, outputs_per_item, plan_index_of) -> List[object]:
+def _gather_inputs(
+    item: PlanItem, outputs_per_item, slots: Tuple[Tuple[int, int], ...]
+) -> List[object]:
     values: List[object] = []
-    for signal in item.input_signals:
-        index = plan_index_of[id(signal.block)]
+    for signal, (index, port) in zip(item.input_signals, slots):
         block_outputs = outputs_per_item[index]
         if block_outputs is None:
             raise SimulationError(
                 f"{item.block.path!r} reads {signal.block.path!r} before it ran "
                 "(nondirect port feeding a direct one?)"
             )
-        values.append(block_outputs[signal.port])
+        values.append(block_outputs[port])
     return values
 
 
@@ -79,12 +83,3 @@ def _item_active(item: PlanItem, actives: List[object], ctx: StepContext):
         return ctx.vo.land(parent_active, conditions[item.enable.outcome])
     taken = ctx.taken_outcomes.get(decision.decision_id)
     return bool(parent_active) and taken == item.enable.outcome
-
-
-def _plan_index_map(compiled: CompiledModel) -> Dict[int, int]:
-    """block-object-id -> plan index, cached on the compiled model."""
-    cached = getattr(compiled, "_plan_index_map", None)
-    if cached is None:
-        cached = {id(item.block): item.index for item in compiled.plan}
-        compiled._plan_index_map = cached
-    return cached

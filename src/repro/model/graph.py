@@ -316,6 +316,29 @@ class CompiledModel:
     outports: Tuple[Tuple[str, Signal], ...]
     n_blocks: int
 
+    def __post_init__(self) -> None:
+        # Flat slot tables, resolved once per compiled model so the per-step
+        # paths (executor and repro.kernel) never touch id()-keyed dicts.
+        # Derived attributes, not fields: they are per-instance (never shared
+        # between two compiles) and stay out of the dataclass eq/repr.
+        index_of: Dict[int, int] = {
+            id(item.block): item.index for item in self.plan
+        }
+        self.plan_index_of: Dict[int, int] = index_of
+        #: Per plan item: ``((src_plan_index, src_port), ...)`` for each input.
+        self.input_slots: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(
+            tuple(
+                (index_of[id(signal.block)], signal.port)
+                for signal in item.input_signals
+            )
+            for item in self.plan
+        )
+        #: Per outport: ``(name, src_plan_index, src_port)``.
+        self.outport_slots: Tuple[Tuple[str, int, int], ...] = tuple(
+            (name, index_of[id(signal.block)], signal.port)
+            for name, signal in self.outports
+        )
+
     def initial_state(self) -> Dict[str, object]:
         """Fresh state environment with every element at its initial value."""
         return {path: elem.init for path, elem in self.state_elements.items()}

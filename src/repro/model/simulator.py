@@ -4,17 +4,24 @@ The :class:`Simulator` is the "Dynamic Execution" half of STCG's loop: it
 steps a compiled model with concrete inputs, reports coverage events into a
 collector, and can jump to any previously captured :class:`ModelState`
 (`Model.setState` in the paper's pseudo-code).
+
+By default steps run through the compiled plan kernel
+(:mod:`repro.kernel`): per-block closures over pre-resolved input slots
+and reused buffers, observably equivalent to the generic interpreter.
+``kernel=False`` forces the interpreter (the reference semantics, and the
+baseline the equivalence suite compares against).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError, StateError
 from repro.coverage.collector import CoverageCollector
-from repro.expr.types import coerce_value
-from repro.model.context import concrete_context
+from repro.expr.types import Type, coerce_value
+from repro.kernel.plan import CompiledKernel
+from repro.model.context import StepContext, concrete_context
 from repro.model.executor import execute_step
 from repro.model.graph import CompiledModel
 from repro.model.state import ModelState
@@ -37,6 +44,41 @@ class StepResult:
         return bool(self.new_branch_ids) or bool(self.new_obligations)
 
 
+@dataclass(frozen=True)
+class SequenceResult:
+    """Aggregate outcome of :meth:`Simulator.run_sequence`.
+
+    Carries only what the sequence-level callers use — the per-step detail
+    (outputs, taken outcomes) is available through the ``on_step`` callback
+    instead of a list of per-step objects.
+    """
+
+    #: Number of steps executed (== the sequence length unless a step raised).
+    steps: int
+    #: Branch ids newly covered across the whole sequence, in cover order.
+    new_branch_ids: Tuple[int, ...]
+    #: Count of condition obligations newly satisfied across the sequence.
+    new_obligation_count: int
+    #: 1-based index of the *last* step that found new coverage (branches or
+    #: obligations); 0 when the sequence covered nothing new.
+    last_covering_step: int
+
+    @property
+    def found_new_coverage(self) -> bool:
+        return self.last_covering_step > 0
+
+
+def _input_coercer(ty: Type) -> Callable[[object], object]:
+    """``coerce_value(value, ty)`` specialized once per inport."""
+    if ty.is_bool:
+        return bool
+    if ty.is_int:
+        return int
+    if ty.is_real:
+        return float
+    return lambda value: coerce_value(value, ty)
+
+
 class Simulator:
     """Steps a compiled model concretely, with snapshot/restore."""
 
@@ -45,6 +87,7 @@ class Simulator:
         compiled: CompiledModel,
         collector: Optional[CoverageCollector] = None,
         tracer: Tracer = NULL_TRACER,
+        kernel: bool = True,
     ):
         self.compiled = compiled
         self.collector = collector
@@ -54,6 +97,19 @@ class Simulator:
         self.tracer = tracer
         self._state: Dict[str, object] = compiled.initial_state()
         self._time = 0
+        #: Per-inport coercion callables, resolved once instead of walking
+        #: the type spec on every step.
+        self._coercers: Tuple[Tuple[str, Callable], ...] = tuple(
+            (spec.name, _input_coercer(spec.ty)) for spec in compiled.inports
+        )
+        self._kernel: Optional[CompiledKernel] = (
+            CompiledKernel(compiled) if kernel else None
+        )
+        #: Reusable step context (kernel path only; reset every step).
+        self._ctx: Optional[StepContext] = None
+        self._kernel_steps = 0
+        #: Outport values of the last interpreter step (kernel-off path).
+        self._outputs: Dict[str, object] = {}
 
     # -- state management -------------------------------------------------------
 
@@ -82,6 +138,20 @@ class Simulator:
     def time_index(self) -> int:
         return self._time
 
+    # -- kernel introspection ----------------------------------------------------
+
+    @property
+    def kernel_enabled(self) -> bool:
+        return self._kernel is not None
+
+    def kernel_stats(self) -> Optional[Dict[str, object]]:
+        """Specialization counts + steps run through the kernel (or None)."""
+        if self._kernel is None:
+            return None
+        stats = self._kernel.stats()
+        stats["kernel_steps"] = self._kernel_steps
+        return stats
+
     # -- stepping ----------------------------------------------------------------
 
     def step(self, inputs: Mapping[str, object]) -> StepResult:
@@ -94,9 +164,12 @@ class Simulator:
         return self._step(inputs)
 
     def _step(self, inputs: Mapping[str, object]) -> StepResult:
-        prepared = self._prepare_inputs(inputs)
-        ctx = concrete_context(prepared, self._state, self.collector, self._time)
-        outputs = execute_step(self.compiled, ctx)
+        ctx = self._execute(self._prepare_inputs(inputs))
+        outputs = (
+            self._kernel.read_outputs()
+            if self._kernel is not None
+            else self._outputs  # set by the interpreter branch of _execute
+        )
         self._state.update(ctx.next_state)
         self._time += 1
         return StepResult(
@@ -107,15 +180,85 @@ class Simulator:
         )
 
     def run(self, sequence: Sequence[Mapping[str, object]]) -> List[StepResult]:
-        """Execute a whole input sequence; returns per-step results."""
+        """Execute a whole input sequence; returns per-step results.
+
+        Compatibility API: builds one :class:`StepResult` per step.  Callers
+        that only need aggregate coverage information should use
+        :meth:`run_sequence`, which avoids the per-step object churn.
+        """
         return [self.step(inputs) for inputs in sequence]
+
+    def run_sequence(
+        self,
+        sequence: Sequence[Mapping[str, object]],
+        on_step: Optional[Callable[[int, Tuple[int, ...], bool], None]] = None,
+    ) -> SequenceResult:
+        """Execute a whole input sequence without per-step result objects.
+
+        Coverage events thread through the collector exactly as with
+        :meth:`step`.  ``on_step(index, new_branch_ids, found_new)`` — if
+        given — is invoked after each step (0-based index), once the state
+        update for that step is visible via :meth:`get_state`.
+        """
+        tracer = self.tracer
+        traced = tracer.enabled
+        steps = 0
+        collected: List[int] = []
+        obligations = 0
+        covering = 0
+        for inputs in sequence:
+            prepared = self._prepare_inputs(inputs)
+            if traced:
+                with tracer.span("sim_step"):
+                    ctx = self._execute(prepared)
+                    self._state.update(ctx.next_state)
+                    self._time += 1
+                tracer.count("sim_steps")
+            else:
+                ctx = self._execute(prepared)
+                self._state.update(ctx.next_state)
+                self._time += 1
+            steps += 1
+            new_branch_ids = tuple(ctx.new_branches)
+            found_new = bool(new_branch_ids) or bool(ctx.new_obligations)
+            if found_new:
+                covering = steps
+                collected.extend(new_branch_ids)
+                obligations += len(ctx.new_obligations)
+            if on_step is not None:
+                on_step(steps - 1, new_branch_ids, found_new)
+        return SequenceResult(
+            steps=steps,
+            new_branch_ids=tuple(collected),
+            new_obligation_count=obligations,
+            last_covering_step=covering,
+        )
 
     # -- internals ---------------------------------------------------------------
 
+    def _execute(self, prepared: Dict[str, object]) -> StepContext:
+        """Run one step on prepared inputs; returns the (possibly reused)
+        context carrying coverage events and next-state writes."""
+        kernel = self._kernel
+        if kernel is not None:
+            ctx = self._ctx
+            if ctx is None:
+                ctx = self._ctx = concrete_context(
+                    prepared, self._state, self.collector, self._time
+                )
+            else:
+                ctx.reset_step(prepared, self._state, self.collector, self._time)
+            kernel.run_step(ctx)
+            self._kernel_steps += 1
+            return ctx
+        ctx = concrete_context(prepared, self._state, self.collector, self._time)
+        self._outputs = execute_step(self.compiled, ctx)
+        return ctx
+
     def _prepare_inputs(self, inputs: Mapping[str, object]) -> Dict[str, object]:
         prepared: Dict[str, object] = {}
-        for spec in self.compiled.inports:
-            if spec.name not in inputs:
-                raise SimulationError(f"missing input {spec.name!r}")
-            prepared[spec.name] = coerce_value(inputs[spec.name], spec.ty)
+        for name, coerce in self._coercers:
+            if name not in inputs:
+                raise SimulationError(f"missing input {name!r}")
+            prepared[name] = coerce(inputs[name])
         return prepared

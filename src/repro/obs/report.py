@@ -8,6 +8,7 @@ prints:
 * per-cell phase-time breakdown (where the generator's time went),
 * solver-stage win rates (which pipeline stage actually closes targets),
 * solve-cache traffic (encoding hits/misses/evictions, verdict skips),
+* simulation-kernel specialization (specialized/fallback blocks, steps),
 * state-tree growth curves,
 * coverage-vs-time curves (from the ``timeline_point`` events),
 * the top-N slowest solver targets.
@@ -78,6 +79,7 @@ def render_report(events, top_n: int = 10) -> str:
     lines += _section_phases(events)
     lines += _section_stages(events)
     lines += _section_cache(events)
+    lines += _section_kernel(events)
     lines += _section_tree_growth(events)
     lines += _section_coverage(events)
     lines += _section_targets(events, top_n)
@@ -201,6 +203,34 @@ def _section_cache(events) -> List[str]:
             f"{rate:>5.1f}% {int(event.get('verdict_skips', 0)):>7d} "
             f"{int(event.get('dedup_links', 0)):>6d}"
         )
+    lines.append("")
+    return lines
+
+
+def _section_kernel(events) -> List[str]:
+    lines = ["simulation kernel", "-----------------"]
+    kernel_events = _of_kind(events, "kernel_stats")
+    if not kernel_events:
+        lines += ["  (no kernel events — STCG cells only, with --trace)", ""]
+        return lines
+    lines.append(
+        f"  {'cell':<28s} {'state':>8s} {'special':>8s} "
+        f"{'fallback':>8s} {'steps':>9s}"
+    )
+    for event in kernel_events:
+        enabled = bool(event.get("enabled"))
+        lines.append(
+            f"  {_cell_label(_cell_key(event)):<28s} "
+            f"{'on' if enabled else 'off':>8s} "
+            f"{int(event.get('specialized_blocks', 0)):>8d} "
+            f"{int(event.get('fallback_blocks', 0)):>8d} "
+            f"{int(event.get('kernel_steps', 0)):>9d}"
+        )
+        fallback_classes = event.get("fallback_classes") or []
+        if fallback_classes:
+            lines.append(
+                "    fallback classes: " + ", ".join(map(str, fallback_classes))
+            )
     lines.append("")
     return lines
 

@@ -52,6 +52,7 @@ TRACE_KINDS = (
     "solver_stages",
     "tree_growth",
     "cache_stats",
+    "kernel_stats",
 )
 
 #: Solver targets forwarded per traced cell (slowest first); bounds the
@@ -273,6 +274,18 @@ def emit_trace_events(
             schema=TRACE_SCHEMA,
             **{key: int(cache.get(key, 0)) for key in _CACHE_TOTALS},
             unique_states=int(cache.get("unique_states", 0)),
+        )
+    kernel = trace_data.get("kernel") or {}
+    if kernel:
+        log.emit(
+            "kernel_stats",
+            **identity,
+            schema=TRACE_SCHEMA,
+            enabled=bool(kernel.get("enabled")),
+            specialized_blocks=int(kernel.get("specialized_blocks", 0)),
+            fallback_blocks=int(kernel.get("fallback_blocks", 0)),
+            fallback_classes=list(kernel.get("fallback_classes") or []),
+            kernel_steps=int(kernel.get("kernel_steps", 0)),
         )
     growth = trace_data.get("tree_growth") or []
     if growth:

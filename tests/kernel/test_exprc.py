@@ -1,0 +1,114 @@
+"""``compile_expr`` must be observably equivalent to ``evaluate``.
+
+Same values, same laziness (short-circuit connectives, unselected ITE
+branch never computed), same errors with the same messages.
+"""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.evaluator import evaluate
+from repro.expr.types import ArrayType, BOOL, INT, REAL
+from repro.kernel import compile_expr
+
+I = Var("i", INT)
+J = Var("j", INT)
+R = Var("r", REAL)
+B = Var("b", BOOL)
+A = Var("a", ArrayType(INT, 3))
+
+CASES = [
+    (x.add(I, J), {"i": 2, "j": 3}),
+    (x.sub(I, J), {"i": 2, "j": 3}),
+    (x.mul(I, R), {"i": 2, "r": 1.5}),
+    (x.div(I, J), {"i": 1, "j": 4}),
+    (x.div(I, J), {"i": -7, "j": 2}),
+    (x.idiv(I, J), {"i": -7, "j": 2}),
+    (x.mod(I, J), {"i": -7, "j": 2}),
+    (x.minimum(I, J), {"i": 4, "j": 9}),
+    (x.maximum(I, J), {"i": 4, "j": 9}),
+    (x.neg(I), {"i": 5}),
+    (x.absolute(I), {"i": -5}),
+    (x.floor(R), {"r": -1.5}),
+    (x.ceil(R), {"r": -1.5}),
+    (x.to_int(R), {"r": 2.9}),
+    (x.to_real(I), {"i": 3}),
+    (x.to_bool(I), {"i": 2}),
+    (x.saturate(I, x.lift(0), x.lift(10)), {"i": -3}),
+    (x.lt(I, J), {"i": 1, "j": 2}),
+    (x.ge(I, J), {"i": 1, "j": 2}),
+    (x.eq(I, J), {"i": 2, "j": 2}),
+    (x.ne(I, J), {"i": 2, "j": 2}),
+    (x.land(B, x.lt(I, J)), {"b": True, "i": 0, "j": 1}),
+    (x.lor(B, x.lt(I, J)), {"b": False, "i": 5, "j": 1}),
+    (x.lxor(B, x.lt(I, J)), {"b": True, "i": 0, "j": 1}),
+    (x.lnot(B), {"b": False}),
+    (x.implies(B, x.lt(I, J)), {"b": False, "i": 5, "j": 1}),
+    (x.ite(B, x.add(I, J), x.sub(I, J)), {"b": True, "i": 4, "j": 1}),
+    (x.ite(B, x.add(I, J), x.sub(I, J)), {"b": False, "i": 4, "j": 1}),
+    (x.select(A, I), {"a": (10, 20, 30), "i": 2}),
+    (x.store(A, I, J), {"a": (10, 20, 30), "i": 1, "j": 99}),
+]
+
+
+@pytest.mark.parametrize("expr,env", CASES, ids=lambda c: repr(c)[:48])
+def test_compiled_matches_evaluator(expr, env):
+    expected = evaluate(expr, env)
+    got = compile_expr(expr)(env)
+    assert got == expected
+    assert type(got) is type(expected)
+
+
+class TestLaziness:
+    def test_and_short_circuits_past_division_by_zero(self):
+        expr = x.land(x.gt(J, 0), x.lt(x.div(I, J), 2.0))
+        env = {"i": 1, "j": 0}
+        assert evaluate(expr, env) is False
+        assert compile_expr(expr)(env) is False
+
+    def test_or_short_circuits(self):
+        expr = x.lor(x.le(J, 5), x.lt(x.div(I, J), 2.0))
+        env = {"i": 1, "j": 0}
+        assert compile_expr(expr)(env) is True
+
+    def test_implies_vacuous_truth_skips_consequent(self):
+        expr = x.implies(x.gt(J, 0), x.lt(x.div(I, J), 2.0))
+        assert compile_expr(expr)({"i": 1, "j": 0}) is True
+
+    def test_unselected_ite_branch_never_computed(self):
+        expr = x.ite(B, x.lift(0), x.select(A, I))
+        env = {"b": True, "a": (1, 2, 3), "i": 99}
+        assert evaluate(expr, env) == 0
+        assert compile_expr(expr)(env) == 0
+
+
+class TestErrorEquivalence:
+    def _messages(self, expr, env):
+        with pytest.raises(EvalError) as interpreted:
+            evaluate(expr, env)
+        with pytest.raises(EvalError) as compiled:
+            compile_expr(expr)(env)
+        return str(interpreted.value), str(compiled.value)
+
+    def test_unbound_variable_message(self):
+        a, b = self._messages(I, {})
+        assert a == b
+
+    def test_select_out_of_range_message(self):
+        a, b = self._messages(x.select(A, I), {"a": (1, 2, 3), "i": 7})
+        assert a == b
+
+    def test_store_out_of_range_message(self):
+        a, b = self._messages(
+            x.store(A, I, J), {"a": (1, 2, 3), "i": -1, "j": 0}
+        )
+        assert a == b
+
+
+def test_variable_coercion_matches_declared_type():
+    assert compile_expr(R)({"r": 3}) == 3.0
+    assert isinstance(compile_expr(R)({"r": 3}), float)
+    assert compile_expr(B)({"b": 1}) is True
+    assert compile_expr(I)({"i": True}) == 1

@@ -1,0 +1,185 @@
+"""``Simulator.run_sequence``, input coercion, and kernel edge paths."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.coverage.collector import CoverageCollector
+from repro.errors import SimulationError
+from repro.expr.types import REAL
+from repro.kernel.plan import _forward_raiser
+from repro.model import ModelBuilder
+from repro.model.blocks import MovingAccumulator
+from repro.model.executor import _gather_inputs
+from repro.model.graph import Signal
+from repro.model.inputs import random_input
+from repro.model.simulator import Simulator
+
+from tests.conftest import build_counter_model, build_queue_model
+
+
+def _sequence(compiled, seed, steps):
+    rng = random.Random(seed)
+    return [random_input(compiled.inports, rng) for _ in range(steps)]
+
+
+class TestSequenceResult:
+    def test_aggregates_match_a_step_loop(self):
+        compiled = build_queue_model()
+        sequence = _sequence(compiled, 11, 40)
+
+        ref_model = build_queue_model()
+        reference = Simulator(ref_model, CoverageCollector(ref_model.registry), kernel=False)
+        expected_branches = []
+        expected_obligations = 0
+        expected_covering = 0
+        for index, inputs in enumerate(sequence):
+            result = reference.step(inputs)
+            expected_branches.extend(result.new_branch_ids)
+            expected_obligations += len(result.new_obligations)
+            if result.found_new_coverage:
+                expected_covering = index + 1
+
+        outcome = Simulator(compiled, CoverageCollector(compiled.registry)).run_sequence(sequence)
+        assert outcome.steps == len(sequence)
+        assert list(outcome.new_branch_ids) == expected_branches
+        assert outcome.new_obligation_count == expected_obligations
+        assert outcome.last_covering_step == expected_covering
+        assert outcome.found_new_coverage
+
+    def test_replaying_a_covered_sequence_covers_nothing(self):
+        compiled = build_counter_model()
+        sim = Simulator(compiled, CoverageCollector(compiled.registry))
+        sequence = _sequence(compiled, 5, 20)
+        assert sim.run_sequence(sequence).found_new_coverage
+        sim.reset()
+        rerun = sim.run_sequence(sequence)
+        assert rerun.last_covering_step == 0
+        assert rerun.new_branch_ids == ()
+        assert not rerun.found_new_coverage
+
+    def test_on_step_sees_indices_ids_and_updated_state(self):
+        compiled = build_counter_model()
+        sequence = _sequence(compiled, 9, 15)
+
+        ref_model = build_counter_model()
+        reference = Simulator(ref_model, CoverageCollector(ref_model.registry), kernel=False)
+        expected = []
+        for inputs in sequence:
+            result = reference.step(inputs)
+            expected.append(
+                (
+                    tuple(result.new_branch_ids),
+                    result.found_new_coverage,
+                    reference.get_state().values,
+                )
+            )
+
+        sim = Simulator(compiled, CoverageCollector(compiled.registry))
+        seen = []
+
+        def on_step(index, new_branch_ids, found_new):
+            seen.append(
+                (index, new_branch_ids, found_new, sim.get_state().values)
+            )
+
+        sim.run_sequence(sequence, on_step=on_step)
+        assert [entry[0] for entry in seen] == list(range(len(sequence)))
+        assert [entry[1:] for entry in seen] == expected
+
+    def test_run_compat_matches_step_loop(self):
+        compiled = build_counter_model()
+        sequence = _sequence(compiled, 2, 10)
+        loop_model = build_counter_model()
+        loop = Simulator(loop_model, CoverageCollector(loop_model.registry))
+        expected = [loop.step(inputs) for inputs in sequence]
+        results = Simulator(compiled, CoverageCollector(compiled.registry)).run(sequence)
+        assert [r.outputs for r in results] == [r.outputs for r in expected]
+        assert [r.new_branch_ids for r in results] == [
+            r.new_branch_ids for r in expected
+        ]
+
+
+@pytest.mark.parametrize("kernel", [True, False], ids=["kernel", "interp"])
+class TestInputCoercion:
+    """The per-inport coercers are resolved once per simulator and must
+    keep the interpreter's exact semantics on both paths."""
+
+    def test_missing_input_raises_simulation_error(self, kernel):
+        sim = Simulator(build_counter_model(), kernel=kernel)
+        with pytest.raises(SimulationError, match="missing input 'amount'"):
+            sim.step({"tick": True})
+
+    def test_missing_key_raises_even_on_defaultdict(self, kernel):
+        # The membership check (not a KeyError guard) decides "missing":
+        # a defaultdict would silently manufacture values otherwise.
+        sim = Simulator(build_counter_model(), kernel=kernel)
+        with pytest.raises(SimulationError, match="missing input"):
+            sim.step(defaultdict(int, {"tick": True}))
+
+    def test_values_coerce_to_declared_types(self, kernel):
+        sim = Simulator(build_counter_model(), kernel=kernel)
+        result = sim.step({"tick": 1, "amount": 2.9})
+        # tick -> bool(1), amount -> int(2.9) == 2
+        assert result.outputs["count"] == 2
+        assert isinstance(result.outputs["count"], int)
+
+    def test_coercers_pinned_per_inport(self, kernel):
+        sim = Simulator(build_counter_model(), kernel=kernel)
+        assert [name for name, _ in sim._coercers] == ["tick", "amount"]
+        coerced = {
+            name: coerce for name, coerce in sim._coercers
+        }
+        assert coerced["tick"](1) is True
+        assert coerced["amount"](2.9) == 2
+
+
+class TestForwardSlotRaiser:
+    def test_error_is_identical_to_the_interpreter(self):
+        """With reused buffers a forward slot would silently read stale
+        values; the kernel compiles it to the interpreter's exact error."""
+        compiled = build_counter_model()
+        item = next(i for i in compiled.plan if len(i.input_signals) >= 2)
+        real = compiled.input_slots[item.index]
+        # Second input pretends its producer runs after the consumer.
+        slots = (real[0], (len(compiled.plan), real[1][1])) + real[2:]
+
+        outputs_per_item = [[0] for _ in compiled.plan] + [None, None]
+        with pytest.raises(SimulationError) as interpreted:
+            _gather_inputs(item, outputs_per_item, slots)
+        with pytest.raises(SimulationError) as compiled_error:
+            _forward_raiser(item, slots)(None)
+        assert str(compiled_error.value) == str(interpreted.value)
+        assert "before it ran" in str(compiled_error.value)
+
+
+class TestFallbackBlocks:
+    def _build(self):
+        b = ModelBuilder("Window")
+        u = b.inport("u", REAL, -5.0, 5.0)
+        acc = b._add(MovingAccumulator("acc", 3))
+        b._wire(acc, u)
+        total = Signal(acc, 0)
+        high = b.compare(total, ">", 4.0, name="is_high")
+        b.outport("mode", b.switch(high, b.const(2), b.const(1)))
+        b.outport("total", total)
+        return b.compile()
+
+    def test_unregistered_block_runs_through_fallback(self):
+        sim = Simulator(self._build())
+        stats = sim.kernel_stats()
+        assert stats["fallback_blocks"] == 1
+        assert stats["fallback_classes"] == ["MovingAccumulator"]
+
+    def test_fallback_is_bit_identical_to_the_interpreter(self):
+        compiled = self._build()
+        sim_k = Simulator(compiled, CoverageCollector(compiled.registry))
+        other = self._build()
+        sim_i = Simulator(other, CoverageCollector(other.registry), kernel=False)
+        for inputs in _sequence(compiled, 13, 60):
+            a = sim_k.step(inputs)
+            b = sim_i.step(inputs)
+            assert a.outputs == b.outputs
+            assert a.new_branch_ids == b.new_branch_ids
+            assert sim_k.get_state().values == sim_i.get_state().values

@@ -1,0 +1,65 @@
+"""The precomputed slot tables on ``CompiledModel``.
+
+``plan_index_of`` / ``input_slots`` / ``outport_slots`` replace the old
+``_plan_index_map`` monkey-patch: they are built in ``__post_init__`` and
+must be correct (every slot points at the producing plan item) and
+per-instance (two compiles of the same source must never share them —
+the old patch cached per-object state on a shared attribute name).
+"""
+
+from repro.models.registry import get_benchmark
+
+from tests.conftest import build_counter_model, build_queue_model
+
+
+class TestSlotCorrectness:
+    def test_plan_index_of_maps_every_block(self):
+        compiled = build_queue_model()
+        assert len(compiled.plan_index_of) == len(compiled.plan)
+        for item in compiled.plan:
+            assert compiled.plan_index_of[id(item.block)] == item.index
+
+    def test_input_slots_point_at_producers(self):
+        for compiled in (build_counter_model(), build_queue_model()):
+            assert len(compiled.input_slots) == len(compiled.plan)
+            for item in compiled.plan:
+                slots = compiled.input_slots[item.index]
+                assert len(slots) == len(item.input_signals)
+                for signal, (src_index, port) in zip(item.input_signals, slots):
+                    assert compiled.plan[src_index].block is signal.block
+                    assert port == signal.port
+
+    def test_outport_slots_match_outports(self):
+        compiled = build_counter_model()
+        assert len(compiled.outport_slots) == len(compiled.outports)
+        for (name, signal), (slot_name, index, port) in zip(
+            compiled.outports, compiled.outport_slots
+        ):
+            assert name == slot_name
+            assert compiled.plan[index].block is signal.block
+            assert port == signal.port
+
+
+class TestNoSharingBetweenCompiles:
+    def test_two_compiles_never_share_tables(self):
+        a = build_counter_model()
+        b = build_counter_model()
+        assert a.plan_index_of is not b.plan_index_of
+        assert a.input_slots is not b.input_slots
+        assert a.outport_slots is not b.outport_slots
+        # Indices key on id(block); distinct builds use distinct blocks.
+        assert not (set(a.plan_index_of) & set(b.plan_index_of))
+
+    def test_mutating_one_table_leaves_the_other_intact(self):
+        a = build_counter_model()
+        b = build_counter_model()
+        a.plan_index_of.clear()
+        assert len(b.plan_index_of) == len(b.plan)
+
+    def test_registry_builds_are_independent(self):
+        model = get_benchmark("CPUTask")
+        first = model.build()
+        second = model.build()
+        assert first.plan_index_of is not second.plan_index_of
+        for item in second.plan:
+            assert second.plan_index_of[id(item.block)] == item.index

@@ -1,0 +1,100 @@
+"""Generator-level transparency of the simulation kernel.
+
+``sim_kernel`` may only change how fast concrete steps run — never what
+any tool produces.  Fixed-seed STCG runs must be bit-identical with the
+kernel on or off, the baselines must be equally unaffected, and symbolic
+execution (the SLDV unroller, STCG's encodings) never touches the kernel.
+"""
+
+import pytest
+
+from repro.baselines.simcotest import SimCoTestConfig, SimCoTestGenerator
+from repro.baselines.sldv import SldvConfig, SldvGenerator
+from repro.core import StcgConfig, StcgGenerator
+
+from tests.conftest import build_counter_model, build_queue_model
+from tests.core.test_stcg_cache import assert_identical
+
+
+@pytest.mark.parametrize("build", [build_counter_model, build_queue_model])
+def test_stcg_bit_identical_kernel_on_vs_off(build):
+    on = StcgGenerator(
+        build(), StcgConfig(budget_s=10.0, seed=7, sim_kernel=True)
+    ).run()
+    off = StcgGenerator(
+        build(), StcgConfig(budget_s=10.0, seed=7, sim_kernel=False)
+    ).run()
+    assert_identical(on, off)
+
+
+def test_simcotest_replay_identical_kernel_on_vs_off(monkeypatch):
+    import repro.baselines.simcotest as module
+
+    def run(force_interpreter):
+        if force_interpreter:
+            original = module.Simulator
+            monkeypatch.setattr(
+                module,
+                "Simulator",
+                lambda *args, **kwargs: original(
+                    *args, **{**kwargs, "kernel": False}
+                ),
+            )
+        result = SimCoTestGenerator(
+            build_counter_model(), SimCoTestConfig(budget_s=5.0, seed=3)
+        ).run()
+        monkeypatch.undo()
+        return result
+
+    assert_identical(run(False), run(True))
+
+
+def test_sldv_symbolic_path_untouched_by_kernel(monkeypatch):
+    """SLDV's unroller is symbolic (interpreter-only by construction); the
+    kernel only accelerates counterexample replay, so results must be
+    identical either way."""
+    import repro.baselines.sldv as module
+
+    def run(force_interpreter):
+        if force_interpreter:
+            original = module.Simulator
+            monkeypatch.setattr(
+                module,
+                "Simulator",
+                lambda *args, **kwargs: original(
+                    *args, **{**kwargs, "kernel": False}
+                ),
+            )
+        result = SldvGenerator(
+            build_counter_model(), SldvConfig(budget_s=5.0, seed=3, max_depth=3)
+        ).run()
+        monkeypatch.undo()
+        return result
+
+    assert_identical(run(False), run(True))
+
+
+class TestKernelTraceData:
+    def test_traced_run_reports_kernel_stats(self):
+        result = StcgGenerator(
+            build_counter_model(),
+            StcgConfig(budget_s=5.0, seed=1, trace=True),
+        ).run()
+        kernel = result.trace_data["kernel"]
+        assert kernel["enabled"] is True
+        assert kernel["specialized_blocks"] > 0
+        assert kernel["fallback_blocks"] == 0
+        assert kernel["kernel_steps"] > 0
+
+    def test_kernel_off_is_reported_as_disabled(self):
+        result = StcgGenerator(
+            build_counter_model(),
+            StcgConfig(budget_s=5.0, seed=1, trace=True, sim_kernel=False),
+        ).run()
+        assert result.trace_data["kernel"] == {"enabled": False}
+
+    def test_untraced_run_has_no_trace_data(self):
+        result = StcgGenerator(
+            build_counter_model(), StcgConfig(budget_s=5.0, seed=1)
+        ).run()
+        assert result.trace_data == {}

@@ -33,6 +33,10 @@ def traced_events():
                                "seconds": 0.15},
                     "avm": {"attempts": 1, "finished": 1, "wins": 1,
                             "seconds": 0.05}}},
+        {"event": "kernel_stats", "seq": 6, "t": 0.3, "cell": 0,
+         "model": "M", "tool": "STCG", "repetition": 0,
+         "enabled": True, "specialized_blocks": 42, "fallback_blocks": 1,
+         "fallback_classes": ["MovingAccumulator"], "kernel_steps": 1234},
         {"event": "tree_growth", "seq": 7, "t": 0.3, "cell": 0,
          "model": "M", "tool": "STCG", "repetition": 0,
          "points": [[0.0, 1], [0.1, 3], [0.2, 7]]},
@@ -57,6 +61,9 @@ class TestRenderReport:
         assert "solver-stage win rates" in text
         assert "avm" in text and "100.0%" in text
         assert "M/STCG rep0" in text
+        assert "simulation kernel" in text
+        assert "42" in text and "1234" in text
+        assert "fallback classes: MovingAccumulator" in text
         assert "7 nodes" in text          # tree growth final value
         assert "100.0% in 0.20s" in text  # coverage curve
         assert "b1" in text and "x3" in text  # slowest targets

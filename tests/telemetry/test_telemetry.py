@@ -171,6 +171,12 @@ class TestExecutorTelemetry:
         growth = [e for e in events if e["event"] == "tree_growth"]
         assert growth and growth[0]["tool"] == "STCG"
         assert growth[0]["points"]
+        # ... and the simulation-kernel specialization stats.
+        kernel = [e for e in events if e["event"] == "kernel_stats"
+                  and e["tool"] == "STCG"]
+        assert kernel and kernel[0]["enabled"] is True
+        assert kernel[0]["specialized_blocks"] > 0
+        assert kernel[0]["kernel_steps"] > 0
 
     def test_untraced_matrix_has_no_trace_events(self):
         log = EventLog()
