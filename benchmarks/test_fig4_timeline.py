@@ -11,8 +11,9 @@ Shape assertions:
 * SimCoTest gets early coverage but is not ahead of STCG at the end.
 """
 
+from repro import api
 from repro.core.result import ORIGIN_SOLVER
-from repro.harness import figure4, run_tool
+from repro.harness import figure4
 from repro.models import get_benchmark
 
 from .conftest import BUDGET_S
@@ -26,7 +27,9 @@ def run_all():
     for name in MODELS:
         model = get_benchmark(name)
         all_results[name] = {
-            tool: run_tool(tool, model, BUDGET_S, seed=1, sldv_max_depth=4)
+            tool: api.generate(
+                model, tool=tool, budget_s=BUDGET_S, seed=1, sldv_max_depth=4
+            )
             for tool in TOOLS
         }
     return all_results

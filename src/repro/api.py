@@ -28,7 +28,7 @@ import time
 from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro.core.config import StcgConfig
+from repro.core.config import CacheConfig, KernelConfig, StcgConfig
 from repro.core.result import GenerationResult
 from repro.core.stcg import StcgGenerator
 from repro.errors import HarnessError
@@ -52,14 +52,18 @@ from repro.models.registry import (
     get_benchmark,
 )
 from repro.obs.report import render_report
+from repro.solverc.compiler import SolvercStats
 from repro.telemetry.events import EventLog, emit_trace_events, read_events
 
 __all__ = [
+    "CacheConfig",
     "CellFailure",
     "EventLog",
     "ExperimentResult",
     "GenerationResult",
+    "KernelConfig",
     "MatrixConfig",
+    "SolvercStats",
     "StcgConfig",
     "TOOLS",
     "ToolOutcome",
@@ -118,18 +122,24 @@ def generate(
     cell_timeout: Optional[float] = None,
     events_out: Optional[str] = None,
     trace: bool = False,
+    stcg_overrides: Optional[dict] = None,
 ) -> GenerationResult:
     """One generation run of one tool on one model.
 
     ``model`` may be a benchmark name (``"CPUTask"``), a
     :class:`BenchmarkModel`, or a user-built :class:`CompiledModel`.
     ``config`` (STCG only) overrides ``budget_s``/``seed`` with a full
-    :class:`StcgConfig`.  ``cell_timeout`` bounds the run's wall clock
-    (raising :class:`~repro.errors.CellTimeout`); ``events_out`` streams
-    run telemetry to a JSONL file and writes a manifest next to it.
-    ``trace`` turns on deep generator tracing: phase/solver-stage
-    aggregates land in ``result.trace_data`` and — with ``events_out`` —
-    as ``repro.trace/1`` events in the stream (see ``repro report``).
+    :class:`StcgConfig`; ``stcg_overrides`` (STCG only, exclusive with
+    ``config``) applies extra :class:`StcgConfig` fields on top of
+    ``budget_s``/``seed`` — e.g. ``kernels=KernelConfig(solver=False)``
+    or ``caches=CacheConfig(encoding_size=0)`` — matching the
+    ``run_experiment`` knob of the same name.  ``cell_timeout`` bounds
+    the run's wall clock (raising :class:`~repro.errors.CellTimeout`);
+    ``events_out`` streams run telemetry to a JSONL file and writes a
+    manifest next to it.  ``trace`` turns on deep generator tracing:
+    phase/solver-stage aggregates land in ``result.trace_data`` and —
+    with ``events_out`` — as ``repro.trace/1`` events in the stream (see
+    ``repro report``).
     """
     if tool not in TOOLS:
         raise HarnessError(
@@ -139,6 +149,16 @@ def generate(
         raise HarnessError(f"budget_s must be positive, got {budget_s!r}")
     if config is not None and tool != "STCG":
         raise HarnessError("config= applies to STCG only")
+    if stcg_overrides:
+        if tool != "STCG":
+            raise HarnessError("stcg_overrides= applies to STCG only")
+        if config is not None:
+            raise HarnessError(
+                "pass either config= or stcg_overrides=, not both"
+            )
+        config = StcgConfig(
+            budget_s=budget_s, seed=seed, **dict(stcg_overrides)
+        )
     if config is not None and trace and not config.trace:
         config = replace(config, trace=True)
     bench = _as_benchmark(model)
@@ -216,8 +236,8 @@ def run_experiment(
     and writes a ``*.manifest.json`` summary when the matrix finishes.
     ``trace`` enables deep generator tracing per cell; the aggregates are
     forwarded into the event stream as ``repro.trace/1`` events.
-    ``stcg_overrides`` applies extra :class:`StcgConfig` fields (cache
-    knobs, ``sim_kernel``, ablation flags) to every STCG cell.
+    ``stcg_overrides`` applies extra :class:`StcgConfig` fields
+    (``kernels=``, ``caches=``, ablation flags) to every STCG cell.
     """
     for name in tools:
         if name not in TOOLS:

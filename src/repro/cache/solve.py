@@ -12,6 +12,12 @@ the two memoizations Algorithm 1 profits from:
   (typically a fresh generator re-solving the same cell, or a new tree
   node that reaches an already-known state) skips the solver call
   entirely.
+* the **compiled-constraint cache** — a bounded LRU from (state
+  fingerprint, solve target) to the solver kernel's
+  :class:`~repro.solverc.compiler.CompiledConstraint` bundle.  The
+  one-step constraint is a pure function of that key, so the compiled
+  contractor, distance closures, batch tapes — and the cached
+  contraction *result* the bundle carries — replay exactly.
 
 Cache-key soundness (see DESIGN.md for the full argument): a one-step
 constraint is a pure function of (model, state value, target), so the
@@ -37,15 +43,28 @@ from typing import Dict, Optional, Tuple
 
 from repro.cache.lru import LRUCache
 
-__all__ = ["CACHEABLE_UNSAT_STAGES", "DEFAULT_ENCODING_CAPACITY", "SolveCache"]
+__all__ = [
+    "CACHEABLE_UNSAT_STAGES",
+    "DEFAULT_COMPILED_CAPACITY",
+    "DEFAULT_ENCODING_CAPACITY",
+    "SolveCache",
+]
 
 #: Solver stages whose UNSAT verdicts are deterministic *and* consume no
 #: RNG draws — the two properties that make them safe to cache without
 #: perturbing a fixed-seed run (``canonical_stage`` tags).
 CACHEABLE_UNSAT_STAGES = ("fold", "contract")
 
-#: Default bound of the encoding LRU (``StcgConfig.encoding_cache_size``).
+#: Default bound of the encoding LRU (``CacheConfig.encoding_size``).
 DEFAULT_ENCODING_CAPACITY = 512
+
+#: Default bound of the compiled-constraint LRU
+#: (``CacheConfig.compiled_size``).
+DEFAULT_COMPILED_CAPACITY = 256
+
+#: Marker for a (fingerprint, target) key seen exactly once — see
+#: :meth:`SolveCache.compiled_constraint`.
+_FIRST_VISIT = object()
 
 
 class SolveCache:
@@ -62,6 +81,7 @@ class SolveCache:
     __slots__ = (
         "model_key",
         "encodings",
+        "compiled",
         "verdicts_enabled",
         "verdict_hits",
         "_dead",
@@ -72,10 +92,12 @@ class SolveCache:
         model_key: str,
         *,
         encoding_capacity: int = DEFAULT_ENCODING_CAPACITY,
+        compiled_capacity: int = DEFAULT_COMPILED_CAPACITY,
         verdicts: bool = True,
     ):
         self.model_key = str(model_key)
         self.encodings = LRUCache(encoding_capacity)
+        self.compiled = LRUCache(compiled_capacity)
         self.verdicts_enabled = bool(verdicts)
         self.verdict_hits = 0
         #: (fingerprint, target key) -> whether the refutation counted as
@@ -97,6 +119,34 @@ class SolveCache:
             encoding = factory()
             self.encodings.put(fingerprint, encoding)
         return encoding
+
+    # -- compiled constraints ------------------------------------------
+
+    def compiled_constraint(self, fingerprint: str, target_key, factory):
+        """The cached solver-kernel bundle for (fingerprint, target).
+
+        Compilation is deferred to the *second* visit of a key: most
+        (state, target) pairs are solved exactly once per run (the
+        verdict cache retires dead pairs, SAT retires the target), so a
+        first visit only leaves a marker and returns ``None`` — the
+        caller solves through the plain interpreter at zero extra cost.
+        A revisit calls ``factory`` to build the
+        :class:`~repro.solverc.compiler.CompiledConstraint` and every
+        visit after that reuses it, contraction snapshots included.
+
+        The constraint is a pure function of the key, so a rebuild after
+        eviction is deterministic — the bound changes how often the
+        compiler runs, never what the solver returns.
+        """
+        key = (fingerprint, target_key)
+        entry = self.compiled.get(key)
+        if entry is None:
+            self.compiled.put(key, _FIRST_VISIT)
+            return None
+        if entry is _FIRST_VISIT:
+            entry = factory()
+            self.compiled.put(key, entry)
+        return entry
 
     # -- verdicts ------------------------------------------------------
 
@@ -127,12 +177,16 @@ class SolveCache:
             "encoding_hits": self.encodings.hits,
             "encoding_misses": self.encodings.misses,
             "encoding_evictions": self.encodings.evictions,
+            "compiled_hits": self.compiled.hits,
+            "compiled_misses": self.compiled.misses,
+            "compiled_evictions": self.compiled.evictions,
             "verdict_hits": self.verdict_hits,
             "verdict_entries": len(self._dead),
         }
 
     def clear(self) -> None:
         self.encodings.clear()
+        self.compiled.clear()
         self._dead.clear()
 
     def __repr__(self) -> str:

@@ -94,6 +94,11 @@ def _parser() -> argparse.ArgumentParser:
         help="STCG only: force the generic step interpreter instead of "
              "the compiled plan kernel (reference semantics)",
     )
+    gen.add_argument(
+        "--no-solver-kernel", action="store_true",
+        help="STCG only: force the reference solver pipeline instead of "
+             "the compiled/batched solver kernel (repro.solverc)",
+    )
     _add_exec_flags(gen)
 
     cmp_ = sub.add_parser("compare", help="three-tool comparison on a model")
@@ -184,13 +189,21 @@ def _cmd_info(name: str) -> None:
 
 def _cmd_generate(args) -> None:
     model = get_benchmark(args.model)
-    stcg_overrides = {}
+    cache_kwargs = {}
     if args.encoding_cache_size is not None:
-        stcg_overrides["encoding_cache_size"] = args.encoding_cache_size
+        cache_kwargs["encoding_size"] = args.encoding_cache_size
     if args.no_verdict_cache:
-        stcg_overrides["verdict_cache"] = False
+        cache_kwargs["verdicts"] = False
+    kernel_kwargs = {}
     if args.no_sim_kernel:
-        stcg_overrides["sim_kernel"] = False
+        kernel_kwargs["sim"] = False
+    if args.no_solver_kernel:
+        kernel_kwargs["solver"] = False
+    stcg_overrides = {}
+    if cache_kwargs:
+        stcg_overrides["caches"] = api.CacheConfig(**cache_kwargs)
+    if kernel_kwargs:
+        stcg_overrides["kernels"] = api.KernelConfig(**kernel_kwargs)
     if stcg_overrides and args.tool != "STCG":
         raise ReproError(
             "cache and kernel flags apply to --tool STCG only"

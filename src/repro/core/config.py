@@ -1,11 +1,98 @@
-"""Configuration for the STCG generator (and its ablations)."""
+"""Configuration for the STCG generator (and its ablations).
+
+The config surface is organized around a unified kernel/cache story:
+
+* :class:`KernelConfig` — the compiled fast paths (``kernels=``).  The
+  *sim* kernel specializes concrete simulation (:mod:`repro.kernel`);
+  the *solver* kernel compiles and batches the symbolic solve pipeline
+  (:mod:`repro.solverc`).  Both are observably transparent: fixed-seed
+  runs are bit-identical with either kernel on or off.
+* :class:`CacheConfig` — the fingerprint-keyed solve caches
+  (``caches=``): encoding LRU, compiled-constraint LRU, UNSAT verdict
+  memo, and state-tree deduplication.  All observationally transparent
+  (see DESIGN.md, "Cache-key soundness").
+
+The flat pre-redesign field names (``sim_kernel``,
+``encoding_cache_size``, ``verdict_cache``, ``tree_dedup``) are still
+accepted as constructor keywords for one release — they map onto the
+sub-configs with a :class:`DeprecationWarning` — and remain readable as
+properties.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
 from repro.solver.engine import SolverConfig
+
+__all__ = ["CacheConfig", "KernelConfig", "StcgConfig"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class KernelConfig:
+    """Which compiled fast paths the generator uses.
+
+    Kernels change how fast a run is, never what it produces: DESIGN.md
+    pins both observably equivalent to their interpreters, and the
+    equivalence suites run fixed-seed generations with each kernel on
+    and off and require bit-identical suites.
+    """
+
+    #: Concrete simulation through the compiled plan kernel
+    #: (:mod:`repro.kernel`): per-block closures over pre-resolved input
+    #: slots and reused buffers.  Off forces the reference interpreter.
+    sim: bool = True
+    #: Symbolic solving through the compiled solver kernel
+    #: (:mod:`repro.solverc`): per-constraint compiled contractors,
+    #: scalar distance closures and batched candidate scoring.  Off
+    #: forces the reference solver pipeline.
+    solver: bool = True
+
+
+@dataclass(frozen=True, kw_only=True)
+class CacheConfig:
+    """Bounds and switches of the fingerprint-keyed solve caches."""
+
+    #: Capacity of the per-model one-step-encoding LRU (entries).  0
+    #: turns the cache off; every solver attempt then rebuilds the
+    #: symbolic encoding.
+    encoding_size: int = 512
+    #: Capacity of the compiled-constraint LRU (entries), keyed by
+    #: (state fingerprint, solve target).  Only populated when the
+    #: solver kernel is on; 0 recompiles per solver call.
+    compiled_size: int = 256
+    #: Remember deterministic UNSAT verdicts per (state fingerprint,
+    #: target) and skip the solver on a repeat attempt.  Only verdicts
+    #: from randomness-free stages are recorded, so fixed-seed runs stay
+    #: bit-identical with the cache on or off.
+    verdicts: bool = True
+    #: Skip duplicate-fingerprint tree nodes in the Algorithm-1 solve
+    #: scan (they share solved-sets with their canonical node, so the
+    #: skip is exact).  Off reproduces the naive full scan.
+    tree_dedup: bool = True
+
+    def __post_init__(self) -> None:
+        if self.encoding_size < 0:
+            raise ConfigError(
+                "caches.encoding_size (formerly encoding_cache_size) "
+                f"must be >= 0, got {self.encoding_size!r}"
+            )
+        if self.compiled_size < 0:
+            raise ConfigError(
+                "caches.compiled_size must be >= 0, got "
+                f"{self.compiled_size!r}"
+            )
+
+
+#: Pre-redesign flat field -> (sub-config field name, sub-config attr).
+_DEPRECATED_ALIASES = {
+    "sim_kernel": ("kernels", "sim"),
+    "encoding_cache_size": ("caches", "encoding_size"),
+    "verdict_cache": ("caches", "verdicts"),
+    "tree_dedup": ("caches", "tree_dedup"),
+}
 
 
 @dataclass(kw_only=True)
@@ -76,32 +163,13 @@ class StcgConfig:
     #: method") and exclude proven-dead branches from solving.
     prove_dead_branches: bool = False
 
-    # -- solve caches (repro.cache) ---------------------------------------------
+    # -- compiled fast paths and caches ------------------------------------------
 
-    #: Capacity of the per-model one-step-encoding LRU (entries).  0 turns
-    #: the cache off; every solver attempt then rebuilds the symbolic
-    #: encoding.  The cache is observationally transparent — results are
-    #: bit-identical at any capacity (see DESIGN.md, "Cache-key soundness").
-    encoding_cache_size: int = 512
-    #: Remember deterministic UNSAT verdicts per (state fingerprint,
-    #: target) and skip the solver on a repeat attempt.  Only verdicts
-    #: from randomness-free stages are recorded, so fixed-seed runs stay
-    #: bit-identical with the cache on or off.
-    verdict_cache: bool = True
-    #: Skip duplicate-fingerprint tree nodes in the Algorithm-1 solve scan
-    #: (they share solved-sets with their canonical node, so the skip is
-    #: exact).  Off reproduces the naive full scan.
-    tree_dedup: bool = True
-
-    # -- concrete execution ------------------------------------------------------
-
-    #: Run concrete simulation through the compiled plan kernel
-    #: (:mod:`repro.kernel`): per-block closures over pre-resolved input
-    #: slots and reused buffers.  Observably equivalent to the generic
-    #: interpreter (see DESIGN.md, "kernel soundness") — fixed-seed runs
-    #: are bit-identical with the kernel on or off; off forces the
-    #: reference interpreter.  Symbolic execution is unaffected either way.
-    sim_kernel: bool = True
+    #: The compiled fast paths (sim kernel, solver kernel).  Both
+    #: observably transparent — see :class:`KernelConfig`.
+    kernels: KernelConfig = field(default_factory=KernelConfig)
+    #: The fingerprint-keyed solve caches — see :class:`CacheConfig`.
+    caches: CacheConfig = field(default_factory=CacheConfig)
 
     #: Record a per-attempt trace (solve successes/failures, random runs).
     #: Used by the Table I / Figure 3 reproduction; off by default because
@@ -146,10 +214,78 @@ class StcgConfig:
             raise ConfigError(
                 f"fresh_input_mix must be in [0, 1], got {self.fresh_input_mix!r}"
             )
-        if self.encoding_cache_size < 0:
+        if not isinstance(self.kernels, KernelConfig):
             raise ConfigError(
-                "encoding_cache_size must be >= 0, got "
-                f"{self.encoding_cache_size!r}"
+                f"kernels must be a KernelConfig, got {self.kernels!r}"
+            )
+        if not isinstance(self.caches, CacheConfig):
+            raise ConfigError(
+                f"caches must be a CacheConfig, got {self.caches!r}"
             )
         if not isinstance(self.seed, int):
             raise ConfigError(f"seed must be an int, got {self.seed!r}")
+
+    # -- deprecated flat aliases (one release) -----------------------------------
+
+    @property
+    def sim_kernel(self) -> bool:
+        """Deprecated alias for ``kernels.sim``."""
+        return self.kernels.sim
+
+    @property
+    def encoding_cache_size(self) -> int:
+        """Deprecated alias for ``caches.encoding_size``."""
+        return self.caches.encoding_size
+
+    @property
+    def verdict_cache(self) -> bool:
+        """Deprecated alias for ``caches.verdicts``."""
+        return self.caches.verdicts
+
+    @property
+    def tree_dedup(self) -> bool:
+        """Deprecated alias for ``caches.tree_dedup``."""
+        return self.caches.tree_dedup
+
+
+_dataclass_init = StcgConfig.__init__
+
+
+def _init_with_aliases(self, **kwargs) -> None:
+    """Accept the pre-redesign flat field names for one release.
+
+    ``sim_kernel=`` / ``encoding_cache_size=`` / ``verdict_cache=`` /
+    ``tree_dedup=`` map onto ``kernels=`` / ``caches=`` with a
+    :class:`DeprecationWarning`.  Mixing an alias with the sub-config it
+    maps into is ambiguous and refused.
+    """
+    legacy = {
+        name: kwargs.pop(name)
+        for name in tuple(kwargs)
+        if name in _DEPRECATED_ALIASES
+    }
+    if legacy:
+        warnings.warn(
+            "deprecated StcgConfig field(s) "
+            + ", ".join(sorted(legacy))
+            + ": use kernels=KernelConfig(...) / caches=CacheConfig(...); "
+            "the flat names will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        grouped: dict = {}
+        for name, value in legacy.items():
+            group, attr = _DEPRECATED_ALIASES[name]
+            grouped.setdefault(group, {})[attr] = value
+        for group, values in grouped.items():
+            if group in kwargs:
+                raise ConfigError(
+                    f"pass either {group}= or its deprecated flat aliases "
+                    f"({', '.join(sorted(legacy))}), not both"
+                )
+            base = KernelConfig() if group == "kernels" else CacheConfig()
+            kwargs[group] = replace(base, **values)
+    _dataclass_init(self, **kwargs)
+
+
+StcgConfig.__init__ = _init_with_aliases  # type: ignore[method-assign]

@@ -42,11 +42,9 @@ def goals_of_case(compiled: CompiledModel, case: TestCase) -> FrozenSet[Goal]:
     collector = CoverageCollector(compiled.registry)
     simulator = Simulator(compiled, collector)
     goals: Set[Goal] = set()
-    for step_inputs in case.inputs:
-        result = simulator.step(step_inputs)
-        for branch_id in result.new_branch_ids:
-            goals.add(("branch", branch_id))
-        for obligation in result.new_obligations:
+
+    def on_obligations(index, new_obligations):
+        for obligation in new_obligations:
             goals.add(
                 (
                     "mcdc" if obligation.determining else "value",
@@ -55,6 +53,12 @@ def goals_of_case(compiled: CompiledModel, case: TestCase) -> FrozenSet[Goal]:
                     obligation.polarity,
                 )
             )
+
+    outcome = simulator.run_sequence(
+        case.inputs, on_obligations=on_obligations
+    )
+    for branch_id in outcome.new_branch_ids:
+        goals.add(("branch", branch_id))
     return frozenset(goals)
 
 

@@ -41,6 +41,7 @@ from repro.obs.stages import merge_stage_dicts
 from repro.obs.tracer import NULL_TRACER, PhaseProfiler, Tracer
 from repro.solver.encoder import OneStepEncoding
 from repro.solver.engine import SolverConfig, SolverEngine, Status
+from repro.solverc.compiler import ConstraintCompiler, SolvercStats
 
 #: Schema tag of the deep-tracing aggregates in ``GenerationResult``.
 TRACE_SCHEMA = "repro.trace/1"
@@ -92,8 +93,9 @@ class StcgGenerator:
         else:
             self.cache = SolveCache(
                 compiled.name,
-                encoding_capacity=self.config.encoding_cache_size,
-                verdicts=self.config.verdict_cache,
+                encoding_capacity=self.config.caches.encoding_size,
+                compiled_capacity=self.config.caches.compiled_size,
+                verdicts=self.config.caches.verdicts,
             )
         #: Observability hook.  An explicit ``tracer`` wins; otherwise
         #: ``config.trace`` turns on an aggregating profiler; the default
@@ -113,6 +115,15 @@ class StcgGenerator:
             seed=self.config.seed,
         )
         self._lite_engine = SolverEngine(lite)
+        #: Solver-kernel compiler (:mod:`repro.solverc`), or None when
+        #: ``config.kernels.solver`` is off.  Compiled bundles are cached
+        #: in :attr:`cache` keyed by (state fingerprint, target), and the
+        #: engine falls back to the interpreter per stage for anything
+        #: the compiler could not lower — results are bit-identical
+        #: either way.
+        self._compiler: Optional[ConstraintCompiler] = (
+            ConstraintCompiler() if self.config.kernels.solver else None
+        )
         #: Failed solver attempts per target (branch id / obligation).
         self._failures: Dict[object, int] = {}
         self.collector = CoverageCollector(compiled.registry)
@@ -120,10 +131,10 @@ class StcgGenerator:
             compiled,
             self.collector,
             tracer=self.tracer,
-            kernel=self.config.sim_kernel,
+            kernel=self.config.kernels.sim,
         )
         self.tree = StateTree(
-            self.simulator.get_state(), dedup=self.config.tree_dedup
+            self.simulator.get_state(), dedup=self.config.caches.tree_dedup
         )
         self.library = InputLibrary()
         self.suite = TestSuite(
@@ -224,7 +235,18 @@ class StcgGenerator:
                 if kernel_stats is not None
                 else {"enabled": False}
             ),
+            "solverc": self._solverc_stats(),
         }
+
+    def _solverc_stats(self) -> Dict[str, object]:
+        """Solver-kernel counters over both engines plus the compiler."""
+        if self._compiler is None:
+            return {"enabled": False}
+        merged = SolvercStats()
+        merged.merge(self._engine.solverc)
+        merged.merge(self._lite_engine.solverc)
+        merged.merge(self._compiler.stats)
+        return {"enabled": True, **merged.as_dict()}
 
     # ------------------------------------------------------------------
     # Algorithm 1: state-aware solving
@@ -286,8 +308,13 @@ class StcgGenerator:
             return None
         self.stats["solver_calls"] += 1
         engine = self._engine_for(target_key)
+        compiled = self._compiled_for(
+            fingerprint, target_key, constraint, encoding
+        )
         with self.tracer.span("solve", target=branch.label):
-            result = engine.solve(constraint, encoding.variables, self._rng)
+            result = engine.solve(
+                constraint, encoding.variables, self._rng, compiled=compiled
+            )
         self.stats[result.status.value] += 1
         self._note_outcome(target_key, result.status is Status.SAT)
         if result.status is not Status.SAT:
@@ -328,8 +355,13 @@ class StcgGenerator:
             return None
         self.stats["solver_calls"] += 1
         engine = self._engine_for(target_key)
+        compiled = self._compiled_for(
+            fingerprint, target_key, constraint, encoding
+        )
         with self.tracer.span("solve", target=repr(obligation)):
-            result = engine.solve(constraint, encoding.variables, self._rng)
+            result = engine.solve(
+                constraint, encoding.variables, self._rng, compiled=compiled
+            )
         self.stats[result.status.value] += 1
         self._note_outcome(target_key, result.status is Status.SAT)
         if result.status is not Status.SAT:
@@ -370,6 +402,28 @@ class StcgGenerator:
                 TraceEntry("solve_fail", branch_label, node.node_id)
             )
         return True
+
+    def _compiled_for(self, fingerprint, target_key, constraint, encoding):
+        """The cached solver-kernel bundle for this solve, or None.
+
+        The one-step constraint is a pure function of (model, state
+        fingerprint, target), so the compiled artifacts — and the
+        contraction result they memoize — replay exactly on a repeat
+        visit of the same (state, target) cell.  First visits return
+        None (pure interpreter): most pairs are solved exactly once, and
+        compiling for them costs more than it saves.  ``contractor=False``
+        because the bundle's contraction *snapshot* — recorded on the
+        interpreted first use — already covers every later visit.
+        """
+        if self._compiler is None:
+            return None
+        return self.cache.compiled_constraint(
+            fingerprint,
+            target_key,
+            lambda: self._compiler.compile(
+                constraint, encoding.variables, contractor=False
+            ),
+        )
 
     def _engine_for(self, target_key) -> SolverEngine:
         """Full-budget engine until a target has failed often; lite after."""

@@ -192,6 +192,7 @@ class Simulator:
         self,
         sequence: Sequence[Mapping[str, object]],
         on_step: Optional[Callable[[int, Tuple[int, ...], bool], None]] = None,
+        on_obligations: Optional[Callable[[int, List[object]], None]] = None,
     ) -> SequenceResult:
         """Execute a whole input sequence without per-step result objects.
 
@@ -199,6 +200,11 @@ class Simulator:
         :meth:`step`.  ``on_step(index, new_branch_ids, found_new)`` — if
         given — is invoked after each step (0-based index), once the state
         update for that step is visible via :meth:`get_state`.
+        ``on_obligations(index, new_obligations)`` is invoked only for
+        steps that satisfied new condition obligations, so callers that
+        need the obligation details (e.g. suite minimization's goal
+        replay) avoid the per-step :class:`StepResult` churn without
+        losing them.
         """
         tracer = self.tracer
         traced = tracer.enabled
@@ -225,6 +231,8 @@ class Simulator:
                 covering = steps
                 collected.extend(new_branch_ids)
                 obligations += len(ctx.new_obligations)
+                if on_obligations is not None and ctx.new_obligations:
+                    on_obligations(steps - 1, list(ctx.new_obligations))
             if on_step is not None:
                 on_step(steps - 1, new_branch_ids, found_new)
         return SequenceResult(

@@ -9,6 +9,8 @@ prints:
 * solver-stage win rates (which pipeline stage actually closes targets),
 * solve-cache traffic (encoding hits/misses/evictions, verdict skips),
 * simulation-kernel specialization (specialized/fallback blocks, steps),
+* solver-kernel traffic (compiled constraints, batched vs scalar
+  candidate scoring, contraction-snapshot replays, fallbacks),
 * state-tree growth curves,
 * coverage-vs-time curves (from the ``timeline_point`` events),
 * the top-N slowest solver targets.
@@ -80,6 +82,7 @@ def render_report(events, top_n: int = 10) -> str:
     lines += _section_stages(events)
     lines += _section_cache(events)
     lines += _section_kernel(events)
+    lines += _section_solverc(events)
     lines += _section_tree_growth(events)
     lines += _section_coverage(events)
     lines += _section_targets(events, top_n)
@@ -230,6 +233,49 @@ def _section_kernel(events) -> List[str]:
         if fallback_classes:
             lines.append(
                 "    fallback classes: " + ", ".join(map(str, fallback_classes))
+            )
+    lines.append("")
+    return lines
+
+
+def _section_solverc(events) -> List[str]:
+    lines = ["solver kernel", "-------------"]
+    solverc_events = _of_kind(events, "solverc_stats")
+    if not solverc_events:
+        lines += ["  (no solver-kernel events — STCG cells only, with "
+                  "--trace)", ""]
+        return lines
+    lines.append(
+        f"  {'cell':<28s} {'state':>8s} {'compiled':>8s} "
+        f"{'batched':>8s} {'scalar':>7s} {'cached':>7s}"
+    )
+    for event in solverc_events:
+        enabled = bool(event.get("enabled"))
+        batched = (
+            int(event.get("candidates_batched", 0))
+            + int(event.get("case_batched", 0))
+        )
+        scalar = (
+            int(event.get("candidates_scalar", 0))
+            + int(event.get("case_interpreted", 0))
+        )
+        lines.append(
+            f"  {_cell_label(_cell_key(event)):<28s} "
+            f"{'on' if enabled else 'off':>8s} "
+            f"{int(event.get('constraints_compiled', 0)):>8d} "
+            f"{batched:>8d} {scalar:>7d} "
+            f"{int(event.get('contract_cached', 0)):>7d}"
+        )
+        fallbacks = {
+            name: int(event.get(name, 0))
+            for name in ("contract_compile_fallbacks", "batch_fallbacks",
+                         "scalar_fallbacks")
+            if int(event.get(name, 0))
+        }
+        if fallbacks:
+            lines.append(
+                "    fallbacks: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(fallbacks.items()))
             )
     lines.append("")
     return lines

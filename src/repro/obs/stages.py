@@ -32,6 +32,9 @@ CACHE_COUNTERS = (
     "encoding_hits",
     "encoding_misses",
     "encoding_evictions",
+    "compiled_hits",
+    "compiled_misses",
+    "compiled_evictions",
     "verdict_hits",
     "verdict_entries",
 )

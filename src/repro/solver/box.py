@@ -53,6 +53,16 @@ class Box:
     def snapshot(self) -> Dict[str, Interval]:
         return dict(self._domains)
 
+    def restore(self, snapshot: Mapping[str, Interval]) -> None:
+        """Replace every domain with a previously captured snapshot.
+
+        Intervals are immutable, so replaying a snapshot reproduces the
+        exact box state (the solver kernel uses this to reuse a cached
+        contraction result, which is a pure function of the constraint
+        and the initial domains).
+        """
+        self._domains = dict(snapshot)
+
     def __iter__(self):
         return iter(self._domains.items())
 

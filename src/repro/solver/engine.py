@@ -14,6 +14,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from repro.errors import SolverError
 from repro.expr.ast import Const, Expr, Var
 from repro.obs.stages import SolverStageMetrics, canonical_stage
@@ -26,6 +28,7 @@ from repro.solver.box import Box
 from repro.solver.contractor import Contractor
 from repro.solver.sampler import corner_points, sample_point
 from repro.solver.splitter import split_cases
+from repro.solverc.compiler import CompiledConstraint, SolvercStats
 
 
 class Status(enum.Enum):
@@ -90,18 +93,28 @@ class SolverEngine:
         #: Lifetime per-stage attempt/win/time accounting (always on; a
         #: handful of clock reads per call, negligible next to a solve).
         self.metrics = SolverStageMetrics()
+        #: Compiled-vs-fallback traffic when callers pass ``compiled=``
+        #: bundles (stays all-zero on pure interpreter use).
+        self.solverc = SolvercStats()
 
     def solve(
         self,
         constraint: Expr,
         variables: Iterable[Var],
         rng: Optional[random.Random] = None,
+        compiled: Optional[CompiledConstraint] = None,
     ) -> SolveResult:
         """Find values for ``variables`` satisfying ``constraint``.
 
         ``variables`` must cover every free variable of the constraint; extra
         variables are given arbitrary in-domain values so the returned model
         is always a *complete* input assignment.
+
+        ``compiled`` (a :class:`~repro.solverc.CompiledConstraint` for this
+        exact constraint) lets the stages run their kernel forms — compiled
+        contraction, batched candidate scoring, compiled AVM objective —
+        with per-stage fallback to the interpreter.  Results are
+        bit-identical either way; only speed changes.
         """
         if not constraint.ty.is_bool:
             raise SolverError(f"constraint must be boolean, got {constraint.ty!r}")
@@ -143,85 +156,212 @@ class SolverEngine:
 
         # Stage 1: interval contraction.
         box = Box(var_list)
-        feasible = Contractor(constraint).contract(box)
+        feasible = self._contract(constraint, box, compiled)
         if not feasible:
             return finish(Status.UNSAT, stage="contract")
         mark("contract")
 
-        nnf = to_nnf(constraint)
-        distance = DistanceEvaluator(nnf)
-
-        def objective(env: Dict[str, object]) -> float:
-            return distance.distance(env)
+        scalar = None
+        batch = None
+        if compiled is not None:
+            nnf = compiled.nnf()
+            scalar = compiled.objective()
+            batch = compiled.batch()
+        else:
+            nnf = to_nnf(constraint)
+        if scalar is not None:
+            objective = scalar
+        else:
+            objective = DistanceEvaluator(nnf).distance
 
         # Stage 2: deterministic corners then random samples inside the box.
         best_env: Optional[Dict[str, object]] = None
         best_dist = float("inf")
-        for candidate in corner_points(box):
-            stats.samples += 1
-            d = objective(candidate)
-            if d < best_dist:
-                best_env, best_dist = candidate, d
-            if d == 0.0:
+        corners = corner_points(box)
+        if batch is not None:
+            best_env, best_dist, hit = _batch_scan(
+                batch, corners, best_env, best_dist
+            )
+            self.solverc.note("candidates_batched", len(corners))
+            if hit is not None:
+                stats.samples += hit + 1
                 return finish(
-                    Status.SAT, self._certify(constraint, candidate, box), "corner"
+                    Status.SAT,
+                    self._certify(constraint, corners[hit], box),
+                    "corner",
                 )
-        for _ in range(self.config.max_samples):
-            if out_of_time():
-                return finish(Status.UNKNOWN, stage="sample-timeout")
-            candidate = sample_point(box, rng)
-            stats.samples += 1
-            d = objective(candidate)
-            if d < best_dist:
-                best_env, best_dist = candidate, d
-            if d == 0.0:
-                return finish(
-                    Status.SAT, self._certify(constraint, candidate, box), "sample"
+            stats.samples += len(corners)
+        else:
+            if compiled is not None:
+                self.solverc.note("candidates_scalar", len(corners))
+            for candidate in corners:
+                stats.samples += 1
+                d = objective(candidate)
+                if d < best_dist:
+                    best_env, best_dist = candidate, d
+                if d == 0.0:
+                    return finish(
+                        Status.SAT,
+                        self._certify(constraint, candidate, box),
+                        "corner",
+                    )
+        if batch is not None:
+            # One chunk per stage: draw every candidate (identical RNG
+            # stream), score them in one tape pass, and on a hit rewind
+            # the RNG and re-draw exactly as many points as the scalar
+            # loop would have consumed before returning.
+            chunk_size = self.config.max_samples
+            if chunk_size > 0:
+                if out_of_time():
+                    return finish(Status.UNKNOWN, stage="sample-timeout")
+                state = rng.getstate()
+                chunk = [
+                    sample_point(box, rng) for _ in range(chunk_size)
+                ]
+                best_env, best_dist, hit = _batch_scan(
+                    batch, chunk, best_env, best_dist
                 )
+                self.solverc.note("candidates_batched", chunk_size)
+                if hit is not None:
+                    rng.setstate(state)
+                    for _ in range(hit + 1):
+                        sample_point(box, rng)
+                    stats.samples += hit + 1
+                    return finish(
+                        Status.SAT,
+                        self._certify(constraint, chunk[hit], box),
+                        "sample",
+                    )
+                stats.samples += chunk_size
+        else:
+            if compiled is not None:
+                self.solverc.note(
+                    "candidates_scalar", self.config.max_samples
+                )
+            for _ in range(self.config.max_samples):
+                if out_of_time():
+                    return finish(Status.UNKNOWN, stage="sample-timeout")
+                candidate = sample_point(box, rng)
+                stats.samples += 1
+                d = objective(candidate)
+                if d < best_dist:
+                    best_env, best_dist = candidate, d
+                if d == 0.0:
+                    return finish(
+                        Status.SAT,
+                        self._certify(constraint, candidate, box),
+                        "sample",
+                    )
 
         # Stage 3: disjunction splitting — contract and sample each OR case
         # separately.  Any satisfied case is SAT; all cases proven
         # inconsistent is UNSAT.
         mark("sample")
-        cases = split_cases(nnf)
+        if compiled is not None:
+            compiled_cases = compiled.cases()
+            cases = [entry.case for entry in compiled_cases]
+        else:
+            compiled_cases = None
+            cases = split_cases(nnf)
         if len(cases) > 1:
             all_unsat = True
             per_case = max(4, self.config.max_samples // len(cases))
-            for case in cases:
+            for case_index, case in enumerate(cases):
                 if out_of_time():
                     all_unsat = False
                     break
                 case_box = Box(var_list)
-                if not Contractor(case).contract(case_box):
+                entry = (
+                    compiled_cases[case_index]
+                    if compiled_cases is not None
+                    else None
+                )
+                if not self._contract(case, case_box, entry):
                     continue
                 all_unsat = False
-                case_distance = DistanceEvaluator(to_nnf(case))
-                for candidate in corner_points(case_box):
-                    stats.samples += 1
-                    if case_distance.distance(candidate) == 0.0:
-                        return finish(
-                            Status.SAT,
-                            self._certify(constraint, candidate, box),
-                            "split-corner",
+                case_batch = entry.batch() if entry is not None else None
+                if case_batch is not None:
+                    self.solverc.note("case_batched")
+                    case_corners = corner_points(case_box)
+                    if case_corners:
+                        dists = case_batch.evaluate(case_corners)
+                        self.solverc.note(
+                            "candidates_batched", len(case_corners)
                         )
-                for _ in range(per_case):
-                    candidate = sample_point(case_box, rng)
-                    stats.samples += 1
-                    d = case_distance.distance(candidate)
-                    if d == 0.0:
+                        hit = _first_zero(dists)
+                        if hit is not None:
+                            stats.samples += hit + 1
+                            return finish(
+                                Status.SAT,
+                                self._certify(
+                                    constraint, case_corners[hit], box
+                                ),
+                                "split-corner",
+                            )
+                        stats.samples += len(case_corners)
+                    state = rng.getstate()
+                    chunk = [
+                        sample_point(case_box, rng)
+                        for _ in range(per_case)
+                    ]
+                    dists = case_batch.evaluate(chunk)
+                    self.solverc.note("candidates_batched", per_case)
+                    hit = _first_zero(dists)
+                    if hit is not None:
+                        rng.setstate(state)
+                        for _ in range(hit + 1):
+                            sample_point(case_box, rng)
+                        stats.samples += hit + 1
                         return finish(
                             Status.SAT,
-                            self._certify(constraint, candidate, box),
+                            self._certify(constraint, chunk[hit], box),
                             "split-sample",
                         )
-                    whole = objective(candidate)
-                    if whole < best_dist:
-                        best_env, best_dist = candidate, whole
+                    stats.samples += per_case
+                    if batch is not None:
+                        best_env, best_dist = _batch_best(
+                            batch, chunk, best_env, best_dist
+                        )
+                        self.solverc.note("candidates_batched", per_case)
+                    else:
+                        for candidate in chunk:
+                            whole = objective(candidate)
+                            if whole < best_dist:
+                                best_env, best_dist = candidate, whole
+                else:
+                    if entry is not None:
+                        self.solverc.note("case_interpreted")
+                    case_distance = DistanceEvaluator(to_nnf(case))
+                    for candidate in corner_points(case_box):
+                        stats.samples += 1
+                        if case_distance.distance(candidate) == 0.0:
+                            return finish(
+                                Status.SAT,
+                                self._certify(constraint, candidate, box),
+                                "split-corner",
+                            )
+                    for _ in range(per_case):
+                        candidate = sample_point(case_box, rng)
+                        stats.samples += 1
+                        d = case_distance.distance(candidate)
+                        if d == 0.0:
+                            return finish(
+                                Status.SAT,
+                                self._certify(constraint, candidate, box),
+                                "split-sample",
+                            )
+                        whole = objective(candidate)
+                        if whole < best_dist:
+                            best_env, best_dist = candidate, whole
             if all_unsat:
                 return finish(Status.UNSAT, stage="split")
             mark("split")
 
         # Stage 4: AVM from the best point seen so far.
+        if compiled is not None:
+            self.solverc.note(
+                "avm_compiled" if scalar is not None else "avm_interpreted"
+            )
         search = AvmSearch(
             objective,
             box,
@@ -234,6 +374,33 @@ class SolverEngine:
         if result.satisfied:
             return finish(Status.SAT, self._certify(constraint, result.env, box), "avm")
         return finish(Status.UNKNOWN, stage="avm")
+
+    def _contract(self, constraint: Expr, box: Box, compiled) -> bool:
+        """Contract ``box``, preferring the compiled contractor.
+
+        ``compiled`` is a :class:`CompiledConstraint` or
+        :class:`~repro.solverc.compiler.CompiledCase` (both carry a
+        ``contractor`` and a ``contract_result`` cache) or None for the
+        pure interpreter path.  Contraction is a pure function of the
+        constraint and the freshly built box, so a cached (feasible,
+        snapshot) pair replays the exact narrowing.
+        """
+        if compiled is None:
+            return Contractor(constraint).contract(box)
+        cached = compiled.contract_result
+        if cached is not None:
+            feasible, snapshot = cached
+            box.restore(snapshot)
+            self.solverc.note("contract_cached")
+            return feasible
+        if compiled.contractor is not None:
+            feasible = compiled.contractor.contract(box)
+            self.solverc.note("contract_compiled")
+        else:
+            feasible = Contractor(constraint).contract(box)
+            self.solverc.note("contract_interpreted")
+        compiled.contract_result = (feasible, box.snapshot())
+        return feasible
 
     # ------------------------------------------------------------------
 
@@ -267,6 +434,54 @@ class SolverEngine:
                 "internal error: zero-distance candidate failed verification"
             )
         return model
+
+
+def _first_zero(dists: np.ndarray) -> Optional[int]:
+    """Index of the first exactly-satisfied candidate, or None."""
+    zeros = np.flatnonzero(dists == 0.0)
+    if zeros.size:
+        return int(zeros[0])
+    return None
+
+
+def _batch_best(batch, candidates, best_env, best_dist):
+    """Advance the best tracker over a chunk — zero is not a verdict here.
+
+    The split stage scores candidates against the *whole* constraint
+    purely to seed the AVM start point; a zero whole-distance does not
+    end the stage (only a zero *case* distance does), so unlike
+    ``_batch_scan`` a zero must simply win the best tracker.
+    """
+    if not candidates:
+        return best_env, best_dist
+    dists = batch.evaluate(candidates)
+    low = int(np.argmin(dists))
+    d = float(dists[low])
+    if d < best_dist:
+        return candidates[low], d
+    return best_env, best_dist
+
+
+def _batch_scan(batch, candidates, best_env, best_dist):
+    """Score a candidate chunk; returns (best_env, best_dist, hit_index).
+
+    Mirrors the scalar loop exactly: a zero distance wins immediately
+    (first index, like the sequential scan), otherwise the best tracker
+    advances to the chunk's first minimum iff it strictly beats the
+    incumbent — which is what candidate-by-candidate ``d < best_dist``
+    updates converge to.
+    """
+    if not candidates:
+        return best_env, best_dist, None
+    dists = batch.evaluate(candidates)
+    hit = _first_zero(dists)
+    if hit is not None:
+        return best_env, best_dist, hit
+    low = int(np.argmin(dists))
+    d = float(dists[low])
+    if d < best_dist:
+        return candidates[low], d, None
+    return best_env, best_dist, None
 
 
 def _dedupe(variables: Iterable[Var]) -> List[Var]:

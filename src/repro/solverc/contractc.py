@@ -1,0 +1,477 @@
+"""Closure-compiled HC4 contraction (the contract-stage kernel).
+
+:class:`CompiledContractor` performs exactly the same forward/backward
+interval passes as :class:`~repro.solver.contractor.Contractor`, but the
+per-pass tree walk — isinstance dispatch, id-keyed memo dict, repeated
+constant conversion — is done once at compile time.  The forward pass
+becomes a flat postorder instruction list over a slot-indexed value
+list (constants pre-filled in a template that is block-copied per
+pass), and the backward pass becomes a tree of closures mirroring the
+interpreter's recursion.
+
+All interval arithmetic goes through the same :class:`Interval` methods
+and the canonical ``_forward_unary`` / ``_forward_binary`` transfer
+functions from :mod:`repro.solver.contractor`, so the narrowed boxes are
+identical object-for-object — including the pass count, the order of
+``narrow`` calls, and the ``_empty_out`` conflict behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.expr import ast
+from repro.expr.ast import Binary, Const, Expr, Ite, Select, Store, Unary, Var
+from repro.solver.box import Box
+from repro.solver.contractor import (
+    MAX_PASSES,
+    _empty_out,
+    _forward_binary,
+    _forward_unary,
+)
+from repro.solver.interval import (
+    BOOL_FALSE,
+    BOOL_TRUE,
+    BOOL_UNKNOWN,
+    Interval,
+)
+
+__all__ = ["CompiledContractor", "compile_contractor"]
+
+_INF = float("inf")
+
+# fn(vals, box) -> None: fills this node's forward slot.
+_ForwardInstr = Callable[[List[Optional[Interval]], Box], None]
+# fn(req, vals, box) -> bool: pushes a requirement toward the variables.
+_BackwardFn = Callable[[Interval, List[Optional[Interval]], Box], bool]
+
+
+class CompiledContractor:
+    """Drop-in compiled replacement for ``Contractor(constraint)``."""
+
+    __slots__ = ("_instrs", "_template", "_root", "_backward")
+
+    def __init__(self, instrs, template, root, backward):
+        self._instrs = instrs
+        self._template = template
+        self._root = root
+        self._backward = backward
+
+    def contract(self, box: Box) -> bool:
+        """Narrow ``box`` in place; mirrors ``Contractor.contract``."""
+        vals = list(self._template)
+        for _ in range(MAX_PASSES):
+            vals[:] = self._template
+            for instr in self._instrs:
+                instr(vals, box)
+            root = vals[self._root]
+            if root is not None and root.definitely_false:
+                _empty_out(box)
+                return False
+            changed = self._backward(BOOL_TRUE, vals, box)
+            if box.is_empty:
+                return False
+            if not changed:
+                break
+        return True
+
+
+def compile_contractor(constraint: Expr) -> CompiledContractor:
+    compiler = _Compiler()
+    root = compiler.forward_slot(constraint)
+    backward = compiler.backward_fn(constraint)
+    return CompiledContractor(
+        compiler.instrs, compiler.template, root, backward
+    )
+
+
+class _Compiler:
+    def __init__(self):
+        self.instrs: List[_ForwardInstr] = []
+        self.template: List[Optional[Interval]] = []
+        self._forward_memo: Dict[int, int] = {}
+        self._backward_memo: Dict[int, _BackwardFn] = {}
+
+    # ------------------------------------------------------------------
+    # Forward compilation: one slot per node the interpreter would memo.
+    # ------------------------------------------------------------------
+
+    def _new_slot(self, const: Optional[Interval] = None) -> int:
+        self.template.append(const)
+        return len(self.template) - 1
+
+    def forward_slot(self, node: Expr) -> int:
+        key = id(node)
+        cached = self._forward_memo.get(key)
+        if cached is not None:
+            return cached
+        index = self._compile_forward(node)
+        self._forward_memo[key] = index
+        return index
+
+    def _fwd_slot_of(self, node: Expr) -> Optional[int]:
+        # Backward-pass forward lookups mirror ``self._forward.get(id)``:
+        # a node the forward pass never visited reads as None.
+        return self._forward_memo.get(id(node))
+
+    def _compile_forward(self, node: Expr) -> int:
+        if isinstance(node, Const):
+            if node.ty.is_array:
+                return self._new_slot(None)
+            return self._new_slot(Interval.point(float(node.value)))
+        if isinstance(node, Var):
+            index = self._new_slot()
+            name = node.name
+
+            def var_instr(vals, box):
+                vals[index] = box.domain(name)
+
+            self.instrs.append(var_instr)
+            return index
+        if isinstance(node, Unary):
+            arg = self.forward_slot(node.arg)
+            index = self._new_slot()
+            op = node.op
+            default = Interval.top() if node.ty.is_numeric else BOOL_UNKNOWN
+
+            def unary_instr(vals, box):
+                value = vals[arg]
+                if value is None:
+                    vals[index] = default
+                else:
+                    vals[index] = _forward_unary(op, value)
+
+            self.instrs.append(unary_instr)
+            return index
+        if isinstance(node, Binary):
+            left = self.forward_slot(node.left)
+            right = self.forward_slot(node.right)
+            index = self._new_slot()
+            op = node.op
+            default = BOOL_UNKNOWN if node.ty.is_bool else Interval.top()
+
+            def binary_instr(vals, box):
+                a = vals[left]
+                b = vals[right]
+                if a is None or b is None:
+                    vals[index] = default
+                else:
+                    vals[index] = _forward_binary(op, a, b)
+
+            self.instrs.append(binary_instr)
+            return index
+        if isinstance(node, Ite):
+            cond = self.forward_slot(node.cond)
+            then = self.forward_slot(node.then)
+            orelse = self.forward_slot(node.orelse)
+            index = self._new_slot()
+
+            def ite_instr(vals, box):
+                c = vals[cond]
+                if c is not None and c.definitely_true:
+                    vals[index] = vals[then]
+                    return
+                if c is not None and c.definitely_false:
+                    vals[index] = vals[orelse]
+                    return
+                t = vals[then]
+                e = vals[orelse]
+                if t is None or e is None:
+                    vals[index] = None
+                else:
+                    vals[index] = t.hull(e)
+
+            self.instrs.append(ite_instr)
+            return index
+        if isinstance(node, Select):
+            if isinstance(node.array, Const):
+                values = [float(v) for v in node.array.value]
+                length = len(values)
+                idx = self.forward_slot(node.index)
+                index = self._new_slot()
+
+                def select_instr(vals, box):
+                    span = vals[idx]
+                    if span is None or span.is_empty:
+                        vals[index] = None
+                        return
+                    lo = max(0, int(span.lo))
+                    hi = min(length - 1, int(span.hi))
+                    if lo > hi:
+                        vals[index] = Interval.empty()
+                        return
+                    window = values[lo : hi + 1]
+                    vals[index] = Interval(min(window), max(window))
+
+                self.instrs.append(select_instr)
+                return index
+            default = Interval.top() if node.ty.is_numeric else BOOL_UNKNOWN
+            return self._new_slot(default)
+        if isinstance(node, Store):
+            return self._new_slot(None)
+        return self._new_slot(None)
+
+    # ------------------------------------------------------------------
+    # Backward compilation: a closure per node, composed like the
+    # interpreter's recursion (shared sub-DAGs share the closure but are
+    # still invoked once per parent, exactly as the tree walk would).
+    # ------------------------------------------------------------------
+
+    def backward_fn(self, node: Expr) -> _BackwardFn:
+        key = id(node)
+        cached = self._backward_memo.get(key)
+        if cached is not None:
+            return cached
+        fn = self._compile_backward(node)
+        self._backward_memo[key] = fn
+        return fn
+
+    def _compile_backward(self, node: Expr) -> _BackwardFn:
+        if isinstance(node, Var):
+            name = node.name
+            return lambda req, vals, box: box.narrow(name, req)
+        if isinstance(node, Const):
+            return _no_contract
+        if isinstance(node, Unary):
+            return self._compile_backward_unary(node)
+        if isinstance(node, Binary):
+            if node.op in ast.BOOL_OPS:
+                return self._compile_backward_bool(node)
+            if node.op in ast.REL_OPS:
+                return self._compile_backward_rel(node)
+            return self._compile_backward_arith(node)
+        if isinstance(node, Ite):
+            cond_slot = self._fwd_slot_of(node.cond)
+            then_fn = self.backward_fn(node.then)
+            else_fn = self.backward_fn(node.orelse)
+
+            def ite_bw(req, vals, box):
+                cond = vals[cond_slot] if cond_slot is not None else None
+                if cond is not None and cond.definitely_true:
+                    return then_fn(req, vals, box)
+                if cond is not None and cond.definitely_false:
+                    return else_fn(req, vals, box)
+                return False
+
+            return ite_bw
+        return _no_contract
+
+    def _compile_backward_unary(self, node: Unary) -> _BackwardFn:
+        op = node.op
+        if op not in _INVERTIBLE_UNARY:
+            return _no_contract
+        arg_fn = self.backward_fn(node.arg)
+        if op == ast.NEG:
+            return lambda req, vals, box: arg_fn(-req, vals, box)
+        if op == ast.NOT:
+
+            def not_bw(req, vals, box):
+                if req.definitely_true:
+                    return arg_fn(BOOL_FALSE, vals, box)
+                if req.definitely_false:
+                    return arg_fn(BOOL_TRUE, vals, box)
+                return False
+
+            return not_bw
+        if op == ast.ABS:
+
+            def abs_bw(req, vals, box):
+                if req.hi < 0:
+                    _empty_out(box)
+                    return True
+                return arg_fn(Interval(-req.hi, req.hi), vals, box)
+
+            return abs_bw
+        if op in (ast.FLOOR, ast.CEIL, ast.TO_INT):
+
+            def round_bw(req, vals, box):
+                return arg_fn(
+                    Interval(req.lo - 1.0, req.hi + 1.0), vals, box
+                )
+
+            return round_bw
+        if op == ast.TO_REAL:
+            return arg_fn
+        # TO_BOOL
+
+        def to_bool_bw(req, vals, box):
+            if req.definitely_false:
+                return arg_fn(Interval.point(0.0), vals, box)
+            return False
+
+        return to_bool_bw
+
+    def _compile_backward_bool(self, node: Binary) -> _BackwardFn:
+        op = node.op
+        left_slot = self._fwd_slot_of(node.left)
+        right_slot = self._fwd_slot_of(node.right)
+        left_fn = self.backward_fn(node.left)
+        right_fn = self.backward_fn(node.right)
+
+        def bool_bw(req, vals, box):
+            left_fwd = vals[left_slot] if left_slot is not None else None
+            right_fwd = vals[right_slot] if right_slot is not None else None
+            changed = False
+            if req.definitely_true:
+                if op == ast.AND:
+                    changed |= left_fn(BOOL_TRUE, vals, box)
+                    changed |= right_fn(BOOL_TRUE, vals, box)
+                elif op == ast.OR:
+                    if left_fwd is not None and left_fwd.definitely_false:
+                        changed |= right_fn(BOOL_TRUE, vals, box)
+                    elif right_fwd is not None and right_fwd.definitely_false:
+                        changed |= left_fn(BOOL_TRUE, vals, box)
+                elif op == ast.IMPLIES:
+                    if left_fwd is not None and left_fwd.definitely_true:
+                        changed |= right_fn(BOOL_TRUE, vals, box)
+            elif req.definitely_false:
+                if op == ast.OR:
+                    changed |= left_fn(BOOL_FALSE, vals, box)
+                    changed |= right_fn(BOOL_FALSE, vals, box)
+                elif op == ast.AND:
+                    if left_fwd is not None and left_fwd.definitely_true:
+                        changed |= right_fn(BOOL_FALSE, vals, box)
+                    elif right_fwd is not None and right_fwd.definitely_true:
+                        changed |= left_fn(BOOL_FALSE, vals, box)
+                elif op == ast.IMPLIES:
+                    changed |= left_fn(BOOL_TRUE, vals, box)
+                    changed |= right_fn(BOOL_FALSE, vals, box)
+            return changed
+
+        return bool_bw
+
+    def _compile_backward_rel(self, node: Binary) -> _BackwardFn:
+        base_op = node.op
+        left_slot = self._fwd_slot_of(node.left)
+        right_slot = self._fwd_slot_of(node.right)
+        left_fn = self.backward_fn(node.left)
+        right_fn = self.backward_fn(node.right)
+        both_int = node.left.ty.is_int and node.right.ty.is_int
+
+        def rel_bw(req, vals, box):
+            op = base_op
+            if req.definitely_false:
+                op = ast.REL_NEGATION[op]
+            elif not req.definitely_true:
+                return False
+            left = vals[left_slot] if left_slot is not None else None
+            right = vals[right_slot] if right_slot is not None else None
+            if (
+                left is None
+                or right is None
+                or left.is_empty
+                or right.is_empty
+            ):
+                return False
+            strict_gap = (
+                1.0 if both_int and op in (ast.LT, ast.GT) else 0.0
+            )
+            changed = False
+            if op in (ast.LT, ast.LE):
+                changed |= left_fn(
+                    Interval(-_INF, right.hi - strict_gap), vals, box
+                )
+                changed |= right_fn(
+                    Interval(left.lo + strict_gap, _INF), vals, box
+                )
+            elif op in (ast.GT, ast.GE):
+                changed |= left_fn(
+                    Interval(right.lo + strict_gap, _INF), vals, box
+                )
+                changed |= right_fn(
+                    Interval(-_INF, left.hi - strict_gap), vals, box
+                )
+            elif op == ast.EQ:
+                meet = left.intersect(right)
+                if meet.is_empty:
+                    _empty_out(box)
+                    return True
+                changed |= left_fn(meet, vals, box)
+                changed |= right_fn(meet, vals, box)
+            elif op == ast.NE:
+                if (
+                    left.is_point
+                    and right.is_point
+                    and left.lo == right.lo
+                ):
+                    _empty_out(box)
+                    return True
+            return changed
+
+        return rel_bw
+
+    def _compile_backward_arith(self, node: Binary) -> _BackwardFn:
+        op = node.op
+        if op not in _INVERTIBLE_ARITH:
+            # IDIV / MOD and friends: forward bounds only, like the
+            # interpreter (its _backward_arith falls through unchanged).
+            return _no_contract
+        left_slot = self._fwd_slot_of(node.left)
+        right_slot = self._fwd_slot_of(node.right)
+        left_fn = self.backward_fn(node.left)
+        right_fn = self.backward_fn(node.right)
+
+        def arith_bw(req, vals, box):
+            left = vals[left_slot] if left_slot is not None else None
+            right = vals[right_slot] if right_slot is not None else None
+            if left is None or right is None:
+                return False
+            changed = False
+            if op == ast.ADD:
+                changed |= left_fn(req - right, vals, box)
+                changed |= right_fn(req - left, vals, box)
+            elif op == ast.SUB:
+                changed |= left_fn(req + right, vals, box)
+                changed |= right_fn(left - req, vals, box)
+            elif op == ast.MUL:
+                if not right.contains(0.0):
+                    changed |= left_fn(req.divide(right), vals, box)
+                if not left.contains(0.0):
+                    changed |= right_fn(req.divide(left), vals, box)
+            elif op == ast.DIV:
+                changed |= left_fn(req * right, vals, box)
+                if not req.contains(0.0):
+                    changed |= right_fn(left.divide(req), vals, box)
+            elif op == ast.MIN:
+                left_req = Interval(req.lo, _INF)
+                right_req = Interval(req.lo, _INF)
+                if right.lo > req.hi:
+                    left_req = req
+                if left.lo > req.hi:
+                    right_req = req
+                changed |= left_fn(left_req, vals, box)
+                changed |= right_fn(right_req, vals, box)
+            elif op == ast.MAX:
+                left_req = Interval(-_INF, req.hi)
+                right_req = Interval(-_INF, req.hi)
+                if right.hi < req.lo:
+                    left_req = req
+                if left.hi < req.lo:
+                    right_req = req
+                changed |= left_fn(left_req, vals, box)
+                changed |= right_fn(right_req, vals, box)
+            return changed
+
+        return arith_bw
+
+
+def _no_contract(req, vals, box) -> bool:
+    return False
+
+
+_INVERTIBLE_UNARY = frozenset(
+    {
+        ast.NEG,
+        ast.NOT,
+        ast.ABS,
+        ast.FLOOR,
+        ast.CEIL,
+        ast.TO_INT,
+        ast.TO_REAL,
+        ast.TO_BOOL,
+    }
+)
+
+_INVERTIBLE_ARITH = frozenset(
+    {ast.ADD, ast.SUB, ast.MUL, ast.DIV, ast.MIN, ast.MAX}
+)

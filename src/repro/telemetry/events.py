@@ -21,8 +21,9 @@ Traced runs additionally emit the ``repro.trace/1`` kinds (each tagged
 ``schema: repro.trace/1``): ``phase_totals`` (per-cell phase time
 breakdown + counters), ``solver_stages`` (per-stage attempt/win/time),
 ``tree_growth`` (state-tree size samples), ``cache_stats`` (solve-cache
-hit/miss/eviction/skip counters) and ``span`` (per-target solver time
-aggregates).  See :func:`emit_trace_events`.
+hit/miss/eviction/skip counters), ``kernel_stats`` /``solverc_stats``
+(sim- and solver-kernel compiled-vs-fallback traffic) and ``span``
+(per-target solver time aggregates).  See :func:`emit_trace_events`.
 
 The manifest is a single JSON document derived from the event stream:
 counts, per-(model, tool) coverage aggregates, failures, totals over the
@@ -38,6 +39,7 @@ from typing import Dict, IO, List, Optional
 
 from repro.errors import ReproError
 from repro.obs.stages import CACHE_COUNTERS, merge_stage_dicts
+from repro.solverc.compiler import SolvercStats
 
 #: Version tag embedded in every stream and manifest.
 EVENT_SCHEMA = "repro.events/1"
@@ -53,6 +55,7 @@ TRACE_KINDS = (
     "tree_growth",
     "cache_stats",
     "kernel_stats",
+    "solverc_stats",
 )
 
 #: Solver targets forwarded per traced cell (slowest first); bounds the
@@ -286,6 +289,18 @@ def emit_trace_events(
             fallback_blocks=int(kernel.get("fallback_blocks", 0)),
             fallback_classes=list(kernel.get("fallback_classes") or []),
             kernel_steps=int(kernel.get("kernel_steps", 0)),
+        )
+    solverc = trace_data.get("solverc") or {}
+    if solverc:
+        log.emit(
+            "solverc_stats",
+            **identity,
+            schema=TRACE_SCHEMA,
+            enabled=bool(solverc.get("enabled")),
+            **{
+                key: int(solverc.get(key, 0))
+                for key in SolvercStats.KEYS
+            },
         )
     growth = trace_data.get("tree_growth") or []
     if growth:

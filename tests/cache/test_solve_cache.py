@@ -78,6 +78,9 @@ class TestStatsAndClear:
     def test_stats_key_set(self):
         cache = SolveCache("M")
         assert sorted(cache.stats()) == [
+            "compiled_evictions",
+            "compiled_hits",
+            "compiled_misses",
             "encoding_evictions",
             "encoding_hits",
             "encoding_misses",

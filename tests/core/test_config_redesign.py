@@ -1,0 +1,134 @@
+"""The redesigned config surface: kernels=/caches= plus flat aliases.
+
+Pins the one-release deprecation contract: every pre-redesign flat
+constructor keyword still works, warns :class:`DeprecationWarning`, and
+maps onto the equivalent sub-config field; mixing an alias with the
+sub-config it maps into is refused; the new-style surface is warning-free
+and round-trips through :func:`dataclasses.replace`.
+"""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro import api
+from repro.core.config import CacheConfig, KernelConfig, StcgConfig
+from repro.errors import ConfigError, HarnessError
+
+from tests.conftest import build_counter_model
+
+
+class TestDeprecatedAliases:
+    @pytest.mark.parametrize(
+        "alias, value, group, attr",
+        [
+            ("sim_kernel", False, "kernels", "sim"),
+            ("encoding_cache_size", 7, "caches", "encoding_size"),
+            ("verdict_cache", False, "caches", "verdicts"),
+            ("tree_dedup", False, "caches", "tree_dedup"),
+        ],
+    )
+    def test_alias_warns_and_maps_onto_sub_config(
+        self, alias, value, group, attr
+    ):
+        with pytest.warns(DeprecationWarning, match=alias):
+            config = StcgConfig(**{alias: value})
+        assert getattr(getattr(config, group), attr) == value
+        # The flat name stays readable (without a warning) as a property.
+        assert getattr(config, alias) == value
+
+    def test_multiple_aliases_group_into_both_sub_configs(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            config = StcgConfig(
+                sim_kernel=False, encoding_cache_size=3, verdict_cache=False
+            )
+        assert len(caught) == 1  # one warning naming all the aliases
+        message = str(caught[0].message)
+        for alias in ("sim_kernel", "encoding_cache_size", "verdict_cache"):
+            assert alias in message
+        assert config.kernels == KernelConfig(sim=False)
+        assert config.caches == CacheConfig(encoding_size=3, verdicts=False)
+        # Untouched fields keep their defaults.
+        assert config.kernels.solver is True
+        assert config.caches.tree_dedup is True
+
+    def test_mixing_alias_with_its_sub_config_is_refused(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="not both"):
+                StcgConfig(sim_kernel=False, kernels=KernelConfig(sim=True))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="not both"):
+                StcgConfig(
+                    tree_dedup=False, caches=CacheConfig(encoding_size=1)
+                )
+
+    def test_alias_for_one_group_composes_with_the_other_group(self):
+        with pytest.warns(DeprecationWarning):
+            config = StcgConfig(
+                sim_kernel=False, caches=CacheConfig(verdicts=False)
+            )
+        assert config.kernels.sim is False
+        assert config.caches.verdicts is False
+
+
+class TestNewStyleSurface:
+    def test_new_style_construction_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = StcgConfig(
+                kernels=KernelConfig(sim=False, solver=False),
+                caches=CacheConfig(encoding_size=9, compiled_size=4),
+            )
+        assert config.sim_kernel is False
+        assert config.encoding_cache_size == 9
+        assert config.caches.compiled_size == 4
+
+    def test_round_trips_through_dataclasses_replace(self):
+        config = StcgConfig(budget_s=2.0, seed=5)
+        flipped = replace(
+            config, kernels=replace(config.kernels, solver=False)
+        )
+        assert flipped.kernels == KernelConfig(sim=True, solver=False)
+        assert flipped.budget_s == 2.0 and flipped.seed == 5
+        assert config.kernels.solver is True  # original untouched
+
+    def test_sub_configs_must_be_typed(self):
+        with pytest.raises(ConfigError, match="KernelConfig"):
+            StcgConfig(kernels={"sim": False})
+        with pytest.raises(ConfigError, match="CacheConfig"):
+            StcgConfig(caches={"verdicts": False})
+
+
+class TestApiOverrides:
+    def test_stcg_overrides_reach_the_generator(self):
+        result = api.generate(
+            build_counter_model(),
+            budget_s=2.0,
+            seed=3,
+            stcg_overrides={
+                "kernels": api.KernelConfig(solver=False),
+                "caches": api.CacheConfig(verdicts=False),
+            },
+        )
+        baseline = api.generate(build_counter_model(), budget_s=2.0, seed=3)
+        assert [c.inputs for c in result.suite] == [
+            c.inputs for c in baseline.suite
+        ]
+
+    def test_stcg_overrides_exclusive_with_config(self):
+        with pytest.raises(HarnessError, match="not both"):
+            api.generate(
+                build_counter_model(),
+                config=StcgConfig(budget_s=1.0),
+                stcg_overrides={"kernels": api.KernelConfig()},
+            )
+
+    def test_stcg_overrides_rejected_for_other_tools(self):
+        with pytest.raises(HarnessError, match="STCG only"):
+            api.generate(
+                build_counter_model(),
+                tool="SLDV",
+                budget_s=1.0,
+                stcg_overrides={"kernels": api.KernelConfig()},
+            )

@@ -10,6 +10,7 @@ import pytest
 
 from repro.cache import SolveCache
 from repro.core import StcgConfig, StcgGenerator
+from repro.core.config import CacheConfig
 
 from tests.conftest import build_counter_model, build_queue_model
 
@@ -45,28 +46,38 @@ class TestCacheOnVsOff:
     def test_disabling_both_caches_changes_nothing(self, build):
         _, with_caches = run(build())
         _, without = run(
-            build(), encoding_cache_size=0, verdict_cache=False
+            build(), caches=CacheConfig(encoding_size=0, verdicts=False)
         )
         assert_identical(with_caches, without)
 
     def test_tiny_encoding_cache_changes_nothing(self, build):
         # Constant eviction pressure: every rebuild must be deterministic.
         _, roomy = run(build())
-        _, tiny = run(build(), encoding_cache_size=1)
+        _, tiny = run(build(), caches=CacheConfig(encoding_size=1))
+        assert_identical(roomy, tiny)
+
+    def test_tiny_compiled_cache_changes_nothing(self, build):
+        # Compiled-bundle eviction (and the first-visit markers with it)
+        # only changes when the solver kernel compiles, never results.
+        _, roomy = run(build())
+        _, tiny = run(build(), caches=CacheConfig(compiled_size=1))
         assert_identical(roomy, tiny)
 
     def test_dedup_off_changes_nothing(self, build):
         _, deduped = run(build())
-        _, full_scan = run(build(), tree_dedup=False)
+        _, full_scan = run(build(), caches=CacheConfig(tree_dedup=False))
         assert_identical(deduped, full_scan)
 
     def test_everything_off_matches_everything_on(self, build):
         _, on = run(build())
         _, off = run(
             build(),
-            encoding_cache_size=0,
-            verdict_cache=False,
-            tree_dedup=False,
+            caches=CacheConfig(
+                encoding_size=0,
+                compiled_size=0,
+                verdicts=False,
+                tree_dedup=False,
+            ),
         )
         assert_identical(on, off)
 
@@ -110,10 +121,12 @@ class TestGeneratorCacheWiring:
         compiled = build_counter_model()
         generator = StcgGenerator(
             compiled,
-            StcgConfig(budget_s=1.0, encoding_cache_size=3,
-                       verdict_cache=False),
+            StcgConfig(budget_s=1.0,
+                       caches=CacheConfig(encoding_size=3, compiled_size=5,
+                                          verdicts=False)),
         )
         assert generator.cache.encodings.capacity == 3
+        assert generator.cache.compiled.capacity == 5
         assert not generator.cache.verdicts_enabled
 
     def test_trace_counters_carry_cache_stats(self):
@@ -141,4 +154,10 @@ class TestGeneratorCacheWiring:
         from repro.errors import ConfigError
 
         with pytest.raises(ConfigError, match="encoding_cache_size"):
-            StcgConfig(encoding_cache_size=-1)
+            CacheConfig(encoding_size=-1)
+        with pytest.raises(ConfigError, match="compiled_size"):
+            CacheConfig(compiled_size=-1)
+        # The deprecated flat alias still validates through the sub-config.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="encoding_cache_size"):
+                StcgConfig(encoding_cache_size=-1)

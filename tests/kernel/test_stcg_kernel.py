@@ -1,6 +1,6 @@
 """Generator-level transparency of the simulation kernel.
 
-``sim_kernel`` may only change how fast concrete steps run — never what
+``kernels.sim`` may only change how fast concrete steps run — never what
 any tool produces.  Fixed-seed STCG runs must be bit-identical with the
 kernel on or off, the baselines must be equally unaffected, and symbolic
 execution (the SLDV unroller, STCG's encodings) never touches the kernel.
@@ -11,6 +11,7 @@ import pytest
 from repro.baselines.simcotest import SimCoTestConfig, SimCoTestGenerator
 from repro.baselines.sldv import SldvConfig, SldvGenerator
 from repro.core import StcgConfig, StcgGenerator
+from repro.core.config import KernelConfig
 
 from tests.conftest import build_counter_model, build_queue_model
 from tests.core.test_stcg_cache import assert_identical
@@ -19,10 +20,12 @@ from tests.core.test_stcg_cache import assert_identical
 @pytest.mark.parametrize("build", [build_counter_model, build_queue_model])
 def test_stcg_bit_identical_kernel_on_vs_off(build):
     on = StcgGenerator(
-        build(), StcgConfig(budget_s=10.0, seed=7, sim_kernel=True)
+        build(),
+        StcgConfig(budget_s=10.0, seed=7, kernels=KernelConfig(sim=True)),
     ).run()
     off = StcgGenerator(
-        build(), StcgConfig(budget_s=10.0, seed=7, sim_kernel=False)
+        build(),
+        StcgConfig(budget_s=10.0, seed=7, kernels=KernelConfig(sim=False)),
     ).run()
     assert_identical(on, off)
 
@@ -89,7 +92,8 @@ class TestKernelTraceData:
     def test_kernel_off_is_reported_as_disabled(self):
         result = StcgGenerator(
             build_counter_model(),
-            StcgConfig(budget_s=5.0, seed=1, trace=True, sim_kernel=False),
+            StcgConfig(budget_s=5.0, seed=1, trace=True,
+                       kernels=KernelConfig(sim=False)),
         ).run()
         assert result.trace_data["kernel"] == {"enabled": False}
 
