@@ -225,6 +225,9 @@ def run_experiment(
     progress: Optional[Callable[[str], None]] = None,
     trace: bool = False,
     stcg_overrides: Optional[dict] = None,
+    heartbeat_s: Optional[float] = None,
+    stall_fraction: float = 0.5,
+    heartbeat_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run the (tool × model × repetition) matrix, possibly in parallel.
 
@@ -238,6 +241,10 @@ def run_experiment(
     forwarded into the event stream as ``repro.trace/1`` events.
     ``stcg_overrides`` applies extra :class:`StcgConfig` fields
     (``kernels=``, ``caches=``, ablation flags) to every STCG cell.
+    ``heartbeat_s`` streams per-worker liveness beats to JSONL sidecars
+    (in ``heartbeat_dir``, default ``<events_out>.hb``) and arms the
+    parent's stall watchdog, which emits ``cell_stalled`` events when a
+    running cell goes quiet for ``stall_fraction`` of its timeout.
     """
     for name in tools:
         if name not in TOOLS:
@@ -274,6 +281,9 @@ def run_experiment(
             events=events,
             trace=trace,
             stcg_overrides=stcg_overrides,
+            heartbeat_s=heartbeat_s,
+            stall_fraction=stall_fraction,
+            heartbeat_dir=heartbeat_dir,
         )
         if events is not None:
             events.write_manifest(_manifest_path(events_out))

@@ -10,6 +10,10 @@ Commands:
 * ``table1 | table2 | table3 | fig3 | fig4`` — the paper's artefacts,
 * ``report FILE.jsonl`` — analyze a telemetry stream: phase times,
   solver-stage win rates, tree growth, coverage-vs-time, slow targets,
+* ``tail FILE.jsonl`` — live status board for a matrix run (per-cell
+  status, progress, stall flags; ``--follow`` polls until it finishes),
+* ``diff OLD NEW`` — run-regression analysis between two manifests or
+  event logs (``--fail-on-regression`` gates CI),
 * ``ablation KIND MODEL`` — the Discussion-section ablations.
 """
 
@@ -54,6 +58,17 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         help="deep generator tracing: phase spans, solver-stage metrics "
              "and tree growth as repro.trace/1 events (analyze with "
              "'repro report')",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="matrix runs only: stream per-worker liveness beats to "
+             "JSONL sidecars every SECONDS and arm the stall watchdog "
+             "(watch with 'repro tail')",
+    )
+    parser.add_argument(
+        "--stall-fraction", type=float, default=0.5, metavar="FRACTION",
+        help="fraction of the cell timeout a running cell may stay "
+             "quiet before a cell_stalled event (default 0.5)",
     )
 
 
@@ -140,7 +155,54 @@ def _parser() -> argparse.ArgumentParser:
     rep.add_argument(
         "--require-trace", action="store_true",
         help="exit non-zero unless the stream carries repro.trace/1 "
-             "phase totals (for CI gates)",
+             "events; the error names every missing kind (for CI gates)",
+    )
+
+    tail = sub.add_parser(
+        "tail", help="live status board for a running (or finished) "
+                     "matrix: per-cell status, progress, stall flags"
+    )
+    tail.add_argument("events", metavar="FILE.jsonl")
+    tail.add_argument(
+        "--heartbeat-dir", default=None, metavar="DIR",
+        help="heartbeat sidecar directory (default: FILE.jsonl.hb)",
+    )
+    tail.add_argument(
+        "--follow", action="store_true",
+        help="re-render until the matrix finishes",
+    )
+    tail.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="polling interval with --follow (default 2.0)",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="compare two runs (manifests or event logs): "
+                     "coverage, phase-time, cache/kernel rate deltas"
+    )
+    diff.add_argument("baseline", metavar="OLD.manifest.json|OLD.jsonl")
+    diff.add_argument("candidate", metavar="NEW.manifest.json|NEW.jsonl")
+    diff.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when a regression rule trips (for CI gates)",
+    )
+    diff.add_argument(
+        "--coverage-drop", type=float, default=0.0, metavar="FRACTION",
+        help="tolerated coverage drop before it counts as a regression "
+             "(default 0 = any drop fails)",
+    )
+    diff.add_argument(
+        "--cache-hit-drop", type=float, default=0.05, metavar="FRACTION",
+        help="tolerated cache hit-rate drop (default 0.05)",
+    )
+    diff.add_argument(
+        "--fallback-increase", type=float, default=0.05, metavar="FRACTION",
+        help="tolerated kernel/solverc fallback-rate increase "
+             "(default 0.05)",
+    )
+    diff.add_argument(
+        "--phase-slowdown", type=float, default=0.5, metavar="FRACTION",
+        help="tolerated relative phase-time growth (default 0.5 = +50%%)",
     )
 
     prove = sub.add_parser(
@@ -208,6 +270,11 @@ def _cmd_generate(args) -> None:
         raise ReproError(
             "cache and kernel flags apply to --tool STCG only"
         )
+    if args.heartbeat is not None:
+        raise ReproError(
+            "--heartbeat applies to matrix commands "
+            "(compare / table3 / fig4) only"
+        )
     config = (
         api.StcgConfig(
             budget_s=args.budget, seed=args.seed, trace=args.trace,
@@ -271,6 +338,8 @@ def _cmd_compare(args) -> None:
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
         trace=args.trace,
+        heartbeat_s=args.heartbeat,
+        stall_fraction=args.stall_fraction,
     )
     _print_failures(experiment)
     results = {}
@@ -299,6 +368,8 @@ def _cmd_table3(args) -> None:
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
         trace=args.trace,
+        heartbeat_s=args.heartbeat,
+        stall_fraction=args.stall_fraction,
         progress=lambda m: print(f"  {m}"),
     )
     _print_failures(experiment)
@@ -316,6 +387,8 @@ def _cmd_fig4(args) -> None:
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
         trace=args.trace,
+        heartbeat_s=args.heartbeat,
+        stall_fraction=args.stall_fraction,
     )
     _print_failures(experiment)
     all_results = {
@@ -330,7 +403,7 @@ def _cmd_fig4(args) -> None:
 
 
 def _cmd_report(args) -> None:
-    from repro.obs.report import render_report, trace_phase_totals
+    from repro.obs.report import render_report, trace_missing_kinds
     from repro.telemetry import read_events
 
     try:
@@ -338,11 +411,69 @@ def _cmd_report(args) -> None:
     except OSError as err:
         raise ReproError(f"cannot read {args.events!r}: {err}") from err
     print(render_report(events, top_n=args.top))
-    if args.require_trace and not trace_phase_totals(events):
-        raise ReproError(
-            f"{args.events}: no repro.trace/1 phase totals in the stream "
-            "(was the run started with --trace?)"
+    if args.require_trace:
+        missing = trace_missing_kinds(events)
+        # phase_totals is emitted by every traced cell; its absence means
+        # the run was not traced at all.  The error still names every
+        # absent kind so partial streams are diagnosable.
+        if "phase_totals" in missing:
+            raise ReproError(
+                f"{args.events}: stream is missing repro.trace/1 event "
+                f"kind(s): {', '.join(missing)} "
+                "(was the run started with --trace?)"
+            )
+
+
+def _cmd_tail(args) -> None:
+    import time as _time
+
+    from repro.exec import heartbeat_dir_for, read_heartbeats
+    from repro.telemetry import read_events, render_tail
+
+    hb_dir = args.heartbeat_dir or heartbeat_dir_for(args.events)
+
+    def render_once():
+        try:
+            events = read_events(args.events)
+        except OSError as err:
+            raise ReproError(f"cannot read {args.events!r}: {err}") from err
+        print(render_tail(events, read_heartbeats(hb_dir)))
+        return any(e.get("event") == "matrix_finished" for e in events)
+
+    finished = render_once()
+    while args.follow and not finished:
+        _time.sleep(args.interval)
+        print()
+        finished = render_once()
+
+
+def _cmd_diff(args) -> int:
+    from repro.telemetry import (
+        Thresholds,
+        diff_runs,
+        find_regressions,
+        load_run,
+        render_diff,
+    )
+
+    diff = diff_runs(load_run(args.baseline), load_run(args.candidate))
+    problems = find_regressions(
+        diff,
+        Thresholds(
+            coverage_drop=args.coverage_drop,
+            cache_hit_drop=args.cache_hit_drop,
+            fallback_increase=args.fallback_increase,
+            phase_slowdown=args.phase_slowdown,
+        ),
+    )
+    print(render_diff(diff, problems))
+    if problems and args.fail_on_regression:
+        print(
+            f"error: {len(problems)} regression(s) against {args.baseline}",
+            file=sys.stderr,
         )
+        return 1
+    return 0
 
 
 def _cmd_prove(name: str) -> None:
@@ -402,6 +533,10 @@ def _dispatch(args) -> int:
         _cmd_fig4(args)
     elif args.command == "report":
         _cmd_report(args)
+    elif args.command == "tail":
+        _cmd_tail(args)
+    elif args.command == "diff":
+        return _cmd_diff(args)
     elif args.command == "prove":
         _cmd_prove(args.model)
     elif args.command == "ablation":

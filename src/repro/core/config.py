@@ -183,6 +183,13 @@ class StcgConfig:
     #: never changes the generated tests or ``stats`` — only observes.
     trace: bool = False
 
+    #: Attach the unified ``repro.metrics/1`` registry snapshot to traced
+    #: results (``trace_data["metrics"]``), from which the legacy
+    #: solver-stage/cache/kernel counter payloads are derived as views.
+    #: Like tracing, metrics only observe: fixed-seed suites are
+    #: bit-identical with this on or off.
+    metrics: bool = True
+
     def __post_init__(self) -> None:
         if self.budget_s <= 0:
             raise ConfigError(

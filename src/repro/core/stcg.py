@@ -34,9 +34,20 @@ from repro.core.result import (
 from repro.core.state_tree import StateTree, StateTreeNode
 from repro.core.testcase import TestCase, TestSuite
 from repro.expr.ast import Const
+from repro.metrics import (
+    CASE_LENGTH_BOUNDS,
+    MetricsRegistry,
+    cache_view,
+    declare_instruments,
+    kernel_view,
+    populate_registry,
+    solver_stages_view,
+    solverc_view,
+)
 from repro.model.graph import CompiledModel
 from repro.model.inputs import random_input
 from repro.model.simulator import Simulator
+from repro.obs.probe import PROBE
 from repro.obs.stages import merge_stage_dicts
 from repro.obs.tracer import NULL_TRACER, PhaseProfiler, Tracer
 from repro.solver.encoder import OneStepEncoding
@@ -152,6 +163,15 @@ class StcgGenerator:
             "steps_executed": 0,
             "warmup_steps": 0,
         }
+        #: The unified metrics registry (``repro.metrics/1``).  Declared
+        #: up front so an untraced or zero-activity run still snapshots
+        #: the full instrument set; most counters are projected from the
+        #: legacy accumulators at the end of the run, but live-observed
+        #: distributions (``stcg.case_length``) record as they happen.
+        self.metrics = declare_instruments(MetricsRegistry())
+        self._case_hist = self.metrics.histogram(
+            "stcg.case_length", CASE_LENGTH_BOUNDS
+        )
         self._start = 0.0
         self._branches = compiled.registry.branches_by_depth()
         #: Branch ids proven unreachable by abstract interpretation.
@@ -174,14 +194,32 @@ class StcgGenerator:
         """Generate test cases until the budget expires or coverage is full."""
         self._start = self._clock()
         tracer = self.tracer
+        probe = PROBE
+        if probe.enabled:
+            # Publish progress for heartbeats: plain attribute writes that
+            # never feed back into the algorithm (see repro.obs.probe).
+            probe.note(coverage_fn=self.collector.decision_coverage)
         if self.config.random_warmup_s > 0:
+            if probe.enabled:
+                probe.note(phase="warmup")
             with tracer.span("warmup"):
                 self._random_warmup()
         while not self._done():
+            if probe.enabled:
+                probe.note(
+                    phase="solve_scan",
+                    tree_nodes=len(self.tree),
+                    solver_calls=self.stats["solver_calls"],
+                )
             with tracer.span("solve_scan"):
                 target = self._state_aware_solve()
             if self._out_of_time():
                 break
+            if probe.enabled:
+                probe.note(
+                    phase="execute",
+                    solver_calls=self.stats["solver_calls"],
+                )
             with tracer.span("execute"):
                 self._dynamic_execute(target)
             if target is None:
@@ -205,38 +243,59 @@ class StcgGenerator:
         )
 
     def _trace_data(self) -> Dict[str, object]:
-        """Assemble the ``repro.trace/1`` aggregates (empty when untraced)."""
+        """Assemble the ``repro.trace/1`` aggregates (empty when untraced).
+
+        The subsystem counter payloads (``solver_stages``, ``cache``,
+        ``kernel``, ``solverc``) are no longer built from their legacy
+        accumulators directly: the accumulators are folded into the
+        unified metrics registry once, and each payload is a *view* over
+        the resulting ``repro.metrics/1`` snapshot — so the snapshot and
+        the legacy shapes can never disagree.
+        """
         summarize = getattr(self.tracer, "summary", None)
         if summarize is None:
             return {}
         summary = summarize()
         stages = merge_stage_dicts({}, self._engine.metrics.as_dict())
         merge_stage_dicts(stages, self._lite_engine.metrics.as_dict())
-        counters = dict(summary["counters"])
         cache_stats = self.cache.stats()
+        kernel_stats = self.simulator.kernel_stats()
+        populate_registry(
+            self.metrics,
+            stats=self.stats,
+            solver_stages=stages,
+            cache=cache_stats,
+            kernel=kernel_stats,
+            solverc=self._solverc_stats(),
+            tree_nodes=len(self.tree),
+            dedup_links=self.tree.dedup_links,
+            verdict_skips=self.stats["verdict_skips"],
+            unique_states=self.tree.unique_states(),
+        )
+        snapshot = self.metrics.snapshot()
+        counters = dict(summary["counters"])
         counters.update(cache_stats)
         counters["dedup_links"] = self.tree.dedup_links
-        kernel_stats = self.simulator.kernel_stats()
-        return {
+        kernel = kernel_view(snapshot)
+        if kernel_stats is not None:
+            # A label list, not a metric: carried alongside the view.
+            kernel["fallback_classes"] = list(
+                kernel_stats.get("fallback_classes") or []
+            )
+        data: Dict[str, object] = {
             "schema": TRACE_SCHEMA,
             "phase_totals": summary["phase_totals"],
-            "solver_stages": stages,
+            "solver_stages": solver_stages_view(snapshot),
             "tree_growth": summary["series"].get("tree_nodes", []),
             "solver_targets": summary["targets"],
             "counters": counters,
-            "cache": {
-                **cache_stats,
-                "verdict_skips": self.stats["verdict_skips"],
-                "dedup_links": self.tree.dedup_links,
-                "unique_states": self.tree.unique_states(),
-            },
-            "kernel": (
-                {"enabled": True, **kernel_stats}
-                if kernel_stats is not None
-                else {"enabled": False}
-            ),
-            "solverc": self._solverc_stats(),
+            "cache": cache_view(snapshot),
+            "kernel": kernel,
+            "solverc": solverc_view(snapshot),
         }
+        if self.config.metrics:
+            data["metrics"] = snapshot
+        return data
 
     def _solverc_stats(self) -> Dict[str, object]:
         """Solver-kernel counters over both engines plus the compiler."""
@@ -516,6 +575,7 @@ class StcgGenerator:
             timestamp=self._elapsed(),
         )
         self.suite.add(case)
+        self._case_hist.observe(float(len(executed)))
         self.timeline.append(
             TimelineEvent(
                 t=case.timestamp,

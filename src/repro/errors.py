@@ -62,6 +62,10 @@ class ConfigError(ReproError):
     """A configuration dataclass was constructed with nonsensical values."""
 
 
+class MetricsError(ReproError):
+    """A metrics instrument was declared or merged inconsistently."""
+
+
 class ExecutorError(ReproError):
     """The parallel experiment executor was misused or failed internally."""
 

@@ -9,16 +9,28 @@ from repro.exec.executor import (
     run_cell,
     run_single,
 )
+from repro.exec.heartbeat import (
+    HEARTBEAT_SCHEMA,
+    HeartbeatConfig,
+    StallWatchdog,
+    heartbeat_dir_for,
+    read_heartbeats,
+)
 
 __all__ = [
     "CellFailure",
     "CellSpec",
     "ExperimentResult",
+    "HEARTBEAT_SCHEMA",
+    "HeartbeatConfig",
+    "StallWatchdog",
     "TOOLS",
     "ToolOutcome",
     "derive_seed",
     "execute_matrix",
+    "heartbeat_dir_for",
     "plan_matrix",
+    "read_heartbeats",
     "run_cell",
     "run_single",
 ]

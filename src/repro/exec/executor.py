@@ -40,7 +40,14 @@ from repro.core.result import GenerationResult
 from repro.core.stcg import StcgGenerator
 from repro.errors import CellTimeout, HarnessError
 from repro.exec.cells import CellFailure, CellSpec, plan_matrix
+from repro.exec.heartbeat import (
+    HeartbeatConfig,
+    StallWatchdog,
+    ensure_heartbeat,
+    heartbeat_dir_for,
+)
 from repro.models.registry import BenchmarkModel
+from repro.obs.probe import PROBE
 from repro.telemetry.events import EventLog, emit_trace_events
 
 #: The paper's three tools, in rendering order.
@@ -153,15 +160,34 @@ class _CellOutcome:
 
 
 def _run_cell_guarded(
-    spec: CellSpec, cell_timeout: Optional[float]
+    spec: CellSpec,
+    cell_timeout: Optional[float],
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> _CellOutcome:
     """Run one cell, converting timeouts and crashes into data.
 
     This is the function shipped to worker processes; it must never raise
     for a cell-level problem, or the failure would take the future (and,
     for hard deaths, the whole pool) down with it.
+
+    When ``heartbeat`` is set, the cell activates this process's
+    :data:`~repro.obs.probe.PROBE` and heartbeat writer around the run:
+    an immediate beat on entry (so even instant cells leave a record),
+    periodic beats from the writer thread while the cell runs, and a
+    final ``done`` beat on the way out.
     """
     started = time.monotonic()
+    writer = None
+    if heartbeat is not None:
+        writer = ensure_heartbeat(heartbeat)
+        PROBE.enabled = True
+        PROBE.activate(
+            cell=spec.index,
+            model=spec.model.name,
+            tool=spec.tool,
+            repetition=spec.repetition,
+        )
+        writer.beat_now()
     try:
         with _CellAlarm(cell_timeout):
             result = run_cell(spec)
@@ -179,6 +205,11 @@ def _run_cell_guarded(
             message=f"{type(err).__name__}: {err}",
             traceback=traceback.format_exc(),
         )
+    finally:
+        if writer is not None:
+            PROBE.note(phase="done")
+            writer.beat_now()
+            PROBE.deactivate()
 
 
 # ----------------------------------------------------------------------
@@ -271,6 +302,9 @@ def execute_matrix(
     events: Optional[EventLog] = None,
     trace: bool = False,
     stcg_overrides: Optional[Dict[str, object]] = None,
+    heartbeat_s: Optional[float] = None,
+    stall_fraction: float = 0.5,
+    heartbeat_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run every tool on every model, fanned out over ``workers`` processes.
 
@@ -278,11 +312,36 @@ def execute_matrix(
     guards); ``workers>1`` ships cells to a process pool.  Both paths use
     the same per-cell seeds and aggregate in plan order, so the coverage
     numbers are identical.
+
+    ``heartbeat_s`` turns on live observability: every worker streams a
+    beat each ``heartbeat_s`` seconds to a per-worker JSONL sidecar in
+    ``heartbeat_dir`` (default: ``<events path>.hb``), and the parent
+    runs a :class:`~repro.exec.heartbeat.StallWatchdog` that emits a
+    ``cell_stalled`` event when a running cell goes quiet for
+    ``stall_fraction`` of its timeout (of ``budget_s`` when no cell
+    timeout is set).  Heartbeats only observe — fixed-seed results are
+    bit-identical with them on or off.
     """
     if workers < 1:
         raise HarnessError(f"workers must be >= 1, got {workers}")
     if cell_timeout is not None and cell_timeout <= 0:
         raise HarnessError(f"cell_timeout must be positive, got {cell_timeout}")
+    if heartbeat_s is not None and heartbeat_s <= 0:
+        raise HarnessError(f"heartbeat_s must be positive, got {heartbeat_s}")
+    if not 0.0 < stall_fraction:
+        raise HarnessError(
+            f"stall_fraction must be positive, got {stall_fraction}"
+        )
+    heartbeat: Optional[HeartbeatConfig] = None
+    if heartbeat_s is not None:
+        directory = heartbeat_dir
+        if directory is None and events is not None and events.path:
+            directory = heartbeat_dir_for(events.path)
+        if directory is None:
+            import tempfile
+
+            directory = tempfile.mkdtemp(prefix="repro-hb-")
+        heartbeat = HeartbeatConfig(directory=directory, interval_s=heartbeat_s)
     cells = plan_matrix(
         models,
         tools,
@@ -307,22 +366,38 @@ def execute_matrix(
             workers=workers,
             cell_timeout=cell_timeout,
             trace=trace,
+            heartbeat_s=heartbeat_s,
             cells=len(cells),
         )
 
     payloads: List[Optional[_CellOutcome]] = [None] * len(cells)
+    watchdog: Optional[StallWatchdog] = None
+    if heartbeat is not None and events is not None:
+        reference = cell_timeout if cell_timeout is not None else budget_s
+        watchdog = StallWatchdog(
+            heartbeat.directory,
+            quiet_s=max(stall_fraction * reference, 2.0 * heartbeat_s),
+            emit=events.emit,
+            poll_s=heartbeat_s / 2.0,
+        ).start()
 
     def _record(spec: CellSpec, payload: _CellOutcome) -> None:
         payloads[spec.index] = payload
+        if watchdog is not None:
+            watchdog.note_done(spec.index)
         _notify(spec, payload, progress, events)
 
-    if workers == 1 or len(cells) <= 1:
-        for spec in cells:
-            if events is not None:
-                events.emit("cell_started", **spec.identity())
-            _record(spec, _run_cell_guarded(spec, cell_timeout))
-    else:
-        _run_pooled(cells, workers, cell_timeout, events, _record)
+    try:
+        if workers == 1 or len(cells) <= 1:
+            for spec in cells:
+                if events is not None:
+                    events.emit("cell_started", **spec.identity())
+                _record(spec, _run_cell_guarded(spec, cell_timeout, heartbeat))
+        else:
+            _run_pooled(cells, workers, cell_timeout, events, _record, heartbeat)
+    finally:
+        if watchdog is not None:
+            watchdog.stop()
 
     failures: List[CellFailure] = []
     outcomes: Dict[str, Dict[str, ToolOutcome]] = {}
@@ -376,6 +451,7 @@ def _run_pooled(
     cell_timeout: Optional[float],
     events: Optional[EventLog],
     record: Callable[[CellSpec, _CellOutcome], None],
+    heartbeat: Optional[HeartbeatConfig] = None,
 ) -> None:
     """Fan cells out over a process pool; survive a broken pool.
 
@@ -390,7 +466,9 @@ def _run_pooled(
             for spec in cells:
                 if events is not None:
                     events.emit("cell_started", **spec.identity())
-                future_map[pool.submit(_run_cell_guarded, spec, cell_timeout)] = spec
+                future_map[
+                    pool.submit(_run_cell_guarded, spec, cell_timeout, heartbeat)
+                ] = spec
             for future in as_completed(future_map):
                 spec = future_map[future]
                 try:
@@ -404,7 +482,7 @@ def _run_pooled(
     # Re-run everything that never produced a payload (broken-pool path).
     for spec in cells:
         if spec.index not in done:
-            record(spec, _run_cell_guarded(spec, cell_timeout))
+            record(spec, _run_cell_guarded(spec, cell_timeout, heartbeat))
 
 
 def _notify(

@@ -14,8 +14,6 @@ from repro.harness.runner import (
     ToolOutcome,
     average_improvements,
     improvement,
-    run_matrix,
-    run_tool,
 )
 from repro.harness.tables import PAPER_TABLE3, run_table1, table1, table2, table3
 
@@ -34,9 +32,7 @@ __all__ = [
     "hybrid_warmup",
     "improvement",
     "library_vs_fresh",
-    "run_matrix",
     "run_table1",
-    "run_tool",
     "table1",
     "table2",
     "table3",

@@ -1,32 +1,25 @@
-"""Legacy run-matrix entry points, now thin shims over :mod:`repro.exec`.
+"""Matrix configuration and the paper's improvement arithmetic.
 
 The paper runs every tool for one hour and repeats randomized tools ten
 times.  Budgets and repetition counts are scaled-down knobs here; the
 harness averages coverage over repetitions exactly as the paper does.
 
-``run_tool`` and ``run_matrix`` predate the parallel executor and are kept
-for backwards compatibility only — new code should call
-:func:`repro.api.run_experiment` (or :func:`repro.exec.execute_matrix`
-directly), which adds process-pool parallelism, per-cell timeouts, crash
-isolation and structured telemetry.
+Entry points live elsewhere: :func:`repro.api.generate` for a single run
+and :func:`repro.api.run_experiment` for the full matrix (process-pool
+parallelism, per-cell timeouts, crash isolation, telemetry).  The
+deprecated ``run_tool``/``run_matrix`` shims that used to live here were
+removed; :class:`MatrixConfig` remains the single validation point for
+matrix budgets.
 """
 
 from __future__ import annotations
 
 import statistics
-import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-from repro.core.result import GenerationResult
-from repro.errors import ConfigError, HarnessError
-from repro.exec.executor import (
-    TOOLS,
-    ToolOutcome,
-    execute_matrix,
-    run_single,
-)
-from repro.models.registry import BenchmarkModel
+from repro.errors import ConfigError
+from repro.exec.executor import TOOLS, ToolOutcome
 
 __all__ = [
     "MatrixConfig",
@@ -34,8 +27,6 @@ __all__ = [
     "ToolOutcome",
     "average_improvements",
     "improvement",
-    "run_matrix",
-    "run_tool",
 ]
 
 
@@ -70,66 +61,6 @@ class MatrixConfig:
             )
         if not isinstance(self.seed, int):
             raise ConfigError(f"seed must be an int, got {self.seed!r}")
-
-
-def run_tool(
-    tool: str,
-    model: BenchmarkModel,
-    budget_s: float,
-    seed: int,
-    sldv_max_depth: int = 6,
-) -> GenerationResult:
-    """One generation run of one tool on a fresh build of the model.
-
-    .. deprecated:: 1.1
-       Use :func:`repro.api.generate` instead.
-    """
-    warnings.warn(
-        "run_tool is deprecated; use repro.api.generate",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run_single(tool, model, budget_s, seed, sldv_max_depth)
-
-
-def run_matrix(
-    models: Sequence[BenchmarkModel],
-    config: Optional[MatrixConfig] = None,
-    tools: Sequence[str] = TOOLS,
-    progress: Optional[Callable[[str], None]] = None,
-) -> Dict[str, Dict[str, ToolOutcome]]:
-    """Run every tool on every model; returns ``{model: {tool: outcome}}``.
-
-    .. deprecated:: 1.1
-       Use :func:`repro.api.run_experiment`, which adds ``workers``,
-       ``cell_timeout`` and telemetry.  This shim runs the same executor
-       serially and re-raises the first recorded cell failure, matching the
-       legacy fail-fast behaviour.
-    """
-    warnings.warn(
-        "run_matrix is deprecated; use repro.api.run_experiment",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    config = config or MatrixConfig()
-    result = execute_matrix(
-        models,
-        tools,
-        budget_s=config.budget_s,
-        repetitions=config.repetitions,
-        sldv_repetitions=config.sldv_repetitions,
-        seed=config.seed,
-        sldv_max_depth=config.sldv_max_depth,
-        workers=1,
-        progress=progress,
-    )
-    if result.failures:
-        first = result.failures[0]
-        raise HarnessError(
-            f"{len(result.failures)} matrix cell(s) failed; first: "
-            f"{first.label} ({first.kind}: {first.message})"
-        )
-    return result.outcomes
 
 
 def improvement(stcg: float, baseline: float) -> Optional[float]:

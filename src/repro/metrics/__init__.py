@@ -1,0 +1,54 @@
+"""Unified experiment metrics: a deterministic, schema-stable registry.
+
+The registry (:class:`MetricsRegistry`) is the single namespace the
+formerly ad-hoc subsystem counter bundles — solver stages, solve caches,
+sim kernel, solver kernel — now live in.  Snapshots are JSON documents
+tagged ``repro.metrics/1``; :func:`merge_snapshots` folds per-worker
+registries together commutatively so workers=1 and workers=N aggregate
+identically, and :func:`delta_snapshots` supports before/after analysis.
+The old telemetry event kinds (``solver_stages``, ``cache_stats``,
+``kernel_stats``, ``solverc_stats``) are derived as *views* over
+snapshots by :mod:`repro.metrics.instruments`.
+"""
+
+from repro.metrics.instruments import (
+    CASE_LENGTH_BOUNDS,
+    cache_view,
+    declare_instruments,
+    kernel_view,
+    populate_registry,
+    solver_stages_view,
+    solverc_view,
+)
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    GAUGE_MODES,
+    Histogram,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    delta_snapshots,
+    empty_snapshot,
+    fold_snapshots,
+    merge_snapshots,
+)
+
+__all__ = [
+    "CASE_LENGTH_BOUNDS",
+    "Counter",
+    "GAUGE_MODES",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "cache_view",
+    "declare_instruments",
+    "delta_snapshots",
+    "empty_snapshot",
+    "fold_snapshots",
+    "kernel_view",
+    "merge_snapshots",
+    "populate_registry",
+    "solver_stages_view",
+    "solverc_view",
+]

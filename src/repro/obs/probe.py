@@ -1,0 +1,128 @@
+"""A lock-free progress probe generators publish into, heartbeats read from.
+
+One :data:`PROBE` lives per process.  Instrumented code (the generator
+loop) *writes* plain attributes — a few reference assignments per outer
+iteration, gated on :attr:`ProgressProbe.enabled` so the cost is one
+attribute read when heartbeats are off.  The heartbeat thread *reads* the
+attributes asynchronously and serializes them into beat lines; slightly
+stale values are fine (a beat is a liveness sample, not a ledger).
+
+The probe deliberately never calls back into the generator, touches its
+RNG, or mutates anything the algorithm reads: publishing progress cannot
+perturb a fixed-seed run, which the equivalence suite pins (bit-identical
+suites with heartbeats on or off).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["PROBE", "ProgressProbe"]
+
+
+class ProgressProbe:
+    """Mutable cell-progress fields, written by workers, read by beats."""
+
+    __slots__ = (
+        "enabled",
+        "active",
+        "cell",
+        "model",
+        "tool",
+        "repetition",
+        "phase",
+        "tree_nodes",
+        "solver_calls",
+        "coverage_fn",
+        "started_at",
+    )
+
+    def __init__(self):
+        self.enabled = False
+        self._reset()
+
+    def _reset(self) -> None:
+        self.active = False
+        self.cell: Optional[int] = None
+        self.model = ""
+        self.tool = ""
+        self.repetition = 0
+        self.phase = "idle"
+        self.tree_nodes = 0
+        self.solver_calls = 0
+        self.coverage_fn: Optional[Callable[[], float]] = None
+        self.started_at = 0.0
+
+    # -- worker side ---------------------------------------------------
+
+    def activate(
+        self,
+        *,
+        cell: Optional[int] = None,
+        model: str = "",
+        tool: str = "",
+        repetition: int = 0,
+    ) -> None:
+        """Begin publishing progress for one cell."""
+        self._reset()
+        self.cell = cell
+        self.model = model
+        self.tool = tool
+        self.repetition = repetition
+        self.phase = "start"
+        self.started_at = time.monotonic()
+        self.active = True
+
+    def deactivate(self) -> None:
+        """The cell finished; beats stop carrying it."""
+        self._reset()
+
+    def note(
+        self,
+        phase: Optional[str] = None,
+        tree_nodes: Optional[int] = None,
+        solver_calls: Optional[int] = None,
+        coverage_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Publish progress: plain attribute writes, nothing else."""
+        if phase is not None:
+            self.phase = phase
+        if tree_nodes is not None:
+            self.tree_nodes = tree_nodes
+        if solver_calls is not None:
+            self.solver_calls = solver_calls
+        if coverage_fn is not None:
+            self.coverage_fn = coverage_fn
+
+    # -- heartbeat side ------------------------------------------------
+
+    def sample(self) -> Optional[Dict[str, object]]:
+        """One beat's worth of progress, or ``None`` between cells.
+
+        Called from the heartbeat thread; reads are unsynchronized by
+        design (every field is a single reference, and a beat one write
+        behind reality is still a correct liveness signal).
+        """
+        if not self.active:
+            return None
+        coverage_fn = self.coverage_fn
+        try:
+            coverage = float(coverage_fn()) if coverage_fn is not None else None
+        except Exception:
+            coverage = None  # torn read during a state swap: skip the field
+        return {
+            "cell": self.cell,
+            "model": self.model,
+            "tool": self.tool,
+            "repetition": self.repetition,
+            "phase": self.phase,
+            "cell_elapsed_s": round(time.monotonic() - self.started_at, 3),
+            "tree_nodes": self.tree_nodes,
+            "solver_calls": self.solver_calls,
+            "coverage": coverage,
+        }
+
+
+#: The per-process probe instance.
+PROBE = ProgressProbe()

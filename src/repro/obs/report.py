@@ -16,15 +16,17 @@ prints:
 * the top-N slowest solver targets.
 
 Everything degrades gracefully: an untraced stream still renders the
-summary and coverage sections, with the trace sections noting that the run
-was not traced.
+summary and coverage sections, and every section whose event kind is
+absent prints an explicit ``(no events of kind <kind> ...)`` line rather
+than a zero-filled table, so a reader can tell "not recorded" from
+"recorded as zero".
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["render_report", "trace_phase_totals"]
+__all__ = ["render_report", "trace_missing_kinds", "trace_phase_totals"]
 
 _SPARK = " .:-=+*#%@"
 
@@ -63,6 +65,19 @@ def _cell_label(key: Tuple) -> str:
     return f"{model}/{tool} rep{repetition}"
 
 
+def trace_missing_kinds(events) -> List[str]:
+    """The ``repro.trace/1`` kinds with no events in the stream.
+
+    Ordered like :data:`~repro.telemetry.events.TRACE_KINDS` so error
+    messages are stable.  ``repro report --require-trace`` uses this to
+    *name* what is missing instead of a bare "not traced".
+    """
+    from repro.telemetry.events import TRACE_KINDS
+
+    present = {e.get("event") for e in events}
+    return [kind for kind in TRACE_KINDS if kind not in present]
+
+
 def trace_phase_totals(events) -> Dict[str, float]:
     """Total traced seconds per phase across the whole stream."""
     totals: Dict[str, float] = {}
@@ -78,6 +93,7 @@ def render_report(events, top_n: int = 10) -> str:
     """The full text report over one parsed event stream."""
     lines: List[str] = []
     lines += _section_summary(events)
+    lines += _section_metrics(events)
     lines += _section_phases(events)
     lines += _section_stages(events)
     lines += _section_cache(events)
@@ -115,6 +131,45 @@ def _section_summary(events) -> List[str]:
             f"  [failed] {_cell_label(_cell_key(failure))}: "
             f"{failure.get('kind')}: {failure.get('message')}"
         )
+    for stall in _of_kind(events, "cell_stalled"):
+        lines.append(
+            f"  [stalled] {_cell_label(_cell_key(stall))}: quiet "
+            f"{float(stall.get('quiet_s', 0.0)):.1f}s in phase "
+            f"{stall.get('phase')!r} "
+            f"(tree={stall.get('last_tree_nodes')}, "
+            f"solver={stall.get('last_solver_calls')})"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_metrics(events) -> List[str]:
+    lines = ["unified metrics (repro.metrics/1)",
+             "---------------------------------"]
+    metric_events = _of_kind(events, "metrics")
+    if not metric_events:
+        lines += ["  (no events of kind metrics — re-run with --trace)", ""]
+        return lines
+    from repro.metrics import empty_snapshot, fold_snapshots
+
+    folded = fold_snapshots([
+        (_cell_key(event), event.get("snapshot") or empty_snapshot())
+        for event in metric_events
+    ])
+    lines.append(f"  (folded over {len(metric_events)} cell snapshot(s))")
+    counters = folded.get("counters") or {}
+    nonzero = {k: v for k, v in counters.items() if v}
+    for name in sorted(nonzero):
+        lines.append(f"  {name:<32s} {int(nonzero[name]):>12d}")
+    zeros = len(counters) - len(nonzero)
+    if zeros:
+        lines.append(f"  ({zeros} zero counter(s) omitted)")
+    for name, hist in sorted((folded.get("histograms") or {}).items()):
+        lines.append(
+            f"  {name}: count={int(hist.get('count', 0))} "
+            f"sum={float(hist.get('sum', 0.0)):.1f} "
+            f"buckets{list(hist.get('counts') or [])}"
+        )
     lines.append("")
     return lines
 
@@ -124,7 +179,8 @@ def _section_phases(events) -> List[str]:
              "------------------------------------"]
     phase_events = _of_kind(events, "phase_totals")
     if not phase_events:
-        lines += ["  (no trace events — re-run with --trace)", ""]
+        lines += ["  (no events of kind phase_totals — re-run with --trace)",
+                  ""]
         return lines
     for event in phase_events:
         phases = event.get("phases") or {}
@@ -163,7 +219,8 @@ def _section_stages(events) -> List[str]:
     for event in stage_events:
         merge_stage_dicts(merged, event.get("stages") or {})
     if not merged:
-        lines += ["  (no solver-stage events — re-run with --trace)", ""]
+        lines += ["  (no events of kind solver_stages — re-run with --trace)",
+                  ""]
         return lines
     lines.append(
         f"  {'stage':<10s} {'attempts':>8s} {'finished':>8s} "
@@ -189,7 +246,8 @@ def _section_cache(events) -> List[str]:
     lines = ["solve-cache traffic", "-------------------"]
     cache_events = _of_kind(events, "cache_stats")
     if not cache_events:
-        lines += ["  (no cache events — re-run with --trace)", ""]
+        lines += ["  (no events of kind cache_stats — re-run with --trace)",
+                  ""]
         return lines
     lines.append(
         f"  {'cell':<28s} {'enc hit':>8s} {'enc miss':>8s} "
@@ -214,7 +272,8 @@ def _section_kernel(events) -> List[str]:
     lines = ["simulation kernel", "-----------------"]
     kernel_events = _of_kind(events, "kernel_stats")
     if not kernel_events:
-        lines += ["  (no kernel events — STCG cells only, with --trace)", ""]
+        lines += ["  (no events of kind kernel_stats — STCG cells only, "
+                  "with --trace)", ""]
         return lines
     lines.append(
         f"  {'cell':<28s} {'state':>8s} {'special':>8s} "
@@ -242,8 +301,8 @@ def _section_solverc(events) -> List[str]:
     lines = ["solver kernel", "-------------"]
     solverc_events = _of_kind(events, "solverc_stats")
     if not solverc_events:
-        lines += ["  (no solver-kernel events — STCG cells only, with "
-                  "--trace)", ""]
+        lines += ["  (no events of kind solverc_stats — STCG cells only, "
+                  "with --trace)", ""]
         return lines
     lines.append(
         f"  {'cell':<28s} {'state':>8s} {'compiled':>8s} "
@@ -285,8 +344,8 @@ def _section_tree_growth(events) -> List[str]:
     lines = ["state-tree growth", "-----------------"]
     growth_events = _of_kind(events, "tree_growth")
     if not growth_events:
-        lines += ["  (no tree-growth events — STCG cells only, with --trace)",
-                  ""]
+        lines += ["  (no events of kind tree_growth — STCG cells only, "
+                  "with --trace)", ""]
         return lines
     for event in growth_events:
         points = event.get("points") or []
@@ -304,7 +363,7 @@ def _section_coverage(events) -> List[str]:
     lines = ["coverage vs time", "----------------"]
     points = _of_kind(events, "timeline_point")
     if not points:
-        lines += ["  (no timeline points in this stream)", ""]
+        lines += ["  (no events of kind timeline_point in this stream)", ""]
         return lines
     # Matrix streams key points by cell index; single runs carry none.
     cell_names = {
@@ -343,7 +402,7 @@ def _section_targets(events, top_n: int) -> List[str]:
              "-----------------------------------"]
     spans = [e for e in _of_kind(events, "span") if e.get("target")]
     if not spans:
-        lines += ["  (no span events — re-run with --trace)", ""]
+        lines += ["  (no events of kind span — re-run with --trace)", ""]
         return lines
     targets: Dict[str, List[float]] = {}
     for span in spans:

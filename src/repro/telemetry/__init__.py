@@ -1,5 +1,13 @@
 """Structured run telemetry: JSONL event streams and run manifests."""
 
+from repro.telemetry.diff import (
+    RunDiff,
+    Thresholds,
+    diff_runs,
+    find_regressions,
+    load_run,
+    render_diff,
+)
 from repro.telemetry.events import (
     EVENT_SCHEMA,
     EventLog,
@@ -10,14 +18,23 @@ from repro.telemetry.events import (
     emit_trace_events,
     read_events,
 )
+from repro.telemetry.tail import cell_rows, render_tail
 
 __all__ = [
     "EVENT_SCHEMA",
     "EventLog",
     "MANIFEST_SCHEMA",
+    "RunDiff",
     "TRACE_KINDS",
     "TRACE_SCHEMA",
+    "Thresholds",
     "build_manifest",
+    "cell_rows",
+    "diff_runs",
     "emit_trace_events",
+    "find_regressions",
+    "load_run",
     "read_events",
+    "render_diff",
+    "render_tail",
 ]

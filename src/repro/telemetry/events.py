@@ -34,10 +34,12 @@ and ``solver_stages`` aggregates.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Dict, IO, List, Optional
 
 from repro.errors import ReproError
+from repro.metrics import empty_snapshot, fold_snapshots
 from repro.obs.stages import CACHE_COUNTERS, merge_stage_dicts
 from repro.solverc.compiler import SolvercStats
 
@@ -48,6 +50,8 @@ MANIFEST_SCHEMA = "repro.run-manifest/1"
 TRACE_SCHEMA = "repro.trace/1"
 
 #: The deep-tracing event kinds (all tagged with :data:`TRACE_SCHEMA`).
+#: ``metrics`` carries the per-cell unified ``repro.metrics/1`` registry
+#: snapshot the legacy counter kinds are derived from.
 TRACE_KINDS = (
     "span",
     "phase_totals",
@@ -56,6 +60,7 @@ TRACE_KINDS = (
     "cache_stats",
     "kernel_stats",
     "solverc_stats",
+    "metrics",
 )
 
 #: Solver targets forwarded per traced cell (slowest first); bounds the
@@ -95,6 +100,10 @@ class EventLog:
         self._events: List[Dict[str, object]] = []
         self._handle: Optional[IO[str]] = None
         self._t0 = time.monotonic()
+        #: Serializes emission: the stall watchdog emits from its own
+        #: thread while the executor emits from the main thread, and seq
+        #: assignment + the JSONL write must stay atomic per event.
+        self._lock = threading.Lock()
         if self.path is not None:
             self._handle = open(self.path, "w")
             self.emit("log_opened", schema=EVENT_SCHEMA)
@@ -102,18 +111,23 @@ class EventLog:
     # -- emission ------------------------------------------------------
 
     def emit(self, kind: str, /, **payload: object) -> Dict[str, object]:
-        """Record one event; returns the event dict (already serialized)."""
-        event: Dict[str, object] = {
-            "seq": len(self._events),
-            "t": round(time.monotonic() - self._t0, 6),
-            "event": kind,
-        }
-        event.update(payload)
-        self._events.append(event)
-        if self._handle is not None:
-            self._handle.write(json.dumps(event, default=_jsonable) + "\n")
-            self._handle.flush()
-        return event
+        """Record one event; returns the event dict (already serialized).
+
+        Thread-safe: concurrent emitters get distinct ``seq`` numbers and
+        whole, unintermixed JSONL lines.
+        """
+        with self._lock:
+            event: Dict[str, object] = {
+                "seq": len(self._events),
+                "t": round(time.monotonic() - self._t0, 6),
+                "event": kind,
+            }
+            event.update(payload)
+            self._events.append(event)
+            if self._handle is not None:
+                self._handle.write(json.dumps(event, default=_jsonable) + "\n")
+                self._handle.flush()
+            return event
 
     # -- access --------------------------------------------------------
 
@@ -154,19 +168,45 @@ class EventLog:
         return False
 
 
+def _cell_sort_key(event: Dict[str, object]):
+    """Canonical ordering of per-cell events: identity, then stream seq.
+
+    Under ``workers=N`` cell events land in *completion* order, which
+    varies run to run; folding them in identity order makes every
+    float-summing aggregate bit-identical to the ``workers=1`` stream
+    (the seq tie-break only matters for duplicated identities, where it
+    pins permutation-independence).
+    """
+    return (
+        str(event.get("model", "")),
+        str(event.get("tool", "")),
+        str(event.get("repetition", "")),
+        str(event.get("seq", "")).rjust(12, "0"),
+    )
+
+
 def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
     """Summarize an event stream into a single run-manifest document.
 
-    Pure over its input: the same events (in memory, or read back from a
-    JSONL file via :func:`read_events`) produce the same manifest, so a
-    stream round-trips losslessly to its summary.
+    Pure over its input, and *order-independent* over per-cell events: any
+    permutation of the same events — in memory, read back from a JSONL
+    file via :func:`read_events`, or interleaved by a multi-worker run —
+    produces the bit-identical manifest.  Cell events are folded in a
+    canonical (model, tool, repetition) order and floats are rounded once
+    at the end, never per event.
     """
 
     def of_kind(kind: str) -> List[Dict[str, object]]:
-        return [e for e in events if e.get("event") == kind]
+        return sorted(
+            (e for e in events if e.get("event") == kind),
+            key=_cell_sort_key,
+        )
 
     # Single runs (run_finished) aggregate exactly like matrix cells.
-    cells_ok = of_kind("cell_finished") + of_kind("run_finished")
+    cells_ok = sorted(
+        of_kind("cell_finished") + of_kind("run_finished"),
+        key=_cell_sort_key,
+    )
     cells_failed = of_kind("cell_failed")
     coverage: Dict[str, Dict[str, Dict[str, object]]] = {}
     totals = {key: 0 for key in _STAT_TOTALS}
@@ -177,28 +217,32 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
             str(cell["tool"]),
             {"decision": 0.0, "condition": 0.0, "mcdc": 0.0, "runs": 0},
         )
-        runs = int(agg["runs"])
         for metric in ("decision", "condition", "mcdc"):
-            # Running mean, so the manifest matches ToolOutcome.
-            agg[metric] = (
-                (float(agg[metric]) * runs + float(cell[metric]))
-                / (runs + 1)
-            )
-        agg["runs"] = runs + 1
+            agg[metric] = float(agg[metric]) + float(cell[metric])
+        agg["runs"] = int(agg["runs"]) + 1
         duration += float(cell.get("duration_s", 0.0))
         stats = cell.get("stats") or {}
         for key in _STAT_TOTALS:
             if key in stats:
                 totals[key] += int(stats[key])
+    for per_tool in coverage.values():
+        for agg in per_tool.values():
+            for metric in ("decision", "condition", "mcdc"):
+                # Mean of a sorted sum — same addition order as
+                # ToolOutcome (plan order), so the two match exactly.
+                agg[metric] = float(agg[metric]) / int(agg["runs"])
     # Deep-tracing aggregates (repro.trace/1 events, when present).
     phase_seconds: Dict[str, float] = {}
     for event in of_kind("phase_totals"):
         for phase, stat in (event.get("phases") or {}).items():
-            phase_seconds[phase] = round(
+            phase_seconds[phase] = (
                 phase_seconds.get(phase, 0.0)
-                + float((stat or {}).get("seconds", 0.0)),
-                6,
+                + float((stat or {}).get("seconds", 0.0))
             )
+    phase_seconds = {
+        phase: round(seconds, 6)
+        for phase, seconds in phase_seconds.items()
+    }
     solver_stages: Dict[str, Dict[str, float]] = {}
     for event in of_kind("solver_stages"):
         merge_stage_dicts(solver_stages, event.get("stages") or {})
@@ -210,6 +254,20 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
         for key in _CACHE_TOTALS:
             if key in event:
                 cache_totals[key] += int(event[key])
+    # The unified per-cell registry snapshots fold into one run-level
+    # snapshot; fold_snapshots re-sorts by the identity key, so this too
+    # is independent of arrival order.
+    metrics_events = of_kind("metrics")
+    metrics: Dict[str, object] = {}
+    if metrics_events:
+        metrics = fold_snapshots([
+            (_cell_sort_key(event), event.get("snapshot") or empty_snapshot())
+            for event in metrics_events
+        ])
+    stalls = [
+        {k: v for k, v in event.items() if k not in ("seq", "t", "event")}
+        for event in of_kind("cell_stalled")
+    ]
     matrix = of_kind("matrix_started")
     finished = of_kind("matrix_finished")
     return {
@@ -233,6 +291,8 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
         "phase_seconds": phase_seconds,
         "solver_stages": solver_stages,
         "cache": cache_totals,
+        "metrics": metrics,
+        "stalls": stalls,
         "coverage": coverage,
         "failures": [
             {k: v for k, v in event.items()
@@ -256,6 +316,11 @@ def emit_trace_events(
     """
     if not trace_data:
         return
+    snapshot = trace_data.get("metrics") or {}
+    if snapshot:
+        # The unified registry snapshot; the legacy counter kinds below
+        # are views over exactly this document.
+        log.emit("metrics", **identity, schema=TRACE_SCHEMA, snapshot=snapshot)
     log.emit(
         "phase_totals",
         **identity,

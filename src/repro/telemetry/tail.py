@@ -1,0 +1,164 @@
+"""Live experiment status: ``repro tail`` over a run's telemetry.
+
+Renders the current (or final) state of a matrix run from two sources
+that both survive a crashed parent: the JSONL event stream and the
+heartbeat sidecar directory next to it (``<events>.hb``).  Each cell gets
+one row — status, phase, live coverage, tree size, solver calls, peak
+RSS — where status is derived, not stored:
+
+* ``ok`` / ``failed`` — a terminal event exists for the cell,
+* ``stalled``         — the watchdog flagged it and no terminal event
+  has arrived since,
+* ``running``         — beats exist but no terminal event,
+* ``queued``          — ``cell_started`` was emitted (submit time) but
+  the worker has not beaten yet.
+
+The renderer is a pure function over ``(events, beats)`` so tests and
+``--follow`` polling share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["cell_rows", "render_tail"]
+
+
+def _latest_beats(
+    beats: List[Dict[str, object]]
+) -> Dict[int, Dict[str, object]]:
+    """The freshest beat per cell (per-file ``n`` breaks ties in order)."""
+    latest: Dict[int, Dict[str, object]] = {}
+    for beat in beats:
+        cell = beat.get("cell")
+        if cell is None:
+            continue
+        latest[int(cell)] = beat
+    return latest
+
+
+def cell_rows(
+    events: List[Dict[str, object]], beats: List[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """One status row per known cell, ordered by cell index."""
+    cells: Dict[int, Dict[str, object]] = {}
+
+    def row_for(event: Dict[str, object]) -> Optional[Dict[str, object]]:
+        cell = event.get("cell")
+        if cell is None:
+            return None
+        return cells.setdefault(
+            int(cell),
+            {
+                "cell": int(cell),
+                "model": event.get("model"),
+                "tool": event.get("tool"),
+                "repetition": event.get("repetition"),
+                "status": "queued",
+                "phase": None,
+                "coverage": None,
+                "tree_nodes": None,
+                "solver_calls": None,
+                "rss_kb": None,
+                "stalled": False,
+            },
+        )
+
+    for event in events:
+        kind = event.get("event")
+        if kind == "cell_started":
+            row_for(event)
+        elif kind == "cell_finished":
+            row = row_for(event)
+            if row is not None:
+                row["status"] = "ok"
+                row["coverage"] = event.get("decision")
+        elif kind == "cell_failed":
+            row = row_for(event)
+            if row is not None:
+                row["status"] = "failed"
+        elif kind == "cell_stalled":
+            row = row_for(event)
+            if row is not None:
+                row["stalled"] = True
+
+    for cell, beat in _latest_beats(beats).items():
+        row = cells.setdefault(
+            cell,
+            {
+                "cell": cell,
+                "model": beat.get("model"),
+                "tool": beat.get("tool"),
+                "repetition": beat.get("repetition"),
+                "status": "queued",
+                "coverage": None,
+                "stalled": False,
+            },
+        )
+        row["phase"] = beat.get("phase")
+        row["tree_nodes"] = beat.get("tree_nodes")
+        row["solver_calls"] = beat.get("solver_calls")
+        row["rss_kb"] = beat.get("rss_kb")
+        if row["status"] == "queued":
+            row["status"] = "running"
+        if row.get("coverage") is None:
+            row["coverage"] = beat.get("coverage")
+
+    for row in cells.values():
+        # A stall flag outranks "running": the cell is alive but frozen.
+        if row["stalled"] and row["status"] in ("queued", "running"):
+            row["status"] = "stalled"
+    return [cells[cell] for cell in sorted(cells)]
+
+
+def _fmt(value: object, spec: str, missing: str = "--") -> str:
+    if value is None:
+        return missing
+    return format(value, spec)
+
+
+def render_tail(
+    events: List[Dict[str, object]], beats: List[Dict[str, object]]
+) -> str:
+    """The ``repro tail`` status board."""
+    lines: List[str] = []
+    matrix = [e for e in events if e.get("event") == "matrix_started"]
+    finished = [e for e in events if e.get("event") == "matrix_finished"]
+    if matrix:
+        config = matrix[-1]
+        lines.append(
+            f"matrix: {len(config.get('models') or [])} model(s) x "
+            f"{', '.join(config.get('tools') or [])} | "
+            f"budget={config.get('budget_s')}s "
+            f"reps={config.get('repetitions')} "
+            f"workers={config.get('workers')}"
+        )
+    rows = cell_rows(events, beats)
+    done = sum(1 for r in rows if r["status"] in ("ok", "failed"))
+    stalled = sum(1 for r in rows if r["stalled"])
+    state = "finished" if finished else "live"
+    progress = f"{state}: {done}/{len(rows)} cells done"
+    if stalled:
+        progress += f", {stalled} stall flag(s)"
+    lines.append(progress)
+    lines.append("")
+    lines.append(
+        f"{'cell':>4s}  {'model':12s} {'tool':10s} {'rep':>3s}  "
+        f"{'status':8s} {'phase':10s} {'cov':>6s} {'tree':>6s} "
+        f"{'solver':>7s} {'rss_kb':>8s}"
+    )
+    for row in rows:
+        coverage = row.get("coverage")
+        lines.append(
+            f"{row['cell']:>4d}  {str(row.get('model') or '?'):12s} "
+            f"{str(row.get('tool') or '?'):10s} "
+            f"{_fmt(row.get('repetition'), 'd'):>3s}  "
+            f"{row['status']:8s} {str(row.get('phase') or '--'):10s} "
+            f"{_fmt(coverage, '.1%'):>6s} "
+            f"{_fmt(row.get('tree_nodes'), 'd'):>6s} "
+            f"{_fmt(row.get('solver_calls'), 'd'):>7s} "
+            f"{_fmt(row.get('rss_kb'), 'd'):>8s}"
+        )
+    if not rows:
+        lines.append("  (no cells observed yet)")
+    return "\n".join(lines)

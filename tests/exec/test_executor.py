@@ -151,33 +151,3 @@ class TestToolOutcome:
         assert not outcome.ok
         with pytest.raises(HarnessError):
             outcome.representative
-
-
-class TestLegacyShims:
-    def test_run_matrix_warns_and_matches_executor(self):
-        from repro.harness import MatrixConfig, run_matrix
-
-        config = MatrixConfig(budget_s=4.0, repetitions=2, seed=3)
-        with pytest.warns(DeprecationWarning):
-            legacy = run_matrix([TINY], config, tools=TOOLS)
-        modern = execute_matrix(
-            [TINY], TOOLS, budget_s=4.0, repetitions=2, seed=3
-        )
-        for tool in TOOLS:
-            assert legacy["Tiny"][tool].decision == \
-                modern.outcomes["Tiny"][tool].decision
-
-    def test_run_matrix_raises_on_cell_failure(self):
-        from repro.harness import MatrixConfig, run_matrix
-
-        config = MatrixConfig(budget_s=1.0, repetitions=1)
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(HarnessError, match="injected"):
-                run_matrix([CRASHY], config, tools=("STCG",))
-
-    def test_run_tool_warns(self):
-        from repro.harness import run_tool
-
-        with pytest.warns(DeprecationWarning):
-            result = run_tool("STCG", TINY, 2.0, 0)
-        assert result.tool == "STCG"

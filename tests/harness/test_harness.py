@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import api
 from repro.core.result import GenerationResult
 from repro.core.testcase import TestSuite
 from repro.coverage.collector import CoverageSummary
@@ -14,9 +15,7 @@ from repro.harness import (
     hybrid_warmup,
     improvement,
     library_vs_fresh,
-    run_matrix,
     run_table1,
-    run_tool,
     table1,
     table2,
     table3,
@@ -34,8 +33,10 @@ TINY = BenchmarkModel("Tiny", "counter fixture", build_counter_model, 0, 0)
 
 class TestRunner:
     @pytest.mark.parametrize("tool", ["STCG", "SimCoTest", "SLDV"])
-    def test_run_tool(self, tool):
-        result = run_tool(tool, TINY, budget_s=3.0, seed=0, sldv_max_depth=3)
+    def test_generate_each_tool(self, tool):
+        result = api.generate(
+            TINY, tool=tool, budget_s=3.0, seed=0, sldv_max_depth=3
+        )
         assert isinstance(result, GenerationResult)
         assert result.tool == tool
         assert 0.0 <= result.decision <= 1.0
@@ -44,19 +45,27 @@ class TestRunner:
         from repro.errors import HarnessError
 
         with pytest.raises(HarnessError):
-            run_tool("MagicTool", TINY, 1.0, 0)
+            api.generate(TINY, tool="MagicTool", budget_s=1.0, seed=0)
 
-    def test_run_matrix_structure(self):
-        config = MatrixConfig(budget_s=2.0, repetitions=2, sldv_repetitions=1)
+    def test_run_experiment_structure(self):
         messages = []
-        results = run_matrix(
-            [TINY], config, tools=("STCG", "SimCoTest"),
-            progress=messages.append,
+        experiment = api.run_experiment(
+            models=[TINY], tools=("STCG", "SimCoTest"), budget_s=2.0,
+            repetitions=2, sldv_repetitions=1, progress=messages.append,
         )
+        results = experiment.outcomes
         assert set(results) == {"Tiny"}
         assert set(results["Tiny"]) == {"STCG", "SimCoTest"}
         assert len(results["Tiny"]["STCG"].runs) == 2
         assert len(messages) == 4
+
+    def test_matrix_config_still_validates(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            MatrixConfig(budget_s=0.0)
+        with pytest.raises(ConfigError):
+            MatrixConfig(repetitions=0)
 
     def test_outcome_averages(self):
         outcome = ToolOutcome("T", "M")
@@ -122,9 +131,11 @@ class TestTables:
         assert "#Branch(paper)" in text
 
     def test_table3_renders_with_paper_reference(self):
-        config = MatrixConfig(budget_s=2.0, repetitions=1)
-        results = run_matrix([TINY], config, tools=("STCG", "SimCoTest", "SLDV"))
-        text = table3(results)
+        experiment = api.run_experiment(
+            models=[TINY], tools=("STCG", "SimCoTest", "SLDV"),
+            budget_s=2.0, repetitions=1,
+        )
+        text = table3(experiment.outcomes)
         assert "Tiny" in text
         assert "STCG" in text
         assert "Average improvement" in text
@@ -138,7 +149,7 @@ class TestFigures:
         assert "B1" in text and "S0" in text
 
     def test_timeline_series_step_function(self):
-        result = run_tool("STCG", TINY, budget_s=2.0, seed=0)
+        result = api.generate(TINY, tool="STCG", budget_s=2.0, seed=0)
         series = timeline_series(result, budget_s=2.0, points=10)
         assert len(series) == 11
         values = [v for _, v in series]
@@ -146,7 +157,9 @@ class TestFigures:
 
     def test_figure4_plot_shape(self):
         results = {
-            tool: run_tool(tool, TINY, budget_s=2.0, seed=0, sldv_max_depth=2)
+            tool: api.generate(
+                TINY, tool=tool, budget_s=2.0, seed=0, sldv_max_depth=2
+            )
             for tool in ("STCG", "SimCoTest", "SLDV")
         }
         text = figure4_model(results, budget_s=2.0)

@@ -1,0 +1,255 @@
+"""Unit tests for the metrics registry: schema stability, merge, delta."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    delta_snapshots,
+    empty_snapshot,
+    fold_snapshots,
+    merge_snapshots,
+)
+
+
+def make_registry():
+    r = MetricsRegistry()
+    r.counter("a.calls").inc(3)
+    r.gauge("a.seconds", mode="sum").record(1.5)
+    r.gauge("a.peak", mode="max").record(7.0)
+    h = r.histogram("a.sizes", (1, 4, 16))
+    for v in (0, 2, 5, 100):
+        h.observe(v)
+    return r
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        r = MetricsRegistry()
+        c = r.counter("x")
+        c.inc()
+        c.inc(4)
+        assert r.snapshot()["counters"]["x"] == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_counter_is_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+
+    @pytest.mark.parametrize(
+        "mode,values,expected",
+        [("sum", (1.0, 2.5), 3.5), ("max", (1.0, 9.0, 3.0), 9.0),
+         ("min", (4.0, 2.0, 8.0), 2.0)],
+    )
+    def test_gauge_modes(self, mode, values, expected):
+        r = MetricsRegistry()
+        g = r.gauge("g", mode=mode)
+        for v in values:
+            g.record(v)
+        assert r.snapshot()["gauges"]["g"]["value"] == pytest.approx(expected)
+
+    def test_gauge_unobserved_is_none(self):
+        r = MetricsRegistry()
+        r.gauge("g", mode="min")
+        assert r.snapshot()["gauges"]["g"]["value"] is None
+
+    def test_gauge_mode_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.gauge("g", mode="sum")
+        with pytest.raises(MetricsError):
+            r.gauge("g", mode="max")
+
+    def test_gauge_bad_mode_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().gauge("g", mode="last")
+
+    def test_histogram_bucketing(self):
+        r = MetricsRegistry()
+        h = r.histogram("h", (1, 4, 16))
+        for v in (0, 1, 2, 4, 5, 16, 17, 1000):
+            h.observe(v)
+        snap = r.snapshot()["histograms"]["h"]
+        # <=1: {0,1}; <=4: {2,4}; <=16: {5,16}; overflow: {17,1000}.
+        assert snap["counts"] == [2, 2, 2, 2]
+        assert snap["count"] == 8
+        assert snap["bounds"] == [1.0, 4.0, 16.0]
+        assert snap["sum"] == pytest.approx(1045.0)
+
+    def test_histogram_bounds_must_increase(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().histogram("h", (1, 1))
+        with pytest.raises(MetricsError):
+            MetricsRegistry().histogram("h", ())
+
+    def test_histogram_bounds_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.histogram("h", (1, 2))
+        with pytest.raises(MetricsError):
+            r.histogram("h", (1, 3))
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(MetricsError):
+            r.gauge("x")
+        with pytest.raises(MetricsError):
+            r.histogram("x", (1,))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("")
+
+
+class TestSnapshot:
+    def test_schema_tag_and_json_round_trip(self):
+        snap = make_registry().snapshot()
+        assert snap["schema"] == METRICS_SCHEMA
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_schema_stable_zeros_included(self):
+        """A declared-but-untouched instrument appears with zeros."""
+        r = MetricsRegistry()
+        r.counter("quiet")
+        r.histogram("empty", (1, 2))
+        snap = r.snapshot()
+        assert snap["counters"] == {"quiet": 0}
+        assert snap["histograms"]["empty"]["counts"] == [0, 0, 0]
+        assert snap["histograms"]["empty"]["count"] == 0
+
+    def test_names_sorted(self):
+        r = MetricsRegistry()
+        r.counter("z")
+        r.counter("a")
+        assert list(r.snapshot()["counters"]) == ["a", "z"]
+
+    def test_snapshot_is_detached(self):
+        """Mutating the registry after snapshot leaves the snapshot alone."""
+        r = make_registry()
+        snap = r.snapshot()
+        r.counter("a.calls").inc(100)
+        r.histogram("a.sizes", (1, 4, 16)).observe(2)
+        assert snap["counters"]["a.calls"] == 3
+        assert snap["histograms"]["a.sizes"]["count"] == 4
+
+
+class TestMerge:
+    def test_merge_is_commutative(self):
+        a = make_registry().snapshot()
+        b = MetricsRegistry()
+        b.counter("a.calls").inc(10)
+        b.counter("b.only").inc(1)
+        b.gauge("a.peak", mode="max").record(2.0)
+        b.histogram("a.sizes", (1, 4, 16)).observe(3)
+        b = b.snapshot()
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    def test_merge_sums_and_combines(self):
+        a = make_registry().snapshot()
+        merged = merge_snapshots(a, a)
+        assert merged["counters"]["a.calls"] == 6
+        assert merged["gauges"]["a.seconds"]["value"] == pytest.approx(3.0)
+        assert merged["gauges"]["a.peak"]["value"] == pytest.approx(7.0)
+        assert merged["histograms"]["a.sizes"]["count"] == 8
+
+    def test_merge_with_empty_is_identity(self):
+        a = make_registry().snapshot()
+        assert merge_snapshots(a, empty_snapshot()) == a
+        assert merge_snapshots(empty_snapshot(), a) == a
+
+    def test_merge_none_gauges(self):
+        a = MetricsRegistry()
+        a.gauge("g", mode="min")
+        b = MetricsRegistry()
+        b.gauge("g", mode="min").record(3.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["gauges"]["g"]["value"] == pytest.approx(3.0)
+
+    def test_merge_rejects_mode_conflict(self):
+        a = MetricsRegistry()
+        a.gauge("g", mode="sum")
+        b = MetricsRegistry()
+        b.gauge("g", mode="max")
+        with pytest.raises(MetricsError):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+    def test_merge_rejects_bounds_conflict(self):
+        a = MetricsRegistry()
+        a.histogram("h", (1, 2))
+        b = MetricsRegistry()
+        b.histogram("h", (1, 3))
+        with pytest.raises(MetricsError):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+    def test_merge_rejects_foreign_schema(self):
+        with pytest.raises(MetricsError):
+            merge_snapshots(empty_snapshot(), {"schema": "bogus/1"})
+
+    def test_fold_is_order_independent(self):
+        """fold_snapshots gives bit-identical results for any arrival order."""
+        parts = []
+        for i in range(4):
+            r = MetricsRegistry()
+            r.counter("calls").inc(i + 1)
+            r.gauge("seconds", mode="sum").record(0.1 * (i + 1))
+            parts.append(((f"m{i}", "STCG", i), r.snapshot()))
+        folded = [
+            fold_snapshots(list(perm))
+            for perm in itertools.permutations(parts)
+        ]
+        assert all(f == folded[0] for f in folded)
+        assert folded[0]["counters"]["calls"] == 10
+
+
+class TestDelta:
+    def test_counter_and_histogram_delta(self):
+        r = MetricsRegistry()
+        c = r.counter("x")
+        h = r.histogram("h", (1, 2))
+        c.inc(2)
+        h.observe(1)
+        old = r.snapshot()
+        c.inc(5)
+        h.observe(2)
+        h.observe(99)
+        d = delta_snapshots(r.snapshot(), old)
+        assert d["counters"]["x"] == 5
+        assert d["histograms"]["h"]["counts"] == [0, 1, 1]
+        assert d["histograms"]["h"]["count"] == 2
+
+    def test_sum_gauge_subtracts_peak_passes_through(self):
+        r = MetricsRegistry()
+        s = r.gauge("s", mode="sum")
+        p = r.gauge("p", mode="max")
+        s.record(1.0)
+        p.record(5.0)
+        old = r.snapshot()
+        s.record(2.0)
+        p.record(3.0)
+        d = delta_snapshots(r.snapshot(), old)
+        assert d["gauges"]["s"]["value"] == pytest.approx(2.0)
+        assert d["gauges"]["p"]["value"] == pytest.approx(5.0)
+
+    def test_delta_then_merge_round_trips(self):
+        """old + delta(new, old) == new for counters/histograms/sum gauges."""
+        r = MetricsRegistry()
+        r.counter("x").inc(2)
+        r.gauge("s", mode="sum").record(1.5)
+        r.histogram("h", (1,)).observe(0)
+        old = r.snapshot()
+        r.counter("x").inc(3)
+        r.gauge("s", mode="sum").record(0.5)
+        r.histogram("h", (1,)).observe(9)
+        new = r.snapshot()
+        rebuilt = merge_snapshots(old, delta_snapshots(new, old))
+        assert rebuilt["counters"] == new["counters"]
+        assert rebuilt["histograms"] == new["histograms"]
+        assert rebuilt["gauges"]["s"]["value"] == pytest.approx(
+            new["gauges"]["s"]["value"]
+        )

@@ -73,10 +73,22 @@ class TestRenderReport:
                   if e["event"] not in ("phase_totals", "solver_stages",
                                         "tree_growth", "span")]
         text = render_report(events)
-        assert "no trace events — re-run with --trace" in text
-        assert "no solver-stage events" in text
+        # Every absent kind is named explicitly, never zero-filled.
+        assert "no events of kind phase_totals — re-run with --trace" in text
+        assert "no events of kind solver_stages" in text
+        assert "no events of kind tree_growth" in text
+        assert "no events of kind span" in text
+        assert "no events of kind metrics" in text
         # Coverage still renders from plain timeline points.
         assert "100.0% in 0.20s" in text
+
+    def test_trace_missing_kinds_names_absent_kinds(self):
+        from repro.obs.report import trace_missing_kinds
+
+        assert trace_missing_kinds(traced_events()) == [
+            "cache_stats", "solverc_stats", "metrics",
+        ]
+        assert "phase_totals" in trace_missing_kinds([])
 
     def test_empty_stream(self):
         text = render_report([])
@@ -105,6 +117,35 @@ class TestRenderReport:
         assert "b1" in text and "extra4" in text
         assert "extra0" not in text
 
+    def test_metrics_section_folds_snapshots(self):
+        from repro.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("stcg.solver_calls").inc(4)
+        registry.counter("stcg.sat").inc(0)
+        events = traced_events() + [{
+            "event": "metrics", "seq": 50, "t": 0.3, "cell": 0,
+            "model": "M", "tool": "STCG", "repetition": 0,
+            "snapshot": registry.snapshot(),
+        }]
+        text = render_report(events)
+        assert "unified metrics (repro.metrics/1)" in text
+        assert "stcg.solver_calls" in text and "4" in text
+        assert "1 zero counter(s) omitted" in text
+
+    def test_stalls_listed_in_summary(self):
+        events = traced_events()
+        events.insert(-1, {
+            "event": "cell_stalled", "seq": 98, "t": 0.25, "cell": 0,
+            "model": "M", "tool": "STCG", "repetition": 0,
+            "phase": "solve_scan", "quiet_s": 5.0, "threshold_s": 4.0,
+            "last_tree_nodes": 9, "last_solver_calls": 3,
+            "last_coverage": 0.5,
+        })
+        text = render_report(events)
+        assert "[stalled] M/STCG rep0" in text
+        assert "quiet 5.0s" in text
+
     def test_trace_phase_totals(self):
         totals = trace_phase_totals(traced_events())
         assert totals == {"solve": pytest.approx(0.2),
@@ -128,7 +169,11 @@ class TestReportCli:
         api.generate(TINY, budget_s=5.0, seed=0, events_out=str(path))
         assert cli.main(["report", str(path)]) == 0
         assert cli.main(["report", str(path), "--require-trace"]) == 1
-        assert "no repro.trace/1 phase totals" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # The error names every absent repro.trace/1 kind.
+        assert "missing repro.trace/1 event kind(s)" in err
+        assert "phase_totals" in err and "solver_stages" in err
+        assert "metrics" in err
 
     def test_missing_file_is_an_error(self, tmp_path, capsys):
         assert cli.main(["report", str(tmp_path / "nope.jsonl")]) == 1

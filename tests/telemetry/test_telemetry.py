@@ -215,3 +215,122 @@ class TestManifestRoundTrip:
             log.write_manifest(str(manifest_path))
         written = json.loads(manifest_path.read_text())
         assert written == build_manifest(read_events(str(events_path)))
+
+
+def _interleaved_cell_events():
+    """A synthetic traced 2-model x 2-rep stream with per-cell events."""
+    from repro.metrics import MetricsRegistry
+
+    events = [
+        {"event": "log_opened", "seq": 0, "t": 0.0, "schema": EVENT_SCHEMA},
+        {"event": "matrix_started", "seq": 1, "t": 0.0, "models": ["A", "B"],
+         "tools": ["STCG"], "budget_s": 1.0, "repetitions": 2, "workers": 4},
+    ]
+    seq = 2
+    for index, (model, rep) in enumerate(
+        [("A", 0), ("A", 1), ("B", 0), ("B", 1)]
+    ):
+        identity = {"cell": index, "model": model, "tool": "STCG",
+                    "repetition": rep}
+        registry = MetricsRegistry()
+        registry.counter("stcg.solver_calls").inc(index + 1)
+        registry.histogram("stcg.case_length", (2.0, 4.0)).observe(
+            float(index + 1)
+        )
+        events += [
+            {"event": "cell_started", "seq": seq, "t": 0.0, **identity},
+            {"event": "cell_finished", "seq": seq + 1, "t": 0.1, **identity,
+             "duration_s": 0.1 * (index + 1), "decision": 0.25 * (index + 1),
+             "condition": 0.5, "mcdc": 0.5, "cases": 2,
+             "stats": {"solver_calls": index + 1, "sat": index}},
+            {"event": "phase_totals", "seq": seq + 2, "t": 0.1, **identity,
+             "schema": TRACE_SCHEMA,
+             "phases": {"solve": {"count": 1, "seconds": 0.1 * (index + 1)},
+                        "execute": {"count": 1, "seconds": 0.07}}},
+            {"event": "metrics", "seq": seq + 3, "t": 0.1, **identity,
+             "schema": TRACE_SCHEMA, "snapshot": registry.snapshot()},
+        ]
+        seq += 4
+    events.append({"event": "matrix_finished", "seq": seq, "t": 0.5,
+                   "cells": 4, "ok": 4, "failed": 0, "wall_s": 0.5})
+    return events
+
+
+class TestManifestOrderIndependence:
+    """Satellite of the observability PR: multi-worker interleavings of the
+    same per-cell events must fold to the bit-identical manifest."""
+
+    def test_any_permutation_of_cell_events_is_identical(self):
+        import random
+
+        events = _interleaved_cell_events()
+        reference = build_manifest(events)
+        # Only per-cell events interleave under workers=N; the lifecycle
+        # frame (log_opened/matrix_*) is always emitted by the parent.
+        head, cell_events, tail = events[:2], events[2:-1], events[-1:]
+        rng = random.Random(7)
+        for _ in range(10):
+            shuffled = list(cell_events)
+            rng.shuffle(shuffled)
+            assert build_manifest(head + shuffled + tail) == reference
+
+    def test_reversed_stream_matches_forward_stream(self):
+        events = _interleaved_cell_events()
+        reference = build_manifest(events)
+        reversed_cells = events[:2] + list(reversed(events[2:-1])) + events[-1:]
+        assert build_manifest(reversed_cells) == reference
+
+    def test_duplicate_kind_events_aggregate_not_overwrite(self):
+        """Two phase_totals events for one cell sum, in either order."""
+        events = _interleaved_cell_events()
+        extra = {"event": "phase_totals", "seq": 99, "t": 0.2, "cell": 0,
+                 "model": "A", "tool": "STCG", "repetition": 0,
+                 "schema": TRACE_SCHEMA,
+                 "phases": {"solve": {"count": 1, "seconds": 0.05}}}
+        first = build_manifest(events[:3] + [extra] + events[3:])
+        last = build_manifest(events + [extra])
+        assert first == last
+        base = build_manifest(events)
+        assert first["phase_seconds"]["solve"] == pytest.approx(
+            base["phase_seconds"]["solve"] + 0.05
+        )
+
+    def test_metrics_fold_is_order_independent(self):
+        events = _interleaved_cell_events()
+        reference = build_manifest(events)["metrics"]
+        assert reference["counters"]["stcg.solver_calls"] == 1 + 2 + 3 + 4
+        assert reference["histograms"]["stcg.case_length"]["count"] == 4
+        shuffled = events[:2] + list(reversed(events[2:-1])) + events[-1:]
+        assert build_manifest(shuffled)["metrics"] == reference
+
+    def test_workers_1_and_4_streams_build_identical_manifests(self):
+        """End-to-end: real pooled runs produce the same manifest as serial
+        (timing fields excluded — they are wall-clock, not aggregates)."""
+
+        def manifest(workers):
+            log = EventLog()
+            result = execute_matrix(
+                [TINY], ("STCG",), budget_s=2.0, repetitions=2, seed=5,
+                workers=workers, events=log, trace=True,
+            )
+            assert not result.failures
+            return log.manifest()
+
+        serial, parallel = manifest(1), manifest(4)
+        for key in ("coverage", "stat_totals", "cache",
+                    "cells", "ok", "failed", "stalls"):
+            assert serial[key] == parallel[key], key
+
+        # Stage *counters* are deterministic; stage seconds are wall-clock
+        # and jitter between any two real runs, workers aside.
+        def stage_counts(manifest_doc):
+            return {
+                stage: {k: v for k, v in stat.items() if k != "seconds"}
+                for stage, stat in manifest_doc["solver_stages"].items()
+            }
+
+        assert stage_counts(serial) == stage_counts(parallel)
+        assert (serial["metrics"]["counters"]
+                == parallel["metrics"]["counters"])
+        assert (serial["metrics"]["histograms"]
+                == parallel["metrics"]["histograms"])
