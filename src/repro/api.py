@@ -52,8 +52,11 @@ from repro.models.registry import (
     get_benchmark,
 )
 from repro.obs.report import render_report
+from repro.provenance import PROVENANCE_SCHEMA
 from repro.solverc.compiler import SolvercStats
+from repro.telemetry.dashboard import render_dashboard
 from repro.telemetry.events import EventLog, emit_trace_events, read_events
+from repro.telemetry.explain import load_provenance, render_explain
 
 __all__ = [
     "CacheConfig",
@@ -63,6 +66,7 @@ __all__ = [
     "GenerationResult",
     "KernelConfig",
     "MatrixConfig",
+    "PROVENANCE_SCHEMA",
     "SolvercStats",
     "StcgConfig",
     "TOOLS",
@@ -73,7 +77,10 @@ __all__ = [
     "figure4_model",
     "generate",
     "list_models",
+    "load_provenance",
     "read_events",
+    "render_dashboard",
+    "render_explain",
     "render_report",
     "run_experiment",
     "table1",
@@ -122,6 +129,7 @@ def generate(
     cell_timeout: Optional[float] = None,
     events_out: Optional[str] = None,
     trace: bool = False,
+    provenance: bool = True,
     stcg_overrides: Optional[dict] = None,
 ) -> GenerationResult:
     """One generation run of one tool on one model.
@@ -139,7 +147,11 @@ def generate(
     manifest next to it.  ``trace`` turns on deep generator tracing:
     phase/solver-stage aggregates land in ``result.trace_data`` and —
     with ``events_out`` — as ``repro.trace/1`` events in the stream (see
-    ``repro report``).
+    ``repro report``).  ``provenance`` controls the objective-level
+    coverage ledger (``repro.provenance/1``): the snapshot lands in
+    ``result.provenance`` and — with ``events_out`` — as a
+    ``provenance`` event folded into the manifest (see ``repro explain``
+    and ``repro dashboard``).
     """
     if tool not in TOOLS:
         raise HarnessError(
@@ -156,9 +168,9 @@ def generate(
             raise HarnessError(
                 "pass either config= or stcg_overrides=, not both"
             )
-        config = StcgConfig(
-            budget_s=budget_s, seed=seed, **dict(stcg_overrides)
-        )
+        overrides = dict(stcg_overrides)
+        overrides.setdefault("provenance", provenance)
+        config = StcgConfig(budget_s=budget_s, seed=seed, **overrides)
     if config is not None and trace and not config.trace:
         config = replace(config, trace=True)
     bench = _as_benchmark(model)
@@ -178,7 +190,8 @@ def generate(
                 result = StcgGenerator(bench.build(), config).run()
             else:
                 result = run_single(
-                    tool, bench, budget_s, seed, sldv_max_depth, trace
+                    tool, bench, budget_s, seed, sldv_max_depth, trace,
+                    provenance=provenance,
                 )
         if events is not None:
             events.emit(
@@ -203,6 +216,14 @@ def generate(
             emit_trace_events(
                 events, {"model": bench.name, "tool": tool}, result.trace_data
             )
+            if result.provenance:
+                events.emit(
+                    "provenance",
+                    model=bench.name,
+                    tool=tool,
+                    schema=PROVENANCE_SCHEMA,
+                    provenance=result.provenance,
+                )
             events.write_manifest(_manifest_path(events_out))
         return result
     finally:
@@ -224,6 +245,7 @@ def run_experiment(
     events_out: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
     trace: bool = False,
+    provenance: bool = True,
     stcg_overrides: Optional[dict] = None,
     heartbeat_s: Optional[float] = None,
     stall_fraction: float = 0.5,
@@ -241,6 +263,10 @@ def run_experiment(
     forwarded into the event stream as ``repro.trace/1`` events.
     ``stcg_overrides`` applies extra :class:`StcgConfig` fields
     (``kernels=``, ``caches=``, ablation flags) to every STCG cell.
+    ``provenance`` controls every cell's objective-level coverage ledger
+    (``repro.provenance/1``); the per-cell snapshots are emitted as
+    ``provenance`` events and folded into the manifest's ``provenance``
+    section.
     ``heartbeat_s`` streams per-worker liveness beats to JSONL sidecars
     (in ``heartbeat_dir``, default ``<events_out>.hb``) and arms the
     parent's stall watchdog, which emits ``cell_stalled`` events when a
@@ -280,6 +306,7 @@ def run_experiment(
             progress=progress,
             events=events,
             trace=trace,
+            provenance=provenance,
             stcg_overrides=stcg_overrides,
             heartbeat_s=heartbeat_s,
             stall_fraction=stall_fraction,

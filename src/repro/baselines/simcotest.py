@@ -22,6 +22,7 @@ from repro.model.graph import CompiledModel
 from repro.model.inputs import piecewise_constant_sequence
 from repro.model.simulator import Simulator
 from repro.obs.tracer import NULL_TRACER, PhaseProfiler, Tracer
+from repro.provenance import NULL_LEDGER, ProvenanceLedger
 
 
 @dataclass
@@ -38,6 +39,11 @@ class SimCoTestConfig:
     #: Deep tracing (``repro.trace/1``): per-candidate simulate phase
     #: totals and step counters.  Observation only.
     trace: bool = False
+    #: Objective-level coverage provenance (``repro.provenance/1``).
+    #: Observation only; note that greedy selection keeps a candidate
+    #: only for new *branch* coverage, so obligations covered by a
+    #: discarded candidate are attributed with ``case: None``.
+    provenance: bool = True
 
 
 class SimCoTestGenerator:
@@ -61,6 +67,10 @@ class SimCoTestGenerator:
             self.tracer = NULL_TRACER
         self._rng = random.Random(self.config.seed)
         self.collector = CoverageCollector(compiled.registry)
+        self.ledger = (
+            ProvenanceLedger(compiled.registry, "SimCoTest")
+            if self.config.provenance else NULL_LEDGER
+        )
         self.suite = TestSuite(
             compiled.name, [spec.name for spec in compiled.inports]
         )
@@ -70,7 +80,17 @@ class SimCoTestGenerator:
     def run(self) -> GenerationResult:
         start = self._clock()
         tracer = self.tracer
+        ledger = self.ledger
         simulator = Simulator(self.compiled, self.collector, tracer=tracer)
+        on_step = on_obligations = None
+        if ledger.enabled:
+            def on_step(index, new_branch_ids, _found):
+                for branch_id in new_branch_ids:
+                    ledger.cover_branch(branch_id, index + 1)
+
+            def on_obligations(index, new_obligations):
+                for obligation in new_obligations:
+                    ledger.cover_obligation(obligation, index + 1)
         while True:
             elapsed = self._clock() - start
             if elapsed >= self.config.budget_s:
@@ -87,8 +107,11 @@ class SimCoTestGenerator:
                 self.config.max_segments,
             )
             simulator.reset()
+            ledger.begin_case(ORIGIN_TOOL)
             with tracer.span("simulate"):
-                outcome = simulator.run_sequence(sequence)
+                outcome = simulator.run_sequence(
+                    sequence, on_step=on_step, on_obligations=on_obligations
+                )
             new_ids = list(outcome.new_branch_ids)
             self.stats["simulations"] += 1
             self.stats["steps_executed"] += outcome.steps
@@ -102,6 +125,7 @@ class SimCoTestGenerator:
                         timestamp=timestamp,
                     )
                 )
+                ledger.end_case(len(self.suite) - 1)
                 self.stats["kept"] += 1
                 self.timeline.append(
                     TimelineEvent(
@@ -111,6 +135,10 @@ class SimCoTestGenerator:
                         new_branches=len(new_ids),
                     )
                 )
+            else:
+                # Candidate discarded; any obligations it covered are
+                # attributed to no kept case.
+                ledger.end_case(None)
         return GenerationResult(
             tool="SimCoTest",
             model_name=self.compiled.name,
@@ -119,6 +147,7 @@ class SimCoTestGenerator:
             timeline=list(self.timeline),
             stats=dict(self.stats),
             trace_data=self._trace_data(),
+            provenance=ledger.snapshot(),
         )
 
     def _trace_data(self):

@@ -32,6 +32,7 @@ from repro.model.graph import CompiledModel
 from repro.model.simulator import Simulator
 from repro.obs.stages import merge_stage_dicts
 from repro.obs.tracer import NULL_TRACER, PhaseProfiler, Tracer
+from repro.provenance import NULL_LEDGER, ProvenanceLedger
 from repro.solver.engine import SolverConfig, SolverEngine, Status
 
 
@@ -52,6 +53,11 @@ class SldvConfig:
     #: Deep tracing (``repro.trace/1``): phase totals (unroll / solve /
     #: replay), solver-stage metrics.  Observation only.
     trace: bool = False
+    #: Objective-level coverage provenance (``repro.provenance/1``).
+    #: Attempt nodes are unroll depths; SLDV never solves condition/MCDC
+    #: obligations directly, so those only gain provenance when a replay
+    #: happens to cover them.  Observation only.
+    provenance: bool = True
 
 
 class _IncrementalUnroll:
@@ -126,6 +132,10 @@ class SldvGenerator:
         self._rng = random.Random(self.config.seed)
         self._engine = SolverEngine(self.config.solver)
         self.collector = CoverageCollector(compiled.registry)
+        self.ledger = (
+            ProvenanceLedger(compiled.registry, "SLDV")
+            if self.config.provenance else NULL_LEDGER
+        )
         self.suite = TestSuite(
             compiled.name, [spec.name for spec in compiled.inports]
         )
@@ -141,8 +151,18 @@ class SldvGenerator:
     def run(self) -> GenerationResult:
         start = self._clock()
         tracer = self.tracer
+        ledger = self.ledger
         simulator = Simulator(self.compiled, self.collector, tracer=tracer)
         unroll = _IncrementalUnroll(self.compiled)
+        on_step = on_obligations = None
+        if ledger.enabled:
+            def on_step(index, new_branch_ids, _found):
+                for branch_id in new_branch_ids:
+                    ledger.cover_branch(branch_id, index + 1)
+
+            def on_obligations(index, new_obligations):
+                for obligation in new_obligations:
+                    ledger.cover_obligation(obligation, index + 1)
 
         def out_of_time() -> bool:
             return self._clock() - start >= self.config.budget_s
@@ -157,8 +177,13 @@ class SldvGenerator:
                     break
                 if self.collector.is_branch_covered(branch):
                     continue
+                objective = (
+                    ledger.branch_objective(branch) if ledger.enabled else None
+                )
                 constraint = unroll.path_constraint(branch, step)
                 if isinstance(constraint, Const) and constraint.value is False:
+                    if ledger.enabled:
+                        ledger.skip(objective, "const_false")
                     continue
                 self.stats["solver_calls"] += 1
                 with tracer.span("solve", target=branch.label):
@@ -166,13 +191,27 @@ class SldvGenerator:
                         constraint, unroll.variables, self._rng
                     )
                 self.stats[result.status.value] += 1
+                if ledger.enabled:
+                    # The "node" of a bounded-unrolling attempt is the
+                    # unroll depth the branch was solved at.
+                    ledger.attempt(
+                        objective,
+                        step,
+                        result.status.value,
+                        result.stats.stage,
+                        "full",
+                        False,
+                    )
                 if result.status is not Status.SAT:
                     continue
                 assert result.model is not None
                 sequence = unroll.decode_sequence(result.model, step)
                 simulator.reset()
+                ledger.begin_case(ORIGIN_TOOL)
                 with tracer.span("replay"):
-                    outcome = simulator.run_sequence(sequence)
+                    outcome = simulator.run_sequence(
+                        sequence, on_step=on_step, on_obligations=on_obligations
+                    )
                 new_ids = list(outcome.new_branch_ids)
                 if new_ids:
                     timestamp = self._clock() - start
@@ -184,6 +223,7 @@ class SldvGenerator:
                             timestamp=timestamp,
                         )
                     )
+                    ledger.end_case(len(self.suite) - 1)
                     self.timeline.append(
                         TimelineEvent(
                             t=timestamp,
@@ -192,6 +232,8 @@ class SldvGenerator:
                             new_branches=len(new_ids),
                         )
                     )
+                else:
+                    ledger.end_case(None)
             if self.config.stop_on_full_coverage and not self.collector.uncovered_branches():
                 break
         return GenerationResult(
@@ -202,6 +244,7 @@ class SldvGenerator:
             timeline=list(self.timeline),
             stats=dict(self.stats),
             trace_data=self._trace_data(),
+            provenance=ledger.snapshot(),
         )
 
     def _trace_data(self):

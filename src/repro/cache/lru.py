@@ -8,7 +8,7 @@ objects) and hides its eviction count.  This one is a thin
 ``hits`` / ``misses`` / ``evictions``.
 
 ``capacity == 0`` disables the cache entirely — every ``get`` misses and
-``put`` is a no-op — which is how ``encoding_cache_size=0`` turns the
+``put`` is a no-op — which is how ``caches.encoding_size=0`` turns the
 encoding cache off without a second code path in the generator.
 """
 

@@ -13,7 +13,12 @@ Commands:
 * ``tail FILE.jsonl`` — live status board for a matrix run (per-cell
   status, progress, stall flags; ``--follow`` polls until it finishes),
 * ``diff OLD NEW`` — run-regression analysis between two manifests or
-  event logs (``--fail-on-regression`` gates CI),
+  event logs (``--fail-on-regression`` gates CI; names regressed
+  objectives when both runs carry provenance),
+* ``explain FILE`` — objective-level coverage provenance: who covered
+  each objective, and the solver-audit chain for each uncovered one,
+* ``dashboard FILE`` — render a run into a self-contained static HTML
+  dashboard (no external assets; opens offline),
 * ``ablation KIND MODEL`` — the Discussion-section ablations.
 """
 
@@ -58,6 +63,12 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         help="deep generator tracing: phase spans, solver-stage metrics "
              "and tree growth as repro.trace/1 events (analyze with "
              "'repro report')",
+    )
+    parser.add_argument(
+        "--no-provenance", action="store_true",
+        help="turn off the objective-level coverage provenance ledger "
+             "(repro.provenance/1; on by default, observation only — "
+             "analyze with 'repro explain' / 'repro dashboard')",
     )
     parser.add_argument(
         "--heartbeat", type=float, default=None, metavar="SECONDS",
@@ -205,6 +216,35 @@ def _parser() -> argparse.ArgumentParser:
         help="tolerated relative phase-time growth (default 0.5 = +50%%)",
     )
 
+    explain = sub.add_parser(
+        "explain", help="objective-level coverage provenance: cover "
+                        "attribution and uncovered-objective audit chains"
+    )
+    explain.add_argument("source", metavar="FILE.manifest.json|FILE.jsonl")
+    explain.add_argument(
+        "--objective", default=None, metavar="ID",
+        help="narrow to one objective id, e.g. 'D:SwitchCase1:case_1' "
+             "or 'M:Relop1:c0=T'",
+    )
+    explain.add_argument(
+        "--uncovered", action="store_true",
+        help="list only uncovered objectives with their audit chains",
+    )
+
+    dash = sub.add_parser(
+        "dashboard", help="render a run into a self-contained static "
+                          "HTML dashboard (no external assets)"
+    )
+    dash.add_argument("source", metavar="FILE.manifest.json|FILE.jsonl")
+    dash.add_argument(
+        "--out", default="dashboard.html", metavar="FILE.html",
+        help="output path (default dashboard.html)",
+    )
+    dash.add_argument(
+        "--title", default="repro run dashboard",
+        help="page title (default 'repro run dashboard')",
+    )
+
     prove = sub.add_parser(
         "prove", help="prove dead branches by abstract interpretation"
     )
@@ -278,6 +318,7 @@ def _cmd_generate(args) -> None:
     config = (
         api.StcgConfig(
             budget_s=args.budget, seed=args.seed, trace=args.trace,
+            provenance=not args.no_provenance,
             **stcg_overrides,
         )
         if stcg_overrides else None
@@ -291,6 +332,7 @@ def _cmd_generate(args) -> None:
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
         trace=args.trace,
+        provenance=not args.no_provenance,
     )
     print(
         f"{args.tool} on {model.name}: decision={result.decision:.1%} "
@@ -338,6 +380,7 @@ def _cmd_compare(args) -> None:
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
         trace=args.trace,
+        provenance=not args.no_provenance,
         heartbeat_s=args.heartbeat,
         stall_fraction=args.stall_fraction,
     )
@@ -368,6 +411,7 @@ def _cmd_table3(args) -> None:
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
         trace=args.trace,
+        provenance=not args.no_provenance,
         heartbeat_s=args.heartbeat,
         stall_fraction=args.stall_fraction,
         progress=lambda m: print(f"  {m}"),
@@ -387,6 +431,7 @@ def _cmd_fig4(args) -> None:
         cell_timeout=args.cell_timeout,
         events_out=args.events_out,
         trace=args.trace,
+        provenance=not args.no_provenance,
         heartbeat_s=args.heartbeat,
         stall_fraction=args.stall_fraction,
     )
@@ -476,6 +521,27 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> None:
+    from repro.telemetry import load_provenance, render_explain
+
+    provenance = load_provenance(args.source)
+    print(
+        render_explain(
+            provenance, objective=args.objective, uncovered=args.uncovered
+        )
+    )
+
+
+def _cmd_dashboard(args) -> None:
+    from repro.telemetry import load_run, render_dashboard
+
+    manifest = load_run(args.source)
+    page = render_dashboard(manifest, title=args.title)
+    with open(args.out, "w") as handle:
+        handle.write(page)
+    print(f"dashboard written to {args.out}")
+
+
 def _cmd_prove(name: str) -> None:
     from repro.analysis import find_dead_branches, state_envelope
 
@@ -537,6 +603,10 @@ def _dispatch(args) -> int:
         _cmd_tail(args)
     elif args.command == "diff":
         return _cmd_diff(args)
+    elif args.command == "explain":
+        _cmd_explain(args)
+    elif args.command == "dashboard":
+        _cmd_dashboard(args)
     elif args.command == "prove":
         _cmd_prove(args.model)
     elif args.command == "ablation":

@@ -13,16 +13,14 @@ The config surface is organized around a unified kernel/cache story:
   (see DESIGN.md, "Cache-key soundness").
 
 The flat pre-redesign field names (``sim_kernel``,
-``encoding_cache_size``, ``verdict_cache``, ``tree_dedup``) are still
-accepted as constructor keywords for one release — they map onto the
-sub-configs with a :class:`DeprecationWarning` — and remain readable as
-properties.
+``encoding_cache_size``, ``verdict_cache``, ``tree_dedup``) were kept as
+deprecated constructor aliases for one release and have been removed;
+use the sub-configs.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.solver.engine import SolverConfig
@@ -76,23 +74,14 @@ class CacheConfig:
     def __post_init__(self) -> None:
         if self.encoding_size < 0:
             raise ConfigError(
-                "caches.encoding_size (formerly encoding_cache_size) "
-                f"must be >= 0, got {self.encoding_size!r}"
+                "caches.encoding_size must be >= 0, got "
+                f"{self.encoding_size!r}"
             )
         if self.compiled_size < 0:
             raise ConfigError(
                 "caches.compiled_size must be >= 0, got "
                 f"{self.compiled_size!r}"
             )
-
-
-#: Pre-redesign flat field -> (sub-config field name, sub-config attr).
-_DEPRECATED_ALIASES = {
-    "sim_kernel": ("kernels", "sim"),
-    "encoding_cache_size": ("caches", "encoding_size"),
-    "verdict_cache": ("caches", "verdicts"),
-    "tree_dedup": ("caches", "tree_dedup"),
-}
 
 
 @dataclass(kw_only=True)
@@ -190,6 +179,16 @@ class StcgConfig:
     #: bit-identical with this on or off.
     metrics: bool = True
 
+    #: Objective-level coverage provenance (``repro.provenance/1``):
+    #: record which (case, step) first covered every Decision/Condition/
+    #: MCDC objective, and the audit chain of solver attempts — stage
+    #: verdicts, verdict-cache replays, constant-false folds, kernel
+    #: attribution — for every objective left uncovered
+    #: (``GenerationResult.provenance``).  On by default and pinned
+    #: observation-must-not-perturb: fixed-seed suites are bit-identical
+    #: with this on or off.
+    provenance: bool = True
+
     def __post_init__(self) -> None:
         if self.budget_s <= 0:
             raise ConfigError(
@@ -231,68 +230,3 @@ class StcgConfig:
             )
         if not isinstance(self.seed, int):
             raise ConfigError(f"seed must be an int, got {self.seed!r}")
-
-    # -- deprecated flat aliases (one release) -----------------------------------
-
-    @property
-    def sim_kernel(self) -> bool:
-        """Deprecated alias for ``kernels.sim``."""
-        return self.kernels.sim
-
-    @property
-    def encoding_cache_size(self) -> int:
-        """Deprecated alias for ``caches.encoding_size``."""
-        return self.caches.encoding_size
-
-    @property
-    def verdict_cache(self) -> bool:
-        """Deprecated alias for ``caches.verdicts``."""
-        return self.caches.verdicts
-
-    @property
-    def tree_dedup(self) -> bool:
-        """Deprecated alias for ``caches.tree_dedup``."""
-        return self.caches.tree_dedup
-
-
-_dataclass_init = StcgConfig.__init__
-
-
-def _init_with_aliases(self, **kwargs) -> None:
-    """Accept the pre-redesign flat field names for one release.
-
-    ``sim_kernel=`` / ``encoding_cache_size=`` / ``verdict_cache=`` /
-    ``tree_dedup=`` map onto ``kernels=`` / ``caches=`` with a
-    :class:`DeprecationWarning`.  Mixing an alias with the sub-config it
-    maps into is ambiguous and refused.
-    """
-    legacy = {
-        name: kwargs.pop(name)
-        for name in tuple(kwargs)
-        if name in _DEPRECATED_ALIASES
-    }
-    if legacy:
-        warnings.warn(
-            "deprecated StcgConfig field(s) "
-            + ", ".join(sorted(legacy))
-            + ": use kernels=KernelConfig(...) / caches=CacheConfig(...); "
-            "the flat names will be removed in the next release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        grouped: dict = {}
-        for name, value in legacy.items():
-            group, attr = _DEPRECATED_ALIASES[name]
-            grouped.setdefault(group, {})[attr] = value
-        for group, values in grouped.items():
-            if group in kwargs:
-                raise ConfigError(
-                    f"pass either {group}= or its deprecated flat aliases "
-                    f"({', '.join(sorted(legacy))}), not both"
-                )
-            base = KernelConfig() if group == "kernels" else CacheConfig()
-            kwargs[group] = replace(base, **values)
-    _dataclass_init(self, **kwargs)
-
-
-StcgConfig.__init__ = _init_with_aliases  # type: ignore[method-assign]

@@ -43,6 +43,12 @@ class GenerationResult:
     #: the run was traced; kept separate from ``stats`` so tracing cannot
     #: perturb the comparison numbers.
     trace_data: Dict[str, object] = field(default_factory=dict)
+    #: Objective-level coverage provenance (``repro.provenance/1``):
+    #: which (case, step, origin) first covered each objective, and the
+    #: solver-attempt audit chain for each uncovered one.  Empty when the
+    #: generator's ``provenance`` knob is off; observation only, like
+    #: ``trace_data``.
+    provenance: Dict[str, object] = field(default_factory=dict)
 
     @property
     def decision(self) -> float:

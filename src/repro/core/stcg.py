@@ -50,6 +50,7 @@ from repro.model.simulator import Simulator
 from repro.obs.probe import PROBE
 from repro.obs.stages import merge_stage_dicts
 from repro.obs.tracer import NULL_TRACER, PhaseProfiler, Tracer
+from repro.provenance import NULL_LEDGER, ProvenanceLedger
 from repro.solver.encoder import OneStepEncoding
 from repro.solver.engine import SolverConfig, SolverEngine, Status
 from repro.solverc.compiler import ConstraintCompiler, SolvercStats
@@ -138,6 +139,12 @@ class StcgGenerator:
         #: Failed solver attempts per target (branch id / obligation).
         self._failures: Dict[object, int] = {}
         self.collector = CoverageCollector(compiled.registry)
+        #: Objective-level coverage provenance (``repro.provenance/1``).
+        #: Pure observation — never feeds back into the algorithm.
+        self.ledger = (
+            ProvenanceLedger(compiled.registry, "STCG")
+            if self.config.provenance else NULL_LEDGER
+        )
         self.simulator = Simulator(
             compiled,
             self.collector,
@@ -240,6 +247,7 @@ class StcgGenerator:
             timeline=list(self.timeline),
             stats={**self.stats, "tree_nodes": len(self.tree)},
             trace_data=self._trace_data(),
+            provenance=self.ledger.snapshot(),
         )
 
     def _trace_data(self) -> Dict[str, object]:
@@ -343,8 +351,10 @@ class StcgGenerator:
     ) -> Optional[SolveTarget]:
         """One solver attempt for (state, branch); marks the pair attempted."""
         target_key = ("branch", branch.branch_id)
+        ledger = self.ledger
+        objective = ledger.branch_objective(branch) if ledger.enabled else None
         node.set_solved(branch.branch_id)
-        if self._skip_dead(node, target_key, branch.label):
+        if self._skip_dead(node, target_key, branch.label, objective):
             return None
         encoding = self._encoding(node)
         constraint = encoding.path_constraint(branch)
@@ -360,6 +370,8 @@ class StcgGenerator:
             # it must not either.
             self.stats["const_false_skips"] += 1
             self.cache.mark_dead(fingerprint, target_key, counts_failure=False)
+            if ledger.enabled:
+                ledger.skip(objective, "const_false")
             if self.config.record_trace:
                 self.trace.append(
                     TraceEntry("solve_fail", branch.label, node.node_id)
@@ -375,6 +387,15 @@ class StcgGenerator:
                 constraint, encoding.variables, self._rng, compiled=compiled
             )
         self.stats[result.status.value] += 1
+        if ledger.enabled:
+            ledger.attempt(
+                objective,
+                node.node_id,
+                result.status.value,
+                result.stats.stage,
+                "lite" if engine is self._lite_engine else "full",
+                compiled is not None,
+            )
         self._note_outcome(target_key, result.status is Status.SAT)
         if result.status is not Status.SAT:
             if (
@@ -398,8 +419,12 @@ class StcgGenerator:
     def _solve_obligation(self, node: StateTreeNode, obligation) -> Optional[SolveTarget]:
         """One solver attempt for (state, condition obligation)."""
         target_key = ("obligation", obligation)
+        ledger = self.ledger
+        objective = (
+            ledger.obligation_objective(obligation) if ledger.enabled else None
+        )
         node.solved_obligations.add(obligation)
-        if self._skip_dead(node, target_key, None):
+        if self._skip_dead(node, target_key, None, objective):
             return None
         encoding = self._encoding(node)
         constraint = encoding.obligation_constraint(obligation)
@@ -411,6 +436,8 @@ class StcgGenerator:
         ):
             self.stats["const_false_skips"] += 1
             self.cache.mark_dead(fingerprint, target_key, counts_failure=False)
+            if ledger.enabled:
+                ledger.skip(objective, "const_false")
             return None
         self.stats["solver_calls"] += 1
         engine = self._engine_for(target_key)
@@ -422,6 +449,15 @@ class StcgGenerator:
                 constraint, encoding.variables, self._rng, compiled=compiled
             )
         self.stats[result.status.value] += 1
+        if ledger.enabled:
+            ledger.attempt(
+                objective,
+                node.node_id,
+                result.status.value,
+                result.stats.stage,
+                "lite" if engine is self._lite_engine else "full",
+                compiled is not None,
+            )
         self._note_outcome(target_key, result.status is Status.SAT)
         if result.status is not Status.SAT:
             if (
@@ -437,7 +473,11 @@ class StcgGenerator:
         return SolveTarget(node, None, result.model)
 
     def _skip_dead(
-        self, node: StateTreeNode, target_key, branch_label: Optional[str]
+        self,
+        node: StateTreeNode,
+        target_key,
+        branch_label: Optional[str],
+        objective: Optional[str] = None,
     ) -> bool:
         """Skip a (state, target) pair the cache knows is dead.
 
@@ -454,6 +494,8 @@ class StcgGenerator:
             return False
         self.stats["verdict_skips"] += 1
         self._engine.metrics.note_skip("verdict")
+        if objective is not None and self.ledger.enabled:
+            self.ledger.skip(objective, "verdict")
         if counts_failure:
             self._note_outcome(target_key, False)
         if self.config.record_trace:
@@ -550,9 +592,14 @@ class StcgGenerator:
         self.simulator.set_state(start.get_state())
         current = [start]
         created_ids: List[int] = []
+        ledger = self.ledger
+        ledger.begin_case(origin)
 
         def on_step(index: int, new_branch_ids: Tuple[int, ...], _found: bool):
             self.stats["steps_executed"] += 1
+            if ledger.enabled:
+                for branch_id in new_branch_ids:
+                    ledger.cover_branch(branch_id, index + 1)
             if len(self.tree) < self.config.max_tree_nodes:
                 child = self.tree.add_child(
                     current[0], self.simulator.get_state(), sequence[index]
@@ -561,8 +608,17 @@ class StcgGenerator:
                 created_ids.append(child.node_id)
                 current[0] = child
 
-        outcome = self.simulator.run_sequence(sequence, on_step=on_step)
+        on_obligations = None
+        if ledger.enabled:
+            def on_obligations(index: int, new_obligations: List[object]):
+                for obligation in new_obligations:
+                    ledger.cover_obligation(obligation, index + 1)
+
+        outcome = self.simulator.run_sequence(
+            sequence, on_step=on_step, on_obligations=on_obligations
+        )
         if outcome.last_covering_step == 0:
+            ledger.end_case(None)
             return None, tuple(created_ids)
         executed = [
             dict(step_input)
@@ -575,6 +631,7 @@ class StcgGenerator:
             timestamp=self._elapsed(),
         )
         self.suite.add(case)
+        ledger.end_case(len(self.suite) - 1)
         self._case_hist.observe(float(len(executed)))
         self.timeline.append(
             TimelineEvent(

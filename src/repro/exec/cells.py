@@ -51,9 +51,12 @@ class CellSpec:
     sldv_max_depth: int = 6
     #: Deep tracing (``repro.trace/1``) for this cell's generator.
     trace: bool = False
+    #: Objective-level coverage provenance (``repro.provenance/1``) for
+    #: this cell's generator.  Observation only.
+    provenance: bool = True
     #: Extra ``StcgConfig`` fields for this cell's generator, as a sorted
     #: (name, value) tuple so the spec stays hashable and picklable (e.g.
-    #: ``(("encoding_cache_size", 0), ("verdict_cache", False))`` for a
+    #: ``(("caches", CacheConfig(encoding_size=0)),)`` for a
     #: cache-ablation run).  Ignored by non-STCG tools.
     stcg_overrides: tuple = ()
 
@@ -118,6 +121,7 @@ def plan_matrix(
     seed: int,
     sldv_max_depth: int = 6,
     trace: bool = False,
+    provenance: bool = True,
     stcg_overrides: Dict[str, object] = None,
 ) -> List[CellSpec]:
     """Expand a matrix into its cell list, in deterministic order.
@@ -143,6 +147,7 @@ def plan_matrix(
                         budget_s=budget_s,
                         sldv_max_depth=sldv_max_depth,
                         trace=trace,
+                        provenance=provenance,
                         stcg_overrides=overrides,
                     )
                 )

@@ -48,6 +48,7 @@ from repro.exec.heartbeat import (
 )
 from repro.models.registry import BenchmarkModel
 from repro.obs.probe import PROBE
+from repro.provenance import PROVENANCE_SCHEMA
 from repro.telemetry.events import EventLog, emit_trace_events
 
 #: The paper's three tools, in rendering order.
@@ -62,31 +63,35 @@ def run_single(
     sldv_max_depth: int = 6,
     trace: bool = False,
     stcg_overrides: Dict[str, object] = None,
+    provenance: bool = True,
 ) -> GenerationResult:
     """One generation run of one tool on a fresh build of the model.
 
-    ``stcg_overrides`` carries extra ``StcgConfig`` fields (cache knobs,
-    ``sim_kernel``, ablation flags) applied only when ``tool == "STCG"``.
+    ``stcg_overrides`` carries extra ``StcgConfig`` fields (kernel/cache
+    sub-configs, ablation flags) applied only when ``tool == "STCG"``; an
+    explicit ``provenance`` override there wins over the ``provenance``
+    parameter.
     """
     compiled = model.build()
     if tool == "STCG":
+        overrides = dict(stcg_overrides or {})
+        overrides.setdefault("provenance", provenance)
         return StcgGenerator(
             compiled,
-            StcgConfig(
-                budget_s=budget_s, seed=seed, trace=trace,
-                **dict(stcg_overrides or {}),
-            ),
+            StcgConfig(budget_s=budget_s, seed=seed, trace=trace, **overrides),
         ).run()
     if tool == "SimCoTest":
         return SimCoTestGenerator(
             compiled,
-            SimCoTestConfig(budget_s=budget_s, seed=seed, trace=trace),
+            SimCoTestConfig(budget_s=budget_s, seed=seed, trace=trace,
+                            provenance=provenance),
         ).run()
     if tool == "SLDV":
         return SldvGenerator(
             compiled,
             SldvConfig(budget_s=budget_s, seed=seed,
-                       max_depth=sldv_max_depth, trace=trace),
+                       max_depth=sldv_max_depth, trace=trace,
+                       provenance=provenance),
         ).run()
     raise HarnessError(f"unknown tool {tool!r}")
 
@@ -95,7 +100,7 @@ def run_cell(spec: CellSpec) -> GenerationResult:
     """Execute one matrix cell (in whatever process this is called from)."""
     return run_single(
         spec.tool, spec.model, spec.budget_s, spec.seed, spec.sldv_max_depth,
-        spec.trace, dict(spec.stcg_overrides),
+        spec.trace, dict(spec.stcg_overrides), provenance=spec.provenance,
     )
 
 
@@ -301,6 +306,7 @@ def execute_matrix(
     progress: Optional[Callable[[str], None]] = None,
     events: Optional[EventLog] = None,
     trace: bool = False,
+    provenance: bool = True,
     stcg_overrides: Optional[Dict[str, object]] = None,
     heartbeat_s: Optional[float] = None,
     stall_fraction: float = 0.5,
@@ -351,6 +357,7 @@ def execute_matrix(
         seed=seed,
         sldv_max_depth=sldv_max_depth,
         trace=trace,
+        provenance=provenance,
         stcg_overrides=stcg_overrides,
     )
     started = time.monotonic()
@@ -520,6 +527,13 @@ def _notify(
                     new_branches=point.new_branches,
                 )
             emit_trace_events(events, spec.identity(), result.trace_data)
+            if result.provenance:
+                events.emit(
+                    "provenance",
+                    **spec.identity(),
+                    schema=PROVENANCE_SCHEMA,
+                    provenance=result.provenance,
+                )
     else:
         if progress is not None:
             progress(f"{spec.label}: FAILED ({payload.kind}: {payload.message})")

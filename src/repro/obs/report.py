@@ -101,6 +101,7 @@ def render_report(events, top_n: int = 10) -> str:
     lines += _section_solverc(events)
     lines += _section_tree_growth(events)
     lines += _section_coverage(events)
+    lines += _section_provenance(events)
     lines += _section_targets(events, top_n)
     return "\n".join(lines)
 
@@ -385,6 +386,43 @@ def _section_coverage(events) -> List[str]:
             f"  {label:<28s} |{_spark(values)}| "
             f"{values[-1]:.1%} in {series[-1][0]:.2f}s"
         )
+    lines.append("")
+    return lines
+
+
+def _section_provenance(events) -> List[str]:
+    lines = ["objective provenance (repro.provenance/1)",
+             "-----------------------------------------"]
+    prov_events = _of_kind(events, "provenance")
+    if not prov_events:
+        lines += ["  (no events of kind provenance — the ledger was off)", ""]
+        return lines
+    for event in prov_events:
+        snapshot = event.get("provenance") or {}
+        totals = snapshot.get("totals") or {}
+        objectives = snapshot.get("objectives") or {}
+        uncovered = [
+            oid for oid, entry in objectives.items()
+            if entry.get("status") == "uncovered"
+        ]
+        label = _cell_label(_cell_key(event))
+        lines.append(
+            f"  {label:<28s} {totals.get('covered', 0)}/"
+            f"{totals.get('objectives', 0)} covered"
+        )
+        for oid in uncovered[:5]:
+            entry = objectives[oid]
+            attempts = sum((entry.get("attempts") or {}).values())
+            skips = sum((entry.get("skips") or {}).values())
+            lines.append(
+                f"    [uncovered] {oid} "
+                f"({attempts} attempt(s), {skips} skip(s))"
+            )
+        if len(uncovered) > 5:
+            lines.append(
+                f"    ... and {len(uncovered) - 5} more "
+                "(see repro explain --uncovered)"
+            )
     lines.append("")
     return lines
 

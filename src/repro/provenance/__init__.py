@@ -1,0 +1,27 @@
+"""Objective-level coverage provenance (``repro.provenance/1``).
+
+See :mod:`repro.provenance.ledger` for the ledger itself and the merge
+used by the telemetry manifest fold.
+"""
+
+from repro.provenance.ledger import (
+    NULL_LEDGER,
+    PROVENANCE_SCHEMA,
+    ProvenanceLedger,
+    all_objective_ids,
+    branch_objective_id,
+    merge_provenance,
+    obligation_objective_id,
+    uncovered_objectives,
+)
+
+__all__ = [
+    "NULL_LEDGER",
+    "PROVENANCE_SCHEMA",
+    "ProvenanceLedger",
+    "all_objective_ids",
+    "branch_objective_id",
+    "merge_provenance",
+    "obligation_objective_id",
+    "uncovered_objectives",
+]

@@ -1,0 +1,362 @@
+"""The objective-level coverage provenance ledger (``repro.provenance/1``).
+
+Table III's claim is per-objective: STCG covers Decision/Condition/MCDC
+objectives the baselines miss.  The ledger turns that from an aggregate
+percentage into an audit trail.  For every objective it records either
+
+* **who covered it** — the (case, step, origin) of the first covering
+  execution (``case`` is ``None`` when the covering candidate was not
+  kept in the suite, which happens in the baselines' greedy selection), or
+* **why it is still uncovered** — per-stage solver verdict counters
+  (``"unsat:contract"``, ``"unknown:avm"``, ...), cache short-circuit
+  counters (verdict-cache UNSAT replays, constant-false folds), and a
+  bounded trail of the first few attempts with their (state-tree node,
+  verdict, stage, engine, compiled) attribution.
+
+Objective identifiers are stable strings derived from the model's
+coverage registry:
+
+* ``D:<decision path>:<outcome label>`` — one per model branch,
+* ``C:<point path>:c<atom>=<T|F>`` — condition value obligations,
+* ``M:<point path>:c<atom>=<T|F>`` — MCDC (determining) obligations.
+
+The ledger is pure observation: it never feeds back into generation, it
+consumes no randomness and it records no wall-clock timestamps, so
+fixed-seed suites are bit-identical with provenance on or off and the
+snapshot itself is deterministic.  :func:`merge_provenance` folds the
+per-repetition snapshots into one per-(model, tool) document inside
+``build_manifest`` — commutatively over already-canonically-sorted cells,
+which is what keeps ``workers=1`` and ``workers=N`` manifests
+bit-identical (same contract as the metrics fold).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.coverage.collector import ConditionObligation
+from repro.coverage.registry import Branch, CoverageRegistry
+
+__all__ = [
+    "NULL_LEDGER",
+    "PROVENANCE_SCHEMA",
+    "ProvenanceLedger",
+    "branch_objective_id",
+    "merge_provenance",
+    "obligation_objective_id",
+]
+
+#: Version tag carried by every ledger snapshot and telemetry event.
+PROVENANCE_SCHEMA = "repro.provenance/1"
+
+#: Attempts kept verbatim per uncovered objective (the counters keep
+#: counting past this; only the detailed trail is bounded).
+TRAIL_LIMIT = 8
+
+
+def branch_objective_id(branch: Branch) -> str:
+    """``D:<decision path>:<outcome label>`` for one model branch."""
+    return f"D:{branch.label}"
+
+
+def obligation_objective_id(
+    registry: CoverageRegistry, obligation: ConditionObligation
+) -> str:
+    """``C:``/``M:`` objective id for a condition/MCDC obligation."""
+    point = registry.condition_point(obligation.point_id)
+    kind = "M" if obligation.determining else "C"
+    polarity = "T" if obligation.polarity else "F"
+    return f"{kind}:{point.path}:c{obligation.atom}={polarity}"
+
+
+def all_objective_ids(registry: CoverageRegistry) -> List[str]:
+    """Every objective of a model, in canonical enumeration order.
+
+    Branches first (registry order), then condition value obligations,
+    then MCDC obligations — matching
+    :meth:`~repro.coverage.collector.CoverageCollector.all_condition_obligations`.
+    """
+    ids = [branch_objective_id(branch) for branch in registry.branches]
+    for determining in (False, True):
+        kind = "M" if determining else "C"
+        for point in registry.condition_points:
+            for atom in range(point.n_atoms):
+                for polarity in ("T", "F"):
+                    ids.append(f"{kind}:{point.path}:c{atom}={polarity}")
+    return ids
+
+
+class _NullLedger:
+    """Shared no-op ledger: provenance off keeps every hook below the
+    noise floor (mirrors ``NULL_TRACER``)."""
+
+    enabled = False
+
+    def begin_case(self, origin: str) -> None:
+        pass
+
+    def cover_branch(self, branch_id: int, step: int) -> None:
+        pass
+
+    def cover_obligation(self, obligation, step: int) -> None:
+        pass
+
+    def end_case(self, case_index: Optional[int]) -> None:
+        pass
+
+    def attempt(self, *args, **kwargs) -> None:
+        pass
+
+    def skip(self, objective_id, kind: str) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+
+NULL_LEDGER = _NullLedger()
+
+
+class ProvenanceLedger:
+    """Records objective coverage attribution and solver-attempt audits.
+
+    One ledger lives for one generation run.  The generator brackets each
+    executed sequence with :meth:`begin_case`/:meth:`end_case`; cover
+    events in between are buffered and committed with the final case
+    index (``None`` when the candidate was discarded), so attribution is
+    correct even though the case index is only known after execution.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: CoverageRegistry, tool: str):
+        self._registry = registry
+        self.tool = tool
+        #: objective id -> {"case", "step", "origin"} of the first cover.
+        self._covered: Dict[str, Dict[str, object]] = {}
+        #: objective id -> {"<verdict>:<stage>": count} solver attempts.
+        self._attempts: Dict[str, Dict[str, int]] = {}
+        #: objective id -> {"verdict"|"const_false": count} short-circuits.
+        self._skips: Dict[str, Dict[str, int]] = {}
+        #: objective id -> first few attempts in full detail.
+        self._trails: Dict[str, List[Dict[str, object]]] = {}
+        self._pending: List[Tuple[str, int]] = []
+        self._origin: Optional[str] = None
+
+    # -- objective ids -------------------------------------------------
+
+    def branch_objective(self, branch: Branch) -> str:
+        return branch_objective_id(branch)
+
+    def branch_id_objective(self, branch_id: int) -> str:
+        return branch_objective_id(self._registry.branch(branch_id))
+
+    def obligation_objective(self, obligation: ConditionObligation) -> str:
+        return obligation_objective_id(self._registry, obligation)
+
+    # -- coverage attribution ------------------------------------------
+
+    def begin_case(self, origin: str) -> None:
+        """Open a candidate execution; buffered covers commit at the end."""
+        self._pending = []
+        self._origin = origin
+
+    def cover_branch(self, branch_id: int, step: int) -> None:
+        """A branch newly covered at 1-based ``step`` of the open case."""
+        self._pending.append((self.branch_id_objective(branch_id), step))
+
+    def cover_obligation(self, obligation: ConditionObligation, step: int) -> None:
+        """A condition/MCDC obligation newly satisfied at ``step``."""
+        self._pending.append((self.obligation_objective(obligation), step))
+
+    def end_case(self, case_index: Optional[int]) -> None:
+        """Commit the buffered covers.
+
+        ``case_index`` is the suite index of the kept test case, or
+        ``None`` when the candidate was discarded (its coverage still
+        counts — baseline greedy selection drops obligation-only
+        candidates, and the audit must say so).
+        """
+        origin = self._origin
+        for objective_id, step in self._pending:
+            if objective_id not in self._covered:
+                self._covered[objective_id] = {
+                    "case": case_index,
+                    "step": step,
+                    "origin": origin,
+                }
+        self._pending = []
+        self._origin = None
+
+    # -- solver-attempt audit ------------------------------------------
+
+    def attempt(
+        self,
+        objective_id: str,
+        node: int,
+        verdict: str,
+        stage: Optional[str],
+        engine: str,
+        compiled: bool,
+    ) -> None:
+        """One solver attempt for an objective.
+
+        ``node`` is the state-tree node id (STCG) or the unroll depth
+        (SLDV); ``verdict`` is the ``Status`` value; ``stage`` the
+        engine's deciding stage tag; ``engine`` ``"full"``/``"lite"``;
+        ``compiled`` whether a solver-kernel bundle was in play.
+        """
+        key = f"{verdict}:{stage or 'none'}"
+        counts = self._attempts.setdefault(objective_id, {})
+        counts[key] = counts.get(key, 0) + 1
+        trail = self._trails.setdefault(objective_id, [])
+        if len(trail) < TRAIL_LIMIT:
+            trail.append(
+                {
+                    "node": node,
+                    "verdict": verdict,
+                    "stage": stage or "none",
+                    "engine": engine,
+                    "compiled": bool(compiled),
+                }
+            )
+
+    def skip(self, objective_id: str, kind: str) -> None:
+        """A cache short-circuit: ``"verdict"`` (cached-UNSAT replay) or
+        ``"const_false"`` (branch condition folded to constant false)."""
+        skips = self._skips.setdefault(objective_id, {})
+        skips[kind] = skips.get(kind, 0) + 1
+
+    # -- snapshot ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The deterministic ``repro.provenance/1`` document.
+
+        Objectives appear in canonical enumeration order; covered entries
+        carry the attribution triple plus the failed-attempt count that
+        preceded coverage, uncovered entries the full audit chain.  No
+        timestamps anywhere — bit-identity is part of the contract.
+        """
+        objectives: Dict[str, Dict[str, object]] = {}
+        covered_count = 0
+        for objective_id in all_objective_ids(self._registry):
+            cover = self._covered.get(objective_id)
+            if cover is not None:
+                covered_count += 1
+                attempts = self._attempts.get(objective_id, {})
+                failed = sum(
+                    count for key, count in attempts.items()
+                    if not key.startswith("sat:")
+                )
+                objectives[objective_id] = {
+                    "status": "covered",
+                    "case": cover["case"],
+                    "step": cover["step"],
+                    "origin": cover["origin"],
+                    "failed_attempts": failed,
+                }
+            else:
+                objectives[objective_id] = {
+                    "status": "uncovered",
+                    "attempts": dict(
+                        sorted(self._attempts.get(objective_id, {}).items())
+                    ),
+                    "skips": dict(
+                        sorted(self._skips.get(objective_id, {}).items())
+                    ),
+                    "trail": [
+                        dict(row) for row in self._trails.get(objective_id, [])
+                    ],
+                }
+        return {
+            "schema": PROVENANCE_SCHEMA,
+            "tool": self.tool,
+            "objectives": objectives,
+            "totals": {
+                "objectives": len(objectives),
+                "covered": covered_count,
+                "uncovered": len(objectives) - covered_count,
+            },
+        }
+
+
+def merge_provenance(
+    snapshots: Sequence[Tuple[object, Dict[str, object]]],
+) -> Dict[str, object]:
+    """Fold per-repetition snapshots into one (model, tool) document.
+
+    ``snapshots`` is ``[(repetition, snapshot), ...]`` in canonical cell
+    order (``build_manifest`` sorts cells before calling this).  An
+    objective is covered iff any repetition covered it — the first
+    repetition in canonical order wins attribution and is recorded in
+    the entry's ``repetition`` field; an objective uncovered everywhere
+    sums its attempt/skip counters across repetitions and keeps the
+    first non-empty trail.
+    """
+    order: List[str] = []
+    seen: set = set()
+    for _, snapshot in snapshots:
+        for objective_id in snapshot.get("objectives") or {}:
+            if objective_id not in seen:
+                seen.add(objective_id)
+                order.append(objective_id)
+    merged: Dict[str, Dict[str, object]] = {}
+    covered_count = 0
+    for objective_id in order:
+        cover = None
+        for repetition, snapshot in snapshots:
+            entry = (snapshot.get("objectives") or {}).get(objective_id)
+            if entry and entry.get("status") == "covered":
+                cover = dict(entry)
+                cover["repetition"] = repetition
+                break
+        if cover is not None:
+            covered_count += 1
+            merged[objective_id] = cover
+            continue
+        attempts: Dict[str, int] = {}
+        skips: Dict[str, int] = {}
+        trail: List[Dict[str, object]] = []
+        for _, snapshot in snapshots:
+            entry = (snapshot.get("objectives") or {}).get(objective_id)
+            if not entry:
+                continue
+            for key, count in (entry.get("attempts") or {}).items():
+                attempts[key] = attempts.get(key, 0) + int(count)
+            for key, count in (entry.get("skips") or {}).items():
+                skips[key] = skips.get(key, 0) + int(count)
+            if not trail and entry.get("trail"):
+                trail = [dict(row) for row in entry["trail"]]
+        merged[objective_id] = {
+            "status": "uncovered",
+            "attempts": dict(sorted(attempts.items())),
+            "skips": dict(sorted(skips.items())),
+            "trail": trail,
+        }
+    tool = ""
+    for _, snapshot in snapshots:
+        if snapshot.get("tool"):
+            tool = str(snapshot["tool"])
+            break
+    return {
+        "schema": PROVENANCE_SCHEMA,
+        "tool": tool,
+        "runs": len(snapshots),
+        "objectives": merged,
+        "totals": {
+            "objectives": len(merged),
+            "covered": covered_count,
+            "uncovered": len(merged) - covered_count,
+        },
+    }
+
+
+def uncovered_objectives(
+    snapshot: Dict[str, object],
+) -> List[Tuple[str, Dict[str, object]]]:
+    """The uncovered (id, entry) pairs of one snapshot, in ledger order."""
+    return [
+        (objective_id, entry)
+        for objective_id, entry in (snapshot.get("objectives") or {}).items()
+        if entry.get("status") == "uncovered"
+    ]

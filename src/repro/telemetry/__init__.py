@@ -1,5 +1,6 @@
 """Structured run telemetry: JSONL event streams and run manifests."""
 
+from repro.telemetry.dashboard import render_dashboard
 from repro.telemetry.diff import (
     RunDiff,
     Thresholds,
@@ -18,6 +19,7 @@ from repro.telemetry.events import (
     emit_trace_events,
     read_events,
 )
+from repro.telemetry.explain import load_provenance, render_explain
 from repro.telemetry.tail import cell_rows, render_tail
 
 __all__ = [
@@ -33,8 +35,11 @@ __all__ = [
     "diff_runs",
     "emit_trace_events",
     "find_regressions",
+    "load_provenance",
     "load_run",
     "read_events",
+    "render_dashboard",
     "render_diff",
+    "render_explain",
     "render_tail",
 ]

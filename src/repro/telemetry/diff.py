@@ -8,7 +8,11 @@ so the two input kinds are interchangeable) — and reports:
 * coverage deltas per (model, tool) and the failed-cell count,
 * phase-time deltas (traced runs),
 * cache hit-rate and kernel/solverc fallback-rate deltas,
-* every changed counter of the unified ``repro.metrics/1`` registry.
+* every changed counter of the unified ``repro.metrics/1`` registry,
+* *which* objectives regressed — covered in the baseline but uncovered
+  in the candidate — when both runs carry ``repro.provenance/1``
+  sections, so a coverage drop names the lost objectives instead of
+  just the percentage.
 
 With ``--fail-on-regression`` the diff becomes a CI gate:
 :func:`find_regressions` applies :class:`Thresholds` and the CLI exits
@@ -20,7 +24,7 @@ they are load-sensitive.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -139,6 +143,9 @@ class RunDiff:
     rates: Dict[str, Tuple[Optional[float], Optional[float]]]
     #: registry counter -> (baseline, candidate), changed counters only.
     counters: Dict[str, Tuple[int, int]]
+    #: (model, tool) -> objective ids covered in the baseline but
+    #: uncovered in the candidate (provenance-bearing runs only).
+    objectives: Dict[Tuple[str, str], List[str]] = field(default_factory=dict)
 
 
 def diff_runs(
@@ -190,7 +197,39 @@ def diff_runs(
         phases=phases,
         rates=rates,
         counters=counters,
+        objectives=_regressed_objectives(baseline, candidate),
     )
+
+
+def _regressed_objectives(
+    baseline: Dict[str, object], candidate: Dict[str, object]
+) -> Dict[Tuple[str, str], List[str]]:
+    """Objectives covered in the baseline but uncovered in the candidate.
+
+    Only cells carrying a provenance section on *both* sides contribute —
+    an absent section (provenance off, or a pre-provenance manifest) is
+    indistinguishable from "nothing covered" and must not read as a
+    regression of every objective.
+    """
+    regressed: Dict[Tuple[str, str], List[str]] = {}
+    old_prov = baseline.get("provenance") or {}
+    new_prov = candidate.get("provenance") or {}
+    for model in sorted(set(old_prov) & set(new_prov)):
+        old_tools = old_prov.get(model) or {}
+        new_tools = new_prov.get(model) or {}
+        for tool in sorted(set(old_tools) & set(new_tools)):
+            old_objectives = (old_tools[tool] or {}).get("objectives") or {}
+            new_objectives = (new_tools[tool] or {}).get("objectives") or {}
+            lost = [
+                objective_id
+                for objective_id, entry in old_objectives.items()
+                if entry.get("status") == "covered"
+                and (new_objectives.get(objective_id) or {}).get("status")
+                == "uncovered"
+            ]
+            if lost:
+                regressed[(model, tool)] = lost
+    return regressed
 
 
 def find_regressions(
@@ -204,6 +243,13 @@ def find_regressions(
                 f"coverage: {model}/{tool} {metric} dropped "
                 f"{old:.1%} -> {new:.1%}"
             )
+    for (model, tool), lost in sorted(diff.objectives.items()):
+        shown = ", ".join(lost[:5])
+        more = f" (+{len(lost) - 5} more)" if len(lost) > 5 else ""
+        problems.append(
+            f"objectives: {model}/{tool} lost {len(lost)} "
+            f"objective(s): {shown}{more}"
+        )
     old_failed, new_failed = diff.failed
     if new_failed > old_failed:
         problems.append(
@@ -256,6 +302,15 @@ def render_diff(diff: RunDiff, problems: Optional[List[str]] = None) -> str:
         )
     if not changed:
         lines.append("  (no coverage changes)")
+    if diff.objectives:
+        lines.append("")
+        lines.append("== regressed objectives ==")
+        for (model, tool), lost in sorted(diff.objectives.items()):
+            lines.append(f"  {model}/{tool}: {len(lost)} lost")
+            for objective_id in lost[:10]:
+                lines.append(f"    - {objective_id}")
+            if len(lost) > 10:
+                lines.append(f"    ... and {len(lost) - 10} more")
     old_failed, new_failed = diff.failed
     lines.append(
         f"  failed cells: {old_failed} -> {new_failed} "

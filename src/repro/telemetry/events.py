@@ -25,10 +25,18 @@ hit/miss/eviction/skip counters), ``kernel_stats`` /``solverc_stats``
 (sim- and solver-kernel compiled-vs-fallback traffic) and ``span``
 (per-target solver time aggregates).  See :func:`emit_trace_events`.
 
+Runs with the provenance ledger on additionally emit one ``provenance``
+event per cell (tagged ``schema: repro.provenance/1``) carrying the
+objective-level coverage snapshot; the manifest folds them per
+(model, tool) across repetitions via
+:func:`repro.provenance.merge_provenance`.
+
 The manifest is a single JSON document derived from the event stream:
 counts, per-(model, tool) coverage aggregates, failures, totals over the
-generators' solver statistics, and — for traced runs — ``phase_seconds``
-and ``solver_stages`` aggregates.
+generators' solver statistics, for traced runs ``phase_seconds`` and
+``solver_stages`` aggregates, and for provenance-bearing runs the merged
+``provenance`` section consumed by ``repro explain`` / ``repro
+dashboard``.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from typing import Dict, IO, List, Optional
 from repro.errors import ReproError
 from repro.metrics import empty_snapshot, fold_snapshots
 from repro.obs.stages import CACHE_COUNTERS, merge_stage_dicts
+from repro.provenance import merge_provenance
 from repro.solverc.compiler import SolvercStats
 
 #: Version tag embedded in every stream and manifest.
@@ -264,6 +273,19 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
             (_cell_sort_key(event), event.get("snapshot") or empty_snapshot())
             for event in metrics_events
         ])
+    # Objective-level provenance: per-cell snapshots fold per (model,
+    # tool) across repetitions.  of_kind already sorted the events by the
+    # canonical cell key, so group membership order — and therefore the
+    # merged document — is independent of arrival order.
+    provenance: Dict[str, Dict[str, object]] = {}
+    prov_groups: Dict[tuple, List[tuple]] = {}
+    for event in of_kind("provenance"):
+        key = (str(event.get("model", "")), str(event.get("tool", "")))
+        prov_groups.setdefault(key, []).append(
+            (event.get("repetition"), event.get("provenance") or {})
+        )
+    for (model, tool), snaps in prov_groups.items():
+        provenance.setdefault(model, {})[tool] = merge_provenance(snaps)
     stalls = [
         {k: v for k, v in event.items() if k not in ("seq", "t", "event")}
         for event in of_kind("cell_stalled")
@@ -292,6 +314,7 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
         "solver_stages": solver_stages,
         "cache": cache_totals,
         "metrics": metrics,
+        "provenance": provenance,
         "stalls": stalls,
         "coverage": coverage,
         "failures": [

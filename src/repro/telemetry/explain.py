@@ -1,0 +1,142 @@
+"""``repro explain``: render coverage provenance as a readable audit.
+
+Consumes a run — a ``*.manifest.json`` or a raw JSONL event stream, via
+:func:`~repro.telemetry.diff.load_run` — whose manifest carries a
+``repro.provenance/1`` section, and answers the two questions Table III
+raises per cell:
+
+* *who covered this objective?* — the (repetition, case, step, origin)
+  attribution of the first covering execution, and
+* *why is this objective still uncovered?* — the solver-attempt audit
+  chain: per-stage verdict counters, cache short-circuits (verdict-cache
+  UNSAT replays, constant-false folds) and the bounded attempt trail
+  with engine/kernel attribution.
+
+``--objective`` narrows the report to one objective id across every
+(model, tool) cell; ``--uncovered`` lists only the uncovered objectives
+with their full audit chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.telemetry.diff import load_run
+
+__all__ = ["load_provenance", "render_explain"]
+
+
+def load_provenance(path: str) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """The manifest's ``{model: {tool: merged snapshot}}`` section.
+
+    Accepts the same inputs as ``repro diff`` (manifest or JSONL stream)
+    and fails with a pointed error when the run carries no provenance —
+    either the ledger was off or the stream predates it.
+    """
+    manifest = load_run(path)
+    provenance = manifest.get("provenance") or {}
+    if not provenance:
+        raise ReproError(
+            f"{path}: no provenance section — re-run with the ledger on "
+            "(it is on by default; --no-provenance turns it off)"
+        )
+    return provenance
+
+
+def _case_label(entry: Dict[str, object]) -> str:
+    """Human phrasing of a cover attribution's case index."""
+    case = entry.get("case")
+    if case is None:
+        return "a discarded candidate"
+    return f"case {case}"
+
+
+def _covered_line(objective_id: str, entry: Dict[str, object]) -> str:
+    repetition = entry.get("repetition")
+    rep = f", rep {repetition}" if repetition is not None else ""
+    failed = int(entry.get("failed_attempts", 0))
+    tail = f" after {failed} failed attempt(s)" if failed else ""
+    return (
+        f"  [covered] {objective_id}: {_case_label(entry)} "
+        f"step {entry.get('step')} via {entry.get('origin')}{rep}{tail}"
+    )
+
+
+def _uncovered_lines(objective_id: str, entry: Dict[str, object]) -> List[str]:
+    lines = [f"  [uncovered] {objective_id}"]
+    attempts = entry.get("attempts") or {}
+    skips = entry.get("skips") or {}
+    if attempts:
+        summary = ", ".join(
+            f"{key} x{count}" for key, count in attempts.items()
+        )
+        lines.append(f"    attempts: {summary}")
+    if skips:
+        summary = ", ".join(f"{key} x{count}" for key, count in skips.items())
+        lines.append(f"    skips:    {summary}")
+    if not attempts and not skips:
+        lines.append("    never attempted (no reaching state was explored)")
+    for row in entry.get("trail") or []:
+        engine = row.get("engine")
+        compiled = "compiled" if row.get("compiled") else "interpreted"
+        lines.append(
+            f"    node {row.get('node')} -> {row.get('verdict')}"
+            f"@{row.get('stage')} ({engine} engine, {compiled})"
+        )
+    return lines
+
+
+def render_explain(
+    provenance: Dict[str, Dict[str, Dict[str, object]]],
+    objective: Optional[str] = None,
+    uncovered: bool = False,
+) -> str:
+    """The explain report over a manifest's provenance section.
+
+    Default scope is every objective of every (model, tool) cell;
+    ``objective`` narrows to one id (matching cells only), ``uncovered``
+    to the objectives still uncovered.  The two filters compose.
+    """
+    lines: List[str] = []
+    matched = False
+    for model in sorted(provenance):
+        for tool in sorted(provenance[model]):
+            snapshot = provenance[model][tool] or {}
+            objectives = snapshot.get("objectives") or {}
+            selected = []
+            for objective_id, entry in objectives.items():
+                if objective is not None and objective_id != objective:
+                    continue
+                if uncovered and entry.get("status") != "uncovered":
+                    continue
+                selected.append((objective_id, entry))
+            if not selected:
+                continue
+            matched = True
+            totals = snapshot.get("totals") or {}
+            runs = snapshot.get("runs")
+            runs_note = f", {runs} run(s)" if runs is not None else ""
+            lines.append(
+                f"== {model} / {tool} "
+                f"({totals.get('covered', 0)}/{totals.get('objectives', 0)} "
+                f"covered{runs_note}) =="
+            )
+            for objective_id, entry in selected:
+                if entry.get("status") == "covered":
+                    lines.append(_covered_line(objective_id, entry))
+                else:
+                    lines.extend(_uncovered_lines(objective_id, entry))
+            lines.append("")
+    if not matched:
+        if objective is not None:
+            raise ReproError(
+                f"objective {objective!r} matched nothing"
+                + (" uncovered" if uncovered else "")
+                + " — ids look like 'D:<decision>:<outcome>', "
+                "'C:<point>:c0=T' or 'M:<point>:c0=T'"
+            )
+        lines.append("every objective of every cell is covered")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

@@ -1,10 +1,11 @@
-"""The redesigned config surface: kernels=/caches= plus flat aliases.
+"""The redesigned config surface: kernels=/caches= sub-configs.
 
-Pins the one-release deprecation contract: every pre-redesign flat
-constructor keyword still works, warns :class:`DeprecationWarning`, and
-maps onto the equivalent sub-config field; mixing an alias with the
-sub-config it maps into is refused; the new-style surface is warning-free
-and round-trips through :func:`dataclasses.replace`.
+Pins the post-deprecation contract: the pre-redesign flat constructor
+keywords (``sim_kernel``, ``encoding_cache_size``, ``verdict_cache``,
+``tree_dedup``) are gone — passing one is an ordinary ``TypeError``, and
+the flat names no longer exist as read-back properties; the sub-config
+surface is warning-free and round-trips through
+:func:`dataclasses.replace`.
 """
 
 import warnings
@@ -19,57 +20,27 @@ from repro.errors import ConfigError, HarnessError
 from tests.conftest import build_counter_model
 
 
-class TestDeprecatedAliases:
+class TestRemovedAliases:
     @pytest.mark.parametrize(
-        "alias, value, group, attr",
+        "alias, value",
         [
-            ("sim_kernel", False, "kernels", "sim"),
-            ("encoding_cache_size", 7, "caches", "encoding_size"),
-            ("verdict_cache", False, "caches", "verdicts"),
-            ("tree_dedup", False, "caches", "tree_dedup"),
+            ("sim_kernel", False),
+            ("encoding_cache_size", 7),
+            ("verdict_cache", False),
+            ("tree_dedup", False),
         ],
     )
-    def test_alias_warns_and_maps_onto_sub_config(
-        self, alias, value, group, attr
-    ):
-        with pytest.warns(DeprecationWarning, match=alias):
-            config = StcgConfig(**{alias: value})
-        assert getattr(getattr(config, group), attr) == value
-        # The flat name stays readable (without a warning) as a property.
-        assert getattr(config, alias) == value
+    def test_flat_keyword_is_an_ordinary_type_error(self, alias, value):
+        with pytest.raises(TypeError, match=alias):
+            StcgConfig(**{alias: value})
 
-    def test_multiple_aliases_group_into_both_sub_configs(self):
-        with pytest.warns(DeprecationWarning) as caught:
-            config = StcgConfig(
-                sim_kernel=False, encoding_cache_size=3, verdict_cache=False
-            )
-        assert len(caught) == 1  # one warning naming all the aliases
-        message = str(caught[0].message)
-        for alias in ("sim_kernel", "encoding_cache_size", "verdict_cache"):
-            assert alias in message
-        assert config.kernels == KernelConfig(sim=False)
-        assert config.caches == CacheConfig(encoding_size=3, verdicts=False)
-        # Untouched fields keep their defaults.
-        assert config.kernels.solver is True
-        assert config.caches.tree_dedup is True
-
-    def test_mixing_alias_with_its_sub_config_is_refused(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="not both"):
-                StcgConfig(sim_kernel=False, kernels=KernelConfig(sim=True))
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="not both"):
-                StcgConfig(
-                    tree_dedup=False, caches=CacheConfig(encoding_size=1)
-                )
-
-    def test_alias_for_one_group_composes_with_the_other_group(self):
-        with pytest.warns(DeprecationWarning):
-            config = StcgConfig(
-                sim_kernel=False, caches=CacheConfig(verdicts=False)
-            )
-        assert config.kernels.sim is False
-        assert config.caches.verdicts is False
+    @pytest.mark.parametrize(
+        "alias",
+        ["sim_kernel", "encoding_cache_size", "verdict_cache", "tree_dedup"],
+    )
+    def test_flat_read_back_property_is_gone(self, alias):
+        config = StcgConfig()
+        assert not hasattr(config, alias)
 
 
 class TestNewStyleSurface:
@@ -80,8 +51,8 @@ class TestNewStyleSurface:
                 kernels=KernelConfig(sim=False, solver=False),
                 caches=CacheConfig(encoding_size=9, compiled_size=4),
             )
-        assert config.sim_kernel is False
-        assert config.encoding_cache_size == 9
+        assert config.kernels.sim is False
+        assert config.caches.encoding_size == 9
         assert config.caches.compiled_size == 4
 
     def test_round_trips_through_dataclasses_replace(self):

@@ -153,11 +153,10 @@ class TestGeneratorCacheWiring:
     def test_invalid_cache_size_rejected(self):
         from repro.errors import ConfigError
 
-        with pytest.raises(ConfigError, match="encoding_cache_size"):
+        with pytest.raises(ConfigError, match="encoding_size"):
             CacheConfig(encoding_size=-1)
         with pytest.raises(ConfigError, match="compiled_size"):
             CacheConfig(compiled_size=-1)
-        # The deprecated flat alias still validates through the sub-config.
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="encoding_cache_size"):
-                StcgConfig(encoding_cache_size=-1)
+        # Validation fires through the StcgConfig surface too.
+        with pytest.raises(ConfigError, match="encoding_size"):
+            StcgConfig(caches=CacheConfig(encoding_size=-1))

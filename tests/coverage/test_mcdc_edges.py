@@ -1,0 +1,140 @@
+"""MCDC edge cases: single-condition decisions, masked conditions, and
+duplicate registration of the same objective across test cases.
+
+Complements ``test_mcdc.py`` (which pins the mainline masking-MCDC
+semantics) with the boundary behaviour the provenance ledger leans on:
+every obligation the collector reports as *newly* satisfied must be new,
+exactly once, no matter how many cases re-observe the same vectors.
+"""
+
+import itertools
+
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.types import BOOL
+from repro.coverage.collector import CoverageCollector, ConditionObligation
+from repro.coverage.mcdc import (
+    determines,
+    independence_pairs,
+    mcdc_covered_atoms,
+    outcome_of,
+)
+from repro.coverage.registry import ConditionPoint, CoverageRegistry
+
+
+def point_for(structure, n):
+    return ConditionPoint(0, "p", tuple(f"c{i}" for i in range(n)), structure)
+
+
+C = [Var(f"c{i}", BOOL) for i in range(3)]
+
+SINGLE = point_for(C[0], 1)
+NOT_SINGLE = point_for(x.lnot(C[0]), 1)
+AND2 = point_for(x.land(C[0], C[1]), 2)
+OR3 = point_for(x.lor(x.lor(C[0], C[1]), C[2]), 3)
+
+
+class TestSingleConditionDecisions:
+    def test_single_atom_always_determines(self):
+        assert determines(SINGLE, (True,), 0)
+        assert determines(SINGLE, (False,), 0)
+        assert determines(NOT_SINGLE, (True,), 0)
+
+    def test_both_polarities_cover_the_atom(self):
+        assert mcdc_covered_atoms(SINGLE, {(True,), (False,)}) == {0}
+
+    def test_one_polarity_is_not_enough(self):
+        # The derivative holds, but MCDC needs the flip witnessed.
+        assert mcdc_covered_atoms(SINGLE, {(True,)}) == set()
+        assert mcdc_covered_atoms(SINGLE, {(False,)}) == set()
+
+    def test_negated_single_atom_pairs_invert_outcomes(self):
+        pairs = independence_pairs(NOT_SINGLE, {(True,), (False,)})
+        assert set(pairs) == {0}
+        pos, neg = pairs[0]
+        assert outcome_of(NOT_SINGLE, pos) is False
+        assert outcome_of(NOT_SINGLE, neg) is True
+
+
+class TestMaskedConditions:
+    def test_masked_atom_never_determines(self):
+        # In OR3, c2 only determines when c0 and c1 are both false; every
+        # observed vector here has c0 true, so c2 stays masked.
+        vectors = {(True, False, False), (True, False, True),
+                   (True, True, True)}
+        assert mcdc_covered_atoms(OR3, vectors) == set()
+
+    def test_unmasking_vector_completes_the_pair(self):
+        vectors = {
+            (False, False, True),   # c2 determines, true side
+            (False, False, False),  # c2 determines, false side
+        }
+        assert mcdc_covered_atoms(OR3, vectors) == {2}
+
+    def test_short_circuit_shape_in_and(self):
+        # c1 observed at both polarities, but only ever under c0=False —
+        # masked by the short-circuiting side, so no MCDC credit.
+        vectors = {(False, True), (False, False)}
+        covered = mcdc_covered_atoms(AND2, vectors)
+        assert 1 not in covered
+        # c0's derivative also never holds here (needs c1 true with the
+        # flip witnessed): {FT} determines but has no true-side partner.
+        assert covered == set()
+
+    def test_collector_reports_value_but_not_mcdc_for_masked_atom(self):
+        registry = CoverageRegistry()
+        point = registry.register_condition_point(
+            "Logic1", ("a", "b"), x.land(C[0], C[1])
+        )
+        registry.freeze()
+        collector = CoverageCollector(registry)
+        newly = collector.on_condition_vector(point, (False, True))
+        newly += collector.on_condition_vector(point, (False, False))
+        kinds = {(o.atom, o.polarity, o.determining) for o in newly}
+        # b's value obligations are satisfied at both polarities...
+        assert (1, True, False) in kinds
+        assert (1, False, False) in kinds
+        # ...but no mcdc (determining) obligation for b fires: a=False
+        # masks it in both vectors.
+        assert (1, True, True) not in kinds
+        assert (1, False, True) not in kinds
+
+
+class TestDuplicateRegistrationAcrossCases:
+    def build(self):
+        registry = CoverageRegistry()
+        point = registry.register_condition_point(
+            "Logic1", ("a", "b"), x.land(C[0], C[1])
+        )
+        registry.freeze()
+        return CoverageCollector(registry), point
+
+    def test_repeated_vector_reports_nothing_new(self):
+        collector, point = self.build()
+        first = collector.on_condition_vector(point, (True, True))
+        assert first  # value T for both atoms + determining T for both
+        # The same vector from a later test case is a no-op.
+        assert collector.on_condition_vector(point, (True, True)) == []
+        assert collector.on_condition_vector(point, (True, True)) == []
+
+    def test_each_obligation_reported_newly_exactly_once(self):
+        collector, point = self.build()
+        reported = []
+        seen = []
+        for vector in itertools.product([True, False], repeat=2):
+            reported += collector.on_condition_vector(point, vector)
+            seen.append(vector)
+            # Replay every vector seen so far — duplicates across "cases".
+            for earlier in seen:
+                assert collector.on_condition_vector(point, earlier) == []
+        assert len(reported) == len(set(reported))
+        satisfied = {o for o in collector.all_condition_obligations()
+                     if collector.is_obligation_satisfied(o)}
+        assert set(reported) == satisfied
+
+    def test_obligation_identity_is_value_based(self):
+        # The dedup above relies on frozen-dataclass equality.
+        a = ConditionObligation(0, 1, True, False)
+        b = ConditionObligation(0, 1, True, False)
+        assert a == b and hash(a) == hash(b)
+        assert a != ConditionObligation(0, 1, True, True)

@@ -1,0 +1,267 @@
+"""Unit tests for the provenance ledger (``repro.provenance/1``)."""
+
+import pytest
+
+from repro.expr import ops as x
+from repro.expr.ast import Var
+from repro.expr.types import BOOL
+from repro.coverage.collector import ConditionObligation
+from repro.coverage.registry import CoverageRegistry, DecisionKind
+from repro.provenance import (
+    NULL_LEDGER,
+    PROVENANCE_SCHEMA,
+    ProvenanceLedger,
+    all_objective_ids,
+    branch_objective_id,
+    merge_provenance,
+    obligation_objective_id,
+    uncovered_objectives,
+)
+
+
+def tiny_registry():
+    registry = CoverageRegistry()
+    registry.register_decision("Sw", DecisionKind.SWITCH, ("hi", "lo"))
+    a, b = Var("a", BOOL), Var("b", BOOL)
+    registry.register_condition_point("Logic1", ("a", "b"), x.land(a, b))
+    registry.freeze()
+    return registry
+
+
+class TestObjectiveIds:
+    def test_branch_id_format(self):
+        registry = tiny_registry()
+        assert branch_objective_id(registry.branches[0]) == "D:Sw:hi"
+        assert branch_objective_id(registry.branches[1]) == "D:Sw:lo"
+
+    def test_obligation_id_format(self):
+        registry = tiny_registry()
+        value = ConditionObligation(0, 1, True, False)
+        mcdc = ConditionObligation(0, 0, False, True)
+        assert obligation_objective_id(registry, value) == "C:Logic1:c1=T"
+        assert obligation_objective_id(registry, mcdc) == "M:Logic1:c0=F"
+
+    def test_enumeration_order_is_d_then_c_then_m(self):
+        ids = all_objective_ids(tiny_registry())
+        assert ids == [
+            "D:Sw:hi", "D:Sw:lo",
+            "C:Logic1:c0=T", "C:Logic1:c0=F",
+            "C:Logic1:c1=T", "C:Logic1:c1=F",
+            "M:Logic1:c0=T", "M:Logic1:c0=F",
+            "M:Logic1:c1=T", "M:Logic1:c1=F",
+        ]
+
+
+class TestLedgerAttribution:
+    def test_cover_commits_with_end_case_index(self):
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        ledger.begin_case("solver")
+        ledger.cover_branch(0, step=3)
+        ledger.end_case(0)
+        entry = ledger.snapshot()["objectives"]["D:Sw:hi"]
+        assert entry == {"status": "covered", "case": 0, "step": 3,
+                         "origin": "solver", "failed_attempts": 0}
+
+    def test_discarded_candidate_keeps_coverage_with_null_case(self):
+        ledger = ProvenanceLedger(tiny_registry(), "SimCoTest")
+        ledger.begin_case("random")
+        ledger.cover_obligation(ConditionObligation(0, 0, True, False), 1)
+        ledger.end_case(None)
+        entry = ledger.snapshot()["objectives"]["C:Logic1:c0=T"]
+        assert entry["status"] == "covered"
+        assert entry["case"] is None
+        assert entry["origin"] == "random"
+
+    def test_first_cover_wins_across_cases(self):
+        # The same objective re-covered by a later case must not steal
+        # attribution from the first covering case.
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        ledger.begin_case("solver")
+        ledger.cover_branch(1, step=2)
+        ledger.end_case(0)
+        ledger.begin_case("random")
+        ledger.cover_branch(1, step=9)
+        ledger.end_case(4)
+        entry = ledger.snapshot()["objectives"]["D:Sw:lo"]
+        assert (entry["case"], entry["step"], entry["origin"]) == \
+            (0, 2, "solver")
+
+    def test_begin_case_drops_stale_buffer(self):
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        ledger.begin_case("solver")
+        ledger.cover_branch(0, step=1)
+        # No end_case: a crashed/abandoned candidate leaves nothing.
+        ledger.begin_case("random")
+        ledger.end_case(0)
+        assert ledger.snapshot()["objectives"]["D:Sw:hi"]["status"] == \
+            "uncovered"
+
+
+class TestLedgerAudit:
+    def test_attempt_counters_and_trail(self):
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        ledger.attempt("D:Sw:hi", 7, "unsat", "contract", "full", True)
+        ledger.attempt("D:Sw:hi", 9, "unsat", "contract", "full", True)
+        ledger.attempt("D:Sw:hi", 9, "unknown", None, "lite", False)
+        entry = ledger.snapshot()["objectives"]["D:Sw:hi"]
+        assert entry["attempts"] == {"unknown:none": 1, "unsat:contract": 2}
+        assert entry["trail"][0] == {
+            "node": 7, "verdict": "unsat", "stage": "contract",
+            "engine": "full", "compiled": True,
+        }
+        assert entry["trail"][2]["stage"] == "none"
+
+    def test_trail_is_bounded_but_counters_are_not(self):
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        for node in range(20):
+            ledger.attempt("D:Sw:hi", node, "unsat", "avm", "full", False)
+        entry = ledger.snapshot()["objectives"]["D:Sw:hi"]
+        assert entry["attempts"] == {"unsat:avm": 20}
+        assert len(entry["trail"]) == 8
+
+    def test_failed_attempts_exclude_sat(self):
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        ledger.attempt("D:Sw:hi", 1, "unsat", "avm", "full", False)
+        ledger.attempt("D:Sw:hi", 2, "sat", "solver", "full", False)
+        ledger.begin_case("solver")
+        ledger.cover_branch(0, step=1)
+        ledger.end_case(0)
+        entry = ledger.snapshot()["objectives"]["D:Sw:hi"]
+        assert entry["status"] == "covered"
+        assert entry["failed_attempts"] == 1
+
+    def test_skip_counters(self):
+        ledger = ProvenanceLedger(tiny_registry(), "SLDV")
+        ledger.skip("D:Sw:lo", "verdict")
+        ledger.skip("D:Sw:lo", "verdict")
+        ledger.skip("D:Sw:lo", "const_false")
+        entry = ledger.snapshot()["objectives"]["D:Sw:lo"]
+        assert entry["skips"] == {"const_false": 1, "verdict": 2}
+
+
+class TestSnapshot:
+    def test_shape_and_totals(self):
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        ledger.begin_case("solver")
+        ledger.cover_branch(0, step=1)
+        ledger.end_case(0)
+        snapshot = ledger.snapshot()
+        assert snapshot["schema"] == PROVENANCE_SCHEMA
+        assert snapshot["tool"] == "STCG"
+        assert list(snapshot["objectives"]) == \
+            all_objective_ids(tiny_registry())
+        assert snapshot["totals"] == {
+            "objectives": 10, "covered": 1, "uncovered": 9,
+        }
+
+    def test_uncovered_objectives_helper(self):
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        ledger.begin_case("solver")
+        ledger.cover_branch(0, step=1)
+        ledger.end_case(0)
+        pairs = uncovered_objectives(ledger.snapshot())
+        assert len(pairs) == 9
+        assert all(entry["status"] == "uncovered" for _, entry in pairs)
+        assert "D:Sw:hi" not in dict(pairs)
+
+    def test_snapshot_is_json_stable(self):
+        import json
+
+        ledger = ProvenanceLedger(tiny_registry(), "STCG")
+        ledger.attempt("D:Sw:hi", 1, "unsat", "avm", "full", False)
+        once = json.dumps(ledger.snapshot(), sort_keys=True)
+        again = json.dumps(ledger.snapshot(), sort_keys=True)
+        assert once == again
+
+
+class TestNullLedger:
+    def test_null_ledger_is_inert(self):
+        assert NULL_LEDGER.enabled is False
+        NULL_LEDGER.begin_case("solver")
+        NULL_LEDGER.cover_branch(0, 1)
+        NULL_LEDGER.cover_obligation(ConditionObligation(0, 0, True, False), 1)
+        NULL_LEDGER.end_case(0)
+        NULL_LEDGER.attempt("D:x", 0, "unsat", None, "full", False)
+        NULL_LEDGER.skip("D:x", "verdict")
+        assert NULL_LEDGER.snapshot() == {}
+
+
+class TestMerge:
+    def snap(self, tool="STCG", **entries):
+        objectives = {}
+        for objective_id, entry in entries.items():
+            objectives[objective_id.replace("_", ":")] = entry
+        covered = sum(
+            1 for e in objectives.values() if e["status"] == "covered"
+        )
+        return {
+            "schema": PROVENANCE_SCHEMA, "tool": tool,
+            "objectives": objectives,
+            "totals": {"objectives": len(objectives), "covered": covered,
+                       "uncovered": len(objectives) - covered},
+        }
+
+    def test_first_covering_repetition_wins(self):
+        rep0 = self.snap(D_a={"status": "uncovered", "attempts": {},
+                              "skips": {}, "trail": []})
+        rep1 = self.snap(D_a={"status": "covered", "case": 2, "step": 1,
+                              "origin": "solver", "failed_attempts": 3})
+        rep2 = self.snap(D_a={"status": "covered", "case": 0, "step": 1,
+                              "origin": "random", "failed_attempts": 0})
+        merged = merge_provenance([(0, rep0), (1, rep1), (2, rep2)])
+        entry = merged["objectives"]["D:a"]
+        assert entry["status"] == "covered"
+        assert entry["repetition"] == 1
+        assert entry["origin"] == "solver"
+        assert merged["runs"] == 3
+        assert merged["totals"]["covered"] == 1
+
+    def test_uncovered_everywhere_sums_counters(self):
+        rep0 = self.snap(D_a={
+            "status": "uncovered", "attempts": {"unsat:avm": 2},
+            "skips": {"verdict": 1},
+            "trail": [{"node": 1, "verdict": "unsat", "stage": "avm",
+                       "engine": "full", "compiled": False}],
+        })
+        rep1 = self.snap(D_a={
+            "status": "uncovered",
+            "attempts": {"unsat:avm": 3, "unknown:none": 1},
+            "skips": {}, "trail": [],
+        })
+        merged = merge_provenance([(0, rep0), (1, rep1)])
+        entry = merged["objectives"]["D:a"]
+        assert entry["attempts"] == {"unknown:none": 1, "unsat:avm": 5}
+        assert entry["skips"] == {"verdict": 1}
+        assert len(entry["trail"]) == 1  # first non-empty trail is kept
+
+    def test_merge_of_identical_reps_matches_single(self):
+        snapshot = self.snap(D_a={"status": "covered", "case": 0, "step": 1,
+                                  "origin": "solver", "failed_attempts": 0})
+        one = merge_provenance([(0, snapshot)])
+        three = merge_provenance([(0, snapshot)] * 3)
+        assert one["objectives"].keys() == three["objectives"].keys()
+        assert one["totals"]["covered"] == three["totals"]["covered"] == 1
+        assert three["runs"] == 3
+
+    def test_merge_empty(self):
+        merged = merge_provenance([])
+        assert merged["objectives"] == {}
+        assert merged["runs"] == 0
+
+
+class TestAllObjectiveIdsMatchCollector:
+    def test_registry_order_matches_collector_enumeration(self):
+        from repro.coverage.collector import CoverageCollector
+
+        registry = tiny_registry()
+        collector = CoverageCollector(registry)
+        obligation_ids = [
+            obligation_objective_id(registry, o)
+            for o in collector.all_condition_obligations()
+        ]
+        branch_ids = [branch_objective_id(b) for b in registry.branches]
+        assert branch_ids + obligation_ids == all_objective_ids(registry)
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,207 @@
+"""End-to-end provenance: generation, manifest fold, explain, dashboard.
+
+The ledger's contract is observational: turning it on must not change a
+fixed-seed suite, and the manifest fold must be worker-count invariant.
+Both are asserted here over the tiny counter model (full STCG coverage in
+well under the budget, so runs terminate deterministically).
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.errors import ReproError
+from repro.models.registry import BenchmarkModel
+from repro.telemetry.diff import diff_runs, find_regressions, render_diff
+from repro.telemetry.dashboard import render_dashboard
+from repro.telemetry.explain import load_provenance, render_explain
+
+from tests.conftest import build_counter_model
+
+TINY = BenchmarkModel("Tiny", "counter fixture", build_counter_model, 0, 0)
+
+
+def suite_signature(result):
+    return [
+        (case.origin, tuple(map(tuple, (sorted(s.items()) for s in
+                                        case.inputs))),
+         tuple(case.new_branch_ids))
+        for case in result.suite
+    ]
+
+
+class TestGenerateProvenance:
+    @pytest.mark.parametrize("tool", api.TOOLS)
+    def test_snapshot_lands_in_result(self, tool):
+        result = api.generate(TINY, tool=tool, budget_s=2.0, seed=3)
+        snapshot = result.provenance
+        assert snapshot["schema"] == api.PROVENANCE_SCHEMA
+        assert snapshot["tool"] == tool
+        totals = snapshot["totals"]
+        assert totals["covered"] + totals["uncovered"] == \
+            totals["objectives"] > 0
+        covered = sum(
+            1 for entry in snapshot["objectives"].values()
+            if entry["status"] == "covered"
+        )
+        assert covered == totals["covered"]
+
+    def test_off_yields_empty_snapshot(self):
+        result = api.generate(TINY, budget_s=2.0, seed=3, provenance=False)
+        assert result.provenance == {}
+
+    @pytest.mark.parametrize("tool", api.TOOLS)
+    def test_observation_does_not_perturb_the_suite(self, tool):
+        on = api.generate(TINY, tool=tool, budget_s=3.0, seed=7)
+        off = api.generate(TINY, tool=tool, budget_s=3.0, seed=7,
+                           provenance=False)
+        assert suite_signature(on) == suite_signature(off)
+        assert (on.decision, on.condition, on.mcdc) == \
+            (off.decision, off.condition, off.mcdc)
+
+
+class TestManifestFold:
+    def run(self, tmp_path, workers, name):
+        path = tmp_path / f"{name}.jsonl"
+        api.run_experiment(
+            models=[TINY], budget_s=2.0, repetitions=2, seed=1,
+            workers=workers, events_out=str(path),
+        )
+        return json.loads(
+            (tmp_path / f"{name}.manifest.json").read_text()
+        )
+
+    def test_workers_1_and_2_fold_bit_identically(self, tmp_path):
+        serial = self.run(tmp_path, 1, "serial")
+        parallel = self.run(tmp_path, 2, "parallel")
+        assert json.dumps(serial["provenance"], sort_keys=True) == \
+            json.dumps(parallel["provenance"], sort_keys=True)
+
+    def test_merged_cell_shape(self, tmp_path):
+        manifest = self.run(tmp_path, 1, "shape")
+        cell = manifest["provenance"]["Tiny"]["STCG"]
+        assert cell["schema"] == api.PROVENANCE_SCHEMA
+        assert cell["runs"] == 2
+        covered = [e for e in cell["objectives"].values()
+                   if e["status"] == "covered"]
+        assert covered, "STCG covered nothing on the counter model"
+        assert all("repetition" in entry for entry in covered)
+
+    def test_provenance_off_leaves_empty_section(self, tmp_path):
+        path = tmp_path / "off.jsonl"
+        api.run_experiment(
+            models=[TINY], tools=("STCG",), budget_s=2.0, repetitions=1,
+            seed=1, events_out=str(path), provenance=False,
+        )
+        manifest = json.loads((tmp_path / "off.manifest.json").read_text())
+        assert manifest["provenance"] == {}
+        with pytest.raises(ReproError, match="no provenance"):
+            load_provenance(str(path))
+
+
+@pytest.fixture(scope="module")
+def run_manifest(tmp_path_factory):
+    """One shared SLDV+STCG run with uncovered objectives to explain."""
+    tmp_path = tmp_path_factory.mktemp("prov")
+    path = tmp_path / "run.jsonl"
+    api.run_experiment(
+        models=[TINY], tools=("STCG", "SLDV"), budget_s=2.0,
+        repetitions=1, seed=1, events_out=str(path),
+    )
+    return str(tmp_path / "run.manifest.json")
+
+
+class TestExplain:
+    def test_full_report_headers(self, run_manifest):
+        text = render_explain(load_provenance(run_manifest))
+        assert "== Tiny / STCG (" in text
+        assert "covered, 1 run(s)" in text
+        assert "[covered]" in text
+
+    def test_objective_filter(self, run_manifest):
+        provenance = load_provenance(run_manifest)
+        snapshot = provenance["Tiny"]["STCG"]
+        objective_id = next(iter(snapshot["objectives"]))
+        text = render_explain(provenance, objective=objective_id)
+        assert objective_id in text
+        assert text.count("[") == text.count(f"] {objective_id}")
+
+    def test_unknown_objective_raises(self, run_manifest):
+        with pytest.raises(ReproError, match="matched nothing"):
+            render_explain(load_provenance(run_manifest), objective="D:nope")
+
+    def test_uncovered_filter_shows_audit_chain(self, run_manifest):
+        provenance = load_provenance(run_manifest)
+        any_uncovered = any(
+            entry["status"] == "uncovered"
+            for per_tool in provenance.values()
+            for snapshot in per_tool.values()
+            for entry in snapshot["objectives"].values()
+        )
+        text = render_explain(provenance, uncovered=True)
+        if any_uncovered:
+            assert "[uncovered]" in text
+            assert "[covered]" not in text
+        else:
+            assert text == "every objective of every cell is covered"
+
+
+class TestDashboard:
+    def test_self_contained_html(self, run_manifest):
+        manifest = json.loads(open(run_manifest).read())
+        page = render_dashboard(manifest)
+        assert page.lstrip().startswith("<!DOCTYPE html>")
+        assert "Objective provenance" in page
+        assert "https://" not in page  # no CDN, no external assets
+        assert "prefers-color-scheme: dark" in page
+
+    def test_degrades_without_provenance(self, run_manifest):
+        manifest = json.loads(open(run_manifest).read())
+        manifest["provenance"] = {}
+        page = render_dashboard(manifest)
+        assert "<!DOCTYPE html>" in page
+        assert "the ledger was off" in page
+
+
+class TestDiffNamesObjectives:
+    def doctor(self, manifest):
+        doctored = json.loads(json.dumps(manifest))
+        for per_tool in doctored["provenance"].values():
+            for snapshot in per_tool.values():
+                for entry in snapshot["objectives"].values():
+                    if entry["status"] == "covered":
+                        entry.clear()
+                        entry.update(status="uncovered", attempts={},
+                                     skips={}, trail=[])
+                        snapshot["totals"]["covered"] -= 1
+                        snapshot["totals"]["uncovered"] += 1
+                        return doctored
+        raise AssertionError("no covered objective to doctor")
+
+    def test_lost_objective_is_named(self, run_manifest):
+        manifest = json.loads(open(run_manifest).read())
+        doctored = self.doctor(manifest)
+        diff = diff_runs(manifest, doctored)
+        lost = [ids for ids in diff.objectives.values() if ids]
+        assert len(lost) == 1 and len(lost[0]) == 1
+        problems = find_regressions(diff)
+        assert any("lost 1 objective" in p for p in problems)
+        rendered = render_diff(diff)
+        assert "regressed objectives" in rendered
+        assert lost[0][0] in rendered
+
+    def test_self_diff_is_clean(self, run_manifest):
+        manifest = json.loads(open(run_manifest).read())
+        diff = diff_runs(manifest, manifest)
+        assert not any(ids for ids in diff.objectives.values())
+        assert find_regressions(diff) == []
+
+    def test_absent_section_is_not_a_regression(self, run_manifest):
+        # A pre-provenance or ledger-off candidate must not read as
+        # "lost every objective".
+        manifest = json.loads(open(run_manifest).read())
+        bare = json.loads(json.dumps(manifest))
+        bare["provenance"] = {}
+        diff = diff_runs(manifest, bare)
+        assert not any(ids for ids in diff.objectives.values())
