@@ -1,0 +1,100 @@
+"""Bench: fuzz campaign throughput (executions/second).
+
+The ``repro.fuzz`` engine spends its whole budget in the mutate/execute/
+retain loop: pick a corpus parent, apply one seeded mutator, replay the
+candidate from the initial state, and keep it iff it covers a new
+Decision/Condition/MC/DC objective id.  This bench times a fixed-count
+campaign (count-based budgets are the deterministic path — wall clock
+only bounds from above) on a dataflow-heavy model (CPUTask) and a
+chart-heavy model (TCP), and records executions/second.
+
+Two guarantees are asserted:
+
+* the campaign actually ran its full execution budget (the loop did not
+  exit early on full coverage or an empty corpus), and
+* fixed-seed runs are deterministic — two campaigns with the same seed
+  retain bit-identical corpora and coverage (speed without determinism
+  would break the workers=1/N manifest-identity pin).
+
+The ``test_fuzz_execs_*`` runs record timings with pytest-benchmark so CI
+can gate regressions against the committed ``BENCH_baseline.json``.
+"""
+
+import pathlib
+import time
+
+import pytest
+
+from repro.core.config import FuzzConfig, StcgConfig
+from repro.fuzz.engine import FuzzGenerator
+from repro.models.registry import get_benchmark
+
+SEED = 42
+#: Mutated sequences executed per timed campaign; long enough that the
+#: mutate/execute/retain loop dominates generator setup.
+EXECUTIONS = 300
+
+MODELS = ["CPUTask", "TCP"]
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def _config(executions=EXECUTIONS, corpus_out=""):
+    # budget_s is a generous upper bound only: the executions count is the
+    # binding (and deterministic) budget.
+    return StcgConfig(
+        seed=SEED,
+        budget_s=600.0,
+        provenance=False,
+        fuzz=FuzzConfig(executions=executions, corpus_out=corpus_out),
+    )
+
+
+def _campaign(model_name, executions=EXECUTIONS, corpus_out=""):
+    compiled = get_benchmark(model_name).build()
+    gen = FuzzGenerator(compiled, _config(executions, corpus_out))
+    return gen.run()
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_fuzz_throughput(model_name, artifact):
+    """Full-budget campaign; fixed-seed determinism; execs/s artifact."""
+    OUT_DIR.mkdir(exist_ok=True)
+    corpus_path = OUT_DIR / f"fuzz_corpus_{model_name}.json"
+    started = time.perf_counter()
+    result = _campaign(model_name, corpus_out=str(corpus_path))
+    seconds = time.perf_counter() - started
+    assert corpus_path.exists()  # the CI fuzz-corpus artifact
+
+    assert result.stats["fuzz_executions"] == EXECUTIONS
+    assert result.stats["fuzz_corpus_size"] > 0
+
+    # Determinism: an identical-seed rerun retains the same corpus and
+    # reaches the same coverage.
+    again = _campaign(model_name)
+    assert again.stats["fuzz_executions"] == result.stats["fuzz_executions"]
+    assert again.stats["fuzz_retained"] == result.stats["fuzz_retained"]
+    assert again.stats["fuzz_corpus_size"] == result.stats["fuzz_corpus_size"]
+    assert again.summary.as_dict() == result.summary.as_dict()
+
+    rate = EXECUTIONS / seconds
+    artifact(
+        f"fuzz_throughput_{model_name}.txt",
+        f"{model_name}: {EXECUTIONS} fuzz executions (seed {SEED})\n"
+        f"  rate:    {rate:,.0f} execs/s\n"
+        f"  corpus:  {result.stats['fuzz_corpus_size']} entries "
+        f"({result.stats['fuzz_retained']} retained, "
+        f"{result.stats['fuzz_seed_entries']} seeds)\n"
+        f"  steps:   {result.stats['fuzz_steps']}\n",
+    )
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+def test_fuzz_execs(model_name, benchmark):
+    """Fixed-count fuzz campaign wall time (gated against the baseline)."""
+
+    def run():
+        return _campaign(model_name)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.stats["fuzz_executions"] == EXECUTIONS

@@ -28,12 +28,14 @@ import time
 from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro.core.config import CacheConfig, KernelConfig, StcgConfig
+from repro.core.config import CacheConfig, FuzzConfig, KernelConfig, StcgConfig
 from repro.core.result import GenerationResult
 from repro.core.stcg import StcgGenerator
 from repro.errors import HarnessError
+from repro.fuzz.engine import FuzzGenerator, HybridGenerator
 from repro.exec.cells import CellFailure, derive_seed
 from repro.exec.executor import (
+    ALL_TOOLS,
     ExperimentResult,
     TOOLS,
     ToolOutcome,
@@ -55,12 +57,19 @@ from repro.obs.report import render_report
 from repro.provenance import PROVENANCE_SCHEMA
 from repro.solverc.compiler import SolvercStats
 from repro.telemetry.dashboard import render_dashboard
-from repro.telemetry.events import EventLog, emit_trace_events, read_events
+from repro.telemetry.events import (
+    EventLog,
+    emit_trace_events,
+    fuzz_stats_payload,
+    read_events,
+)
 from repro.telemetry.explain import load_provenance, render_explain
 
 __all__ = [
+    "ALL_TOOLS",
     "CacheConfig",
     "CellFailure",
+    "FuzzConfig",
     "EventLog",
     "ExperimentResult",
     "GenerationResult",
@@ -136,8 +145,9 @@ def generate(
 
     ``model`` may be a benchmark name (``"CPUTask"``), a
     :class:`BenchmarkModel`, or a user-built :class:`CompiledModel`.
-    ``config`` (STCG only) overrides ``budget_s``/``seed`` with a full
-    :class:`StcgConfig`; ``stcg_overrides`` (STCG only, exclusive with
+    ``config`` (STCG/Fuzz/Hybrid only) overrides ``budget_s``/``seed``
+    with a full :class:`StcgConfig`; ``stcg_overrides`` (same tools,
+    exclusive with
     ``config``) applies extra :class:`StcgConfig` fields on top of
     ``budget_s``/``seed`` — e.g. ``kernels=KernelConfig(solver=False)``
     or ``caches=CacheConfig(encoding_size=0)`` — matching the
@@ -153,17 +163,20 @@ def generate(
     ``provenance`` event folded into the manifest (see ``repro explain``
     and ``repro dashboard``).
     """
-    if tool not in TOOLS:
+    if tool not in ALL_TOOLS:
         raise HarnessError(
-            f"unknown tool {tool!r}; available: {', '.join(TOOLS)}"
+            f"unknown tool {tool!r}; available: {', '.join(ALL_TOOLS)}"
         )
+    stcg_family = tool in ("STCG", "Fuzz", "Hybrid")
     if budget_s <= 0:
         raise HarnessError(f"budget_s must be positive, got {budget_s!r}")
-    if config is not None and tool != "STCG":
-        raise HarnessError("config= applies to STCG only")
+    if config is not None and not stcg_family:
+        raise HarnessError("config= applies to STCG/Fuzz/Hybrid only")
     if stcg_overrides:
-        if tool != "STCG":
-            raise HarnessError("stcg_overrides= applies to STCG only")
+        if not stcg_family:
+            raise HarnessError(
+                "stcg_overrides= applies to STCG/Fuzz/Hybrid only"
+            )
         if config is not None:
             raise HarnessError(
                 "pass either config= or stcg_overrides=, not both"
@@ -187,7 +200,12 @@ def generate(
         started = time.monotonic()
         with _CellAlarm(cell_timeout):
             if config is not None:
-                result = StcgGenerator(bench.build(), config).run()
+                if tool == "Fuzz":
+                    result = FuzzGenerator(bench.build(), config).run()
+                elif tool == "Hybrid":
+                    result = HybridGenerator(bench.build(), config).run()
+                else:
+                    result = StcgGenerator(bench.build(), config).run()
             else:
                 result = run_single(
                     tool, bench, budget_s, seed, sldv_max_depth, trace,
@@ -216,6 +234,13 @@ def generate(
             emit_trace_events(
                 events, {"model": bench.name, "tool": tool}, result.trace_data
             )
+            if "fuzz_executions" in result.stats:
+                events.emit(
+                    "fuzz_stats",
+                    model=bench.name,
+                    tool=tool,
+                    **fuzz_stats_payload(result.stats),
+                )
             if result.provenance:
                 events.emit(
                     "provenance",
@@ -273,9 +298,9 @@ def run_experiment(
     running cell goes quiet for ``stall_fraction`` of its timeout.
     """
     for name in tools:
-        if name not in TOOLS:
+        if name not in ALL_TOOLS:
             raise HarnessError(
-                f"unknown tool {name!r}; available: {', '.join(TOOLS)}"
+                f"unknown tool {name!r}; available: {', '.join(ALL_TOOLS)}"
             )
     # MatrixConfig is the single source of truth for matrix validation.
     config = MatrixConfig(

@@ -6,6 +6,9 @@ Commands:
 * ``info MODEL`` — a model's ports, state elements and decisions,
 * ``generate MODEL`` — run a tool, print coverage, optionally export the
   suite, a coverage report and a minimized suite,
+* ``fuzz MODEL`` — coverage-guided mutational fuzzing (``--hybrid`` runs
+  the STCG → targeted-fuzz → STCG pipeline; ``--corpus-out`` exports the
+  retained corpus),
 * ``compare MODEL`` — SLDV vs SimCoTest vs STCG with the Figure-4 plot,
 * ``table1 | table2 | table3 | fig3 | fig4`` — the paper's artefacts,
 * ``report FILE.jsonl`` — analyze a telemetry stream: phase times,
@@ -98,7 +101,7 @@ def _parser() -> argparse.ArgumentParser:
     gen = sub.add_parser("generate", help="generate tests for one model")
     gen.add_argument("model")
     gen.add_argument("--tool", default="STCG",
-                     choices=["STCG", "SLDV", "SimCoTest"])
+                     choices=["STCG", "SLDV", "SimCoTest", "Fuzz", "Hybrid"])
     gen.add_argument("--budget", type=float, default=20.0)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", help="write the suite text export here")
@@ -127,6 +130,32 @@ def _parser() -> argparse.ArgumentParser:
     )
     _add_exec_flags(gen)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided mutational fuzzing on one model "
+             "(--hybrid for the STCG → targeted-fuzz → STCG pipeline)",
+    )
+    fuzz.add_argument("model")
+    fuzz.add_argument(
+        "--hybrid", action="store_true",
+        help="run the hybrid pipeline: a pure-STCG pass, then fuzz the "
+             "objectives it left uncovered, then a second solver pass "
+             "over the fuzz-fed state tree",
+    )
+    fuzz.add_argument("--budget", type=float, default=10.0)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--executions", type=int, default=None, metavar="N",
+        help="count-based campaign budget (default 512); the wall-clock "
+             "--budget only bounds it from above",
+    )
+    fuzz.add_argument(
+        "--corpus-out", default=None, metavar="FILE.json",
+        help="write the retained corpus (repro.fuzz.corpus/1 JSON) here",
+    )
+    fuzz.add_argument("--out", help="write the suite text export here")
+    _add_exec_flags(fuzz)
+
     cmp_ = sub.add_parser("compare", help="three-tool comparison on a model")
     cmp_.add_argument("model")
     cmp_.add_argument("--budget", type=float, default=15.0)
@@ -148,6 +177,12 @@ def _parser() -> argparse.ArgumentParser:
     t3.add_argument("--reps", type=int, default=2)
     t3.add_argument("--seed", type=int, default=0)
     t3.add_argument("--models", nargs="*", default=None)
+    t3.add_argument(
+        "--tools", nargs="*", default=None, metavar="TOOL",
+        choices=list(api.ALL_TOOLS),
+        help="tool columns to run (default: the paper's SLDV SimCoTest "
+             "STCG; add Fuzz and/or Hybrid for the fuzzing columns)",
+    )
     _add_exec_flags(t3)
 
     f4 = sub.add_parser("fig4", help="Figure 4: coverage vs time plots")
@@ -306,9 +341,9 @@ def _cmd_generate(args) -> None:
         stcg_overrides["caches"] = api.CacheConfig(**cache_kwargs)
     if kernel_kwargs:
         stcg_overrides["kernels"] = api.KernelConfig(**kernel_kwargs)
-    if stcg_overrides and args.tool != "STCG":
+    if stcg_overrides and args.tool not in ("STCG", "Fuzz", "Hybrid"):
         raise ReproError(
-            "cache and kernel flags apply to --tool STCG only"
+            "cache and kernel flags apply to STCG-family tools only"
         )
     if args.heartbeat is not None:
         raise ReproError(
@@ -401,9 +436,70 @@ def _cmd_compare(args) -> None:
     print(figure4_model(results, args.budget))
 
 
+def _cmd_fuzz(args) -> None:
+    model = get_benchmark(args.model)
+    if args.heartbeat is not None:
+        raise ReproError(
+            "--heartbeat applies to matrix commands "
+            "(compare / table3 / fig4) only"
+        )
+    fuzz_kwargs = {}
+    if args.executions is not None:
+        fuzz_kwargs["executions"] = args.executions
+    if args.corpus_out:
+        fuzz_kwargs["corpus_out"] = args.corpus_out
+    tool = "Hybrid" if args.hybrid else "Fuzz"
+    config = api.StcgConfig(
+        budget_s=args.budget,
+        seed=args.seed,
+        trace=args.trace,
+        provenance=not args.no_provenance,
+        fuzz=api.FuzzConfig(**fuzz_kwargs),
+    )
+    result = api.generate(
+        model,
+        tool=tool,
+        budget_s=args.budget,
+        seed=args.seed,
+        config=config,
+        cell_timeout=args.cell_timeout,
+        events_out=args.events_out,
+        trace=args.trace,
+        provenance=not args.no_provenance,
+    )
+    stats = result.stats
+    wall = float(stats.get("fuzz_wall_s") or 0.0)
+    executions = int(stats.get("fuzz_executions", 0))
+    rate = executions / wall if wall > 0 else 0.0
+    print(
+        f"{tool} on {model.name}: decision={result.decision:.1%} "
+        f"condition={result.condition:.1%} mcdc={result.mcdc:.1%} "
+        f"cases={len(result.suite)}"
+    )
+    print(
+        f"fuzz: {executions} executions ({rate:.0f}/s), "
+        f"corpus={stats.get('fuzz_corpus_size', 0)} "
+        f"(retained {stats.get('fuzz_retained', 0)}, "
+        f"seeds {stats.get('fuzz_seed_entries', 0)})"
+    )
+    if args.hybrid:
+        print(
+            f"hybrid: {stats.get('fuzz_targets', 0)} fuzz targets, "
+            f"{stats.get('fuzz_targets_covered', 0)} covered by fuzzing, "
+            f"{stats.get('fuzz_tree_nodes', 0)} states fed back"
+        )
+    if args.corpus_out:
+        print(f"corpus written to {args.corpus_out}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(result.suite.to_text())
+        print(f"suite written to {args.out}")
+
+
 def _cmd_table3(args) -> None:
     experiment = api.run_experiment(
         models=args.models,
+        tools=args.tools if args.tools else api.TOOLS,
         budget_s=args.budget,
         repetitions=args.reps,
         seed=args.seed,
@@ -585,6 +681,8 @@ def _dispatch(args) -> int:
         _cmd_info(args.model)
     elif args.command == "generate":
         _cmd_generate(args)
+    elif args.command == "fuzz":
+        _cmd_fuzz(args)
     elif args.command == "compare":
         _cmd_compare(args)
     elif args.command == "table1":

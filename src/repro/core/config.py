@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError
 from repro.solver.engine import SolverConfig
 
-__all__ = ["CacheConfig", "KernelConfig", "StcgConfig"]
+__all__ = ["CacheConfig", "FuzzConfig", "KernelConfig", "StcgConfig"]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -81,6 +81,64 @@ class CacheConfig:
             raise ConfigError(
                 "caches.compiled_size must be >= 0, got "
                 f"{self.compiled_size!r}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class FuzzConfig:
+    """Knobs of the coverage-guided fuzzing engine (:mod:`repro.fuzz`).
+
+    The fuzzer's budget is **count-based** (``executions``), not
+    wall-clock: a fixed-seed campaign executes the same candidates in the
+    same order on any machine, which is what keeps fuzz and hybrid cells
+    bit-identical across ``workers=1`` and ``workers=N``.  A wall-clock
+    deadline still bounds the campaign from above (the enclosing run's
+    ``budget_s``), so a slow model cannot overshoot its cell.
+    """
+
+    #: Candidate executions per campaign (the deterministic budget).
+    executions: int = 512
+    #: Hard cap on mutated sequence length, in steps.
+    max_sequence_length: int = 24
+    #: Self-seeding sequences (random + SimCoTest-style piecewise-constant
+    #: signals) executed before mutation starts when no suite seeds the
+    #: corpus.  Hybrid campaigns seed from the STCG suite instead.
+    seed_sequences: int = 8
+    #: Fraction of the hybrid budget spent on the initial pure-STCG pass;
+    #: the remainder is shared by the fuzz campaign and the second solver
+    #: pass over the fuzz-fed state tree.
+    hybrid_split: float = 0.5
+    #: Cap on fuzz-discovered covering states fed back into the state
+    #: tree per campaign (hybrid mode's solver re-targeting).
+    feedback_nodes: int = 256
+    #: Write the final corpus as a ``repro.fuzz.corpus/1`` JSON document
+    #: here after the campaign (the CI fuzz-corpus artifact).
+    corpus_out: str = ""
+
+    def __post_init__(self) -> None:
+        if self.executions < 1:
+            raise ConfigError(
+                f"fuzz.executions must be >= 1, got {self.executions!r}"
+            )
+        if self.max_sequence_length < 1:
+            raise ConfigError(
+                "fuzz.max_sequence_length must be >= 1, got "
+                f"{self.max_sequence_length!r}"
+            )
+        if self.seed_sequences < 0:
+            raise ConfigError(
+                "fuzz.seed_sequences must be >= 0, got "
+                f"{self.seed_sequences!r}"
+            )
+        if not 0.0 < self.hybrid_split < 1.0:
+            raise ConfigError(
+                "fuzz.hybrid_split must be in (0, 1), got "
+                f"{self.hybrid_split!r}"
+            )
+        if self.feedback_nodes < 0:
+            raise ConfigError(
+                "fuzz.feedback_nodes must be >= 0, got "
+                f"{self.feedback_nodes!r}"
             )
 
 
@@ -159,6 +217,9 @@ class StcgConfig:
     kernels: KernelConfig = field(default_factory=KernelConfig)
     #: The fingerprint-keyed solve caches — see :class:`CacheConfig`.
     caches: CacheConfig = field(default_factory=CacheConfig)
+    #: The coverage-guided fuzzing engine (``tool="Fuzz"``/``"Hybrid"``)
+    #: — see :class:`FuzzConfig`.  Ignored by the pure STCG loop.
+    fuzz: FuzzConfig = field(default_factory=FuzzConfig)
 
     #: Record a per-attempt trace (solve successes/failures, random runs).
     #: Used by the Table I / Figure 3 reproduction; off by default because
@@ -227,6 +288,10 @@ class StcgConfig:
         if not isinstance(self.caches, CacheConfig):
             raise ConfigError(
                 f"caches must be a CacheConfig, got {self.caches!r}"
+            )
+        if not isinstance(self.fuzz, FuzzConfig):
+            raise ConfigError(
+                f"fuzz must be a FuzzConfig, got {self.fuzz!r}"
             )
         if not isinstance(self.seed, int):
             raise ConfigError(f"seed must be an int, got {self.seed!r}")

@@ -16,6 +16,7 @@ from repro.core.testcase import TestSuite
 ORIGIN_SOLVER = "solver"  # "△" — state-aware constraint solving
 ORIGIN_RANDOM = "random"  # "◇" — random input-sequence execution
 ORIGIN_TOOL = "tool"  # baseline tools (unmarked lines)
+ORIGIN_FUZZ = "fuzz"  # coverage-guided mutational fuzzing (repro.fuzz)
 
 
 @dataclass

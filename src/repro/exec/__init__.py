@@ -2,6 +2,7 @@
 
 from repro.exec.cells import CellFailure, CellSpec, derive_seed, plan_matrix
 from repro.exec.executor import (
+    ALL_TOOLS,
     ExperimentResult,
     TOOLS,
     ToolOutcome,
@@ -18,6 +19,7 @@ from repro.exec.heartbeat import (
 )
 
 __all__ = [
+    "ALL_TOOLS",
     "CellFailure",
     "CellSpec",
     "ExperimentResult",

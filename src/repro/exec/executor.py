@@ -46,13 +46,21 @@ from repro.exec.heartbeat import (
     ensure_heartbeat,
     heartbeat_dir_for,
 )
+from repro.fuzz.engine import FuzzGenerator, HybridGenerator
 from repro.models.registry import BenchmarkModel
 from repro.obs.probe import PROBE
 from repro.provenance import PROVENANCE_SCHEMA
-from repro.telemetry.events import EventLog, emit_trace_events
+from repro.telemetry.events import EventLog, emit_trace_events, fuzz_stats_payload
 
 #: The paper's three tools, in rendering order.
 TOOLS = ("SLDV", "SimCoTest", "STCG")
+
+#: Every dispatchable tool: the paper's three plus the fuzzing engines
+#: (``Fuzz`` is the pure mutational baseline, ``Hybrid`` the
+#: STCG → targeted-fuzz → STCG pipeline of :mod:`repro.fuzz`).  The
+#: default matrix stays the paper's ``TOOLS``; the extra columns are
+#: opt-in (``tools=`` / ``repro table3 --tools``).
+ALL_TOOLS = TOOLS + ("Fuzz", "Hybrid")
 
 
 def run_single(
@@ -73,13 +81,17 @@ def run_single(
     parameter.
     """
     compiled = model.build()
-    if tool == "STCG":
+    if tool in ("STCG", "Fuzz", "Hybrid"):
         overrides = dict(stcg_overrides or {})
         overrides.setdefault("provenance", provenance)
-        return StcgGenerator(
-            compiled,
-            StcgConfig(budget_s=budget_s, seed=seed, trace=trace, **overrides),
-        ).run()
+        config = StcgConfig(
+            budget_s=budget_s, seed=seed, trace=trace, **overrides
+        )
+        if tool == "Fuzz":
+            return FuzzGenerator(compiled, config).run()
+        if tool == "Hybrid":
+            return HybridGenerator(compiled, config).run()
+        return StcgGenerator(compiled, config).run()
     if tool == "SimCoTest":
         return SimCoTestGenerator(
             compiled,
@@ -527,6 +539,10 @@ def _notify(
                     new_branches=point.new_branches,
                 )
             emit_trace_events(events, spec.identity(), result.trace_data)
+            if "fuzz_executions" in result.stats:
+                events.emit(
+                    "fuzz_stats", **spec.identity(), **fuzz_stats_payload(result.stats)
+                )
             if result.provenance:
                 events.emit(
                     "provenance",

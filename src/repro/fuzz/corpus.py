@@ -1,0 +1,159 @@
+"""Coverage-feedback corpus retention keyed on objective ids.
+
+The corpus is the fuzzer's memory: each retained entry is an input
+sequence together with the set of Decision/Condition/MCDC **objective
+ids** (the :mod:`repro.provenance` id scheme — ``D:...``, ``C:...``,
+``M:...``) it was first to cover.  Retention is AFL-style new-coverage:
+a candidate enters the corpus iff it covers at least one objective no
+earlier entry covered.
+
+Two properties the tests pin:
+
+* **Soundness of the key** — objective ids are total and stable for a
+  compiled model (DESIGN.md, "Corpus key soundness"), so "new coverage"
+  is well-defined and machine-independent.
+* **Monotonicity** — entries are never evicted or replaced; a later
+  duplicate with equal (or subset) coverage is rejected, and the
+  first-cover owner of an objective is never reassigned.  The corpus is
+  therefore bounded by the model's objective count.
+
+Entries serialize to plain JSON (:meth:`Corpus.to_json`), which is what
+CI uploads as the fuzz-corpus artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["CORPUS_SCHEMA", "Corpus", "CorpusEntry"]
+
+CORPUS_SCHEMA = "repro.fuzz.corpus/1"
+
+Step = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One retained input sequence and the objectives it newly covered."""
+
+    entry_id: int
+    sequence: Tuple[Step, ...]
+    objectives: frozenset
+    origin: str
+    parent_id: Optional[int] = None
+
+
+@dataclass
+class Corpus:
+    """Append-only store of coverage-novel input sequences."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+    #: Union of every retained entry's objective set.
+    covered: set = field(default_factory=set)
+    #: First-cover attribution: objective id -> entry id, never reassigned.
+    owners: Dict[str, int] = field(default_factory=dict)
+    considered: int = 0
+    rejected: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    def add_seed(
+        self,
+        sequence: Sequence[Step],
+        objectives: Sequence[str],
+        origin: str = "seed",
+    ) -> CorpusEntry:
+        """Unconditionally retain a seed (e.g. an STCG/SimCoTest case).
+
+        Seeds earn their place from their *original* run's coverage, so
+        they are admitted without re-execution — hybrid campaigns seed
+        from the finished STCG suite for free.
+        """
+        return self._retain(sequence, frozenset(objectives), origin, None)
+
+    def consider(
+        self,
+        sequence: Sequence[Step],
+        objectives: Sequence[str],
+        origin: str,
+        parent_id: Optional[int] = None,
+    ) -> Optional[CorpusEntry]:
+        """Retain ``sequence`` iff it covers an objective no entry owns."""
+        self.considered += 1
+        new = frozenset(objectives) - self.covered
+        if not new:
+            self.rejected += 1
+            return None
+        return self._retain(sequence, new, origin, parent_id)
+
+    def pick(self, rng: random.Random) -> CorpusEntry:
+        """A uniform random retained entry (the mutation parent)."""
+        if not self.entries:
+            raise IndexError("pick() on an empty corpus")
+        return self.entries[rng.randrange(len(self.entries))]
+
+    def _retain(
+        self,
+        sequence: Sequence[Step],
+        objectives: frozenset,
+        origin: str,
+        parent_id: Optional[int],
+    ) -> CorpusEntry:
+        entry = CorpusEntry(
+            entry_id=len(self.entries),
+            sequence=tuple(dict(step) for step in sequence),
+            objectives=objectives,
+            origin=origin,
+            parent_id=parent_id,
+        )
+        self.entries.append(entry)
+        self.covered |= objectives
+        for objective_id in objectives:
+            # setdefault: the first cover keeps the attribution forever.
+            self.owners.setdefault(objective_id, entry.entry_id)
+        return entry
+
+    # -- serialization (the CI corpus artifact) ---------------------------------
+
+    def to_json(self) -> str:
+        document = {
+            "schema": CORPUS_SCHEMA,
+            "considered": self.considered,
+            "rejected": self.rejected,
+            "entries": [
+                {
+                    "entry_id": entry.entry_id,
+                    "sequence": [dict(step) for step in entry.sequence],
+                    "objectives": sorted(entry.objectives),
+                    "origin": entry.origin,
+                    "parent_id": entry.parent_id,
+                }
+                for entry in self.entries
+            ],
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Corpus":
+        document = json.loads(text)
+        if document.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(
+                f"not a {CORPUS_SCHEMA} document: {document.get('schema')!r}"
+            )
+        corpus = cls(
+            considered=document.get("considered", 0),
+            rejected=document.get("rejected", 0),
+        )
+        for raw in document["entries"]:
+            corpus._retain(
+                raw["sequence"],
+                frozenset(raw["objectives"]),
+                raw["origin"],
+                raw.get("parent_id"),
+            )
+        return corpus

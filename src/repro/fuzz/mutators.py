@@ -1,0 +1,155 @@
+"""Deterministic seeded mutators over input sequences.
+
+A test case is a sequence of per-step input assignments
+(``[{inport: value, ...}, ...]``) — the same shape
+:meth:`repro.model.simulator.Simulator.run_sequence` consumes.  The
+mutation engine derives every choice from one :class:`random.Random`
+stream, so a fixed seed yields an identical mutation stream on any
+machine: no time, no ids, no hash randomization.
+
+Five operators (the classic sequence-fuzzing set):
+
+* ``perturb`` — redraw or nudge individual input values in place,
+* ``splice`` — insert a short fresh-random run of steps,
+* ``duplicate`` — repeat a slice of steps (stutter),
+* ``truncate`` — drop a suffix,
+* ``crossover`` — prefix of one sequence + suffix of another.
+
+Every operator returns a **new** sequence of fresh dicts (inputs are
+never aliased into the corpus) whose length stays within
+``[1, max_length]``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.expr.types import BOOL, INT
+from repro.model.graph import InportSpec
+from repro.model.inputs import _draw, random_input
+
+__all__ = ["MUTATION_OPS", "SequenceMutator"]
+
+Step = Dict[str, object]
+
+#: The operator names, in the fixed order the engine draws from.
+MUTATION_OPS = ("perturb", "splice", "duplicate", "truncate", "crossover")
+
+
+def _copy(sequence: Sequence[Step]) -> List[Step]:
+    return [dict(step) for step in sequence]
+
+
+class SequenceMutator:
+    """Applies seeded mutations to input sequences.
+
+    All randomness comes from the ``rng`` handed in — the mutator never
+    creates its own stream, which lets the campaign keep fuzz randomness
+    isolated from STCG's generator seed (see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        inports: Sequence[InportSpec],
+        rng: random.Random,
+        max_length: int,
+    ) -> None:
+        if max_length < 1:
+            raise ValueError(f"max_length must be >= 1, got {max_length!r}")
+        self.inports = list(inports)
+        self.rng = rng
+        self.max_length = max_length
+
+    # -- the engine entry point -------------------------------------------------
+
+    def mutate(
+        self,
+        sequence: Sequence[Step],
+        other: Optional[Sequence[Step]] = None,
+    ) -> Tuple[str, List[Step]]:
+        """One mutation of ``sequence``; returns ``(op_name, new_sequence)``.
+
+        ``other`` (a second corpus entry) enables ``crossover``;
+        ``truncate`` needs at least two steps to have anything to drop.
+        The operator is drawn uniformly from the applicable subset, in
+        the fixed :data:`MUTATION_OPS` order.
+        """
+        ops = [
+            op
+            for op in MUTATION_OPS
+            if not (op == "truncate" and len(sequence) < 2)
+            and not (op == "crossover" and not other)
+        ]
+        op = self.rng.choice(ops)
+        if op == "crossover":
+            assert other is not None
+            return op, self.crossover(sequence, other)
+        return op, getattr(self, op)(sequence)
+
+    # -- operators --------------------------------------------------------------
+
+    def perturb(self, sequence: Sequence[Step]) -> List[Step]:
+        """Redraw or nudge a handful of individual input values."""
+        mutated = _copy(sequence)
+        edits = self.rng.randint(1, max(1, len(mutated) // 4 + 1))
+        for _ in range(edits):
+            step = mutated[self.rng.randrange(len(mutated))]
+            spec = self.inports[self.rng.randrange(len(self.inports))]
+            step[spec.name] = self._perturb_value(spec, step.get(spec.name))
+        return mutated
+
+    def splice(self, sequence: Sequence[Step]) -> List[Step]:
+        """Insert a short fresh-random run of steps."""
+        mutated = _copy(sequence)
+        run = [
+            random_input(self.inports, self.rng)
+            for _ in range(self.rng.randint(1, 4))
+        ]
+        at = self.rng.randint(0, len(mutated))
+        mutated[at:at] = run
+        return self._clamp(mutated)
+
+    def duplicate(self, sequence: Sequence[Step]) -> List[Step]:
+        """Repeat a slice of steps in place (input stutter)."""
+        mutated = _copy(sequence)
+        start = self.rng.randrange(len(mutated))
+        stop = min(len(mutated), start + self.rng.randint(1, 4))
+        mutated[stop:stop] = [dict(step) for step in mutated[start:stop]]
+        return self._clamp(mutated)
+
+    def truncate(self, sequence: Sequence[Step]) -> List[Step]:
+        """Drop a suffix (at least one step survives)."""
+        keep = self.rng.randint(1, max(1, len(sequence) - 1))
+        return _copy(sequence[:keep])
+
+    def crossover(
+        self, sequence: Sequence[Step], other: Sequence[Step]
+    ) -> List[Step]:
+        """Prefix of ``sequence`` + suffix of ``other``."""
+        cut_a = self.rng.randint(1, len(sequence))
+        cut_b = self.rng.randint(0, max(0, len(other) - 1))
+        mutated = _copy(sequence[:cut_a]) + _copy(other[cut_b:])
+        return self._clamp(mutated)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _clamp(self, sequence: List[Step]) -> List[Step]:
+        if len(sequence) > self.max_length:
+            del sequence[self.max_length :]
+        return sequence
+
+    def _perturb_value(self, spec: InportSpec, current: object):
+        """A small move from ``current``, or a fresh draw half the time."""
+        if current is None or self.rng.random() < 0.5:
+            return _draw(spec, self.rng)
+        if spec.ty is BOOL:
+            return not bool(current)
+        lo = spec.lo if spec.lo is not None else -1000.0
+        hi = spec.hi if spec.hi is not None else 1000.0
+        if spec.ty is INT:
+            value = int(current) + self.rng.choice((-3, -2, -1, 1, 2, 3))
+            return max(int(lo), min(int(hi), value))
+        span = (float(hi) - float(lo)) or 1.0
+        value = float(current) + self.rng.uniform(-0.05, 0.05) * span
+        return max(float(lo), min(float(hi), value))

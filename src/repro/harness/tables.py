@@ -201,7 +201,10 @@ def table3(results: Dict[str, Dict[str, ToolOutcome]]) -> str:
     rows: List[List[str]] = []
     for model_name, per_tool in results.items():
         paper = PAPER_TABLE3.get(model_name, {})
-        for tool in ("SLDV", "SimCoTest", "STCG"):
+        # The paper's three columns plus the opt-in fuzzing columns;
+        # tools missing from the run are skipped, so the default
+        # three-tool matrix renders exactly as before.
+        for tool in ("SLDV", "SimCoTest", "STCG", "Fuzz", "Hybrid"):
             outcome = per_tool.get(tool)
             if outcome is None:
                 continue

@@ -13,6 +13,7 @@ snapshots by :mod:`repro.metrics.instruments`.
 
 from repro.metrics.instruments import (
     CASE_LENGTH_BOUNDS,
+    FUZZ_COUNTERS,
     cache_view,
     declare_instruments,
     kernel_view,
@@ -36,6 +37,7 @@ from repro.metrics.registry import (
 __all__ = [
     "CASE_LENGTH_BOUNDS",
     "Counter",
+    "FUZZ_COUNTERS",
     "GAUGE_MODES",
     "Gauge",
     "Histogram",

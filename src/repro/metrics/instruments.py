@@ -33,6 +33,7 @@ from repro.solverc.compiler import SolvercStats
 
 __all__ = [
     "CASE_LENGTH_BOUNDS",
+    "FUZZ_COUNTERS",
     "STAT_COUNTERS",
     "cache_view",
     "kernel_view",
@@ -58,6 +59,18 @@ STAT_COUNTERS = (
     "const_false_skips",
     "verdict_skips",
     "warmup_steps",
+)
+
+#: Generator ``stats`` keys mirrored as ``fuzz.*`` counters when a run
+#: carried a fuzz campaign (``Fuzz``/``Hybrid`` tools); executions/sec is
+#: wall-clock derived and deliberately not a registry instrument.
+FUZZ_COUNTERS = (
+    "executions",
+    "retained",
+    "rejected",
+    "seed_entries",
+    "steps",
+    "tree_nodes",
 )
 
 #: Per-stage fields kept as counters (``seconds`` is a sum-gauge).
@@ -90,6 +103,9 @@ def declare_instruments(registry: MetricsRegistry) -> MetricsRegistry:
     registry.gauge("solverc.enabled", mode="max")
     for key in SolvercStats.KEYS:
         registry.counter(f"solverc.{key}")
+    for key in FUZZ_COUNTERS:
+        registry.counter(f"fuzz.{key}")
+    registry.gauge("fuzz.corpus_size", mode="max")
     return registry
 
 
@@ -148,6 +164,14 @@ def populate_registry(
     )
     for key in SolvercStats.KEYS:
         registry.counter(f"solverc.{key}").inc(int(solverc.get(key, 0)))
+    # Fuzz campaign counters ride along in the same stats dict (the
+    # ``fuzz_*`` keys); absent on pure STCG/baseline runs, where the
+    # declared instruments stay at zero.
+    for key in FUZZ_COUNTERS:
+        registry.counter(f"fuzz.{key}").inc(int(stats.get(f"fuzz_{key}", 0)))
+    registry.gauge("fuzz.corpus_size", mode="max").record(
+        float(stats.get("fuzz_corpus_size", 0))
+    )
     return registry
 
 

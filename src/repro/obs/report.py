@@ -100,6 +100,7 @@ def render_report(events, top_n: int = 10) -> str:
     lines += _section_kernel(events)
     lines += _section_solverc(events)
     lines += _section_tree_growth(events)
+    lines += _section_fuzz(events)
     lines += _section_coverage(events)
     lines += _section_provenance(events)
     lines += _section_targets(events, top_n)
@@ -355,6 +356,36 @@ def _section_tree_growth(events) -> List[str]:
         lines.append(
             f"  {_cell_label(_cell_key(event)):<28s} "
             f"|{_spark(values)}| {final} nodes"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_fuzz(events) -> List[str]:
+    lines = ["fuzz campaigns", "--------------"]
+    fuzz_events = _of_kind(events, "fuzz_stats")
+    if not fuzz_events:
+        lines += ["  (no events of kind fuzz_stats — Fuzz/Hybrid cells only)",
+                  ""]
+        return lines
+    lines.append(
+        f"  {'cell':<28s} {'execs':>7s} {'ex/s':>7s} {'corpus':>7s} "
+        f"{'seeds':>6s} {'targets':>8s} {'fed':>5s}"
+    )
+    for event in fuzz_events:
+        targets = event.get("targets")
+        target_cell = (
+            f"{event.get('targets_covered', 0)}/{targets}"
+            if targets is not None else "-"
+        )
+        lines.append(
+            f"  {_cell_label(_cell_key(event)):<28s} "
+            f"{int(event.get('executions', 0)):>7d} "
+            f"{float(event.get('execs_per_s', 0.0)):>7.0f} "
+            f"{int(event.get('corpus_size', 0)):>7d} "
+            f"{int(event.get('seed_entries', 0)):>6d} "
+            f"{target_cell:>8s} "
+            f"{int(event.get('tree_nodes', 0)):>5d}"
         )
     lines.append("")
     return lines

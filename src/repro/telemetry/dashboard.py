@@ -252,6 +252,33 @@ def _provenance_section(manifest: Dict[str, object]) -> List[str]:
     return out
 
 
+def _fuzz_section(manifest: Dict[str, object]) -> List[str]:
+    fuzz = manifest.get("fuzz") or {}
+    out = ["<h2>Fuzz campaigns</h2>"]
+    if not fuzz:
+        out.append(
+            '<p class="note">(no fuzz section — Fuzz/Hybrid cells only)</p>'
+        )
+        return out
+    out.append('<div class="tiles">')
+    out.append(_tile("fuzz cells", str(int(fuzz.get("cells", 0)))))
+    out.append(_tile("executions", str(int(fuzz.get("executions", 0)))))
+    out.append(_tile("corpus size", str(int(fuzz.get("corpus_size", 0)))))
+    out.append(_tile("retained", str(int(fuzz.get("retained", 0)))))
+    out.append(_tile("seed entries", str(int(fuzz.get("seed_entries", 0)))))
+    targets = int(fuzz.get("targets", 0))
+    if targets:
+        out.append(
+            _tile(
+                "hybrid targets covered",
+                f"{int(fuzz.get('targets_covered', 0))}/{targets}",
+            )
+        )
+        out.append(_tile("tree nodes fed", str(int(fuzz.get("tree_nodes", 0)))))
+    out.append("</div>")
+    return out
+
+
 def _table_section(
     title: str,
     rows: List[List[object]],
@@ -296,6 +323,7 @@ def render_dashboard(
         "</div>",
     ]
     body.extend(_coverage_section(manifest))
+    body.extend(_fuzz_section(manifest))
     body.extend(_provenance_section(manifest))
     body.extend(
         _table_section(

@@ -204,12 +204,20 @@ def diff_runs(
 def _regressed_objectives(
     baseline: Dict[str, object], candidate: Dict[str, object]
 ) -> Dict[Tuple[str, str], List[str]]:
-    """Objectives covered in the baseline but uncovered in the candidate.
+    """Objectives covered in the baseline but not in the candidate.
 
     Only cells carrying a provenance section on *both* sides contribute —
     an absent section (provenance off, or a pre-provenance manifest) is
     indistinguishable from "nothing covered" and must not read as a
     regression of every objective.
+
+    A *present* section is a different matter: once the candidate carries
+    a provenance snapshot for the (model, tool), every baseline-covered
+    objective that is not covered there is lost — explicitly marked
+    ``uncovered``, missing from the candidate's objective map, or an
+    empty map (zero covered objectives) all count.  The earlier
+    intersection semantics treated an empty ``objectives`` map like an
+    absent section and silently hid a lost-everything regression.
     """
     regressed: Dict[Tuple[str, str], List[str]] = {}
     old_prov = baseline.get("provenance") or {}
@@ -225,7 +233,7 @@ def _regressed_objectives(
                 for objective_id, entry in old_objectives.items()
                 if entry.get("status") == "covered"
                 and (new_objectives.get(objective_id) or {}).get("status")
-                == "uncovered"
+                != "covered"
             ]
             if lost:
                 regressed[(model, tool)] = lost

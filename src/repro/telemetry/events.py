@@ -31,6 +31,11 @@ objective-level coverage snapshot; the manifest folds them per
 (model, tool) across repetitions via
 :func:`repro.provenance.merge_provenance`.
 
+``Fuzz``/``Hybrid`` cells additionally emit one ``fuzz_stats`` event
+(campaign counters + executions/sec); the manifest folds only their
+deterministic counters into a ``fuzz`` section (see
+:data:`_FUZZ_TOTALS`).
+
 The manifest is a single JSON document derived from the event stream:
 counts, per-(model, tool) coverage aggregates, failures, totals over the
 generators' solver statistics, for traced runs ``phase_seconds`` and
@@ -93,6 +98,43 @@ _STAT_TOTALS = (
 #: ``cache_stats`` events (the :data:`repro.obs.stages.CACHE_COUNTERS`
 #: names plus the generator-side skip/dedup counters).
 _CACHE_TOTALS = CACHE_COUNTERS + ("verdict_skips", "dedup_links")
+
+#: Deterministic fuzz counters summed into the manifest's ``fuzz``
+#: section from ``Fuzz``/``Hybrid`` cell stats (the ``fuzz_*`` keys).
+#: Wall-clock derived numbers (``fuzz_wall_s``, executions/sec) are
+#: deliberately excluded: the manifest must stay bit-identical across
+#: workers=1/N, so they live only in ``fuzz_stats`` events.
+_FUZZ_TOTALS = (
+    "executions",
+    "retained",
+    "rejected",
+    "corpus_size",
+    "seed_entries",
+    "steps",
+    "tree_nodes",
+    "targets",
+    "targets_covered",
+)
+
+
+def fuzz_stats_payload(stats: Dict[str, object]) -> Dict[str, object]:
+    """The ``fuzz_stats`` event payload from a result's ``fuzz_*`` stats.
+
+    Strips the ``fuzz_`` prefix, and derives the executions/sec rate from
+    the campaign's wall time (events carry wall-clock data anyway — the
+    determinism contract is on manifests, not streams).
+    """
+    payload = {
+        key[len("fuzz_"):]: value
+        for key, value in stats.items()
+        if key.startswith("fuzz_")
+    }
+    wall = float(payload.get("wall_s") or 0.0)
+    executions = int(payload.get("executions") or 0)
+    payload["execs_per_s"] = (
+        round(executions / wall, 3) if wall > 0 else 0.0
+    )
+    return payload
 
 
 class EventLog:
@@ -219,6 +261,8 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
     cells_failed = of_kind("cell_failed")
     coverage: Dict[str, Dict[str, Dict[str, object]]] = {}
     totals = {key: 0 for key in _STAT_TOTALS}
+    fuzz_totals = {key: 0 for key in _FUZZ_TOTALS}
+    fuzz_cells = 0
     duration = 0.0
     for cell in cells_ok:
         per_tool = coverage.setdefault(str(cell["model"]), {})
@@ -234,6 +278,10 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
         for key in _STAT_TOTALS:
             if key in stats:
                 totals[key] += int(stats[key])
+        if "fuzz_executions" in stats:
+            fuzz_cells += 1
+            for key in _FUZZ_TOTALS:
+                fuzz_totals[key] += int(stats.get(f"fuzz_{key}", 0))
     for per_tool in coverage.values():
         for agg in per_tool.values():
             for metric in ("decision", "condition", "mcdc"):
@@ -310,6 +358,9 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
         # Always every key: a zero counter and an absent counter must not
         # change the manifest's key set run-to-run.
         "stat_totals": dict(totals),
+        # Deterministic fuzz aggregate (count-based; no wall-clock
+        # numbers, so workers=1 and workers=N manifests stay identical).
+        "fuzz": {"cells": fuzz_cells, **fuzz_totals},
         "phase_seconds": phase_seconds,
         "solver_stages": solver_stages,
         "cache": cache_totals,

@@ -96,7 +96,7 @@ class TestApiOverrides:
             )
 
     def test_stcg_overrides_rejected_for_other_tools(self):
-        with pytest.raises(HarnessError, match="STCG only"):
+        with pytest.raises(HarnessError, match="STCG/Fuzz/Hybrid only"):
             api.generate(
                 build_counter_model(),
                 tool="SLDV",

@@ -1,0 +1,123 @@
+"""Corpus retention: new-coverage admission, monotonicity, round-trip."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.corpus import CORPUS_SCHEMA, Corpus
+
+SEQ_A = [{"tick": True, "amount": 3}]
+SEQ_B = [{"tick": False, "amount": 0}, {"tick": True, "amount": 9}]
+
+
+class TestRetention:
+    def test_new_coverage_is_retained(self):
+        corpus = Corpus()
+        entry = corpus.consider(SEQ_A, ["D:a:true"], origin="perturb")
+        assert entry is not None
+        assert corpus.size == 1
+        assert corpus.covered == {"D:a:true"}
+
+    def test_equal_coverage_duplicate_rejected(self):
+        corpus = Corpus()
+        corpus.consider(SEQ_A, ["D:a:true"], origin="perturb")
+        duplicate = corpus.consider(SEQ_B, ["D:a:true"], origin="splice")
+        assert duplicate is None
+        assert corpus.size == 1
+        assert corpus.rejected == 1
+
+    def test_subset_coverage_rejected(self):
+        corpus = Corpus()
+        corpus.consider(SEQ_A, ["D:a:true", "C:b:c0=T"], origin="perturb")
+        assert corpus.consider(SEQ_B, ["C:b:c0=T"], origin="splice") is None
+
+    def test_partial_novelty_stores_only_the_new_set(self):
+        corpus = Corpus()
+        corpus.consider(SEQ_A, ["D:a:true"], origin="perturb")
+        entry = corpus.consider(
+            SEQ_B, ["D:a:true", "D:a:false"], origin="splice"
+        )
+        assert entry is not None
+        assert entry.objectives == frozenset({"D:a:false"})
+
+    def test_seeds_are_admitted_unconditionally(self):
+        corpus = Corpus()
+        corpus.add_seed(SEQ_A, ["D:a:true"], origin="suite")
+        seed = corpus.add_seed(SEQ_B, ["D:a:true"], origin="suite")
+        # Even with zero new coverage a seed enters (its original run
+        # earned it); only consider() applies the novelty filter.
+        assert corpus.size == 2
+        assert seed.objectives == frozenset({"D:a:true"})
+
+    def test_pick_on_empty_corpus_raises(self):
+        with pytest.raises(IndexError):
+            Corpus().pick(random.Random(0))
+
+
+class TestMonotonicity:
+    def test_entries_are_never_evicted(self):
+        """A retained entry survives any stream of later candidates."""
+        corpus = Corpus()
+        first = corpus.consider(SEQ_A, ["D:a:true"], origin="perturb")
+        for n in range(50):
+            corpus.consider(SEQ_B, ["D:a:true"], origin="splice")
+            corpus.consider(SEQ_B, [f"D:x{n}:true"], origin="splice")
+        assert corpus.entries[0] is first
+        assert [e.entry_id for e in corpus.entries] == list(
+            range(corpus.size)
+        )
+
+    def test_first_cover_owner_never_reassigned(self):
+        corpus = Corpus()
+        first = corpus.consider(SEQ_A, ["D:a:true"], origin="perturb")
+        corpus.add_seed(SEQ_B, ["D:a:true"], origin="suite")
+        assert corpus.owners["D:a:true"] == first.entry_id
+
+    def test_covered_union_is_monotone(self):
+        corpus = Corpus()
+        seen = set()
+        rng = random.Random(0)
+        for n in range(100):
+            objectives = {f"D:o{rng.randrange(30)}:true"}
+            corpus.consider(SEQ_A, objectives, origin="perturb")
+            seen |= set(corpus.covered)
+            assert corpus.covered == seen  # never shrinks
+
+
+_objective_ids = st.sets(
+    st.from_regex(r"[DCM]:[a-z]{1,8}:[a-z0-9=]{1,6}", fullmatch=True),
+    min_size=1,
+    max_size=5,
+)
+_sequences = st.lists(
+    st.fixed_dictionaries(
+        {"tick": st.booleans(), "amount": st.integers(0, 10)}
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestSerialization:
+    @settings(max_examples=50, deadline=None)
+    @given(cases=st.lists(st.tuples(_sequences, _objective_ids), max_size=8))
+    def test_json_round_trip(self, cases):
+        corpus = Corpus()
+        for sequence, objectives in cases:
+            corpus.consider(sequence, objectives, origin="perturb")
+        restored = Corpus.from_json(corpus.to_json())
+        assert restored.covered == corpus.covered
+        assert restored.owners == corpus.owners
+        assert restored.rejected == corpus.rejected
+        assert [
+            (e.entry_id, e.sequence, e.objectives, e.origin, e.parent_id)
+            for e in restored.entries
+        ] == [
+            (e.entry_id, e.sequence, e.objectives, e.origin, e.parent_id)
+            for e in corpus.entries
+        ]
+
+    def test_from_json_rejects_other_schemas(self):
+        with pytest.raises(ValueError, match=CORPUS_SCHEMA):
+            Corpus.from_json('{"schema": "repro.metrics/1", "entries": []}')

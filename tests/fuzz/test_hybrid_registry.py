@@ -1,0 +1,73 @@
+"""The hybrid acceptance pins, on the paper's registry models.
+
+Both tests drive the generators with an injected tick clock, so "budget"
+is virtual seconds — the outcomes are a pure function of the seed and
+run bit-identically on any machine.
+"""
+
+import itertools
+
+from repro.core.config import FuzzConfig, StcgConfig
+from repro.core.stcg import StcgGenerator
+from repro.fuzz.engine import HybridGenerator
+from repro.models.registry import BENCHMARKS, get_benchmark
+
+
+def tick_clock(step=0.01):
+    ticks = itertools.count()
+    return lambda: next(ticks) * step
+
+
+def test_hybrid_covers_objectives_stcg_leaves_uncovered():
+    """The tentpole's acceptance pin: at an equal (virtual) budget on
+    UTPC, hybrid covers objectives pure STCG's solver never reaches —
+    fuzz-discovered states unlock them (ISSUE 9 acceptance criteria)."""
+    config = StcgConfig(
+        seed=0, budget_s=1.0, provenance=True,
+        fuzz=FuzzConfig(executions=300),
+    )
+    stcg = StcgGenerator(
+        get_benchmark("UTPC").build(), config, clock=tick_clock()
+    ).run()
+    uncovered = {
+        oid for oid, entry in stcg.provenance["objectives"].items()
+        if entry["status"] == "uncovered"
+    }
+    assert uncovered, "budget too generous: pure STCG covered everything"
+
+    hybrid = HybridGenerator(
+        get_benchmark("UTPC").build(), config, clock=tick_clock()
+    ).run()
+    covered = {
+        oid for oid, entry in hybrid.provenance["objectives"].items()
+        if entry["status"] == "covered"
+    }
+    gained = uncovered & covered
+    # Measured: 16 of STCG's 50 uncovered objectives at this seed/budget.
+    assert len(gained) >= 1, (uncovered, covered)
+    assert hybrid.stats["fuzz_targets"] > 0
+    assert hybrid.stats["fuzz_targets_covered"] > 0
+
+
+def test_hybrid_never_regresses_stcg_on_all_registry_models():
+    """Equal budget, equal seed: Hybrid >= pure STCG on every metric of
+    every registry model (the "never regress" pin)."""
+    for bench in BENCHMARKS:
+        config = StcgConfig(
+            seed=0, budget_s=8.0, provenance=False,
+            fuzz=FuzzConfig(executions=400),
+        )
+        stcg = StcgGenerator(
+            bench.build(), config, clock=tick_clock()
+        ).run()
+        hybrid = HybridGenerator(
+            bench.build(), config, clock=tick_clock()
+        ).run()
+        label = (
+            f"{bench.name}: STCG D={stcg.decision:.3f} C={stcg.condition:.3f}"
+            f" M={stcg.mcdc:.3f} vs Hybrid D={hybrid.decision:.3f}"
+            f" C={hybrid.condition:.3f} M={hybrid.mcdc:.3f}"
+        )
+        assert hybrid.decision >= stcg.decision, label
+        assert hybrid.condition >= stcg.condition, label
+        assert hybrid.mcdc >= stcg.mcdc, label

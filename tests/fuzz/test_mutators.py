@@ -1,0 +1,109 @@
+"""Mutator determinism and validity: same seed, same mutation stream."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz.mutators import MUTATION_OPS, SequenceMutator
+from tests.conftest import build_counter_model
+
+MAX_LENGTH = 12
+
+
+def _mutator(seed, max_length=MAX_LENGTH):
+    compiled = build_counter_model()
+    return SequenceMutator(
+        compiled.inports, random.Random(seed), max_length
+    )
+
+
+def _start_sequence(seed, length=6):
+    from repro.model.inputs import random_sequence
+
+    compiled = build_counter_model()
+    return random_sequence(compiled.inports, random.Random(seed), length)
+
+
+def _stream(seed, rounds=200):
+    """The (op, sequence) stream a seeded mutator produces."""
+    mutator = _mutator(seed)
+    current = _start_sequence(seed)
+    other = _start_sequence(seed + 1)
+    out = []
+    for _ in range(rounds):
+        op, current = mutator.mutate(current, other)
+        out.append((op, [dict(step) for step in current]))
+    return out
+
+
+class TestDeterminism:
+    def test_same_seed_identical_stream(self):
+        assert _stream(7) == _stream(7)
+
+    def test_different_seed_different_stream(self):
+        assert _stream(7) != _stream(8)
+
+    def test_all_operators_appear(self):
+        ops = {op for op, _ in _stream(0)}
+        assert ops == set(MUTATION_OPS)
+
+
+class TestValidity:
+    def test_lengths_stay_in_bounds(self):
+        for _, sequence in _stream(3):
+            assert 1 <= len(sequence) <= MAX_LENGTH
+
+    def test_steps_are_fresh_dicts(self):
+        # Mutating the output must never reach back into the input: the
+        # corpus hands out its retained sequences as mutation parents.
+        mutator = _mutator(0)
+        original = _start_sequence(0)
+        snapshot = [dict(step) for step in original]
+        _, mutated = mutator.mutate(original)
+        for step in mutated:
+            step.clear()
+        assert original == snapshot
+
+    def test_crossover_needs_other(self):
+        mutator = _mutator(0)
+        for _ in range(50):
+            op, _ = mutator.mutate(_start_sequence(1), other=None)
+            assert op != "crossover"
+
+    def test_truncate_needs_two_steps(self):
+        mutator = _mutator(0)
+        single = _start_sequence(1, length=1)
+        for _ in range(50):
+            op, mutated = mutator.mutate(single, other=None)
+            assert op != "truncate"
+            assert len(mutated) >= 1
+
+
+class TestHypothesisRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           rounds=st.integers(min_value=1, max_value=30))
+    def test_seeded_streams_replay_exactly(self, seed, rounds):
+        """Any seed's mutation stream replays bit-identically."""
+        assert _stream(seed, rounds) == _stream(seed, rounds)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_values_respect_inport_domains(self, seed):
+        """Mutated values stay inside each inport's declared domain."""
+        from repro.expr.types import BOOL, INT
+
+        compiled = build_counter_model()
+        specs = {spec.name: spec for spec in compiled.inports}
+        for _, sequence in _stream(seed, rounds=20):
+            for step in sequence:
+                for name, value in step.items():
+                    spec = specs[name]
+                    if spec.ty is BOOL:
+                        assert isinstance(value, bool)
+                    elif spec.ty is INT:
+                        assert isinstance(value, int)
+                        if spec.lo is not None:
+                            assert value >= spec.lo
+                        if spec.hi is not None:
+                            assert value <= spec.hi

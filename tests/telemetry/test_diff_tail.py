@@ -117,6 +117,64 @@ class TestDiffRuns:
         assert "stcg.solver_calls" in render_diff(diff, [])
 
 
+def _provenance_manifest(objectives):
+    """A manifest whose one cell carries a provenance snapshot."""
+    return _manifest(provenance={
+        "Tiny": {"STCG": {"tool": "STCG", "objectives": objectives,
+                          "totals": {"objectives": len(objectives)}}},
+    })
+
+
+_COVERED = {
+    "D:is_high:true": {"status": "covered", "case": 0, "step": 1,
+                       "origin": "solver"},
+    "D:is_high:false": {"status": "covered", "case": 1, "step": 1,
+                        "origin": "random"},
+}
+
+
+class TestRegressedObjectives:
+    """Empty-set vs absent-section semantics of the objective diff."""
+
+    def test_empty_objectives_map_counts_as_lost(self):
+        # A cell that reports provenance with ZERO covered objectives is a
+        # real (catastrophic) regression — it must not read like a cell
+        # that simply didn't record provenance.
+        baseline = _provenance_manifest(_COVERED)
+        doctored = _provenance_manifest({})
+        diff = diff_runs(baseline, doctored)
+        assert diff.objectives == {
+            ("Tiny", "STCG"): list(_COVERED),
+        }
+        problems = find_regressions(diff)
+        assert any("lost 2 objective(s)" in p for p in problems)
+
+    def test_objective_missing_from_candidate_map_counts_as_lost(self):
+        remaining = {"D:is_high:true": _COVERED["D:is_high:true"]}
+        diff = diff_runs(
+            _provenance_manifest(_COVERED), _provenance_manifest(remaining)
+        )
+        assert diff.objectives == {("Tiny", "STCG"): ["D:is_high:false"]}
+
+    def test_absent_provenance_section_is_not_a_regression(self):
+        # Provenance off (or a pre-provenance manifest): the section is
+        # absent entirely, which must stay silent.
+        baseline = _provenance_manifest(_COVERED)
+        assert diff_runs(baseline, _manifest()).objectives == {}
+        assert diff_runs(
+            baseline, _manifest(provenance={"Tiny": {}})
+        ).objectives == {}
+
+    def test_uncovered_status_still_counts_as_lost(self):
+        flipped = dict(_COVERED)
+        flipped["D:is_high:true"] = {"status": "uncovered", "attempts": {},
+                                     "skips": {}, "trail": []}
+        diff = diff_runs(
+            _provenance_manifest(_COVERED), _provenance_manifest(flipped)
+        )
+        assert diff.objectives == {("Tiny", "STCG"): ["D:is_high:true"]}
+
+
 class TestLoadRun:
     def test_rejects_wrong_schema(self, tmp_path):
         path = tmp_path / "bogus.json"

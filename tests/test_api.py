@@ -52,7 +52,7 @@ class TestGenerate:
 
     def test_config_only_for_stcg(self):
         config = StcgConfig(budget_s=1.0, seed=0)
-        with pytest.raises(ReproError, match="STCG only"):
+        with pytest.raises(ReproError, match="STCG/Fuzz/Hybrid only"):
             api.generate(TINY, tool="SLDV", config=config)
 
     def test_config_overrides(self):

@@ -68,7 +68,7 @@ class TestCli:
             ]
         )
         assert code == 1
-        assert "STCG only" in capsys.readouterr().err
+        assert "STCG-family tools only" in capsys.readouterr().err
 
     def test_table1(self, capsys):
         assert main(["table1", "--budget", "5"]) == 0
