@@ -28,7 +28,13 @@ import time
 from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro.core.config import CacheConfig, FuzzConfig, KernelConfig, StcgConfig
+from repro.core.config import (
+    CacheConfig,
+    FuzzConfig,
+    KernelConfig,
+    StcgConfig,
+    StoreConfig,
+)
 from repro.core.result import GenerationResult
 from repro.core.stcg import StcgGenerator
 from repro.errors import HarnessError
@@ -62,6 +68,7 @@ from repro.telemetry.events import (
     emit_trace_events,
     fuzz_stats_payload,
     read_events,
+    store_stats_payload,
 )
 from repro.telemetry.explain import load_provenance, render_explain
 
@@ -78,6 +85,7 @@ __all__ = [
     "PROVENANCE_SCHEMA",
     "SolvercStats",
     "StcgConfig",
+    "StoreConfig",
     "TOOLS",
     "ToolOutcome",
     "derive_seed",
@@ -140,6 +148,7 @@ def generate(
     trace: bool = False,
     provenance: bool = True,
     stcg_overrides: Optional[dict] = None,
+    store_dir: str = "",
 ) -> GenerationResult:
     """One generation run of one tool on one model.
 
@@ -161,7 +170,11 @@ def generate(
     coverage ledger (``repro.provenance/1``): the snapshot lands in
     ``result.provenance`` and — with ``events_out`` — as a
     ``provenance`` event folded into the manifest (see ``repro explain``
-    and ``repro dashboard``).
+    and ``repro dashboard``).  ``store_dir`` (STCG/Fuzz/Hybrid only)
+    enables the persistent warm-start store (:mod:`repro.store`) rooted
+    at that directory: verdicts, compiled-bundle markers, contraction
+    snapshots, encodings, and fuzz corpora persist across runs, and
+    ``store_stats`` telemetry lands in the event stream.
     """
     if tool not in ALL_TOOLS:
         raise HarnessError(
@@ -184,6 +197,15 @@ def generate(
         overrides = dict(stcg_overrides)
         overrides.setdefault("provenance", provenance)
         config = StcgConfig(budget_s=budget_s, seed=seed, **overrides)
+    if store_dir:
+        if not stcg_family:
+            raise HarnessError("store_dir= applies to STCG/Fuzz/Hybrid only")
+        if config is None:
+            config = StcgConfig(
+                budget_s=budget_s, seed=seed, provenance=provenance
+            )
+        if config.store is None:
+            config = replace(config, store=StoreConfig(path=store_dir))
     if config is not None and trace and not config.trace:
         config = replace(config, trace=True)
     bench = _as_benchmark(model)
@@ -241,6 +263,13 @@ def generate(
                     tool=tool,
                     **fuzz_stats_payload(result.stats),
                 )
+            if "store_reads" in result.stats:
+                events.emit(
+                    "store_stats",
+                    model=bench.name,
+                    tool=tool,
+                    **store_stats_payload(result.stats),
+                )
             if result.provenance:
                 events.emit(
                     "provenance",
@@ -275,6 +304,7 @@ def run_experiment(
     heartbeat_s: Optional[float] = None,
     stall_fraction: float = 0.5,
     heartbeat_dir: Optional[str] = None,
+    store_dir: str = "",
 ) -> ExperimentResult:
     """Run the (tool × model × repetition) matrix, possibly in parallel.
 
@@ -296,6 +326,9 @@ def run_experiment(
     (in ``heartbeat_dir``, default ``<events_out>.hb``) and arms the
     parent's stall watchdog, which emits ``cell_stalled`` events when a
     running cell goes quiet for ``stall_fraction`` of its timeout.
+    ``store_dir`` enables the persistent warm-start store
+    (:mod:`repro.store`) for every STCG-family cell; store keys are
+    scoped per cell, so parallel workers never contend on one document.
     """
     for name in tools:
         if name not in ALL_TOOLS:
@@ -336,6 +369,7 @@ def run_experiment(
             heartbeat_s=heartbeat_s,
             stall_fraction=stall_fraction,
             heartbeat_dir=heartbeat_dir,
+            store_dir=store_dir,
         )
         if events is not None:
             events.write_manifest(_manifest_path(events_out))

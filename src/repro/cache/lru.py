@@ -68,6 +68,15 @@ class LRUCache:
     def __iter__(self) -> Iterator:
         return iter(self._data)
 
+    def items(self) -> Iterator:  # no counter traffic, no recency updates
+        """(key, value) pairs, oldest (least recently used) first.
+
+        Iteration order is the eviction order, which is what the
+        warm-start store persists: restoring entries via ``put`` in this
+        order reproduces the original cache's eviction behaviour.
+        """
+        return iter(self._data.items())
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self._data.clear()

@@ -85,6 +85,7 @@ class SolveCache:
         "verdicts_enabled",
         "verdict_hits",
         "_dead",
+        "_restored_contraction",
     )
 
     def __init__(
@@ -104,6 +105,10 @@ class SolveCache:
         #: a solver failure when first seen (a skip must replicate the
         #: failure-backoff bookkeeping exactly to stay transparent).
         self._dead: Dict[Tuple[str, object], bool] = {}
+        #: Contraction results restored from the warm-start store, keyed
+        #: like ``compiled`` and attached to a bundle the moment the
+        #: factory builds it (see :meth:`compiled_constraint`).
+        self._restored_contraction: Dict[tuple, tuple] = {}
 
     # -- encodings -----------------------------------------------------
 
@@ -145,6 +150,14 @@ class SolveCache:
             return None
         if entry is _FIRST_VISIT:
             entry = factory()
+            if self._restored_contraction:
+                # A warm-started bundle replays the previous run's
+                # contraction result — a pure function of the constraint
+                # and the initial box, so attaching it is equivalent to
+                # the bundle having computed it on this visit.
+                cached = self._restored_contraction.pop(key, None)
+                if cached is not None and entry.contract_result is None:
+                    entry.contract_result = cached
             self.compiled.put(key, entry)
         return entry
 
@@ -168,6 +181,166 @@ class SolveCache:
     @property
     def verdict_entries(self) -> int:
         return len(self._dead)
+
+    # -- warm-start store folds ----------------------------------------
+
+    def export_folds(self) -> Dict[str, object]:
+        """The cache's persistable derived state (see :mod:`repro.store`).
+
+        Four folds: dead verdicts, compiled-LRU keys (persisted as
+        first-visit *markers* — a warm run recompiles the bundle, which
+        is pinned bit-identical to interpreting), the contraction
+        snapshots those bundles carried, and the one-step encodings.
+        LRU folds are emitted in eviction order so a restore reproduces
+        the original eviction behaviour exactly.  Export reads the LRUs
+        through :meth:`~repro.cache.lru.LRUCache.items` — no counter or
+        recency traffic, so exporting is pure observation.
+        """
+        from repro.store.codec import (
+            ExprTable,
+            encode_encoding,
+            encode_target_key,
+        )
+
+        fps: list = []
+        fp_index: Dict[str, int] = {}
+
+        def intern(fingerprint: str) -> int:
+            index = fp_index.get(fingerprint)
+            if index is None:
+                index = len(fps)
+                fps.append(fingerprint)
+                fp_index[fingerprint] = index
+            return index
+
+        verdicts = [
+            [
+                intern(fingerprint),
+                encode_target_key(target_key),
+                bool(counts_failure),
+            ]
+            for (fingerprint, target_key), counts_failure in self._dead.items()
+        ]
+        markers = []
+        snapshots = []
+        for (fingerprint, target_key), entry in self.compiled.items():
+            encoded_key = encode_target_key(target_key)
+            markers.append([intern(fingerprint), encoded_key])
+            contract_result = getattr(entry, "contract_result", None)
+            if contract_result is not None:
+                feasible, snapshot = contract_result
+                snapshots.append(
+                    [
+                        intern(fingerprint),
+                        encoded_key,
+                        bool(feasible),
+                        {
+                            name: [interval.lo, interval.hi]
+                            for name, interval in snapshot.items()
+                        },
+                    ]
+                )
+        # Pending restored snapshots that were never consumed this run
+        # are still valid — carry them forward instead of dropping them.
+        for (fingerprint, target_key), (feasible, snapshot) in (
+            self._restored_contraction.items()
+        ):
+            snapshots.append(
+                [
+                    intern(fingerprint),
+                    encode_target_key(target_key),
+                    bool(feasible),
+                    {
+                        name: [interval.lo, interval.hi]
+                        for name, interval in snapshot.items()
+                    },
+                ]
+            )
+        table = ExprTable()
+        items = [
+            [intern(fingerprint), encode_encoding(encoding, table)]
+            for fingerprint, encoding in self.encodings.items()
+        ]
+        return {
+            "fps": fps,
+            "verdicts": verdicts,
+            "markers": markers,
+            "snapshots": snapshots,
+            "encodings": {"table": table.nodes, "items": items},
+        }
+
+    def restore_folds(self, payload, compiled_model) -> Dict[str, int]:
+        """Load :meth:`export_folds` output; returns per-fold counts.
+
+        Decode-then-apply: every artifact is decoded into staging lists
+        first, so a malformed payload raises *before* the cache mutates
+        and the caller can fall back to a fully cold start.
+        """
+        from repro.solver.interval import Interval
+        from repro.store.codec import (
+            CodecError,
+            decode_encoding,
+            decode_expr_table,
+            decode_target_key,
+        )
+
+        fps = payload.get("fps", [])
+        if not isinstance(fps, list):
+            raise CodecError(f"malformed fps table {type(fps).__name__}")
+
+        def fp(obj) -> str:
+            index = int(obj)
+            if not 0 <= index < len(fps):
+                raise CodecError(f"fingerprint index {obj!r} out of range")
+            return str(fps[index])
+
+        staged_verdicts = [
+            (fp(index), decode_target_key(key), bool(counts_failure))
+            for index, key, counts_failure in payload.get("verdicts", [])
+        ]
+        staged_markers = [
+            (fp(index), decode_target_key(key))
+            for index, key in payload.get("markers", [])
+        ]
+        staged_snapshots = [
+            (
+                fp(index),
+                decode_target_key(key),
+                bool(feasible),
+                {
+                    str(name): Interval(float(lo), float(hi))
+                    for name, (lo, hi) in snapshot.items()
+                },
+            )
+            for index, key, feasible, snapshot in payload.get("snapshots", [])
+        ]
+        raw_encodings = payload.get("encodings", {})
+        if not isinstance(raw_encodings, dict):
+            raise CodecError(
+                f"malformed encodings fold {type(raw_encodings).__name__}"
+            )
+        exprs = decode_expr_table(raw_encodings.get("table", []))
+        staged_encodings = [
+            (fp(index), decode_encoding(encoded, compiled_model, exprs))
+            for index, encoded in raw_encodings.get("items", [])
+        ]
+        if self.verdicts_enabled:
+            for fingerprint, target_key, counts_failure in staged_verdicts:
+                self._dead[(fingerprint, target_key)] = counts_failure
+        for fingerprint, target_key in staged_markers:
+            self.compiled.put((fingerprint, target_key), _FIRST_VISIT)
+        for fingerprint, target_key, feasible, snapshot in staged_snapshots:
+            self._restored_contraction[(fingerprint, target_key)] = (
+                feasible, snapshot,
+            )
+        for fingerprint, encoding in staged_encodings:
+            self.encodings.put(fingerprint, encoding)
+        return {
+            "verdicts": len(staged_verdicts) if self.verdicts_enabled else 0,
+            "markers": len(staged_markers),
+            "snapshots": len(staged_snapshots),
+            "encodings": len(staged_encodings),
+        }
 
     # -- telemetry -----------------------------------------------------
 

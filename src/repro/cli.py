@@ -128,6 +128,12 @@ def _parser() -> argparse.ArgumentParser:
         help="STCG only: force the reference solver pipeline instead of "
              "the compiled/batched solver kernel (repro.solverc)",
     )
+    gen.add_argument(
+        "--store", default="", metavar="DIR",
+        help="STCG-family only: persistent warm-start store directory "
+             "(repro.store/1); verdicts, compiled-bundle markers, "
+             "contraction snapshots and encodings persist across runs",
+    )
     _add_exec_flags(gen)
 
     fuzz = sub.add_parser(
@@ -152,6 +158,16 @@ def _parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--corpus-out", default=None, metavar="FILE.json",
         help="write the retained corpus (repro.fuzz.corpus/1 JSON) here",
+    )
+    fuzz.add_argument(
+        "--corpus-in", default=None, metavar="FILE.json",
+        help="seed the campaign from a previously exported corpus "
+             "(repro.fuzz.corpus/1 JSON, e.g. a --corpus-out file)",
+    )
+    fuzz.add_argument(
+        "--store", default="", metavar="DIR",
+        help="persistent warm-start store directory (repro.store/1); "
+             "solver state and the retained corpus persist across runs",
     )
     fuzz.add_argument("--out", help="write the suite text export here")
     _add_exec_flags(fuzz)
@@ -182,6 +198,12 @@ def _parser() -> argparse.ArgumentParser:
         choices=list(api.ALL_TOOLS),
         help="tool columns to run (default: the paper's SLDV SimCoTest "
              "STCG; add Fuzz and/or Hybrid for the fuzzing columns)",
+    )
+    t3.add_argument(
+        "--store", default="", metavar="DIR",
+        help="persistent warm-start store directory (repro.store/1) for "
+             "every STCG-family cell; keys are scoped per cell, so "
+             "parallel workers never contend",
     )
     _add_exec_flags(t3)
 
@@ -368,12 +390,14 @@ def _cmd_generate(args) -> None:
         events_out=args.events_out,
         trace=args.trace,
         provenance=not args.no_provenance,
+        store_dir=args.store,
     )
     print(
         f"{args.tool} on {model.name}: decision={result.decision:.1%} "
         f"condition={result.condition:.1%} mcdc={result.mcdc:.1%} "
         f"cases={len(result.suite)}"
     )
+    _print_store_line(result.stats)
     if args.minimize:
         compiled = model.build()
         reduced = minimize_suite(compiled, result.suite)
@@ -394,6 +418,24 @@ def _cmd_generate(args) -> None:
         collector = suite.replay(compiled)
         print()
         print(full_report(collector))
+
+
+def _print_store_line(stats) -> None:
+    if "store_reads" not in stats:
+        return
+    restored = (
+        int(stats.get("restored_verdicts", 0))
+        + int(stats.get("restored_markers", 0))
+        + int(stats.get("restored_snapshots", 0))
+        + int(stats.get("restored_encodings", 0))
+    )
+    print(
+        f"store: hits={stats.get('store_hits', 0)} "
+        f"misses={stats.get('store_misses', 0)} "
+        f"rejected={stats.get('store_rejected', 0)} "
+        f"writes={stats.get('store_writes', 0)} "
+        f"restored={restored} corpus_seeds={stats.get('corpus_seeds', 0)}"
+    )
 
 
 def _print_failures(experiment) -> None:
@@ -448,6 +490,8 @@ def _cmd_fuzz(args) -> None:
         fuzz_kwargs["executions"] = args.executions
     if args.corpus_out:
         fuzz_kwargs["corpus_out"] = args.corpus_out
+    if args.corpus_in:
+        fuzz_kwargs["corpus_in"] = args.corpus_in
     tool = "Hybrid" if args.hybrid else "Fuzz"
     config = api.StcgConfig(
         budget_s=args.budget,
@@ -466,6 +510,7 @@ def _cmd_fuzz(args) -> None:
         events_out=args.events_out,
         trace=args.trace,
         provenance=not args.no_provenance,
+        store_dir=args.store,
     )
     stats = result.stats
     wall = float(stats.get("fuzz_wall_s") or 0.0)
@@ -482,6 +527,7 @@ def _cmd_fuzz(args) -> None:
         f"(retained {stats.get('fuzz_retained', 0)}, "
         f"seeds {stats.get('fuzz_seed_entries', 0)})"
     )
+    _print_store_line(stats)
     if args.hybrid:
         print(
             f"hybrid: {stats.get('fuzz_targets', 0)} fuzz targets, "
@@ -510,6 +556,7 @@ def _cmd_table3(args) -> None:
         provenance=not args.no_provenance,
         heartbeat_s=args.heartbeat,
         stall_fraction=args.stall_fraction,
+        store_dir=args.store,
         progress=lambda m: print(f"  {m}"),
     )
     _print_failures(experiment)

@@ -25,7 +25,41 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigError
 from repro.solver.engine import SolverConfig
 
-__all__ = ["CacheConfig", "FuzzConfig", "KernelConfig", "StcgConfig"]
+__all__ = [
+    "CacheConfig",
+    "FuzzConfig",
+    "KernelConfig",
+    "StcgConfig",
+    "StoreConfig",
+]
+
+
+@dataclass(frozen=True, kw_only=True)
+class StoreConfig:
+    """Where (and whether) the persistent warm-start store lives.
+
+    The store (:mod:`repro.store`) persists a run's derived state —
+    solve-cache folds, the state tree, the fuzz corpus — keyed by
+    content digests of the model and the cache-relevant config, so a
+    repeated run of the same cell warm-starts instead of re-deriving
+    everything.  ``read``/``write`` split the roles: a CI baseline job
+    might write without reading, a strict-reuse consumer read without
+    writing.  The store is best-effort by design: missing, stale, or
+    corrupt documents make the run cold, never make it fail.
+    """
+
+    #: Directory holding the store documents (created on first write).
+    path: str
+    #: Load a matching document at run start (warm-start when present).
+    read: bool = True
+    #: Persist this run's derived state at run end.
+    write: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.path, str) or not self.path:
+            raise ConfigError(
+                f"store.path must be a non-empty string, got {self.path!r}"
+            )
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -114,6 +148,11 @@ class FuzzConfig:
     #: Write the final corpus as a ``repro.fuzz.corpus/1`` JSON document
     #: here after the campaign (the CI fuzz-corpus artifact).
     corpus_out: str = ""
+    #: Seed the campaign corpus from a ``repro.fuzz.corpus/1`` document
+    #: before the self-seeding phase.  Unlike the silent warm-start
+    #: store, an unreadable or mismatched file here is a hard error —
+    #: the user named it explicitly.
+    corpus_in: str = ""
 
     def __post_init__(self) -> None:
         if self.executions < 1:
@@ -220,6 +259,10 @@ class StcgConfig:
     #: The coverage-guided fuzzing engine (``tool="Fuzz"``/``"Hybrid"``)
     #: — see :class:`FuzzConfig`.  Ignored by the pure STCG loop.
     fuzz: FuzzConfig = field(default_factory=FuzzConfig)
+    #: The persistent cross-run warm-start store — see
+    #: :class:`StoreConfig`.  ``None`` (the default) disables the store
+    #: entirely; every run is cold and nothing touches disk.
+    store: "StoreConfig | None" = None
 
     #: Record a per-attempt trace (solve successes/failures, random runs).
     #: Used by the Table I / Figure 3 reproduction; off by default because
@@ -292,6 +335,10 @@ class StcgConfig:
         if not isinstance(self.fuzz, FuzzConfig):
             raise ConfigError(
                 f"fuzz must be a FuzzConfig, got {self.fuzz!r}"
+            )
+        if self.store is not None and not isinstance(self.store, StoreConfig):
+            raise ConfigError(
+                f"store must be a StoreConfig or None, got {self.store!r}"
             )
         if not isinstance(self.seed, int):
             raise ConfigError(f"seed must be an int, got {self.seed!r}")

@@ -190,6 +190,35 @@ class StcgGenerator:
                 b.branch_id for b in find_dead_branches(compiled)
             }
         self.stats["proven_dead"] = len(self.proven_dead)
+        #: Persistent cross-run warm-start store (:mod:`repro.store`),
+        #: or None when ``config.store`` is unset.  Scoped per cell
+        #: (tool + seed) so matrix workers never share a file; the fuzz
+        #: generators re-scope it before first use.
+        self.store = None
+        if self.config.store is not None:
+            from repro.store import WarmStore
+
+            self.store = WarmStore(
+                self.config.store,
+                compiled,
+                self.config,
+                scope=f"STCG|seed={self.config.seed}",
+            )
+            self.stats.update(
+                store_reads=0,
+                store_hits=0,
+                store_misses=0,
+                store_rejected=0,
+                store_writes=0,
+                restored_verdicts=0,
+                restored_markers=0,
+                restored_snapshots=0,
+                restored_encodings=0,
+                corpus_seeds=0,
+            )
+        #: Derived-state sizes right after a successful warm-start
+        #: restore — the skip-save fingerprint (see :meth:`_store_save`).
+        self._store_snapshot: Optional[tuple] = None
         #: Process trace (populated when config.record_trace is on).
         self.trace: List[TraceEntry] = []
 
@@ -199,6 +228,7 @@ class StcgGenerator:
 
     def run(self) -> GenerationResult:
         """Generate test cases until the budget expires or coverage is full."""
+        self._store_load()
         self._start = self._clock()
         tracer = self.tracer
         probe = PROBE
@@ -239,6 +269,7 @@ class StcgGenerator:
                         self._dynamic_execute(None)
             if tracer.enabled:
                 tracer.sample("tree_nodes", self._elapsed(), len(self.tree))
+        self._store_save()
         return GenerationResult(
             tool="STCG",
             model_name=self.compiled.name,
@@ -676,6 +707,86 @@ class StcgGenerator:
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
+
+    # -- warm-start store ----------------------------------------------
+
+    def _store_load(self) -> Optional[Dict[str, object]]:
+        """Warm-start from the store; returns the raw payload (or None).
+
+        Runs before the budget clock starts.  Only the solve-cache folds
+        are restored into the live run — they are observationally
+        transparent, so the warm run stays bit-identical to a cold one.
+        The full payload is returned for consumers with their own reuse
+        story (the fuzz generators seed their corpus from it).  Any
+        problem — missing file, digest mismatch, malformed folds —
+        degrades to a cold start and counts ``store_rejected``; a store
+        must never take a run down.
+        """
+        if self.store is None or not self.config.store.read:
+            return None
+        self.stats["store_reads"] += 1
+        payload, status = self.store.load()
+        if status != "hit":
+            self.stats[
+                "store_misses" if status == "miss" else "store_rejected"
+            ] += 1
+            return None
+        folds = payload.get("cache")
+        if folds is not None:
+            try:
+                counts = self.cache.restore_folds(folds, self.compiled)
+            except Exception:
+                # restore_folds stages all decodes before applying, so
+                # the cache is untouched here — the run is simply cold.
+                self.stats["store_rejected"] += 1
+                return None
+            self.stats["restored_verdicts"] += counts["verdicts"]
+            self.stats["restored_markers"] += counts["markers"]
+            self.stats["restored_snapshots"] += counts["snapshots"]
+            self.stats["restored_encodings"] += counts["encodings"]
+        self.stats["store_hits"] += 1
+        tree_payload = payload.get("tree")
+        self._store_snapshot = (
+            self.cache.verdict_entries,
+            len(self.cache.encodings),
+            len(self.cache.compiled),
+            len(tree_payload["nodes"])
+            if isinstance(tree_payload, dict)
+            and isinstance(tree_payload.get("nodes"), list)
+            else -1,
+        )
+        return payload
+
+    def _store_save(self, extra: Optional[Dict[str, object]] = None) -> None:
+        """Persist this run's derived state; best-effort, never raises.
+
+        A warm run that learned nothing — same verdict/encoding/compiled
+        counts and tree size as right after the restore, which a
+        bit-identical equal-budget rerun always hits — skips the write:
+        the stored document is already the fixed point, and skipping
+        keeps the warm path's end-to-end cost at load + solve.  Runs
+        with ``extra`` payloads (the fuzz corpus) always write.
+        """
+        if self.store is None or not self.config.store.write:
+            return
+        if extra is None and self._store_snapshot == (
+            self.cache.verdict_entries,
+            len(self.cache.encodings),
+            len(self.cache.compiled),
+            len(self.tree),
+        ):
+            return
+        try:
+            payload: Dict[str, object] = {
+                "tree": self.tree.to_payload(),
+                "cache": self.cache.export_folds(),
+            }
+            if extra:
+                payload.update(extra)
+            if self.store.save(payload):
+                self.stats["store_writes"] += 1
+        except Exception:
+            pass
 
     def _elapsed(self) -> float:
         return self._clock() - self._start

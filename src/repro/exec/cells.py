@@ -59,6 +59,11 @@ class CellSpec:
     #: ``(("caches", CacheConfig(encoding_size=0)),)`` for a
     #: cache-ablation run).  Ignored by non-STCG tools.
     stcg_overrides: tuple = ()
+    #: Warm-start store directory (:mod:`repro.store`), or "" for no
+    #: store.  Store keys are scoped per cell (tool + derived seed), so
+    #: every worker reads and writes its own document — concurrent
+    #: matrix workers never contend on one file.
+    store_dir: str = ""
 
     @property
     def label(self) -> str:
@@ -123,6 +128,7 @@ def plan_matrix(
     trace: bool = False,
     provenance: bool = True,
     stcg_overrides: Dict[str, object] = None,
+    store_dir: str = "",
 ) -> List[CellSpec]:
     """Expand a matrix into its cell list, in deterministic order.
 
@@ -149,6 +155,7 @@ def plan_matrix(
                         trace=trace,
                         provenance=provenance,
                         stcg_overrides=overrides,
+                        store_dir=store_dir,
                     )
                 )
     return cells

@@ -50,7 +50,12 @@ from repro.fuzz.engine import FuzzGenerator, HybridGenerator
 from repro.models.registry import BenchmarkModel
 from repro.obs.probe import PROBE
 from repro.provenance import PROVENANCE_SCHEMA
-from repro.telemetry.events import EventLog, emit_trace_events, fuzz_stats_payload
+from repro.telemetry.events import (
+    EventLog,
+    emit_trace_events,
+    fuzz_stats_payload,
+    store_stats_payload,
+)
 
 #: The paper's three tools, in rendering order.
 TOOLS = ("SLDV", "SimCoTest", "STCG")
@@ -72,18 +77,25 @@ def run_single(
     trace: bool = False,
     stcg_overrides: Dict[str, object] = None,
     provenance: bool = True,
+    store_dir: str = "",
 ) -> GenerationResult:
     """One generation run of one tool on a fresh build of the model.
 
     ``stcg_overrides`` carries extra ``StcgConfig`` fields (kernel/cache
     sub-configs, ablation flags) applied only when ``tool == "STCG"``; an
     explicit ``provenance`` override there wins over the ``provenance``
-    parameter.
+    parameter.  ``store_dir`` attaches the warm-start store to the
+    STCG-family tools (an explicit ``store`` override wins); the other
+    tools have no solve caches to persist and ignore it.
     """
     compiled = model.build()
     if tool in ("STCG", "Fuzz", "Hybrid"):
         overrides = dict(stcg_overrides or {})
         overrides.setdefault("provenance", provenance)
+        if store_dir:
+            from repro.core.config import StoreConfig
+
+            overrides.setdefault("store", StoreConfig(path=store_dir))
         config = StcgConfig(
             budget_s=budget_s, seed=seed, trace=trace, **overrides
         )
@@ -113,6 +125,7 @@ def run_cell(spec: CellSpec) -> GenerationResult:
     return run_single(
         spec.tool, spec.model, spec.budget_s, spec.seed, spec.sldv_max_depth,
         spec.trace, dict(spec.stcg_overrides), provenance=spec.provenance,
+        store_dir=spec.store_dir,
     )
 
 
@@ -323,6 +336,7 @@ def execute_matrix(
     heartbeat_s: Optional[float] = None,
     stall_fraction: float = 0.5,
     heartbeat_dir: Optional[str] = None,
+    store_dir: str = "",
 ) -> ExperimentResult:
     """Run every tool on every model, fanned out over ``workers`` processes.
 
@@ -371,6 +385,7 @@ def execute_matrix(
         trace=trace,
         provenance=provenance,
         stcg_overrides=stcg_overrides,
+        store_dir=store_dir,
     )
     started = time.monotonic()
     if events is not None:
@@ -386,6 +401,7 @@ def execute_matrix(
             cell_timeout=cell_timeout,
             trace=trace,
             heartbeat_s=heartbeat_s,
+            store_dir=store_dir,
             cells=len(cells),
         )
 
@@ -542,6 +558,12 @@ def _notify(
             if "fuzz_executions" in result.stats:
                 events.emit(
                     "fuzz_stats", **spec.identity(), **fuzz_stats_payload(result.stats)
+                )
+            if "store_reads" in result.stats:
+                events.emit(
+                    "store_stats",
+                    **spec.identity(),
+                    **store_stats_payload(result.stats),
                 )
             if result.provenance:
                 events.emit(

@@ -19,6 +19,7 @@ Determinism contract (pinned by the tier-1 suite):
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 import time
 from dataclasses import replace
@@ -28,6 +29,7 @@ from repro.core.config import FuzzConfig, StcgConfig
 from repro.core.result import GenerationResult, ORIGIN_FUZZ, TimelineEvent
 from repro.core.stcg import StcgGenerator
 from repro.core.testcase import TestCase
+from repro.errors import ReproError
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.mutators import SequenceMutator
 from repro.model.graph import CompiledModel
@@ -303,6 +305,61 @@ def _write_corpus(campaign: FuzzCampaign, path: str) -> None:
             handle.write("\n")
 
 
+def _seed_from_corpus(
+    campaign: FuzzCampaign, corpus: Corpus, origin: str
+) -> int:
+    """Replay a persisted corpus's entries as campaign seeds.
+
+    Admitted via ``add_seed`` (unconditional retention) in stored order,
+    without re-execution — each entry earned its objectives in the run
+    that retained it.  Seeding changes which parents the campaign can
+    pick, so a corpus-seeded campaign is deliberately *not* bit-identical
+    to an unseeded one: corpus reuse amortizes discovery across runs
+    (see DESIGN.md, "Store integrity and invalidation").
+    """
+    for entry in corpus.entries:
+        campaign.corpus.add_seed(
+            entry.sequence, entry.objectives, origin=origin
+        )
+        campaign.seed_entries += 1
+    return len(corpus.entries)
+
+
+def _seed_campaign(
+    campaign: FuzzCampaign,
+    host: StcgGenerator,
+    config: StcgConfig,
+    payload: Optional[Dict[str, object]],
+) -> None:
+    """Apply both external corpus sources to a fresh campaign.
+
+    ``fuzz.corpus_in`` (user-named file) fails loudly on any problem;
+    the warm-start store payload fails soft (it is best-effort by
+    contract) and counts ``store_rejected`` instead.
+    """
+    if config.fuzz.corpus_in:
+        path = config.fuzz.corpus_in
+        try:
+            with open(path, "r") as handle:
+                corpus = Corpus.from_json(handle.read())
+        except ReproError:
+            raise
+        except Exception as error:
+            raise ReproError(
+                f"cannot read fuzz corpus {path!r}: {error}"
+            ) from error
+        _seed_from_corpus(campaign, corpus, "import")
+    if payload is not None and payload.get("corpus") is not None:
+        try:
+            corpus = Corpus.from_json(json.dumps(payload["corpus"]))
+        except Exception:
+            host.stats["store_rejected"] += 1
+        else:
+            host.stats["corpus_seeds"] += _seed_from_corpus(
+                campaign, corpus, "store"
+            )
+
+
 class FuzzGenerator:
     """The standalone ``tool="Fuzz"`` baseline: pure mutational fuzzing.
 
@@ -319,6 +376,8 @@ class FuzzGenerator:
     ) -> None:
         self.config = config or StcgConfig()
         self._host = StcgGenerator(compiled, self.config, clock=clock)
+        if self._host.store is not None:
+            self._host.store.scope = f"Fuzz|seed={self.config.seed}"
         if self.config.provenance:
             self._host.ledger = ProvenanceLedger(compiled.registry, "Fuzz")
         else:
@@ -326,6 +385,7 @@ class FuzzGenerator:
 
     def run(self) -> GenerationResult:
         host = self._host
+        payload = host._store_load()
         host._start = host._clock()
         campaign = FuzzCampaign(
             host,
@@ -333,12 +393,17 @@ class FuzzGenerator:
             rng=random.Random(derive_fuzz_seed(self.config.seed)),
             deadline=host._start + self.config.budget_s,
         )
+        _seed_campaign(campaign, host, self.config, payload)
         campaign.seed_random(self.config.fuzz.seed_sequences)
         campaign.run()
         _write_corpus(campaign, self.config.fuzz.corpus_out)
         wall = host._elapsed()
         host.stats.update(campaign.stats_dict())
         host.stats["fuzz_wall_s"] = round(wall, 6)
+        if host.store is not None:
+            host._store_save(
+                extra={"corpus": json.loads(campaign.corpus.to_json())}
+            )
         return GenerationResult(
             tool="Fuzz",
             model_name=host.compiled.name,
@@ -375,6 +440,8 @@ class HybridGenerator:
     ) -> None:
         self.config = config or StcgConfig()
         self._host = StcgGenerator(compiled, self.config, clock=clock)
+        if self._host.store is not None:
+            self._host.store.scope = f"Hybrid|seed={self.config.seed}"
         if self.config.provenance:
             self._host.ledger = ProvenanceLedger(compiled.registry, "Hybrid")
         else:
@@ -383,6 +450,7 @@ class HybridGenerator:
     def run(self) -> GenerationResult:
         host = self._host
         total = self.config.budget_s
+        payload = host._store_load()
         host._start = host._clock()
         # Phase 1: the pure STCG loop on a budget slice.
         host.config = replace(
@@ -401,6 +469,7 @@ class HybridGenerator:
             deadline=host._start + total,
         )
         campaign.seed_from_suite(host.suite)
+        _seed_campaign(campaign, host, self.config, payload)
         if targets:
             campaign.run()
             # Phase 3: another solver pass over the fuzz-fed state tree.
@@ -409,6 +478,10 @@ class HybridGenerator:
         wall = host._elapsed()
         host.stats.update(campaign.stats_dict())
         host.stats["fuzz_wall_s"] = round(wall, 6)
+        if host.store is not None:
+            host._store_save(
+                extra={"corpus": json.loads(campaign.corpus.to_json())}
+            )
         return GenerationResult(
             tool="Hybrid",
             model_name=host.compiled.name,

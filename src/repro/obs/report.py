@@ -100,6 +100,7 @@ def render_report(events, top_n: int = 10) -> str:
     lines += _section_kernel(events)
     lines += _section_solverc(events)
     lines += _section_tree_growth(events)
+    lines += _section_store(events)
     lines += _section_fuzz(events)
     lines += _section_coverage(events)
     lines += _section_provenance(events)
@@ -356,6 +357,36 @@ def _section_tree_growth(events) -> List[str]:
         lines.append(
             f"  {_cell_label(_cell_key(event)):<28s} "
             f"|{_spark(values)}| {final} nodes"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_store(events) -> List[str]:
+    lines = ["warm-start store (repro.store/1)",
+             "--------------------------------"]
+    store_events = _of_kind(events, "store_stats")
+    if not store_events:
+        lines += ["  (no events of kind store_stats — run with --store DIR)",
+                  ""]
+        return lines
+    lines.append(
+        f"  {'cell':<28s} {'reads':>6s} {'hits':>5s} {'rej':>4s} "
+        f"{'writes':>6s} {'verd':>6s} {'mark':>5s} {'snap':>5s} "
+        f"{'enc':>5s} {'seeds':>6s}"
+    )
+    for event in store_events:
+        lines.append(
+            f"  {_cell_label(_cell_key(event)):<28s} "
+            f"{int(event.get('reads', 0)):>6d} "
+            f"{int(event.get('hits', 0)):>5d} "
+            f"{int(event.get('rejected', 0)):>4d} "
+            f"{int(event.get('writes', 0)):>6d} "
+            f"{int(event.get('restored_verdicts', 0)):>6d} "
+            f"{int(event.get('restored_markers', 0)):>5d} "
+            f"{int(event.get('restored_snapshots', 0)):>5d} "
+            f"{int(event.get('restored_encodings', 0)):>5d} "
+            f"{int(event.get('corpus_seeds', 0)):>6d}"
         )
     lines.append("")
     return lines

@@ -1,0 +1,26 @@
+"""Persistent cross-run warm-start store (ROADMAP item 2, first half).
+
+The store persists a generation run's *derived* state — the state tree,
+the solve-cache folds (UNSAT verdicts, compiled-bundle first-visit
+markers, contraction snapshots, one-step encodings) and the fuzz corpus
+— keyed by ``(model digest, config-relevant digest, schema version)``,
+so a later run on the same model warm-starts instead of re-deriving
+everything from scratch.  See DESIGN.md, "Store integrity and
+invalidation", for the key-derivation and bit-identity arguments.
+"""
+
+from repro.store.codec import CodecError
+from repro.store.store import (
+    STORE_SCHEMA,
+    WarmStore,
+    config_digest,
+    model_digest,
+)
+
+__all__ = [
+    "CodecError",
+    "STORE_SCHEMA",
+    "WarmStore",
+    "config_digest",
+    "model_digest",
+]

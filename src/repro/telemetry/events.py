@@ -36,6 +36,11 @@ objective-level coverage snapshot; the manifest folds them per
 deterministic counters into a ``fuzz`` section (see
 :data:`_FUZZ_TOTALS`).
 
+Cells with the warm-start store attached (``repro.store``) emit one
+``store_stats`` event (read/hit/miss/rejected/write traffic plus per-fold
+restore counts); the manifest folds them into a ``store`` section (see
+:data:`_STORE_TOTALS`).
+
 The manifest is a single JSON document derived from the event stream:
 counts, per-(model, tool) coverage aggregates, failures, totals over the
 generators' solver statistics, for traced runs ``phase_seconds`` and
@@ -115,6 +120,41 @@ _FUZZ_TOTALS = (
     "targets",
     "targets_covered",
 )
+
+#: Warm-start store counters summed into the manifest's ``store`` section
+#: from cells whose generator had a store attached (the ``store_*`` /
+#: ``restored_*`` stats keys).  Like :data:`_FUZZ_TOTALS`, the key set is
+#: fixed so warm and cold runs differ only in the numbers.
+_STORE_TOTALS = (
+    "reads",
+    "hits",
+    "misses",
+    "rejected",
+    "writes",
+    "restored_verdicts",
+    "restored_markers",
+    "restored_snapshots",
+    "restored_encodings",
+    "corpus_seeds",
+)
+
+#: The subset of :data:`_STORE_TOTALS` whose stats keys carry a
+#: ``store_`` prefix (the rest are used verbatim).
+_STORE_PREFIXED = ("reads", "hits", "misses", "rejected", "writes")
+
+
+def store_stats_payload(stats: Dict[str, object]) -> Dict[str, object]:
+    """The ``store_stats`` event payload from a result's store counters.
+
+    Strips the ``store_`` prefix off the traffic counters and carries the
+    ``restored_*``/``corpus_seeds`` fold counts verbatim, always with the
+    full key set.
+    """
+    payload: Dict[str, object] = {}
+    for key in _STORE_TOTALS:
+        source = f"store_{key}" if key in _STORE_PREFIXED else key
+        payload[key] = int(stats.get(source, 0))
+    return payload
 
 
 def fuzz_stats_payload(stats: Dict[str, object]) -> Dict[str, object]:
@@ -263,6 +303,8 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
     totals = {key: 0 for key in _STAT_TOTALS}
     fuzz_totals = {key: 0 for key in _FUZZ_TOTALS}
     fuzz_cells = 0
+    store_totals = {key: 0 for key in _STORE_TOTALS}
+    store_cells = 0
     duration = 0.0
     for cell in cells_ok:
         per_tool = coverage.setdefault(str(cell["model"]), {})
@@ -282,6 +324,10 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
             fuzz_cells += 1
             for key in _FUZZ_TOTALS:
                 fuzz_totals[key] += int(stats.get(f"fuzz_{key}", 0))
+        if "store_reads" in stats:
+            store_cells += 1
+            for key, value in store_stats_payload(stats).items():
+                store_totals[key] += int(value)
     for per_tool in coverage.values():
         for agg in per_tool.values():
             for metric in ("decision", "condition", "mcdc"):
@@ -361,6 +407,9 @@ def build_manifest(events: List[Dict[str, object]]) -> Dict[str, object]:
         # Deterministic fuzz aggregate (count-based; no wall-clock
         # numbers, so workers=1 and workers=N manifests stay identical).
         "fuzz": {"cells": fuzz_cells, **fuzz_totals},
+        # Warm-start store traffic (cells with a store attached).  All
+        # counts are deterministic given the store's starting contents.
+        "store": {"cells": store_cells, **store_totals},
         "phase_seconds": phase_seconds,
         "solver_stages": solver_stages,
         "cache": cache_totals,

@@ -1,0 +1,101 @@
+"""StateTree to_payload/from_payload round-trip (the warm-start store)."""
+
+import pytest
+
+from repro.core.config import StcgConfig
+from repro.core.state_tree import StateTree, TREE_SCHEMA
+from repro.core.stcg import StcgGenerator
+from repro.coverage.collector import ConditionObligation
+from repro.model.state import ModelState
+from repro.store.codec import CodecError
+from tests.conftest import build_counter_model, build_queue_model
+
+
+def _grown_tree(build, seed=5, budget=1.5):
+    compiled = build()
+    gen = StcgGenerator(compiled, StcgConfig(budget_s=budget, seed=seed))
+    gen.run()
+    return gen.tree
+
+
+def _assert_equivalent(tree, restored):
+    assert len(restored) == len(tree)
+    assert restored.dedup_links == tree.dedup_links
+    for original, copy in zip(tree, restored):
+        assert copy.node_id == original.node_id
+        assert copy.state.values == original.state.values
+        assert copy.input == original.input
+        assert copy.covered_branches == original.covered_branches
+        assert copy.solved_branches == original.solved_branches
+        assert copy.solved_obligations == original.solved_obligations
+        parent = original.parent.node_id if original.parent else None
+        assert (copy.parent.node_id if copy.parent else None) == parent
+        assert copy.state.fingerprint() == original.state.fingerprint()
+
+
+@pytest.mark.parametrize("build", [build_counter_model, build_queue_model])
+def test_round_trip_grown_tree(build):
+    tree = _grown_tree(build)
+    assert len(tree) > 1
+    restored = StateTree.from_payload(tree.to_payload())
+    _assert_equivalent(tree, restored)
+
+
+def test_round_trip_is_json_safe():
+    import json
+
+    tree = _grown_tree(build_queue_model)
+    payload = json.loads(json.dumps(tree.to_payload()))
+    _assert_equivalent(tree, StateTree.from_payload(payload))
+
+
+def test_solved_sets_shared_after_restore():
+    tree = _grown_tree(build_counter_model)
+    payload = tree.to_payload()
+    restored = StateTree.from_payload(payload)
+    # Mark a branch solved on one node; every duplicate-state node must
+    # see it (the shared-set plumbing survived the round trip).
+    groups = {}
+    for node in restored:
+        groups.setdefault(node.state.fingerprint(), []).append(node)
+    for nodes in groups.values():
+        if len(nodes) > 1:
+            nodes[0].set_solved(987654)
+            assert all(n.is_solved(987654) for n in nodes)
+            break
+
+
+def test_obligation_round_trip():
+    compiled = build_counter_model()
+    tree = StateTree(ModelState(compiled.initial_state()))
+    obligation = ConditionObligation(2, 0, True, True)
+    tree.root.solved_obligations.add(obligation)
+    restored = StateTree.from_payload(tree.to_payload())
+    assert obligation in restored.root.solved_obligations
+
+
+class TestMalformedPayloads:
+    def test_wrong_schema_rejected(self):
+        tree = _grown_tree(build_counter_model)
+        payload = tree.to_payload()
+        payload["schema"] = "repro.state_tree/0"
+        with pytest.raises(CodecError):
+            StateTree.from_payload(payload)
+
+    def test_rootless_payload_rejected(self):
+        tree = _grown_tree(build_counter_model)
+        payload = tree.to_payload()
+        payload["nodes"][0]["parent"] = 0
+        with pytest.raises(CodecError):
+            StateTree.from_payload(payload)
+
+    def test_dangling_parent_rejected(self):
+        tree = _grown_tree(build_counter_model)
+        payload = tree.to_payload()
+        if len(payload["nodes"]) > 1:
+            payload["nodes"][-1]["parent"] = 10_000
+            with pytest.raises(CodecError):
+                StateTree.from_payload(payload)
+
+    def test_schema_constant_is_versioned(self):
+        assert TREE_SCHEMA.startswith("repro.state_tree/")
